@@ -1,0 +1,256 @@
+// Command woolrun runs a single workload on a chosen scheduler — the
+// quick way to poke at the runtime: native execution on the gowool
+// scheduler (and baselines), or a deterministic virtual-time
+// simulation at any processor count.
+//
+// Examples:
+//
+//	woolrun -workload fib -n 30 -workers 4 -private
+//	woolrun -workload stress -height 8 -iters 256 -reps 1000 -workers 8
+//	woolrun -workload mm -n 256 -sched chaselev
+//	woolrun -workload cholesky -n 500 -nz 2000 -stats
+//	woolrun -sim -workload fib -n 24 -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"gowool/internal/chaselev"
+	"gowool/internal/core"
+	"gowool/internal/costmodel"
+	"gowool/internal/locksched"
+	"gowool/internal/ompstyle"
+	"gowool/internal/sim"
+	"gowool/internal/workloads/cholesky"
+	"gowool/internal/workloads/fibw"
+	"gowool/internal/workloads/mm"
+	"gowool/internal/workloads/ssf"
+	"gowool/internal/workloads/stress"
+)
+
+var (
+	workload = flag.String("workload", "fib", "fib | stress | mm | ssf | cholesky")
+	sched    = flag.String("sched", "wool", "wool | locksched | chaselev | omp | serial")
+	workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker count")
+	private  = flag.Bool("private", false, "enable private tasks (wool)")
+	simulate = flag.Bool("sim", false, "run on the virtual-time simulator instead of natively")
+	n        = flag.Int64("n", 30, "size parameter (fib n, mm rows, ssf word index, cholesky rows)")
+	nz       = flag.Int64("nz", 4000, "cholesky nonzeros")
+	height   = flag.Int64("height", 8, "stress tree height")
+	iters    = flag.Int64("iters", 256, "stress leaf iterations")
+	reps     = flag.Int64("reps", 1, "repetitions (serialized parallel regions)")
+	stats    = flag.Bool("stats", false, "print scheduler statistics")
+)
+
+func main() {
+	flag.Parse()
+	if *simulate {
+		runSim()
+		return
+	}
+	runNative()
+}
+
+func runSim() {
+	var def *sim.Def
+	var args sim.Args
+	switch *workload {
+	case "fib":
+		def, args = fibw.NewSim(), sim.Args{A0: *n}
+	case "stress":
+		def, args = stress.NewSimReps(), sim.Args{A0: *height, A1: *iters, A2: *reps}
+	case "mm":
+		def, args = mm.NewSimReps(), sim.Args{A0: *n, A1: *reps}
+	case "ssf":
+		wk := &ssf.Work{S: ssf.FibString(*n)}
+		def, args = ssf.NewSimReps(), sim.Args{A0: *reps, Ctx: wk}
+	case "cholesky":
+		def, args = cholesky.NewSim().RepsDef(), sim.Args{A0: *reps, A1: *n, A2: *nz, A3: 42}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	res := sim.Run(sim.Config{
+		Procs: *workers, Kind: sim.KindDirectStack,
+		Costs: costmodel.Wool(), PrivateTasks: *private,
+	}, def, args)
+	fmt.Printf("result=%d makespan=%d cycles (%.3f ms at 2.5GHz)\n",
+		res.Value, res.Makespan, float64(res.Makespan)/costmodel.CyclesPerNS/1e6)
+	if *stats {
+		s := res.Total
+		fmt.Printf("spawns=%d joins(pub/priv/stolen)=%d/%d/%d steals=%d attempts=%d publications=%d\n",
+			s.Spawns, s.JoinsPublic, s.JoinsPrivate, s.JoinsStolen, s.Steals, s.Attempts, s.Publications)
+		fmt.Printf("cycles NA=%d LA=%d ST=%d LF=%d\n", s.NA, s.LA, s.ST, s.LF)
+	}
+}
+
+func runNative() {
+	t0 := time.Now()
+	var result int64
+	var printStats func()
+
+	switch *sched {
+	case "serial":
+		result = runSerial()
+	case "wool":
+		p := core.NewPool(core.Options{Workers: *workers, PrivateTasks: *private})
+		defer p.Close()
+		result = runWool(p)
+		printStats = func() { fmt.Printf("%+v\n", p.Stats()) }
+	case "locksched":
+		p := locksched.NewPool(locksched.Options{Workers: *workers})
+		defer p.Close()
+		result = runLock(p)
+		printStats = func() { fmt.Printf("%+v\n", p.Stats()) }
+	case "chaselev":
+		p := chaselev.NewPool(chaselev.Options{Workers: *workers})
+		defer p.Close()
+		result = runChaseLev(p)
+		printStats = func() { fmt.Printf("%+v\n", p.Stats()) }
+	case "omp":
+		p := ompstyle.NewPool(ompstyle.Options{Workers: *workers})
+		defer p.Close()
+		result = runOMP(p)
+		printStats = func() { fmt.Printf("%+v\n", p.Stats()) }
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *sched)
+		os.Exit(2)
+	}
+	fmt.Printf("result=%d elapsed=%v\n", result, time.Since(t0).Round(time.Microsecond))
+	if *stats && printStats != nil {
+		printStats()
+	}
+}
+
+func runSerial() int64 {
+	var total int64
+	for r := int64(0); r < *reps; r++ {
+		switch *workload {
+		case "fib":
+			total += fibw.Serial(*n)
+		case "stress":
+			total += stress.Serial(*height, *iters)
+		case "mm":
+			m := mm.New(*n)
+			mm.Serial(m)
+			total += *n
+		case "ssf":
+			total += ssf.Serial(ssf.FibString(*n), nil)
+		case "cholesky":
+			m := cholesky.Generate(*n, *nz, 42+uint64(r))
+			m.Factor()
+			total += m.Ar.NodesInUse()
+		default:
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+	}
+	return total
+}
+
+func runWool(p *core.Pool) int64 {
+	switch *workload {
+	case "fib":
+		fib := fibw.NewWool()
+		var total int64
+		for r := int64(0); r < *reps; r++ {
+			total += p.Run(func(w *core.Worker) int64 { return fib.Call(w, *n) })
+		}
+		return total
+	case "stress":
+		return stress.RunWool(p, stress.NewWool(), *height, *iters, *reps)
+	case "mm":
+		rows := mm.NewWool()
+		var total int64
+		for r := int64(0); r < *reps; r++ {
+			m := mm.New(*n)
+			total += mm.RunWool(p, rows, m)
+		}
+		return total
+	case "ssf":
+		d := ssf.NewWool()
+		wk := &ssf.Work{S: ssf.FibString(*n)}
+		var total int64
+		for r := int64(0); r < *reps; r++ {
+			total += ssf.RunWool(p, d, wk)
+		}
+		return total
+	case "cholesky":
+		s := cholesky.NewWool()
+		var total int64
+		for r := int64(0); r < *reps; r++ {
+			m := cholesky.Generate(*n, *nz, 42+uint64(r))
+			s.Factor(p, m)
+			total += m.Ar.NodesInUse()
+		}
+		return total
+	}
+	fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+	os.Exit(2)
+	return 0
+}
+
+func runLock(p *locksched.Pool) int64 {
+	switch *workload {
+	case "fib":
+		fib := fibw.NewLockSched()
+		var total int64
+		for r := int64(0); r < *reps; r++ {
+			total += p.Run(func(w *locksched.Worker) int64 { return fib.Call(w, *n) })
+		}
+		return total
+	case "stress":
+		return stress.RunLockSched(p, stress.NewLockSched(), *height, *iters, *reps)
+	}
+	fmt.Fprintf(os.Stderr, "workload %q not ported to locksched (use fib or stress)\n", *workload)
+	os.Exit(2)
+	return 0
+}
+
+func runChaseLev(p *chaselev.Pool) int64 {
+	switch *workload {
+	case "fib":
+		fib := fibw.NewChaseLev()
+		var total int64
+		for r := int64(0); r < *reps; r++ {
+			total += p.Run(func(w *chaselev.Worker) int64 { return fib.Call(w, *n) })
+		}
+		return total
+	}
+	fmt.Fprintf(os.Stderr, "workload %q not ported to chaselev (use fib)\n", *workload)
+	os.Exit(2)
+	return 0
+}
+
+func runOMP(p *ompstyle.Pool) int64 {
+	switch *workload {
+	case "fib":
+		var total int64
+		for r := int64(0); r < *reps; r++ {
+			total += p.Run(func(tc *ompstyle.Context) int64 { return fibw.OMP(tc, *n) })
+		}
+		return total
+	case "mm":
+		var total int64
+		for r := int64(0); r < *reps; r++ {
+			m := mm.New(*n)
+			p.Run(func(tc *ompstyle.Context) int64 { mm.OMP(tc, m); return 0 })
+			total += *n
+		}
+		return total
+	case "ssf":
+		wk := &ssf.Work{S: ssf.FibString(*n)}
+		var total int64
+		for r := int64(0); r < *reps; r++ {
+			total += p.Run(func(tc *ompstyle.Context) int64 { return ssf.OMP(tc, wk) })
+		}
+		return total
+	}
+	fmt.Fprintf(os.Stderr, "workload %q not ported to omp (use fib, mm or ssf)\n", *workload)
+	os.Exit(2)
+	return 0
+}

@@ -1,0 +1,106 @@
+// Command woolstat prints workload characteristics in the style of the
+// paper's Table I: parallelism under the abstract and realistic cost
+// models, per-repetition size, task granularity G_T and load-balancing
+// granularity G_L(p) — either for the whole built-in catalog or for a
+// single workload at chosen parameters.
+//
+//	woolstat -scale quick
+//	woolstat -workload stress -height 9 -iters 256 -reps 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gowool/internal/costmodel"
+	"gowool/internal/experiments"
+	"gowool/internal/sim"
+	"gowool/internal/tabulate"
+	"gowool/internal/workloads/cholesky"
+	"gowool/internal/workloads/fibw"
+	"gowool/internal/workloads/mm"
+	"gowool/internal/workloads/ssf"
+	"gowool/internal/workloads/stress"
+)
+
+var (
+	scaleFlag = flag.String("scale", "quick", "catalog scale: quick or full")
+	workload  = flag.String("workload", "", "single workload: fib | stress | mm | ssf | cholesky (empty = whole catalog)")
+	n         = flag.Int64("n", 24, "size parameter")
+	nz        = flag.Int64("nz", 1000, "cholesky nonzeros")
+	height    = flag.Int64("height", 8, "stress height")
+	iters     = flag.Int64("iters", 256, "stress leaf iterations")
+	reps      = flag.Int64("reps", 16, "repetitions")
+)
+
+func main() {
+	flag.Parse()
+	if *workload == "" {
+		scale, err := experiments.ParseScale(*scaleFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		e, _ := experiments.ByID("table1")
+		if err := e.Run(scale, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var root *sim.Def
+	var args sim.Args
+	var name string
+	switch *workload {
+	case "fib":
+		root, args = fibw.NewSim(), sim.Args{A0: *n}
+		name = fmt.Sprintf("fib(%d)", *n)
+	case "stress":
+		root, args = stress.NewSimReps(), sim.Args{A0: *height, A1: *iters, A2: *reps}
+		name = fmt.Sprintf("stress(h=%d,i=%d)x%d", *height, *iters, *reps)
+	case "mm":
+		root, args = mm.NewSimReps(), sim.Args{A0: *n, A1: *reps}
+		name = fmt.Sprintf("mm(%d)x%d", *n, *reps)
+	case "ssf":
+		wk := &ssf.Work{S: ssf.FibString(*n)}
+		root, args = ssf.NewSimReps(), sim.Args{A0: *reps, Ctx: wk}
+		name = fmt.Sprintf("ssf(%d)x%d", *n, *reps)
+	case "cholesky":
+		root, args = cholesky.NewSim().RepsDef(), sim.Args{A0: *reps, A1: *n, A2: *nz, A3: 42}
+		name = fmt.Sprintf("cholesky(%d,%d)x%d", *n, *nz, *reps)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	span := sim.Run(sim.Config{
+		Procs: 1, Kind: sim.KindDirectStack,
+		Costs:     costmodel.Profile{Name: "zero"},
+		TrackSpan: true, SpanOverhead: 2000,
+	}, root, args)
+	work := float64(span.Work)
+
+	t := tabulate.New("workload characteristics — "+name,
+		"metric", "value")
+	t.Row("T_S (work)", fmt.Sprintf("%.0f kcycles", work/1000))
+	t.Row("RepSz", fmt.Sprintf("%.0f kcycles", work/float64(*reps)/1000))
+	t.Row("tasks N_T", span.Total.Spawns)
+	t.Row("G_T", fmt.Sprintf("%.0f cycles/task", work/float64(span.Total.Spawns)))
+	t.Row("parallelism (O=0)", work/float64(span.Span0))
+	t.Row("parallelism (O=2000)", work/float64(span.SpanO))
+	for _, p := range []int{2, 4, 8} {
+		res := sim.Run(sim.Config{Procs: p, Kind: sim.KindDirectStack,
+			Costs: costmodel.Wool(), PrivateTasks: true,
+			InitialPublic: 4, TripDistance: 2, PublishAmount: 4,
+			Seed: 0x5eed + uint64(p)*977}, root, args)
+		gl := "inf"
+		if res.Total.Steals > 0 {
+			gl = fmt.Sprintf("%.0f kcycles/steal (%d steals)",
+				work/float64(res.Total.Steals)/1000, res.Total.Steals)
+		}
+		t.Row(fmt.Sprintf("G_L(%d)", p), gl)
+	}
+	t.Render(os.Stdout)
+}

@@ -1,0 +1,154 @@
+// Package gowool is a work-stealing scheduler for fine-grained nested
+// task parallelism, a Go implementation of the direct task stack from
+// Karl-Filip Faxén, "Efficient Work Stealing for Fine Grained
+// Parallelism" (ICPP 2010) — the algorithm behind the Wool C library.
+//
+// The design goal is that spawning a task costs barely more than a
+// procedure call, so programs can expose all their parallelism without
+// manual granularity control (cut-offs). The ingredients:
+//
+//   - Task descriptors live inline in a per-worker array with strict
+//     stack discipline: no pointers, no free lists, no allocation on
+//     the spawn path.
+//   - Thief and victim synchronize on the descriptor's state word (the
+//     owner with an atomic exchange, thieves with CAS), not on the
+//     stack indices, so the owner's top index stays private and a steal
+//     transfers a single contiguous block.
+//   - Private tasks defer even that synchronization: descriptors above
+//     a dynamic public boundary are joined with plain loads and stores,
+//     and thieves trip a wire to ask for more public tasks when the
+//     boundary runs dry — a revocable, automatic cut-off.
+//   - A join whose task was stolen leapfrogs: it steals back only from
+//     the thief, bounding stack growth to the sequential depth and
+//     avoiding the buried-join problem.
+//
+// # Usage
+//
+// Tasks are declared once with Define1..Define4 (int64 arguments) or
+// DefineC1/DefineC2 (typed context pointer + int64s), then spawned and
+// joined through a Worker. The canonical example, the paper's Figure 2:
+//
+//	var fib *gowool.TaskDef1
+//	fib = gowool.Define1("fib", func(w *gowool.Worker, n int64) int64 {
+//		if n < 2 {
+//			return n
+//		}
+//		fib.Spawn(w, n-2)       // SPAWN: stealable child
+//		a := fib.Call(w, n-1)   // CALL: plain recursive call
+//		b := fib.Join(w)        // JOIN: inline or resolve the steal
+//		return a + b
+//	})
+//
+//	pool := gowool.NewPool(gowool.Options{Workers: 8, PrivateTasks: true})
+//	defer pool.Close()
+//	r := pool.Run(func(w *gowool.Worker) int64 { return fib.Call(w, 40) })
+//
+// Spawn and Join must be balanced within each task (LIFO), exactly like
+// Wool's SPAWN/JOIN. Run executes the root on the calling goroutine as
+// worker 0 while the pool's other workers steal.
+//
+// The repository also contains, under internal/, the baseline
+// schedulers (Chase-Lev deque, lock-based ladder, steal-parent
+// continuation scheduler, centralized pool), the deterministic
+// virtual-time multiprocessor used to reproduce the paper's
+// multi-processor experiments on any host, and the benchmark harness
+// regenerating every table and figure of the paper; see DESIGN.md and
+// EXPERIMENTS.md.
+package gowool
+
+import (
+	"gowool/internal/core"
+)
+
+// Re-exported core types. The scheduler implementation lives in
+// internal/core; these aliases are the supported public surface.
+type (
+	// Pool is a scheduler instance: a set of workers with direct task
+	// stacks. Create with NewPool, submit with Run, release with Close.
+	Pool = core.Pool
+
+	// Worker is the per-worker handle threaded through task functions.
+	Worker = core.Worker
+
+	// Options configures a Pool; zero value means defaults.
+	Options = core.Options
+
+	// Stats are the scheduler's event counters (spawns, steals, ...).
+	Stats = core.Stats
+
+	// TimeBreakdown is the profiling breakdown (paper Fig. 6).
+	TimeBreakdown = core.TimeBreakdown
+
+	// SpanProfiler measures work and critical path (paper Table I).
+	SpanProfiler = core.SpanProfiler
+
+	// TaskDef1..TaskDef4 are task definitions with 1..4 int64 args.
+	TaskDef1 = core.TaskDef1
+	TaskDef2 = core.TaskDef2
+	TaskDef3 = core.TaskDef3
+	TaskDef4 = core.TaskDef4
+)
+
+// NewPool creates a pool with opts.Workers workers (default
+// runtime.GOMAXPROCS(0)). Worker 0 is driven by the goroutine calling
+// Run; the others steal until Close.
+func NewPool(opts Options) *Pool { return core.NewPool(opts) }
+
+// Define1 declares a task taking one int64, generating its
+// task-specific spawn and join (direct call on the inline path).
+func Define1(name string, fn func(*Worker, int64) int64) *TaskDef1 {
+	return core.Define1(name, fn)
+}
+
+// Define2 declares a task taking two int64 arguments.
+func Define2(name string, fn func(*Worker, int64, int64) int64) *TaskDef2 {
+	return core.Define2(name, fn)
+}
+
+// Define3 declares a task taking three int64 arguments.
+func Define3(name string, fn func(*Worker, int64, int64, int64) int64) *TaskDef3 {
+	return core.Define3(name, fn)
+}
+
+// Define4 declares a task taking four int64 arguments.
+func Define4(name string, fn func(*Worker, int64, int64, int64, int64) int64) *TaskDef4 {
+	return core.Define4(name, fn)
+}
+
+// TaskDefC1 is a task definition carrying a typed context pointer and
+// one int64 argument.
+type TaskDefC1[C any] = core.TaskDefC1[C]
+
+// TaskDefC2 is a task definition carrying a typed context pointer and
+// two int64 arguments.
+type TaskDefC2[C any] = core.TaskDefC2[C]
+
+// TaskDefC3 is a task definition carrying a typed context pointer and
+// three int64 arguments.
+type TaskDefC3[C any] = core.TaskDefC3[C]
+
+// DefineC1 declares a task taking a typed context pointer and one
+// int64. The pointer travels in the descriptor without allocating.
+func DefineC1[C any](name string, fn func(*Worker, *C, int64) int64) *TaskDefC1[C] {
+	return core.DefineC1(name, fn)
+}
+
+// DefineC2 declares a task taking a typed context pointer and two
+// int64 arguments.
+func DefineC2[C any](name string, fn func(*Worker, *C, int64, int64) int64) *TaskDefC2[C] {
+	return core.DefineC2(name, fn)
+}
+
+// DefineC3 declares a task taking a typed context pointer and three
+// int64 arguments.
+func DefineC3[C any](name string, fn func(*Worker, *C, int64, int64, int64) int64) *TaskDefC3[C] {
+	return core.DefineC3(name, fn)
+}
+
+// For runs body(i) for every i in [lo, hi) as a balanced task tree
+// with at most grain iterations per leaf (Wool's loop construct, used
+// by the paper's mm benchmark). grain ≤ 0 makes every iteration its
+// own task. The body runs on whichever workers steal its subtrees.
+func For(w *Worker, lo, hi, grain int64, body func(i int64)) {
+	core.For(w, lo, hi, grain, body)
+}

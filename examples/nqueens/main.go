@@ -1,0 +1,111 @@
+// N-queens: an irregular search-tree workload — exactly the shape the
+// paper's introduction motivates, where subtree sizes are unpredictable
+// so manual cut-offs are error-prone but fine-grained spawns are
+// nearly free. Every placement level spawns one branch per column with
+// no granularity control at all.
+//
+//	go run ./examples/nqueens [n]
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"gowool"
+)
+
+// boards are encoded as int64 column lists, 4 bits per row (n ≤ 15);
+// the row count travels alongside, so a whole search state fits the
+// task descriptor's integer slots — no allocation per spawn.
+
+func ok(rows int64, board int64, col int64) bool {
+	for r := int64(0); r < rows; r++ {
+		c := (board >> (4 * r)) & 0xf
+		if c == col || c-col == rows-r || col-c == rows-r {
+			return false
+		}
+	}
+	return true
+}
+
+var nq *gowool.TaskDef3
+
+func init() {
+	// Arguments: board (packed), rows placed, n.
+	nq = gowool.Define3("nqueens", func(w *gowool.Worker, board, rows, n int64) int64 {
+		if rows == n {
+			return 1
+		}
+		spawned := 0
+		for col := int64(0); col < n; col++ {
+			if !ok(rows, board, col) {
+				continue
+			}
+			child := board | col<<(4*rows)
+			nq.Spawn(w, child, rows+1, n)
+			spawned++
+		}
+		var total int64
+		for i := 0; i < spawned; i++ {
+			total += nq.Join(w)
+		}
+		return total
+	})
+}
+
+func serial(board, rows, n int64) int64 {
+	if rows == n {
+		return 1
+	}
+	var total int64
+	for col := int64(0); col < n; col++ {
+		if ok(rows, board, col) {
+			total += serial(board|col<<(4*rows), rows+1, n)
+		}
+	}
+	return total
+}
+
+func main() {
+	n := int64(11)
+	if len(os.Args) > 1 {
+		if v, err := strconv.ParseInt(os.Args[1], 10, 64); err == nil {
+			n = v
+		}
+	}
+	if n > 15 {
+		fmt.Println("n must be ≤ 15 (4-bit column packing)")
+		os.Exit(2)
+	}
+
+	pool := gowool.NewPool(gowool.Options{
+		Workers:      runtime.GOMAXPROCS(0),
+		PrivateTasks: true,
+		// Irregular trees want a wider public window (paper §III-B:
+		// "very unbalanced trees require more").
+		InitialPublic: 8,
+		PublishAmount: 8,
+	})
+	defer pool.Close()
+
+	t0 := time.Now()
+	want := serial(0, 0, n)
+	serialTime := time.Since(t0)
+
+	t0 = time.Now()
+	got := pool.Run(func(w *gowool.Worker) int64 { return nq.Call(w, 0, 0, n) })
+	parTime := time.Since(t0)
+
+	if got != want {
+		fmt.Printf("MISMATCH: %d != %d\n", got, want)
+		os.Exit(1)
+	}
+	st := pool.Stats()
+	fmt.Printf("%d-queens solutions: %d\n", n, got)
+	fmt.Printf("serial: %v    scheduled (%d workers): %v\n", serialTime, pool.Workers(), parTime)
+	fmt.Printf("spawns: %d   steals: %d   trip-wire publications: %d\n",
+		st.Spawns, st.Steals, st.Publications)
+}

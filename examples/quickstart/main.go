@@ -1,0 +1,75 @@
+// Quickstart: the paper's Figure 2 — fib with SPAWN/CALL/JOIN — plus a
+// look at the scheduler statistics. Run with:
+//
+//	go run ./examples/quickstart [n]
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"gowool"
+)
+
+// fib declares the task once; the task-specific Spawn/Join are the
+// paper's generated spawn_f/join_f.
+var fib *gowool.TaskDef1
+
+func init() {
+	fib = gowool.Define1("fib", func(w *gowool.Worker, n int64) int64 {
+		if n < 2 {
+			return n
+		}
+		fib.Spawn(w, n-2)     // SPAWN: child becomes stealable
+		a := fib.Call(w, n-1) // CALL: plain recursive call
+		b := fib.Join(w)      // JOIN: inline it, or resolve the steal
+		return a + b
+	})
+}
+
+func serialFib(n int64) int64 {
+	if n < 2 {
+		return n
+	}
+	return serialFib(n-1) + serialFib(n-2)
+}
+
+func main() {
+	n := int64(32)
+	if len(os.Args) > 1 {
+		if v, err := strconv.ParseInt(os.Args[1], 10, 64); err == nil {
+			n = v
+		}
+	}
+
+	pool := gowool.NewPool(gowool.Options{
+		Workers:      runtime.GOMAXPROCS(0),
+		PrivateTasks: true, // joins without atomics until thieves need more
+	})
+	defer pool.Close()
+
+	t0 := time.Now()
+	serial := serialFib(n)
+	serialTime := time.Since(t0)
+
+	t0 = time.Now()
+	parallel := pool.Run(func(w *gowool.Worker) int64 { return fib.Call(w, n) })
+	parTime := time.Since(t0)
+
+	if parallel != serial {
+		fmt.Printf("MISMATCH: parallel %d != serial %d\n", parallel, serial)
+		os.Exit(1)
+	}
+	st := pool.Stats()
+	fmt.Printf("fib(%d) = %d\n", n, parallel)
+	fmt.Printf("serial: %v    scheduled (%d workers): %v\n", serialTime, pool.Workers(), parTime)
+	fmt.Printf("tasks spawned: %d (every %.1fns of work — no cutoff needed)\n",
+		st.Spawns, float64(serialTime.Nanoseconds())/float64(st.Spawns))
+	fmt.Printf("joins: %d private (no atomics), %d public, %d resolved steals\n",
+		st.JoinsInlinedPrivate, st.JoinsInlinedPublic, st.JoinsStolen)
+	fmt.Printf("steals: %d  (attempts: %d, ABA back-offs: %d)\n",
+		st.Steals, st.StealAttempts, st.Backoffs)
+}

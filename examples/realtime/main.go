@@ -1,0 +1,106 @@
+// Realtime: the paper's Section II motivation — "many (soft as well as
+// hard) real time systems have periodic serialization points when
+// input is consumed and output is produced. A natural way to program
+// such a system is to parallelize each interval, which then becomes
+// the parallel region."
+//
+// This example simulates a sensor-fusion control loop: every tick it
+// receives a frame of sensor readings, runs a small parallel region
+// (per-sensor filtering as a balanced task tree), serializes to fuse
+// the estimates, and reports latency percentiles at the end. The
+// parallel regions are tiny — exactly the load-balancing-granularity
+// regime where scheduler overheads decide whether parallelism helps
+// at all (paper Figure 1, right).
+//
+//	go run ./examples/realtime [ticks]
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+
+	"gowool"
+)
+
+const sensors = 64
+
+type frame struct {
+	readings [sensors]float64
+	filtered [sensors]float64
+}
+
+// filterRange runs an exponential filter chain over a range of
+// sensors: a balanced task tree, split to single sensors.
+var filterRange *gowool.TaskDefC2[frame]
+
+func init() {
+	filterRange = gowool.DefineC2("filter", func(w *gowool.Worker, f *frame, lo, hi int64) int64 {
+		if hi-lo == 1 {
+			// A deliberately small kernel: ~1µs of work per sensor.
+			x := f.readings[lo]
+			est := x
+			for i := 0; i < 400; i++ {
+				est = 0.9*est + 0.1*(x+float64(i%7))
+			}
+			f.filtered[lo] = est
+			return 0
+		}
+		mid := (lo + hi) / 2
+		filterRange.Spawn(w, f, lo, mid)
+		filterRange.Call(w, f, mid, hi)
+		filterRange.Join(w)
+		return 0
+	})
+}
+
+func main() {
+	ticks := 2000
+	if len(os.Args) > 1 {
+		if v, err := strconv.Atoi(os.Args[1]); err == nil {
+			ticks = v
+		}
+	}
+
+	pool := gowool.NewPool(gowool.Options{
+		Workers:      runtime.GOMAXPROCS(0),
+		PrivateTasks: true,
+		// Latency-sensitive: keep idle workers spinning rather than
+		// sleeping between regions.
+		MaxIdleSleep: -1,
+	})
+	defer pool.Close()
+
+	lat := make([]time.Duration, 0, ticks)
+	var fused float64
+	f := &frame{}
+	for t := 0; t < ticks; t++ {
+		// "Input is consumed": a fresh frame arrives.
+		for i := range f.readings {
+			f.readings[i] = float64((t*31 + i*17) % 100)
+		}
+		t0 := time.Now()
+		// The parallel region.
+		pool.Run(func(w *gowool.Worker) int64 { return filterRange.Call(w, f, 0, sensors) })
+		// "Output is produced": the serialization point.
+		var s float64
+		for _, v := range f.filtered {
+			s += v
+		}
+		fused += s / sensors
+		lat = append(lat, time.Since(t0))
+	}
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration { return lat[int(p*float64(len(lat)-1))] }
+	st := pool.Stats()
+	fmt.Printf("%d ticks, %d sensors/frame, %d workers\n", ticks, sensors, pool.Workers())
+	fmt.Printf("region latency p50=%v p90=%v p99=%v max=%v\n",
+		pct(0.50), pct(0.90), pct(0.99), pct(1.0))
+	fmt.Printf("per-tick scheduler events: %.1f spawns, %.2f steals\n",
+		float64(st.Spawns)/float64(ticks), float64(st.Steals)/float64(ticks))
+	fmt.Printf("fused checksum: %.3f\n", fused)
+}

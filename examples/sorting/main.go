@@ -1,0 +1,120 @@
+// Parallel merge sort on the work-stealing pool: a divide-and-conquer
+// workload over real data, using a typed context task (DefineC2) so
+// the slice travels through the task descriptor without allocation.
+// The recursion spawns all the way down to small leaves — the paper's
+// point is that the spawn is cheap enough to skip granularity tuning —
+// with a modest sequential leaf only where the algorithm itself (not
+// the scheduler) wants one for cache behaviour.
+//
+//	go run ./examples/sorting [n]
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+
+	"gowool"
+)
+
+type buf struct {
+	a, tmp []int64
+}
+
+const leaf = 64 // insertion-sort leaf: algorithmic, not a scheduler cutoff
+
+var msort *gowool.TaskDefC2[buf]
+
+func init() {
+	msort = gowool.DefineC2("msort", func(w *gowool.Worker, b *buf, lo, hi int64) int64 {
+		if hi-lo <= leaf {
+			insertion(b.a[lo:hi])
+			return 0
+		}
+		mid := (lo + hi) / 2
+		msort.Spawn(w, b, lo, mid)
+		msort.Call(w, b, mid, hi)
+		msort.Join(w)
+		merge(b, lo, mid, hi)
+		return 0
+	})
+}
+
+func insertion(a []int64) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+func merge(b *buf, lo, mid, hi int64) {
+	copy(b.tmp[lo:hi], b.a[lo:hi])
+	i, j := lo, mid
+	for k := lo; k < hi; k++ {
+		switch {
+		case i >= mid:
+			b.a[k] = b.tmp[j]
+			j++
+		case j >= hi:
+			b.a[k] = b.tmp[i]
+			i++
+		case b.tmp[j] < b.tmp[i]:
+			b.a[k] = b.tmp[j]
+			j++
+		default:
+			b.a[k] = b.tmp[i]
+			i++
+		}
+	}
+}
+
+func main() {
+	n := int64(2_000_000)
+	if len(os.Args) > 1 {
+		if v, err := strconv.ParseInt(os.Args[1], 10, 64); err == nil {
+			n = v
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	b := &buf{a: make([]int64, n), tmp: make([]int64, n)}
+	for i := range b.a {
+		b.a[i] = rng.Int63()
+	}
+	ref := append([]int64(nil), b.a...)
+
+	pool := gowool.NewPool(gowool.Options{
+		Workers:      runtime.GOMAXPROCS(0),
+		PrivateTasks: true,
+	})
+	defer pool.Close()
+
+	t0 := time.Now()
+	pool.Run(func(w *gowool.Worker) int64 { return msort.Call(w, b, 0, n) })
+	parTime := time.Since(t0)
+
+	t0 = time.Now()
+	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+	stdTime := time.Since(t0)
+
+	for i := range b.a {
+		if b.a[i] != ref[i] {
+			fmt.Printf("MISMATCH at %d\n", i)
+			os.Exit(1)
+		}
+	}
+	st := pool.Stats()
+	fmt.Printf("sorted %d int64s\n", n)
+	fmt.Printf("msort (%d workers): %v    sort.Slice (1 thread): %v\n",
+		pool.Workers(), parTime, stdTime)
+	fmt.Printf("spawns: %d   steals: %d   private joins: %d/%d\n",
+		st.Spawns, st.Steals, st.JoinsInlinedPrivate, st.Joins())
+}

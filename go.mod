@@ -1,0 +1,3 @@
+module gowool
+
+go 1.24

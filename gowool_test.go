@@ -1,0 +1,145 @@
+package gowool_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"gowool"
+)
+
+// ExampleDefine1 is the paper's Figure 2: fib with SPAWN/CALL/JOIN.
+func ExampleDefine1() {
+	var fib *gowool.TaskDef1
+	fib = gowool.Define1("fib", func(w *gowool.Worker, n int64) int64 {
+		if n < 2 {
+			return n
+		}
+		fib.Spawn(w, n-2)
+		a := fib.Call(w, n-1)
+		b := fib.Join(w)
+		return a + b
+	})
+
+	pool := gowool.NewPool(gowool.Options{Workers: 2})
+	defer pool.Close()
+	fmt.Println(pool.Run(func(w *gowool.Worker) int64 { return fib.Call(w, 20) }))
+	// Output: 6765
+}
+
+// ExampleDefineC2 parallelizes over a shared structure: the context
+// pointer rides in the task descriptor without allocation.
+func ExampleDefineC2() {
+	type vec struct{ a []int64 }
+	var sum *gowool.TaskDefC2[vec]
+	sum = gowool.DefineC2("sum", func(w *gowool.Worker, v *vec, lo, hi int64) int64 {
+		if hi-lo <= 4 {
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += v.a[i]
+			}
+			return s
+		}
+		mid := (lo + hi) / 2
+		sum.Spawn(w, v, lo, mid)
+		right := sum.Call(w, v, mid, hi)
+		left := sum.Join(w)
+		return left + right
+	})
+
+	v := &vec{a: make([]int64, 100)}
+	for i := range v.a {
+		v.a[i] = int64(i)
+	}
+	pool := gowool.NewPool(gowool.Options{Workers: 2, PrivateTasks: true})
+	defer pool.Close()
+	fmt.Println(pool.Run(func(w *gowool.Worker) int64 { return sum.Call(w, v, 0, 100) }))
+	// Output: 4950
+}
+
+func TestPublicAPISurface(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	// Every Define arity through the public package.
+	d1 := gowool.Define1("d1", func(w *gowool.Worker, a int64) int64 { return a })
+	d2 := gowool.Define2("d2", func(w *gowool.Worker, a, b int64) int64 { return a + b })
+	d3 := gowool.Define3("d3", func(w *gowool.Worker, a, b, c int64) int64 { return a + b + c })
+	d4 := gowool.Define4("d4", func(w *gowool.Worker, a, b, c, d int64) int64 { return a + b + c + d })
+	type ctx struct{ mult int64 }
+	c1 := gowool.DefineC1("c1", func(w *gowool.Worker, c *ctx, a int64) int64 { return c.mult * a })
+	c2 := gowool.DefineC2("c2", func(w *gowool.Worker, c *ctx, a, b int64) int64 { return c.mult * (a + b) })
+	c3 := gowool.DefineC3("c3", func(w *gowool.Worker, c *ctx, a, b, d int64) int64 { return c.mult * (a + b + d) })
+
+	p := gowool.NewPool(gowool.Options{Workers: 3, PrivateTasks: true, Profile: true})
+	defer p.Close()
+	cx := &ctx{mult: 2}
+	got := p.Run(func(w *gowool.Worker) int64 {
+		d1.Spawn(w, 1)
+		d2.Spawn(w, 1, 2)
+		d3.Spawn(w, 1, 2, 3)
+		d4.Spawn(w, 1, 2, 3, 4)
+		c1.Spawn(w, cx, 5)
+		c2.Spawn(w, cx, 5, 6)
+		c3.Spawn(w, cx, 5, 6, 7)
+		var s int64
+		for i := 0; i < 7; i++ {
+			s += w.JoinAny()
+		}
+		return s
+	})
+	want := int64(1 + 3 + 6 + 10 + 10 + 22 + 36)
+	if got != want {
+		t.Errorf("got %d, want %d", got, want)
+	}
+
+	st := p.Stats()
+	if st.Spawns != 7 || st.Joins() != 7 {
+		t.Errorf("stats: %+v", st)
+	}
+	if b := p.Profile(); b.Total() < 0 {
+		t.Errorf("profile: %+v", b)
+	}
+}
+
+func TestSpanProfilerPublic(t *testing.T) {
+	p := gowool.NewPool(gowool.Options{Workers: 1, Span: true})
+	defer p.Close()
+	sp := p.SpanProfiler()
+	if sp == nil {
+		t.Fatal("nil SpanProfiler with Span enabled")
+	}
+	var leaf *gowool.TaskDef1
+	leaf = gowool.Define1("leaf", func(w *gowool.Worker, d int64) int64 {
+		if d == 0 {
+			sp.AddWork(1e6)
+			return 1
+		}
+		leaf.Spawn(w, d-1)
+		a := leaf.Call(w, d-1)
+		return a + leaf.Join(w)
+	})
+	sp.Begin()
+	p.Run(func(w *gowool.Worker) int64 { return leaf.Call(w, 3) })
+	work, span0, spanO := sp.End()
+	if work <= 0 || span0 <= 0 || spanO < span0 || work < spanO {
+		t.Errorf("span invariants violated: work=%v span0=%v spanO=%v", work, span0, spanO)
+	}
+}
+
+// ExampleFor parallelizes a loop as a balanced task tree (Wool's loop
+// construct, as used by the paper's mm benchmark).
+func ExampleFor() {
+	pool := gowool.NewPool(gowool.Options{Workers: 2, PrivateTasks: true})
+	defer pool.Close()
+
+	squares := make([]int64, 8)
+	pool.Run(func(w *gowool.Worker) int64 {
+		gowool.For(w, 0, int64(len(squares)), 2, func(i int64) {
+			squares[i] = i * i
+		})
+		return 0
+	})
+	fmt.Println(squares)
+	// Output: [0 1 4 9 16 25 36 49]
+}

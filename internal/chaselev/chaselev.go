@@ -1,0 +1,409 @@
+// Package chaselev is a steal-child work-stealing scheduler built on
+// the Chase-Lev dynamic circular deque, structured like Intel TBB 2.1
+// as characterized in the paper: task structures are allocated from a
+// per-worker free list, the deques hold only pointers to them, and
+// thief/victim synchronization happens on the deque's top and bottom
+// indices (the lineage of Dijkstra-style index protocols the paper
+// contrasts with synchronizing on the task descriptor).
+//
+// This is the repository's stand-in for TBB: same scheduling order
+// (steal child), same synchronization locus (the indices), same
+// allocation structure (free list + pointer deque), and — like TBB's
+// wait_for_all — a join that finds its task stolen by default steals
+// from arbitrary victims while waiting, which exhibits the buried-join
+// behaviour the paper discusses (WaitLeapfrog switches to Wool's
+// policy for ablation).
+package chaselev
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TaskFunc runs a task from its descriptor.
+type TaskFunc func(w *Worker, t *Task)
+
+// Task is a heap/free-list allocated task structure; the deque stores
+// only pointers to these, as in TBB and Cilk++ (paper Section III).
+type Task struct {
+	fn             TaskFunc
+	a0, a1, a2, a3 int64
+	ctx            any
+	res            int64
+
+	// stolenBy is the thief index + 1 (atomic; 0 = not stolen).
+	stolenBy atomic.Int32
+	// done is set by the thief on completion.
+	done atomic.Bool
+
+	next *Task // free-list link, owner-only
+}
+
+// WaitPolicy selects what a blocked join does while its task is stolen.
+type WaitPolicy int
+
+// Wait policies.
+const (
+	// WaitSteal steals from arbitrary victims while blocked (TBB's
+	// behaviour). Subject to the buried-join problem: work stolen here
+	// sits above the blocked join on the worker's stack.
+	WaitSteal WaitPolicy = iota
+	// WaitLeapfrog restricts stealing to the thief of the joined task
+	// (Wool's policy).
+	WaitLeapfrog
+	// WaitSpin just waits, stealing nothing (a non-greedy scheduler,
+	// for ablation).
+	WaitSpin
+)
+
+// String names the policy.
+func (p WaitPolicy) String() string {
+	switch p {
+	case WaitSteal:
+		return "steal-any"
+	case WaitLeapfrog:
+		return "leapfrog"
+	case WaitSpin:
+		return "spin"
+	default:
+		return fmt.Sprintf("WaitPolicy(%d)", int(p))
+	}
+}
+
+// Stats are the scheduler's event counters.
+type Stats struct {
+	Spawns        int64
+	JoinsInlined  int64
+	JoinsStolen   int64
+	Steals        int64
+	StealAttempts int64
+	WaitSteals    int64 // tasks executed while blocked in a join
+	Allocs        int64 // task structures taken from the heap (not free list)
+}
+
+func (s *Stats) add(o *Stats) {
+	s.Spawns += o.Spawns
+	s.JoinsInlined += o.JoinsInlined
+	s.JoinsStolen += o.JoinsStolen
+	s.Steals += o.Steals
+	s.StealAttempts += o.StealAttempts
+	s.WaitSteals += o.WaitSteals
+	s.Allocs += o.Allocs
+}
+
+// Worker is one deque-scheduler worker.
+type Worker struct {
+	pool *Pool
+	idx  int
+
+	// Chase-Lev deque state. buf holds size slots; live indices are
+	// [top, bottom), the owner pushes/pops at bottom, thieves CAS top.
+	buf    []atomic.Pointer[Task]
+	mask   int64
+	top    atomic.Int64
+	bottom atomic.Int64
+
+	// shadow tracks this worker's own outstanding spawns so a join
+	// knows which task it is waiting for (TBB tracks this through
+	// parent/ref-count links; an explicit stack is the same
+	// information).
+	shadow []*Task
+
+	free *Task // free list of task structures, owner-only
+
+	rng uint64
+
+	// stats holds owner-path counters; the thief-path counters are
+	// atomics because idle workers keep attempting steals with no
+	// happens-before edge to a Stats() reader.
+	stats         Stats
+	stealAttempts atomic.Int64
+	steals        atomic.Int64
+}
+
+// Index returns the worker index.
+func (w *Worker) Index() int { return w.idx }
+
+// Options configures a Pool.
+type Options struct {
+	// Workers is the worker count; default GOMAXPROCS.
+	Workers int
+	// DequeSize is the per-worker deque capacity (rounded up to a
+	// power of two); default 8192.
+	DequeSize int
+	// Wait selects the blocked-join policy; default WaitSteal.
+	Wait WaitPolicy
+	// MaxIdleSleep caps idle back-off sleeping; default 200µs.
+	MaxIdleSleep time.Duration
+}
+
+func (o Options) defaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.DequeSize <= 0 {
+		o.DequeSize = 8192
+	}
+	n := 1
+	for n < o.DequeSize {
+		n <<= 1
+	}
+	o.DequeSize = n
+	if o.MaxIdleSleep == 0 {
+		o.MaxIdleSleep = 200 * time.Microsecond
+	}
+	return o
+}
+
+// Pool is a deque-scheduler instance.
+type Pool struct {
+	opts     Options
+	workers  []*Worker
+	shutdown atomic.Bool
+	running  atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// NewPool creates the pool; worker 0 is driven by Run's caller.
+func NewPool(opts Options) *Pool {
+	opts = opts.defaults()
+	p := &Pool{opts: opts}
+	p.workers = make([]*Worker, opts.Workers)
+	for i := range p.workers {
+		p.workers[i] = &Worker{
+			pool: p,
+			idx:  i,
+			buf:  make([]atomic.Pointer[Task], opts.DequeSize),
+			mask: int64(opts.DequeSize - 1),
+			rng:  uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+		}
+	}
+	p.wg.Add(opts.Workers - 1)
+	for _, w := range p.workers[1:] {
+		go w.idleLoop()
+	}
+	return p
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Run executes root on worker 0 and returns its result.
+func (p *Pool) Run(root func(*Worker) int64) int64 {
+	if p.shutdown.Load() {
+		panic("chaselev: Run on closed Pool")
+	}
+	if !p.running.CompareAndSwap(false, true) {
+		panic("chaselev: concurrent Run calls")
+	}
+	defer p.running.Store(false)
+	w := p.workers[0]
+	res := root(w)
+	if len(w.shadow) != 0 {
+		panic("chaselev: root returned with unjoined tasks")
+	}
+	return res
+}
+
+// Close stops the workers.
+func (p *Pool) Close() {
+	if p.shutdown.Swap(true) {
+		return
+	}
+	p.wg.Wait()
+}
+
+// Stats aggregates worker counters (quiescent pools only).
+func (p *Pool) Stats() Stats {
+	var s Stats
+	for _, w := range p.workers {
+		ws := w.stats
+		ws.StealAttempts = w.stealAttempts.Load()
+		ws.Steals = w.steals.Load()
+		s.add(&ws)
+	}
+	return s
+}
+
+// ResetStats zeroes the counters.
+func (p *Pool) ResetStats() {
+	for _, w := range p.workers {
+		w.stats = Stats{}
+		w.stealAttempts.Store(0)
+		w.steals.Store(0)
+	}
+}
+
+// alloc takes a task structure from the free list (or the heap).
+func (w *Worker) alloc() *Task {
+	t := w.free
+	if t == nil {
+		w.stats.Allocs++
+		return new(Task)
+	}
+	w.free = t.next
+	t.next = nil
+	return t
+}
+
+// release returns a joined task to the free list. Owner-only: tasks
+// are always freed by the worker that spawned them, after the join, so
+// the list needs no synchronization (TBB's scheme).
+func (w *Worker) release(t *Task) {
+	t.ctx = nil
+	t.fn = nil
+	t.next = w.free
+	w.free = t
+}
+
+// push adds t at the bottom of the deque (owner only).
+func (w *Worker) push(t *Task) {
+	b := w.bottom.Load()
+	tp := w.top.Load()
+	if b-tp >= int64(len(w.buf))-1 {
+		panic(fmt.Sprintf("chaselev: deque overflow on worker %d (capacity %d)", w.idx, len(w.buf)))
+	}
+	w.buf[b&w.mask].Store(t)
+	w.bottom.Store(b + 1)
+	w.shadow = append(w.shadow, t)
+	w.stats.Spawns++
+}
+
+// popBottom is the owner's take from its own deque (Chase-Lev).
+func (w *Worker) popBottom() *Task {
+	b := w.bottom.Load() - 1
+	w.bottom.Store(b)
+	t := w.top.Load()
+	if t > b {
+		// Empty; restore canonical state.
+		w.bottom.Store(t)
+		return nil
+	}
+	task := w.buf[b&w.mask].Load()
+	if t == b {
+		// Last element: race with thieves through top.
+		if !w.top.CompareAndSwap(t, t+1) {
+			task = nil // a thief won
+		}
+		w.bottom.Store(t + 1)
+	}
+	return task
+}
+
+// trySteal attempts to steal the oldest task from victim and run it.
+func (w *Worker) trySteal(victim *Worker, countWait bool) bool {
+	if victim == w {
+		return false
+	}
+	w.stealAttempts.Add(1)
+	t := victim.top.Load()
+	b := victim.bottom.Load()
+	if t >= b {
+		return false
+	}
+	task := victim.buf[t&victim.mask].Load()
+	if task == nil || !victim.top.CompareAndSwap(t, t+1) {
+		return false
+	}
+	task.stolenBy.Store(int32(w.idx) + 1)
+	w.steals.Add(1)
+	if countWait {
+		w.stats.WaitSteals++
+	}
+	fn := task.fn
+	fn(w, task)
+	task.done.Store(true)
+	return true
+}
+
+// joinAcquire resolves the youngest outstanding spawn of w: inline it
+// if it is still in the deque, otherwise wait out the thief under the
+// configured policy. Returns (task, inline).
+func (w *Worker) joinAcquire() (*Task, bool) {
+	if len(w.shadow) == 0 {
+		panic("chaselev: join without matching spawn")
+	}
+	expected := w.shadow[len(w.shadow)-1]
+	w.shadow = w.shadow[:len(w.shadow)-1]
+
+	if task := w.popBottom(); task != nil {
+		if task != expected {
+			panic("chaselev: deque order violated LIFO nesting")
+		}
+		w.stats.JoinsInlined++
+		return expected, true
+	}
+
+	// Stolen. Wait per policy.
+	w.stats.JoinsStolen++
+	fails := 0
+	for !expected.done.Load() {
+		progressed := false
+		switch w.pool.opts.Wait {
+		case WaitSteal:
+			progressed = w.trySteal(w.pool.workers[w.nextVictim()], true)
+		case WaitLeapfrog:
+			if thief := expected.stolenBy.Load(); thief != 0 {
+				progressed = w.trySteal(w.pool.workers[thief-1], true)
+			}
+		case WaitSpin:
+			// just wait
+		}
+		if progressed {
+			fails = 0
+		} else {
+			fails++
+			if fails&0x3f == 0 || runtime.GOMAXPROCS(0) == 1 {
+				runtime.Gosched()
+			}
+		}
+	}
+	return expected, false
+}
+
+// nextVictim picks a random victim index != w.idx.
+func (w *Worker) nextVictim() int {
+	if len(w.pool.workers) == 1 {
+		return w.idx
+	}
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng = x
+	n := len(w.pool.workers) - 1
+	v := int(x % uint64(n))
+	if v >= w.idx {
+		v++
+	}
+	return v
+}
+
+func (w *Worker) idleLoop() {
+	fails := 0
+	for !w.pool.shutdown.Load() {
+		if w.trySteal(w.pool.workers[w.nextVictim()], false) {
+			fails = 0
+			continue
+		}
+		fails++
+		switch {
+		case fails < 64:
+			if runtime.GOMAXPROCS(0) == 1 {
+				runtime.Gosched()
+			}
+		case fails < 1024 || w.pool.opts.MaxIdleSleep <= 0:
+			runtime.Gosched()
+		default:
+			d := time.Duration(fails-1023) * time.Microsecond
+			if d > w.pool.opts.MaxIdleSleep {
+				d = w.pool.opts.MaxIdleSleep
+			}
+			time.Sleep(d)
+		}
+	}
+	w.pool.wg.Done()
+}

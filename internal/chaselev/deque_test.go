@@ -1,0 +1,135 @@
+package chaselev
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// White-box tests of the Chase-Lev deque itself: the owner's
+// popBottom racing thieves' CAS-takes over the last element.
+
+func newTestWorker(size int) *Worker {
+	p := &Pool{opts: Options{Workers: 1, DequeSize: size}.defaults()}
+	w := &Worker{pool: p, buf: make([]atomic.Pointer[Task], p.opts.DequeSize), mask: int64(p.opts.DequeSize - 1)}
+	p.workers = []*Worker{w}
+	return w
+}
+
+func TestDequePushPopLIFO(t *testing.T) {
+	w := newTestWorker(16)
+	tasks := make([]*Task, 5)
+	for i := range tasks {
+		tasks[i] = &Task{a0: int64(i)}
+		w.push(tasks[i])
+	}
+	for i := 4; i >= 0; i-- {
+		got := w.popBottom()
+		if got != tasks[i] {
+			t.Fatalf("pop %d: got %v", i, got)
+		}
+		w.shadow = w.shadow[:len(w.shadow)-1]
+	}
+	if w.popBottom() != nil {
+		t.Error("pop of empty deque returned a task")
+	}
+}
+
+func TestDequeStealFIFO(t *testing.T) {
+	w := newTestWorker(16)
+	a, b := &Task{a0: 1}, &Task{a0: 2}
+	w.push(a)
+	w.push(b)
+	// A thief takes from the top (oldest first).
+	tp := w.top.Load()
+	if got := w.buf[tp&w.mask].Load(); got != a {
+		t.Fatalf("head is %v, want a", got)
+	}
+	if !w.top.CompareAndSwap(tp, tp+1) {
+		t.Fatal("uncontended steal CAS failed")
+	}
+	// Owner pops the remaining task.
+	if got := w.popBottom(); got != b {
+		t.Fatalf("owner pop got %v, want b", got)
+	}
+}
+
+// TestDequeLastElementRace hammers the one-element race: an owner
+// popping while a thief CASes; exactly one side must win each round.
+func TestDequeLastElementRace(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	w := newTestWorker(16)
+	const rounds = 5000
+	var ownerWins, thiefWins int
+	for r := 0; r < rounds; r++ {
+		task := &Task{a0: int64(r)}
+		w.push(task)
+		w.shadow = w.shadow[:0]
+
+		var wg sync.WaitGroup
+		var thiefGot atomic.Pointer[Task]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tp := w.top.Load()
+			b := w.bottom.Load()
+			if tp >= b {
+				return
+			}
+			tk := w.buf[tp&w.mask].Load()
+			if tk != nil && w.top.CompareAndSwap(tp, tp+1) {
+				thiefGot.Store(tk)
+			}
+		}()
+		ownerGot := w.popBottom()
+		wg.Wait()
+
+		switch {
+		case ownerGot == task && thiefGot.Load() == nil:
+			ownerWins++
+		case ownerGot == nil && thiefGot.Load() == task:
+			thiefWins++
+		default:
+			t.Fatalf("round %d: owner=%v thief=%v (duplicate or lost)", r, ownerGot, thiefGot.Load())
+		}
+		// Reset canonical indices for the next round.
+		if w.top.Load() != w.bottom.Load() {
+			t.Fatalf("round %d: indices inconsistent: top=%d bottom=%d", r, w.top.Load(), w.bottom.Load())
+		}
+	}
+	if ownerWins == 0 {
+		t.Log("owner never won the race (unusual scheduling, not an error)")
+	}
+	t.Logf("owner wins: %d, thief wins: %d", ownerWins, thiefWins)
+}
+
+func TestWaitSpinPolicyBlocks(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	p := NewPool(Options{Workers: 2, Wait: WaitSpin})
+	defer p.Close()
+	fib := fibDef()
+	for i := 0; i < 5; i++ {
+		if got := p.Run(func(w *Worker) int64 { return fib.Call(w, 18) }); got != serialFib(18) {
+			t.Fatalf("WaitSpin fib wrong: %d", got)
+		}
+	}
+	if st := p.Stats(); st.WaitSteals != 0 {
+		t.Errorf("WaitSpin executed %d tasks while blocked", st.WaitSteals)
+	}
+}
+
+func TestWaitLeapfrogPolicy(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	p := NewPool(Options{Workers: 4, Wait: WaitLeapfrog})
+	defer p.Close()
+	fib := fibDef()
+	for i := 0; i < 10; i++ {
+		if got := p.Run(func(w *Worker) int64 { return fib.Call(w, 19) }); got != serialFib(19) {
+			t.Fatalf("WaitLeapfrog fib wrong: %d", got)
+		}
+	}
+}

@@ -1,0 +1,383 @@
+// Package cilkstyle is a steal-parent (continuation-stealing) task
+// scheduler in the mould of Cilk++, the third system the paper
+// evaluates. Where Wool and TBB make the spawned child stealable,
+// here a spawn executes the child immediately and it is the parent's
+// continuation that thieves may take (paper Section I-a).
+//
+// Faithful to the paper's characterization of Cilk++, this scheduler:
+//
+//   - keeps activation frames on a cactus stack: frames are
+//     heap-allocated continuation state, not contiguous Go stack, so a
+//     thief can resume a parent from an arbitrary frame;
+//   - uses locks for thief/victim synchronization (the paper observes
+//     Cilk++ "extensive locking (up to two task descriptors and the
+//     victim's worker descriptor)");
+//   - pays a wrapper/closure cost on every spawn (Cilk++ "spawning goes
+//     through a wrapper function").
+//
+// In exchange, it inherits steal-parent's strong space guarantee: in
+//
+//	for p := list; p != nil; p = p.next { spawn foo(p) }
+//	sync
+//
+// the pool holds at most one continuation at a time (the paper's
+// example where Cilk uses constant task-pool space while Wool and TBB
+// use space linear in the list length) — see TestConstantSpaceSpawnLoop.
+//
+// Because Go has no compiler support for continuations, task functions
+// are written as explicit steps: a Step does some work and returns the
+// next Step (or nil to hand control back to the scheduler). Spawn,
+// Sync and Return chain steps the way Cilk++'s generated code chains
+// its continuations.
+package cilkstyle
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Step is one unit of a task function between scheduling points. It
+// returns the next step to run, or nil to return control to the
+// scheduler (after a steal-induced unwind, a suspend, or completion).
+type Step func(w *Worker) Step
+
+// Frame is the activation frame of a task function: the part of its
+// state that survives across scheduling points. Embed it in a struct
+// carrying the function's variables (the cactus-stack frame).
+type Frame struct {
+	mu        sync.Mutex
+	pending   int  // outstanding spawned children
+	suspended bool // parked at a Sync waiting for children
+	resume    Step // continuation to run when the last child returns
+	parent    *Frame
+	done      bool // set when the frame's function completed (root tracking)
+}
+
+// Stats are the scheduler's event counters.
+type Stats struct {
+	Spawns        int64
+	Steals        int64
+	StealAttempts int64
+	Suspends      int64 // syncs that had to park the frame
+	Resumes       int64 // frames woken by their last returning child
+}
+
+func (s *Stats) add(o *Stats) {
+	s.Spawns += o.Spawns
+	s.Steals += o.Steals
+	s.StealAttempts += o.StealAttempts
+	s.Suspends += o.Suspends
+	s.Resumes += o.Resumes
+}
+
+// Worker is one steal-parent worker.
+type Worker struct {
+	pool *Pool
+	idx  int
+
+	// deque holds ready continuations; the owner pushes and pops at
+	// the tail, thieves take from the head. A single lock protects it,
+	// matching the lock-based stealing the paper attributes to Cilk++.
+	mu    sync.Mutex
+	deque []Step
+
+	rng uint64
+
+	stats         Stats
+	steals        atomic.Int64
+	stealAttempts atomic.Int64
+}
+
+// Index returns the worker index.
+func (w *Worker) Index() int { return w.idx }
+
+// DequeLen returns the current number of ready continuations in this
+// worker's pool (used by the space-guarantee tests).
+func (w *Worker) DequeLen() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.deque)
+}
+
+// Options configures a Pool.
+type Options struct {
+	// Workers is the worker count; default GOMAXPROCS.
+	Workers int
+	// MaxIdleSleep caps idle back-off sleeping; default 200µs.
+	MaxIdleSleep time.Duration
+}
+
+func (o Options) defaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxIdleSleep == 0 {
+		o.MaxIdleSleep = 200 * time.Microsecond
+	}
+	return o
+}
+
+// Pool is a steal-parent scheduler instance.
+type Pool struct {
+	opts     Options
+	workers  []*Worker
+	shutdown atomic.Bool
+	running  atomic.Bool
+	rootDone atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// NewPool creates the pool; worker 0 is driven by Run's caller.
+func NewPool(opts Options) *Pool {
+	opts = opts.defaults()
+	p := &Pool{opts: opts}
+	p.workers = make([]*Worker, opts.Workers)
+	for i := range p.workers {
+		p.workers[i] = &Worker{
+			pool: p,
+			idx:  i,
+			rng:  uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+		}
+	}
+	p.wg.Add(opts.Workers - 1)
+	for _, w := range p.workers[1:] {
+		go w.idleLoop()
+	}
+	return p
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Run drives root (an initial frame and its first step) to completion
+// on worker 0 and the thieves, then returns. The root frame must have
+// a nil parent; results travel through fields of the user's frame
+// struct.
+func (p *Pool) Run(root *Frame, first Step) {
+	if p.shutdown.Load() {
+		panic("cilkstyle: Run on closed Pool")
+	}
+	if !p.running.CompareAndSwap(false, true) {
+		panic("cilkstyle: concurrent Run calls")
+	}
+	defer p.running.Store(false)
+	if root.parent != nil {
+		panic("cilkstyle: root frame must have nil parent")
+	}
+	p.rootDone.Store(false)
+	w := p.workers[0]
+	w.runSteps(first)
+	// The chain returned control: either the root completed, or its
+	// continuation was stolen. Work-and-wait until the root is done.
+	fails := 0
+	for !p.rootDone.Load() {
+		if next := w.popBottom(); next != nil {
+			w.runSteps(next)
+			fails = 0
+			continue
+		}
+		if w.trySteal(p.workers[w.nextVictim()]) {
+			fails = 0
+			continue
+		}
+		fails++
+		if fails&0xf == 0 || runtime.GOMAXPROCS(0) == 1 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Close stops the workers.
+func (p *Pool) Close() {
+	if p.shutdown.Swap(true) {
+		return
+	}
+	p.wg.Wait()
+}
+
+// Stats aggregates worker counters (quiescent pools only).
+func (p *Pool) Stats() Stats {
+	var s Stats
+	for _, w := range p.workers {
+		ws := w.stats
+		ws.Steals = w.steals.Load()
+		ws.StealAttempts = w.stealAttempts.Load()
+		s.add(&ws)
+	}
+	return s
+}
+
+// ResetStats zeroes the counters.
+func (p *Pool) ResetStats() {
+	for _, w := range p.workers {
+		w.stats = Stats{}
+		w.steals.Store(0)
+		w.stealAttempts.Store(0)
+	}
+}
+
+// runSteps drives a step chain until it hands control back.
+func (w *Worker) runSteps(step Step) {
+	for step != nil {
+		step = step(w)
+	}
+}
+
+// Spawn registers child-about-to-run semantics: the parent's
+// continuation cont becomes stealable and the child runs immediately
+// (steal parent). Call it as `return w.Spawn(&f.Frame, f.step2, child.step0)`.
+func (w *Worker) Spawn(parent *Frame, cont Step, child Step) Step {
+	parent.mu.Lock()
+	parent.pending++
+	parent.mu.Unlock()
+	w.push(cont)
+	w.stats.Spawns++
+	return child
+}
+
+// Sync waits for all outstanding children of f. If none are pending
+// the step chain continues with after; otherwise the frame parks and
+// the worker looks for other ready work (usually f's own continuation
+// pushed by an earlier Spawn — which cannot still be in the deque at a
+// correct sync, so in practice: other frames' continuations).
+func (w *Worker) Sync(f *Frame, after Step) Step {
+	f.mu.Lock()
+	if f.pending == 0 {
+		f.mu.Unlock()
+		return after
+	}
+	f.suspended = true
+	f.resume = after
+	f.mu.Unlock()
+	w.stats.Suspends++
+	return w.popBottom()
+}
+
+// Return marks f's function complete and runs the child-return
+// protocol: notify the parent (waking it if this was the last child it
+// was syncing on) and pick the next ready continuation — in the fast
+// path, the parent's continuation this worker pushed at the spawn.
+func (w *Worker) Return(f *Frame) Step {
+	f.mu.Lock()
+	f.done = true
+	f.mu.Unlock()
+	p := f.parent
+	if p == nil {
+		w.pool.rootDone.Store(true)
+		return nil
+	}
+	p.mu.Lock()
+	p.pending--
+	if p.suspended && p.pending == 0 {
+		p.suspended = false
+		resume := p.resume
+		p.resume = nil
+		p.mu.Unlock()
+		w.stats.Resumes++
+		return resume
+	}
+	p.mu.Unlock()
+	return w.popBottom()
+}
+
+// NewChild initializes fr as a child frame of parent and returns fr's
+// embedded Frame pointer for convenience.
+func NewChild(parent, child *Frame) *Frame {
+	child.parent = parent
+	return child
+}
+
+// push adds a ready continuation at the owner's end.
+func (w *Worker) push(s Step) {
+	w.mu.Lock()
+	w.deque = append(w.deque, s)
+	w.mu.Unlock()
+}
+
+// popBottom takes the youngest ready continuation, or nil.
+func (w *Worker) popBottom() Step {
+	w.mu.Lock()
+	n := len(w.deque)
+	if n == 0 {
+		w.mu.Unlock()
+		return nil
+	}
+	s := w.deque[n-1]
+	w.deque[n-1] = nil
+	w.deque = w.deque[:n-1]
+	w.mu.Unlock()
+	return s
+}
+
+// trySteal takes the oldest ready continuation from victim and runs
+// its chain to the next scheduling point.
+func (w *Worker) trySteal(victim *Worker) bool {
+	if victim == w {
+		return false
+	}
+	w.stealAttempts.Add(1)
+	victim.mu.Lock()
+	if len(victim.deque) == 0 {
+		victim.mu.Unlock()
+		return false
+	}
+	s := victim.deque[0]
+	copy(victim.deque, victim.deque[1:])
+	victim.deque[len(victim.deque)-1] = nil
+	victim.deque = victim.deque[:len(victim.deque)-1]
+	victim.mu.Unlock()
+	w.steals.Add(1)
+	w.runSteps(s)
+	return true
+}
+
+// nextVictim picks a random victim index != w.idx.
+func (w *Worker) nextVictim() int {
+	if len(w.pool.workers) == 1 {
+		return w.idx
+	}
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng = x
+	n := len(w.pool.workers) - 1
+	v := int(x % uint64(n))
+	if v >= w.idx {
+		v++
+	}
+	return v
+}
+
+func (w *Worker) idleLoop() {
+	fails := 0
+	for !w.pool.shutdown.Load() {
+		if next := w.popBottom(); next != nil {
+			w.runSteps(next)
+			fails = 0
+			continue
+		}
+		if w.trySteal(w.pool.workers[w.nextVictim()]) {
+			fails = 0
+			continue
+		}
+		fails++
+		switch {
+		case fails < 64:
+			if runtime.GOMAXPROCS(0) == 1 {
+				runtime.Gosched()
+			}
+		case fails < 1024 || w.pool.opts.MaxIdleSleep <= 0:
+			runtime.Gosched()
+		default:
+			d := time.Duration(fails-1023) * time.Microsecond
+			if d > w.pool.opts.MaxIdleSleep {
+				d = w.pool.opts.MaxIdleSleep
+			}
+			time.Sleep(d)
+		}
+	}
+	w.pool.wg.Done()
+}

@@ -1,0 +1,196 @@
+package cilkstyle
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// fibFrame is the cactus-stack frame of the Cilk-style fib, written as
+// the explicit state machine Cilk++'s compiler would generate.
+type fibFrame struct {
+	Frame
+	n    int64
+	a, b int64
+	res  *int64
+}
+
+func (f *fibFrame) step0(w *Worker) Step {
+	if f.n < 2 {
+		*f.res = f.n
+		return w.Return(&f.Frame)
+	}
+	child := &fibFrame{n: f.n - 1, res: &f.a}
+	NewChild(&f.Frame, &child.Frame)
+	return w.Spawn(&f.Frame, f.step1, child.step0)
+}
+
+func (f *fibFrame) step1(w *Worker) Step {
+	child := &fibFrame{n: f.n - 2, res: &f.b}
+	NewChild(&f.Frame, &child.Frame)
+	return w.Spawn(&f.Frame, f.step2, child.step0)
+}
+
+func (f *fibFrame) step2(w *Worker) Step {
+	return w.Sync(&f.Frame, f.step3)
+}
+
+func (f *fibFrame) step3(w *Worker) Step {
+	*f.res = f.a + f.b
+	return w.Return(&f.Frame)
+}
+
+func serialFib(n int64) int64 {
+	if n < 2 {
+		return n
+	}
+	return serialFib(n-1) + serialFib(n-2)
+}
+
+func runFib(p *Pool, n int64) int64 {
+	var res int64
+	root := &fibFrame{n: n, res: &res}
+	p.Run(&root.Frame, root.step0)
+	return res
+}
+
+func TestFibSingleWorker(t *testing.T) {
+	p := NewPool(Options{Workers: 1})
+	defer p.Close()
+	for n := int64(0); n <= 15; n++ {
+		if got := runFib(p, n); got != serialFib(n) {
+			t.Errorf("fib(%d) = %d, want %d", n, got, serialFib(n))
+		}
+	}
+}
+
+func TestFibMultiWorker(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, workers := range []int{2, 4} {
+		p := NewPool(Options{Workers: workers})
+		for rep := 0; rep < 5; rep++ {
+			if got := runFib(p, 18); got != serialFib(18) {
+				t.Errorf("workers=%d rep=%d: got %d want %d", workers, rep, got, serialFib(18))
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestStatsSpawns(t *testing.T) {
+	p := NewPool(Options{Workers: 1})
+	defer p.Close()
+	runFib(p, 12)
+	st := p.Stats()
+	// fib spawns two children per internal node.
+	var count func(n int64) int64
+	count = func(n int64) int64 {
+		if n < 2 {
+			return 0
+		}
+		return 2 + count(n-1) + count(n-2)
+	}
+	if st.Spawns != count(12) {
+		t.Errorf("spawns = %d, want %d", st.Spawns, count(12))
+	}
+}
+
+// loopFrame reproduces the paper's Section I-a example:
+//
+//	for (; p != NULL; p = p->next) spawn foo(p);
+//	sync;
+//
+// Under steal-parent execution the task pool holds at most one
+// continuation at a time (constant space), whereas steal-child systems
+// hold one task per list element.
+type loopFrame struct {
+	Frame
+	i, n     int64
+	maxDepth int
+	hits     *atomic.Int64
+}
+
+type leafFrame struct {
+	Frame
+	hits *atomic.Int64
+}
+
+func (l *leafFrame) step0(w *Worker) Step {
+	l.hits.Add(1)
+	return w.Return(&l.Frame)
+}
+
+func (f *loopFrame) loop(w *Worker) Step {
+	if d := w.DequeLen(); d > f.maxDepth {
+		f.maxDepth = d
+	}
+	if f.i >= f.n {
+		return w.Sync(&f.Frame, f.after)
+	}
+	f.i++
+	child := &leafFrame{hits: f.hits}
+	NewChild(&f.Frame, &child.Frame)
+	return w.Spawn(&f.Frame, f.loop, child.step0)
+}
+
+func (f *loopFrame) after(w *Worker) Step {
+	return w.Return(&f.Frame)
+}
+
+func TestConstantSpaceSpawnLoop(t *testing.T) {
+	p := NewPool(Options{Workers: 1})
+	defer p.Close()
+	var hits atomic.Int64
+	root := &loopFrame{n: 10000, hits: &hits}
+	p.Run(&root.Frame, root.loop)
+	if hits.Load() != 10000 {
+		t.Fatalf("leaves run = %d, want 10000", hits.Load())
+	}
+	// Steal-parent: the pool never holds more than the single loop
+	// continuation (paper: "Cilk will use constant space for the task
+	// pool, whereas Wool and TBB will use space proportional to the
+	// length of the list").
+	if root.maxDepth > 1 {
+		t.Errorf("max pool depth = %d, want <= 1 (constant space)", root.maxDepth)
+	}
+}
+
+func TestSuspendsHappenWhenStolen(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	p := NewPool(Options{Workers: 4})
+	defer p.Close()
+	for i := 0; i < 10; i++ {
+		runFib(p, 16)
+	}
+	st := p.Stats()
+	if st.Steals > 0 && st.Suspends == 0 {
+		t.Log("steals occurred but no suspends; unusual but timing-dependent")
+	}
+	if st.Resumes > st.Suspends {
+		t.Errorf("resumes (%d) > suspends (%d)", st.Resumes, st.Suspends)
+	}
+}
+
+func TestRunOnClosedPanics(t *testing.T) {
+	p := NewPool(Options{Workers: 1})
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var res int64
+	root := &fibFrame{n: 1, res: &res}
+	p.Run(&root.Frame, root.step0)
+}
+
+func BenchmarkSpawnReturnCilk(b *testing.B) {
+	p := NewPool(Options{Workers: 1})
+	defer p.Close()
+	var hits atomic.Int64
+	b.ResetTimer()
+	root := &loopFrame{n: int64(b.N), hits: &hits}
+	p.Run(&root.Frame, root.loop)
+}

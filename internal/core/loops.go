@@ -1,0 +1,48 @@
+package core
+
+// Parallel loop support: Wool's loop construct, which the paper's mm
+// benchmark uses for its outermost loop, expands a [lo, hi) iteration
+// range into a balanced binary task tree — so thieves steal large
+// contiguous halves near the root and the per-iteration overhead is a
+// spawn/join pair amortized over grain iterations.
+
+type forCtx struct {
+	body func(i int64)
+}
+
+var forTask *TaskDefC3[forCtx]
+
+func init() {
+	forTask = DefineC3("parallel-for", func(w *Worker, c *forCtx, lo, hi, grain int64) int64 {
+		spawned := 0
+		for hi-lo > grain {
+			mid := (lo + hi) / 2
+			forTask.Spawn(w, c, mid, hi, grain)
+			hi = mid
+			spawned++
+		}
+		for i := lo; i < hi; i++ {
+			c.body(i)
+		}
+		for ; spawned > 0; spawned-- {
+			forTask.Join(w)
+		}
+		return 0
+	})
+}
+
+// For runs body(i) for every i in [lo, hi) as a balanced task tree
+// with at most grain iterations per leaf (grain ≤ 0 means 1 — every
+// iteration its own task, the no-cutoff regime the scheduler is built
+// for). It returns when all iterations have completed. The body runs
+// on whichever workers steal its subtrees and must be safe for that.
+func For(w *Worker, lo, hi, grain int64, body func(i int64)) {
+	if hi <= lo {
+		return
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	c := &forCtx{body: body}
+	forTask.Call(w, c, lo, hi, grain)
+}

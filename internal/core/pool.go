@@ -1,0 +1,371 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a Pool. The zero value is usable: Defaults fills
+// in every unset field.
+type Options struct {
+	// Workers is the number of workers (the paper's processors).
+	// Defaults to runtime.GOMAXPROCS(0).
+	Workers int
+
+	// StackSize is the per-worker task-pool capacity in descriptors.
+	// The direct task stack is a fixed array (no indirections, strict
+	// stack discipline); exceeding it panics. Default 8192.
+	StackSize int
+
+	// PrivateTasks enables the private-task optimization with the
+	// trip-wire publication scheme (paper Section III-B). When false,
+	// every descriptor is public and every join pays the atomic
+	// exchange.
+	PrivateTasks bool
+
+	// InitialPublic is the number of public descriptors a worker
+	// starts with (and the headroom kept public when the boundary is
+	// pulled back down). Default 2.
+	InitialPublic int
+
+	// TripDistance: a steal within this many descriptors of the public
+	// boundary trips the wire and asks the owner to publish more.
+	// Default 1 (the boundary task itself).
+	TripDistance int
+
+	// PublishAmount is how many descriptors a trip-wire notification
+	// publishes. Default 2.
+	PublishAmount int
+
+	// PrivatizeRun is the number of consecutive inlined public joins
+	// after which the owner pulls the public boundary back down
+	// (dynamic, revocable cut-off). Default 16.
+	PrivatizeRun int
+
+	// Profile enables the CPU-time breakdown instrumentation used for
+	// the paper's Figure 6 (categories ST, LF, NA, LA, TR). It costs
+	// two clock reads around every steal attempt and stolen task.
+	Profile bool
+
+	// Span enables the span (critical-path) measurement facility used
+	// for Table I. Valid for single-worker pools; see SpanProfiler.
+	Span bool
+
+	// StealSampling makes idle thieves probe up to this many candidate
+	// victims per attempt and steal from the first that looks
+	// stealable (bot descriptor in TASK state), instead of committing
+	// to one uniformly random victim (1, the default and the paper's
+	// policy). Sampling trades extra read-only probes for fewer failed
+	// attempts when few pools hold work — the direction Wool's own
+	// later development took.
+	StealSampling int
+
+	// BlockedJoinWait selects what a join does while its task is
+	// stolen. The default, WaitLeapfrog, steals from the thief (the
+	// paper's choice). WaitSpin just waits — the paper's Figure 6
+	// analysis observes that for its workloads "simply waiting would
+	// be adequate" (the LA category is small); this option exists to
+	// reproduce that ablation. Unrestricted stealing is deliberately
+	// not offered: in a direct-style library it suffers the
+	// buried-join problem (Section I-b) — stolen work would sit above
+	// the blocked join on the worker's stack.
+	BlockedJoinWait WaitPolicy
+
+	// LockOSThread pins each worker goroutine to an OS thread, which
+	// removes Go-runtime migration noise on multi-core hosts. Leave it
+	// off on single-core hosts: pinned spinning threads starve each
+	// other between scheduler yields.
+	LockOSThread bool
+
+	// MaxIdleSleep caps the back-off sleep of idle workers. Zero means
+	// the default of 200µs, which keeps idle pools cheap while
+	// bounding added steal latency; negative means never sleep (pure
+	// spin + yield), matching a dedicated latency-sensitive machine.
+	MaxIdleSleep time.Duration
+}
+
+// WaitPolicy selects the blocked-join behaviour.
+type WaitPolicy int
+
+// Wait policies.
+const (
+	// WaitLeapfrog steals from the thief of the joined task while
+	// blocked (the default; Wagner & Calder's leapfrogging).
+	WaitLeapfrog WaitPolicy = iota
+	// WaitSpin waits without stealing (a non-greedy scheduler).
+	WaitSpin
+)
+
+// String names the policy.
+func (p WaitPolicy) String() string {
+	switch p {
+	case WaitLeapfrog:
+		return "leapfrog"
+	case WaitSpin:
+		return "spin"
+	default:
+		return fmt.Sprintf("WaitPolicy(%d)", int(p))
+	}
+}
+
+// Defaults returns o with every unset field replaced by its default.
+func (o Options) Defaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.StackSize <= 0 {
+		o.StackSize = 8192
+	}
+	if o.InitialPublic <= 0 {
+		o.InitialPublic = 2
+	}
+	if o.TripDistance <= 0 {
+		o.TripDistance = 1
+	}
+	if o.PublishAmount <= 0 {
+		o.PublishAmount = 2
+	}
+	if o.PrivatizeRun <= 0 {
+		o.PrivatizeRun = 16
+	}
+	if o.StealSampling <= 0 {
+		o.StealSampling = 1
+	}
+	if o.MaxIdleSleep == 0 {
+		o.MaxIdleSleep = 200 * time.Microsecond
+	}
+	return o
+}
+
+// Pool is a work-stealing scheduler instance: a set of workers, each
+// with a direct task stack. Create one with NewPool, submit work with
+// Run, release the workers with Close.
+type Pool struct {
+	opts    Options
+	workers []*Worker
+
+	shutdown atomic.Bool
+	running  atomic.Bool
+	wg       sync.WaitGroup
+
+	panicOnce sync.Once
+	panicVal  any
+	panicked  atomic.Bool
+
+	startup time.Duration
+}
+
+// NewPool creates a pool with opts.Workers workers. Worker 0 is driven
+// by the goroutine that calls Run; workers 1..N-1 are goroutines that
+// steal until Close.
+func NewPool(opts Options) *Pool {
+	opts = opts.Defaults()
+	t0 := time.Now()
+	p := &Pool{opts: opts}
+	p.workers = make([]*Worker, opts.Workers)
+	for i := range p.workers {
+		w := &Worker{
+			pool:  p,
+			idx:   i,
+			tasks: make([]Task, opts.StackSize),
+			rng:   uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+		}
+		w.prof.on = opts.Profile
+		if opts.PrivateTasks {
+			w.publicLimit.Store(int64(opts.InitialPublic))
+		} else {
+			w.publicLimit.Store(math.MaxInt64)
+		}
+		p.workers[i] = w
+	}
+	if opts.Span {
+		if opts.Workers != 1 {
+			panic("core: Options.Span requires Workers == 1 (span is schedule-independent; measure it serially)")
+		}
+		p.workers[0].spanProf = NewSpanProfiler()
+	}
+	p.wg.Add(opts.Workers - 1)
+	for _, w := range p.workers[1:] {
+		go func(w *Worker) {
+			if p.opts.LockOSThread {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
+			w.idleLoop()
+		}(w)
+	}
+	p.startup = time.Since(t0)
+	return p
+}
+
+// Workers returns the number of workers in the pool.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Run executes root on worker 0 (the calling goroutine) while the other
+// workers steal, and returns root's result once it — and therefore
+// every task it transitively joined — has completed. Run calls must not
+// overlap; between calls the pool stays warm (idle workers keep their
+// steal loops), which is exactly the repeated-kernel structure of the
+// paper's benchmarks.
+func (p *Pool) Run(root func(*Worker) int64) int64 {
+	if p.shutdown.Load() {
+		panic("core: Run on closed Pool")
+	}
+	if !p.running.CompareAndSwap(false, true) {
+		panic("core: concurrent Run calls on the same Pool")
+	}
+	defer p.running.Store(false)
+	w := p.workers[0]
+	var res int64
+	if w.prof.on {
+		// Worker 0's application time is the root's wall time minus
+		// the leapfrogging and stealing time it accrued inside joins.
+		lf0, la0, st0 := w.prof.lf.Load(), w.prof.la.Load(), w.prof.st.Load()
+		t0 := time.Now()
+		res = root(w)
+		wall := int64(time.Since(t0))
+		w.prof.na.Add(wall - ((w.prof.lf.Load() - lf0) + (w.prof.la.Load() - la0) + (w.prof.st.Load() - st0)))
+	} else {
+		res = root(w)
+	}
+	if w.top != int(w.bot.Load()) {
+		panic(fmt.Sprintf("core: root returned with %d unjoined tasks on worker 0", w.Depth()))
+	}
+	if p.panicked.Load() {
+		panic(p.panicVal)
+	}
+	return res
+}
+
+// recordPanic stores the first panic raised by a stolen task; Run
+// re-raises it after the root returns.
+func (p *Pool) recordPanic(r any) {
+	p.panicOnce.Do(func() {
+		p.panicVal = r
+		p.panicked.Store(true)
+	})
+}
+
+// Close stops the idle workers and waits for them to exit. The pool
+// must be quiescent (no Run in flight).
+func (p *Pool) Close() {
+	if p.shutdown.Swap(true) {
+		return
+	}
+	p.wg.Wait()
+}
+
+// Stats aggregates per-worker counters. Call it on a quiescent pool
+// (between Run calls or after Close) for exact numbers.
+func (p *Pool) Stats() Stats {
+	var s Stats
+	for i := range p.workers {
+		ws := p.WorkerStats(i)
+		s.add(&ws)
+	}
+	return s
+}
+
+// WorkerStats returns the counters of a single worker.
+func (p *Pool) WorkerStats(i int) Stats {
+	w := p.workers[i]
+	s := w.stats
+	s.StealAttempts = w.stealAttempts.Load()
+	s.Steals = w.steals.Load()
+	s.Backoffs = w.backoffs.Load()
+	return s
+}
+
+// ResetStats zeroes all counters (quiescent pools only).
+func (p *Pool) ResetStats() {
+	for _, w := range p.workers {
+		w.stats = Stats{}
+		w.stealAttempts.Store(0)
+		w.steals.Store(0)
+		w.backoffs.Store(0)
+		w.prof.reset()
+	}
+}
+
+// Profile returns the aggregated CPU-time breakdown (Figure 6
+// categories). TR is the pool's startup cost; per-Run shutdown is
+// negligible because the pool stays warm.
+func (p *Pool) Profile() TimeBreakdown {
+	var b TimeBreakdown
+	b.TR = p.startup
+	for _, w := range p.workers {
+		b.ST += time.Duration(w.prof.st.Load())
+		b.LF += time.Duration(w.prof.lf.Load())
+		b.NA += time.Duration(w.prof.na.Load())
+		b.LA += time.Duration(w.prof.la.Load())
+	}
+	return b
+}
+
+// SpanProfiler returns the span measurement facility of worker 0, or
+// nil when Options.Span is off.
+func (p *Pool) SpanProfiler() *SpanProfiler { return p.workers[0].spanProf }
+
+// Stats are the scheduler's event counters, the raw material for the
+// paper's N_T (tasks spawned) and N_M (migrations = steals) and thus
+// for the granularity measures G_T and G_L.
+type Stats struct {
+	Spawns              int64 // tasks created (N_T)
+	JoinsInlinedPublic  int64 // joins that inlined a public task (atomic exchange paid)
+	JoinsInlinedPrivate int64 // joins that inlined a private task (no atomics)
+	JoinsStolen         int64 // joins that found their task stolen
+	Steals              int64 // successful steals (N_M)
+	StealAttempts       int64 // steal attempts, successful or not
+	Backoffs            int64 // steals aborted by the bot re-check (ABA guard)
+	LeapSteals          int64 // successful steals made while leapfrogging
+	Publications        int64 // trip-wire publications
+	Privatizations      int64 // public-boundary pull-downs
+}
+
+func (s *Stats) add(o *Stats) {
+	s.Spawns += o.Spawns
+	s.JoinsInlinedPublic += o.JoinsInlinedPublic
+	s.JoinsInlinedPrivate += o.JoinsInlinedPrivate
+	s.JoinsStolen += o.JoinsStolen
+	s.Steals += o.Steals
+	s.StealAttempts += o.StealAttempts
+	s.Backoffs += o.Backoffs
+	s.LeapSteals += o.LeapSteals
+	s.Publications += o.Publications
+	s.Privatizations += o.Privatizations
+}
+
+// Joins returns the total number of joins.
+func (s Stats) Joins() int64 {
+	return s.JoinsInlinedPublic + s.JoinsInlinedPrivate + s.JoinsStolen
+}
+
+// TimeBreakdown is the Figure 6 instrumentation: CPU time spent in
+// startup/shutdown (TR), application code acquired through leapfrogging
+// (LA), other application code (NA), stealing (ST) and leapfrogging
+// search (LF).
+type TimeBreakdown struct {
+	TR, LA, NA, ST, LF time.Duration
+}
+
+// Total returns the sum of all categories.
+func (b TimeBreakdown) Total() time.Duration { return b.TR + b.LA + b.NA + b.ST + b.LF }
+
+// profState accumulates the Figure 6 time categories in nanoseconds.
+// Atomics because idle workers keep charging ST with no happens-before
+// edge to a Profile() reader.
+type profState struct {
+	on             bool
+	st, lf, na, la atomic.Int64
+}
+
+func (ps *profState) reset() {
+	ps.st.Store(0)
+	ps.lf.Store(0)
+	ps.na.Store(0)
+	ps.la.Store(0)
+}

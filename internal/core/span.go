@@ -1,0 +1,157 @@
+package core
+
+import "time"
+
+// SpanProfiler is the span (critical-path) measurement facility the
+// paper uses to compute the parallelism column of Table I. It tracks,
+// during a single-worker execution, both the total work T1 and the span
+// T∞ under two cost models:
+//
+//   - the abstract model (Span0): spawning and load balancing are free,
+//     so a join contributes max(continuation, child);
+//   - the realistic model (SpanO): a potentially parallel composition
+//     executes in parallel only when doing so saves at least Overhead
+//     (the paper uses 2000 cycles); a parallel execution costs an extra
+//     Overhead on the critical path, a serial one adds the spans.
+//
+// Span is a property of the computation, not of the schedule, so
+// measuring it on one worker is exact; the scheduler calls the on*
+// hooks at spawn and inline-join boundaries.
+//
+// Strand lengths are measured with the monotonic clock by default;
+// workloads whose strands are shorter than the clock resolution can
+// instead self-report via AddWork, which advances the current strand by
+// a synthetic duration.
+type SpanProfiler struct {
+	// Overhead is the load-balancing cost O of the realistic model.
+	// The paper's 2000 cycles at 2.5 GHz is 800ns, the default.
+	Overhead time.Duration
+
+	frames []spanFrame
+	marks  []spanMark
+
+	strandStart time.Time
+	synthetic   time.Duration // AddWork accumulations within the strand
+	timed       bool          // strand timing active
+	totalWork   time.Duration
+}
+
+type spanFrame struct {
+	span0, spanO time.Duration
+	markBase     int // index into marks of this frame's first spawn mark
+}
+
+type spanMark struct {
+	span0, spanO time.Duration
+}
+
+// NewSpanProfiler returns a profiler with the default 800ns overhead
+// model (2000 cycles at 2.5GHz).
+func NewSpanProfiler() *SpanProfiler {
+	return &SpanProfiler{Overhead: 800 * time.Nanosecond}
+}
+
+// Begin starts a measurement: push the root frame and open its first
+// strand. Pair with End.
+func (sp *SpanProfiler) Begin() {
+	sp.frames = sp.frames[:0]
+	sp.marks = sp.marks[:0]
+	sp.totalWork = 0
+	sp.frames = append(sp.frames, spanFrame{markBase: 0})
+	sp.openStrand()
+}
+
+// End closes the measurement and returns (T1, T∞ at O=0, T∞ at O).
+func (sp *SpanProfiler) End() (work, span0, spanO time.Duration) {
+	sp.closeStrand()
+	if len(sp.frames) != 1 {
+		panic("core: SpanProfiler.End with unbalanced task nesting")
+	}
+	f := sp.frames[0]
+	return sp.totalWork, f.span0, f.spanO
+}
+
+// AddWork advances the current strand by a synthetic duration, for
+// workloads whose real strands are too short for the clock.
+func (sp *SpanProfiler) AddWork(d time.Duration) { sp.synthetic += d }
+
+func (sp *SpanProfiler) openStrand() {
+	sp.strandStart = time.Now()
+	sp.synthetic = 0
+	sp.timed = true
+}
+
+func (sp *SpanProfiler) closeStrand() {
+	if !sp.timed {
+		return
+	}
+	d := time.Since(sp.strandStart) + sp.synthetic
+	sp.timed = false
+	f := &sp.frames[len(sp.frames)-1]
+	f.span0 += d
+	f.spanO += d
+	sp.totalWork += d
+}
+
+// onSpawn marks a fork point: the child will execute at the matching
+// join, but conceptually runs in parallel with everything the parent
+// does from here to that join.
+func (sp *SpanProfiler) onSpawn() {
+	sp.closeStrand()
+	f := &sp.frames[len(sp.frames)-1]
+	sp.marks = append(sp.marks, spanMark{span0: f.span0, spanO: f.spanO})
+	sp.openStrand()
+}
+
+// onInlineJoinStart brackets the inline execution of the joined child:
+// push its frame. (Stolen joins cannot occur in single-worker runs.)
+func (sp *SpanProfiler) onInlineJoinStart() {
+	sp.closeStrand()
+	sp.frames = append(sp.frames, spanFrame{markBase: len(sp.marks)})
+	sp.openStrand()
+}
+
+// onInlineJoinEnd pops the child frame and folds its span into the
+// parent under both cost models.
+func (sp *SpanProfiler) onInlineJoinEnd() {
+	sp.closeStrand()
+	child := sp.frames[len(sp.frames)-1]
+	if len(sp.marks) != child.markBase {
+		panic("core: SpanProfiler: task returned with unjoined spawns")
+	}
+	sp.frames = sp.frames[:len(sp.frames)-1]
+	f := &sp.frames[len(sp.frames)-1]
+
+	m := sp.marks[len(sp.marks)-1]
+	sp.marks = sp.marks[:len(sp.marks)-1]
+
+	// Abstract model: parallel composition of the continuation strand
+	// (spawn→join) with the child; the join point continues from the
+	// later of the two.
+	k0 := f.span0 - m.span0
+	f.span0 = m.span0 + maxDur(k0, child.span0)
+
+	// Realistic model: parallel only when it saves at least Overhead.
+	kO := f.spanO - m.spanO
+	cO := child.spanO
+	if minDur(kO, cO) < sp.Overhead {
+		f.spanO = m.spanO + kO + cO
+	} else {
+		f.spanO = m.spanO + maxDur(kO, cO) + sp.Overhead
+	}
+	sp.openStrand()
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+// Package core implements the direct task stack, the work-stealing
+// scheduler described in Karl-Filip Faxén, "Efficient Work Stealing for
+// Fine Grained Parallelism" (ICPP 2010), where it is called Wool.
+//
+// The task pool of each worker is an array of fixed-size task
+// descriptors managed with a strict stack discipline: the owner pushes
+// and pops at top, thieves steal at bot. Thief/victim synchronization
+// happens on the state field of the task descriptor itself — the owner
+// claims a task with an atomic exchange, a thief with a compare-and-swap
+// — rather than on the top/bot indices as in Cilk, TBB or the Chase-Lev
+// deque. top is private to the owner. bot carries no explicit
+// synchronization: it is implicitly owned by whichever worker stole (or
+// joined with) the task it points at, and a thief re-checks bot after
+// its CAS, backing off when the value moved (the paper's ABA guard).
+//
+// On top of the basic algorithm the package implements the paper's
+// optimizations: task-specific join functions (TaskDef1..TaskDef4 and
+// the context-carrying variants call the task function directly on the
+// inline path), private tasks with the trip-wire publication scheme
+// (Section III-B), and leapfrogging for joins that find their task
+// stolen (stealing only from the thief, Section I-b).
+package core
+
+import "sync/atomic"
+
+// Task states. The paper packs TASK(w) as the wrapper function pointer
+// and uses odd integers for the other values; Go cannot portably store a
+// function pointer in an atomic word without unsafe, so the wrapper
+// lives in its own field (fn) whose write is published by the atomic
+// store of stateTask (release/acquire via sync/atomic).
+const (
+	// stateEmpty marks a descriptor holding no stealable task. It is
+	// both the rest state and the transient state while a thief is
+	// between its CAS and its commit (STOLEN) or back-off (restore).
+	stateEmpty uint64 = 0
+
+	// stateDone marks a stolen task whose thief has completed it.
+	stateDone uint64 = 1
+
+	// stateTask marks a live task that can be stolen or inlined.
+	stateTask uint64 = 2
+
+	// stateStolenBase tags STOLEN(i): stateStolenBase | i<<stolenShift.
+	// Knowing the thief is what enables leapfrogging.
+	stateStolenBase uint64 = 3
+	stolenShift            = 8
+)
+
+func stolenState(thief int) uint64 { return stateStolenBase | uint64(thief)<<stolenShift }
+
+func isStolen(s uint64) bool { return s&0xff == stateStolenBase }
+
+func stolenThief(s uint64) int { return int(s >> stolenShift) }
+
+// TaskFunc is the wrapper invoked for a stolen task (and on the generic
+// join path). It reads its arguments from the descriptor and writes the
+// result back into it. w is the worker executing the task, which for a
+// stolen task is the thief, not the spawner.
+type TaskFunc func(w *Worker, t *Task)
+
+// Task is one descriptor in a worker's direct task stack. Descriptors
+// are stored by value in the pool array — no pointers, no free lists —
+// so a steal touches a single contiguous block holding both the
+// synchronization word and the data needed to run the task.
+//
+// Field ownership:
+//   - state: shared; always accessed atomically by both owner and thieves.
+//   - fn, a0..a3, ctx: written by the owner before the state store that
+//     publishes the task; read by a thief only after a successful CAS on
+//     state (acquire), or by the owner itself.
+//   - res, rctx: written by whoever ran the task; read by the owner after
+//     it has observed completion through state.
+//   - priv: owner-only. Thieves never touch it, which is what makes the
+//     private-task fast path race-free without atomics (Section III-B).
+//
+// Descriptors are recycled without clearing, so a ctx pointer stays
+// referenced until its slot is reused — at most StackSize stale
+// references per worker, the price of an allocation-free spawn path.
+type Task struct {
+	state atomic.Uint64
+
+	fn TaskFunc
+
+	a0, a1, a2, a3 int64
+	ctx            any
+
+	res  int64
+	rctx any
+
+	priv bool
+
+	// Pad the descriptor to 128 bytes (two cache lines on common
+	// hardware, one on those with 128-byte lines) so adjacent
+	// descriptors do not false-share while owner and thief work on
+	// neighbouring stack slots. Checked by TestTaskSize.
+	_ [39]byte
+}

@@ -1,0 +1,472 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Worker is one scheduler worker. Worker 0 is driven by the goroutine
+// that calls Pool.Run; the remaining workers are goroutines created by
+// NewPool that steal until the pool is closed.
+//
+// The fields split into three groups:
+//   - owner-private (top, rng, counters, span state): plain access only,
+//     touched exclusively by the goroutine driving this worker;
+//   - thief-visible (bot, publicLimit, morePublic): atomics;
+//   - immutable after construction (pool, idx, tasks backing array).
+type Worker struct {
+	pool *Pool
+	idx  int
+
+	// tasks is the direct task stack: descriptors stored inline, strict
+	// stack discipline. Fixed capacity (Options.StackSize); overflow is
+	// a programming error reported by panic, like native stack overflow.
+	tasks []Task
+
+	// top indexes the next free descriptor. Private to the owner: this
+	// is the decoupling the paper gets from synchronizing on the task
+	// descriptor instead of on the indices.
+	top int
+
+	// bot indexes the bottom-most live task, the next steal candidate.
+	// No lock protects it; see trySteal and joinSlow for the implicit
+	// ownership protocol.
+	bot atomic.Int64
+
+	// publicLimit: descriptors with index < publicLimit are public
+	// (stealable, joined with an atomic exchange); descriptors at or
+	// above it are private (invisible to thieves, joined with plain
+	// loads and stores). When private tasks are disabled it is pinned
+	// at the stack capacity.
+	publicLimit atomic.Int64
+
+	// morePublic is the trip-wire notification flag: a thief that
+	// steals close to the public boundary sets it, and the owner
+	// publishes more descriptors at its next spawn or join.
+	morePublic atomic.Bool
+
+	// inlineRun counts consecutive inlined public joins; a long run is
+	// the signal that the public boundary is too high and can be pulled
+	// back down (the revocable cut-off of Section III-B).
+	inlineRun int
+
+	rng uint64
+
+	// stats holds the owner-path counters (spawns, joins, ...): plain
+	// fields written only by the goroutine driving this worker, and
+	// ordered before any Stats() read through the joins that drain the
+	// work. The thief-path counters live below as atomics, because
+	// idle workers keep attempting steals even while the pool is
+	// quiescent and those writes have no happens-before edge to a
+	// Stats() reader.
+	stats Stats
+
+	stealAttempts atomic.Int64
+	steals        atomic.Int64
+	backoffs      atomic.Int64
+
+	// Profiling state (only used when pool.opts.Profile is set).
+	prof     profState
+	spanProf *SpanProfiler
+}
+
+// Index returns the worker's index within its pool. Thief indices
+// appear in STOLEN states and in provenance hooks.
+func (w *Worker) Index() int { return w.idx }
+
+// Pool returns the pool this worker belongs to.
+func (w *Worker) Pool() *Pool { return w.pool }
+
+// Depth returns the number of live tasks currently in this worker's
+// pool (spawned and not yet joined or stolen-and-completed). Owner only.
+func (w *Worker) Depth() int { return w.top - int(w.bot.Load()) }
+
+// push readies the next descriptor for a spawn, handling the trip-wire
+// flag and pool overflow. It returns the descriptor; the caller fills
+// in arguments and publishes.
+func (w *Worker) push() *Task {
+	if w.morePublic.Load() {
+		w.publishMore()
+	}
+	if w.top == len(w.tasks) {
+		panic(fmt.Sprintf("core: task stack overflow on worker %d (capacity %d); raise Options.StackSize or reduce spawn depth", w.idx, len(w.tasks)))
+	}
+	return &w.tasks[w.top]
+}
+
+// spawn publishes the descriptor prepared by push. Public descriptors
+// are published with an atomic store of stateTask, which is the single
+// release point making fn and the arguments visible to thieves (the
+// paper's "the write which makes the task stealable is the last write").
+// Private descriptors just set the owner-only priv flag: no atomics at
+// all on the spawn side.
+func (w *Worker) spawn(t *Task) {
+	if int64(w.top) < w.publicLimit.Load() {
+		t.priv = false
+		t.state.Store(stateTask)
+	} else {
+		t.priv = true
+	}
+	w.top++
+	w.stats.Spawns++
+	if w.spanProf != nil {
+		w.spanProf.onSpawn()
+	}
+}
+
+// joinAcquire pops the top task and tries to claim it for inlining.
+// It returns (task, true) when the task can be inlined — the caller
+// performs the direct, task-specific call — and (task, false) when the
+// slow path already ran the task (or waited out its thief) and the
+// result is in the descriptor.
+func (w *Worker) joinAcquire() (*Task, bool) {
+	t := &w.tasks[w.top-1]
+	if t.priv {
+		// Private fast path: the descriptor was never visible to
+		// thieves, so a plain flag flip claims it. This is the
+		// paper's 3-cycle join.
+		w.top--
+		t.priv = false
+		w.stats.JoinsInlinedPrivate++
+		if w.spanProf != nil {
+			w.spanProf.onInlineJoinStart()
+		}
+		return t, true
+	}
+	s := t.state.Swap(stateEmpty)
+	if s == stateTask {
+		w.top--
+		w.stats.JoinsInlinedPublic++
+		w.noteInlinedPublic()
+		if w.spanProf != nil {
+			w.spanProf.onInlineJoinStart()
+		}
+		return t, true
+	}
+	// Slow path: leave top unchanged until the join resolves. The
+	// thief is still writing into this descriptor (STOLEN→DONE and the
+	// result), and work acquired by leapfrogging below spawns at top —
+	// decrementing first would let those spawns recycle the descriptor
+	// under the thief.
+	w.joinSlow(t, s)
+	w.top--
+	return t, false
+}
+
+// noteInlinedPublic implements the public→private direction of the
+// revocable cut-off: after a long run of inlined public joins the owner
+// is evidently not losing tasks to thieves, so future spawns above the
+// current frontier are made private again. Live tasks are never made
+// private (they would have to be acquired first); only the boundary for
+// future spawns moves, which sidesteps the race the paper warns about.
+func (w *Worker) noteInlinedPublic() {
+	if !w.pool.opts.PrivateTasks {
+		return
+	}
+	w.inlineRun++
+	if w.inlineRun >= w.pool.opts.PrivatizeRun {
+		w.inlineRun = 0
+		newPL := int64(w.top + w.pool.opts.InitialPublic)
+		if newPL < w.publicLimit.Load() {
+			w.publicLimit.Store(newPL)
+			w.stats.Privatizations++
+		}
+	}
+}
+
+// publishMore answers a trip-wire notification: convert up to
+// PublishAmount private descriptors to public and raise the limit.
+// Owner only. The atomic store of publicLimit is the release making the
+// state stores visible to thieves that load the limit.
+func (w *Worker) publishMore() {
+	w.morePublic.Store(false)
+	w.inlineRun = 0
+	pl := w.publicLimit.Load()
+	newPL := pl + int64(w.pool.opts.PublishAmount)
+	if max := int64(len(w.tasks)); newPL > max {
+		newPL = max
+	}
+	for i := pl; i < newPL && i < int64(w.top); i++ {
+		t := &w.tasks[i]
+		if t.priv {
+			t.priv = false
+			t.state.Store(stateTask)
+		}
+	}
+	w.publicLimit.Store(newPL)
+	w.stats.Publications++
+}
+
+// joinSlow is RTS_join from the paper: the swap in the fast path
+// returned something other than TASK, so a thief is involved. s may be:
+//
+//   - stateEmpty: a thief is in its transient window (between CAS and
+//     commit/back-off). Spin until it either restores the task (then
+//     claim it with another swap) or commits STOLEN.
+//   - STOLEN(i): leapfrog — steal exclusively from worker i until the
+//     thief marks the task DONE.
+//   - stateDone: the thief finished before we got here.
+//
+// On return the task's result fields are valid and bot has been pulled
+// back down over the joined descriptor (the owner re-acquires implicit
+// ownership of bot, per the paper's protocol).
+func (w *Worker) joinSlow(t *Task, s uint64) {
+	for {
+		for s == stateEmpty {
+			// Transient thief window; it resolves in a handful of
+			// instructions on the thief side, but yield so a
+			// descheduled thief cannot livelock us on few cores.
+			runtime.Gosched()
+			s = t.state.Load()
+		}
+		if s != stateTask {
+			break
+		}
+		// The thief backed off and restored the task; claim it.
+		s = t.state.Swap(stateEmpty)
+		if s == stateTask {
+			// Deviation from the paper's pseudocode: RTS_join there
+			// ends with an unconditional bot--, but a thief that backs
+			// off never advanced bot, so decrementing here would push
+			// bot below the live region. Only the stolen paths below
+			// (where the thief did advance bot) restore it.
+			w.stats.JoinsInlinedPublic++
+			if w.spanProf != nil {
+				w.spanProf.onInlineJoinStart()
+			}
+			fn := t.fn
+			fn(w, t)
+			if w.spanProf != nil {
+				w.spanProf.onInlineJoinEnd()
+			}
+			return
+		}
+		// Another thief snatched it between our load and swap; loop.
+	}
+	if isStolen(s) {
+		thief := stolenThief(s)
+		w.stats.JoinsStolen++
+		w.leapfrog(t, thief)
+	} else if s != stateDone {
+		panic(fmt.Sprintf("core: corrupt task state %#x in join on worker %d", s, w.idx))
+	} else {
+		w.stats.JoinsStolen++
+	}
+	w.bot.Add(-1)
+}
+
+// leapfrog waits for a stolen task to complete, stealing only from the
+// thief that took it (Wagner & Calder's leapfrogging, as used by Wool).
+// The restriction guarantees that anything we steal here is work we
+// would have executed ourselves had the steal not happened, so the
+// worker's stack cannot grow beyond its sequential bound and the buried
+// join resolves as soon as the joined task is done.
+func (w *Worker) leapfrog(t *Task, thief int) {
+	if w.pool.opts.BlockedJoinWait == WaitSpin {
+		// Ablation: just wait (see Options.BlockedJoinWait).
+		var start time.Time
+		if w.prof.on {
+			start = time.Now()
+		}
+		for t.state.Load() != stateDone {
+			runtime.Gosched()
+		}
+		if w.prof.on {
+			w.prof.lf.Add(int64(time.Since(start)))
+		}
+		return
+	}
+	victim := w.pool.workers[thief]
+	var tLF, tLA time.Duration
+	fails := 0
+	for t.state.Load() != stateDone {
+		var start time.Time
+		if w.prof.on {
+			start = time.Now()
+		}
+		ok := w.trySteal(victim, true)
+		if w.prof.on {
+			d := time.Since(start)
+			if ok {
+				tLA += d
+			} else {
+				tLF += d
+			}
+		}
+		if ok {
+			w.stats.LeapSteals++
+			fails = 0
+		} else {
+			fails++
+			if fails&0x3f == 0 || runtime.GOMAXPROCS(0) == 1 {
+				runtime.Gosched()
+			}
+		}
+	}
+	if w.prof.on {
+		w.prof.lf.Add(int64(tLF))
+		w.prof.la.Add(int64(tLA))
+	}
+}
+
+// trySteal is RTS_steal from the paper. It attempts to steal the task
+// at victim.bot and run it to completion on w. leap marks steals made
+// from inside a blocked join (leapfrogging) so profiling can attribute
+// the acquired application time to the LA category.
+//
+// Protocol, in order:
+//  1. read bot; give up if it is outside the victim's public region or
+//     the stack;
+//  2. read state; give up unless it is TASK;
+//  3. CAS state TASK→EMPTY; losing the race to another thief or the
+//     owner means give up;
+//  4. re-read bot: if it moved, the CAS hit a recycled descriptor (the
+//     ABA the paper describes) — restore the state and back off. The
+//     transient EMPTY is harmless: it only makes other thieves abort
+//     and a joining owner wait;
+//  5. commit: state=STOLEN(self), bot=b+1 (the thief now owns bot),
+//     run the wrapper, state=DONE.
+func (w *Worker) trySteal(victim *Worker, leap bool) bool {
+	if victim == w {
+		return false
+	}
+	w.stealAttempts.Add(1)
+	b := victim.bot.Load()
+	if b >= victim.publicLimit.Load() || b >= int64(len(victim.tasks)) {
+		return false
+	}
+	t := &victim.tasks[b]
+	s1 := t.state.Load()
+	if s1 != stateTask {
+		return false
+	}
+	if !t.state.CompareAndSwap(s1, stateEmpty) {
+		return false
+	}
+	if victim.bot.Load() != b {
+		// ABA guard: the descriptor was joined and re-spawned while we
+		// were between reading bot and the CAS. Restore and back off.
+		t.state.Store(s1)
+		w.backoffs.Add(1)
+		return false
+	}
+	// Trip wire: stealing at or past the wire means the public region
+	// is running dry; ask the owner to publish more.
+	if w.pool.opts.PrivateTasks &&
+		b >= victim.publicLimit.Load()-int64(w.pool.opts.TripDistance) {
+		victim.morePublic.Store(true)
+	}
+	t.state.Store(stolenState(w.idx))
+	victim.bot.Store(b + 1)
+	w.steals.Add(1)
+	w.runStolen(t, leap)
+	t.state.Store(stateDone)
+	return true
+}
+
+// runStolen executes a stolen task's wrapper on this worker, converting
+// a panic in user code into a pool-wide abort so the joining owner is
+// not left spinning on a task that will never reach DONE.
+func (w *Worker) runStolen(t *Task, leap bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.pool.recordPanic(r)
+			// DONE is stored by trySteal after we return; recover so
+			// it executes and the victim unblocks, then the panic is
+			// re-raised on the Run goroutine.
+		}
+	}()
+	var start time.Time
+	if w.prof.on {
+		start = time.Now()
+	}
+	fn := t.fn
+	fn(w, t)
+	if w.prof.on {
+		d := time.Since(start)
+		if leap {
+			w.prof.la.Add(int64(d))
+		} else {
+			w.prof.na.Add(int64(d))
+		}
+	}
+}
+
+// nextVictim picks a random victim index != w.idx (xorshift64).
+func (w *Worker) nextVictim() int {
+	if len(w.pool.workers) == 1 {
+		return w.idx // degenerate single-worker pool; caller's steal fails
+	}
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng = x
+	n := len(w.pool.workers) - 1
+	v := int(x % uint64(n))
+	if v >= w.idx {
+		v++
+	}
+	return v
+}
+
+// chooseVictim picks a steal target: with StealSampling > 1 it probes
+// candidates read-only and returns the first whose bot descriptor
+// looks stealable, falling back to the last candidate.
+func (w *Worker) chooseVictim() *Worker {
+	k := w.pool.opts.StealSampling
+	var v *Worker
+	for i := 0; i < k; i++ {
+		v = w.pool.workers[w.nextVictim()]
+		if k == 1 {
+			return v
+		}
+		b := v.bot.Load()
+		if b < v.publicLimit.Load() && b < int64(len(v.tasks)) &&
+			v.tasks[b].state.Load() == stateTask {
+			return v
+		}
+	}
+	return v
+}
+
+// idleLoop is the life of workers 1..N-1: steal from random victims
+// until the pool shuts down. Failed attempts back off through Gosched
+// into short sleeps so an idle pool does not saturate the host (the
+// sleep cap is Options.MaxIdleSleep; negative keeps pure spinning+yield,
+// matching the paper's dedicated-machine setup).
+func (w *Worker) idleLoop() {
+	fails := 0
+	for !w.pool.shutdown.Load() {
+		var start time.Time
+		if w.prof.on {
+			start = time.Now()
+		}
+		ok := w.trySteal(w.chooseVictim(), false)
+		if w.prof.on && !ok {
+			w.prof.st.Add(int64(time.Since(start)))
+		}
+		if ok {
+			fails = 0
+			continue
+		}
+		fails++
+		switch {
+		case fails < 64:
+			if runtime.GOMAXPROCS(0) == 1 {
+				runtime.Gosched()
+			}
+		case fails < 1024 || w.pool.opts.MaxIdleSleep <= 0:
+			runtime.Gosched()
+		default:
+			d := time.Duration(fails-1023) * time.Microsecond
+			if d > w.pool.opts.MaxIdleSleep {
+				d = w.pool.opts.MaxIdleSleep
+			}
+			time.Sleep(d)
+		}
+	}
+	w.pool.wg.Done()
+}

@@ -1,0 +1,72 @@
+package costmodel
+
+import "testing"
+
+// TestCalibrationAgainstPaper pins the profiles to the paper's
+// published micro-measurements (Tables II and III). If a profile
+// drifts, the reproduction's provenance breaks — update EXPERIMENTS.md
+// if these change deliberately.
+func TestCalibrationAgainstPaper(t *testing.T) {
+	cases := []struct {
+		p         Profile
+		inlined   uint64 // paper Table III "Inlined"
+		twoP      uint64 // paper Table III column "2"
+		tolerance float64
+	}{
+		{Wool(), 19, 2200, 0},
+		{CilkPP(), 134, 31050, 0},
+		{TBB(), 323, 5800, 0},
+		{OpenMP(), 878, 4830, 0},
+	}
+	for _, c := range cases {
+		if got := c.p.InlinedOverhead(); got != c.inlined {
+			t.Errorf("%s: inlined overhead %d, want %d (paper)", c.p.Name, got, c.inlined)
+		}
+		if got := c.p.TwoProcSteal(); got != c.twoP {
+			t.Errorf("%s: 2-proc steal %d, want %d (paper)", c.p.Name, got, c.twoP)
+		}
+	}
+	if got := Wool().SpawnPrivate + Wool().JoinPrivate; got != 3 {
+		t.Errorf("wool private path = %d cycles, want 3 (paper Table II)", got)
+	}
+	if got := WoolSyncOnTask().InlinedOverhead(); got != 29 {
+		t.Errorf("sync-on-task = %d cycles, want 29 (paper Table II)", got)
+	}
+	if got := LockBase().InlinedOverhead(); got != 77 {
+		t.Errorf("lock base = %d cycles, want 77 (paper Table II)", got)
+	}
+}
+
+func TestOrderings(t *testing.T) {
+	// The paper's qualitative orderings the simulator depends on.
+	w, c, tb, o := Wool(), CilkPP(), TBB(), OpenMP()
+	if !(w.InlinedOverhead() < c.InlinedOverhead() &&
+		c.InlinedOverhead() < tb.InlinedOverhead() &&
+		tb.InlinedOverhead() < o.InlinedOverhead()) {
+		t.Error("inlined overhead ordering broken (want wool < cilk < tbb < omp)")
+	}
+	if !(w.TwoProcSteal() < o.TwoProcSteal() &&
+		o.TwoProcSteal() < tb.TwoProcSteal() &&
+		tb.TwoProcSteal() < c.TwoProcSteal()) {
+		t.Error("steal cost ordering broken (want wool < omp < tbb < cilk)")
+	}
+	if !c.UsesLock || !o.UsesLock {
+		t.Error("cilk/omp must model locks")
+	}
+	if w.UsesLock || tb.UsesLock {
+		t.Error("wool/tbb must not model locks")
+	}
+}
+
+func TestProfilesList(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 4 {
+		t.Fatalf("Profiles() returned %d entries", len(ps))
+	}
+	want := []string{"wool", "cilk++", "tbb", "openmp"}
+	for i, p := range ps {
+		if p.Name != want[i] {
+			t.Errorf("profile %d = %q, want %q", i, p.Name, want[i])
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gowool/internal/sim"
+	"gowool/internal/workloads/cholesky"
+	"gowool/internal/workloads/fibw"
+	"gowool/internal/workloads/mm"
+	"gowool/internal/workloads/ssf"
+	"gowool/internal/workloads/stress"
+)
+
+// Workload is one row of the paper's workload catalog (Table I): a
+// benchmark kernel at specific parameters, repeated Reps times with
+// serialization between repetitions. Root builds a fresh simulated
+// root task (fresh state per call so runs never share mutable data).
+type Workload struct {
+	Family string // "cholesky", "mm", "ssf", "stress256", "stress4096"
+	Params string // the paper's parameter column
+	Reps   int64  // scaled-down repetition count
+	Root   func() (*sim.Def, sim.Args)
+}
+
+// Name returns "family(params)".
+func (wl Workload) Name() string { return fmt.Sprintf("%s(%s)", wl.Family, wl.Params) }
+
+// choleskyWL builds a cholesky workload row.
+func choleskyWL(n, nz, reps int64) Workload {
+	return Workload{
+		Family: "cholesky",
+		Params: fmt.Sprintf("%d,%d", n, nz),
+		Reps:   reps,
+		Root: func() (*sim.Def, sim.Args) {
+			return cholesky.NewSim().RepsDef(), sim.Args{A0: reps, A1: n, A2: nz, A3: 42}
+		},
+	}
+}
+
+// mmWL builds an mm workload row.
+func mmWL(n, reps int64) Workload {
+	return Workload{
+		Family: "mm",
+		Params: fmt.Sprintf("%d", n),
+		Reps:   reps,
+		Root: func() (*sim.Def, sim.Args) {
+			return mm.NewSimReps(), sim.Args{A0: n, A1: reps}
+		},
+	}
+}
+
+// ssfWL builds an ssf workload row.
+func ssfWL(n, reps int64) Workload {
+	return Workload{
+		Family: "ssf",
+		Params: fmt.Sprintf("%d", n),
+		Reps:   reps,
+		Root: func() (*sim.Def, sim.Args) {
+			wk := &ssf.Work{S: ssf.FibString(n)}
+			return ssf.NewSimReps(), sim.Args{A0: reps, Ctx: wk}
+		},
+	}
+}
+
+// stressWL builds a stress workload row at the given leaf iterations.
+func stressWL(iters, height, reps int64) Workload {
+	family := "stress256"
+	if iters == 4096 {
+		family = "stress4096"
+	}
+	return Workload{
+		Family: family,
+		Params: fmt.Sprintf("%d", height),
+		Reps:   reps,
+		Root: func() (*sim.Def, sim.Args) {
+			return stress.NewSimReps(), sim.Args{A0: height, A1: iters, A2: reps}
+		},
+	}
+}
+
+// fibWL builds the fib workload (Figure 1 left).
+func fibWL(n int64) Workload {
+	return Workload{
+		Family: "fib",
+		Params: fmt.Sprintf("%d", n),
+		Reps:   1,
+		Root: func() (*sim.Def, sim.Args) {
+			return fibw.NewSim(), sim.Args{A0: n}
+		},
+	}
+}
+
+// Catalog returns the Table I workload ladder at the given scale. The
+// paper's inputs are scaled down (fewer repetitions, and for cholesky
+// a cap on matrix size) so a full sweep stays in simulator range; the
+// scaling is recorded in EXPERIMENTS.md and the Params/Reps columns.
+func Catalog(sc Scale) []Workload {
+	if sc == Quick {
+		return []Workload{
+			choleskyWL(250, 1000, 2),
+			choleskyWL(500, 2000, 1),
+			mmWL(64, 64),
+			mmWL(128, 8),
+			mmWL(256, 2),
+			ssfWL(12, 32),
+			ssfWL(13, 16),
+			ssfWL(14, 8),
+			stressWL(256, 7, 256),
+			stressWL(256, 8, 128),
+			stressWL(256, 9, 64),
+			stressWL(4096, 3, 256),
+			stressWL(4096, 4, 128),
+			stressWL(4096, 5, 64),
+		}
+	}
+	return []Workload{
+		// cholesky: paper runs 250..4k rows; simulating beyond 1k rows
+		// exceeds the task budget, so the two largest rows are omitted.
+		choleskyWL(250, 1000, 8),
+		choleskyWL(500, 2000, 4),
+		choleskyWL(1000, 4000, 1),
+		// mm: paper reps 16K/2K/256/32, scaled by 16.
+		mmWL(64, 1024),
+		mmWL(128, 128),
+		mmWL(256, 16),
+		mmWL(512, 2),
+		// ssf: paper reps 16K..1K, scaled by 64.
+		ssfWL(12, 256),
+		ssfWL(13, 128),
+		ssfWL(14, 64),
+		ssfWL(15, 32),
+		ssfWL(16, 16),
+		// stress leaf 256: paper reps 128K..8K, scaled by 64.
+		stressWL(256, 7, 2048),
+		stressWL(256, 8, 1024),
+		stressWL(256, 9, 512),
+		stressWL(256, 10, 256),
+		stressWL(256, 11, 128),
+		// stress leaf 4096: same scaling.
+		stressWL(4096, 3, 2048),
+		stressWL(4096, 4, 1024),
+		stressWL(4096, 5, 512),
+		stressWL(4096, 6, 256),
+		stressWL(4096, 7, 128),
+	}
+}

@@ -1,0 +1,139 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section IV). Each experiment renders the same
+// rows/series the paper reports; EXPERIMENTS.md records the measured
+// values next to the paper's. Multi-processor results come from the
+// virtual-time simulator (internal/sim) standing in for the paper's
+// 8-core Opteron; single-processor overhead measurements (Table II and
+// the inlined column of Table III) additionally run natively.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gowool/internal/costmodel"
+	"gowool/internal/sim"
+)
+
+// Scale selects the input sizes: Quick finishes in tens of seconds for
+// tests and `go test -bench`; Full is the paper-shape reproduction run
+// by cmd/woolbench (minutes).
+type Scale int
+
+// Scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+// ParseScale converts a flag value.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "quick":
+		return Quick, nil
+	case "full":
+		return Full, nil
+	default:
+		return Quick, fmt.Errorf("unknown scale %q (want quick or full)", s)
+	}
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string // harness id: "table1".."table4", "fig1", "fig4".."fig6"
+	Paper string // the artifact in the paper
+	Title string
+	Run   func(sc Scale, w io.Writer) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) { registry[e.ID] = e }
+
+// All returns the experiments in presentation order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// System is one of the four schedulers the paper compares, mapped to a
+// simulator protocol and cost profile.
+type System struct {
+	Name    string
+	Kind    sim.Kind
+	Strat   sim.LockStrategy
+	Costs   costmodel.Profile
+	Private bool
+}
+
+// Systems returns the paper's four systems in its presentation order:
+// Wool (direct task stack + private tasks), Cilk++ (lock-based
+// steal costs), TBB (deque), OpenMP (central pool).
+func Systems() []System {
+	return []System{
+		{Name: "Wool", Kind: sim.KindDirectStack, Costs: costmodel.Wool(), Private: true},
+		{Name: "Cilk++", Kind: sim.KindLock, Strat: sim.LockBase, Costs: costmodel.CilkPP()},
+		{Name: "TBB", Kind: sim.KindDeque, Costs: costmodel.TBB()},
+		{Name: "OpenMP", Kind: sim.KindCentral, Costs: costmodel.OpenMP()},
+	}
+}
+
+// run executes root(args) for system s at p processors. The Wool
+// private-task parameters are a bit more generous than the library
+// defaults: a balanced tree needs about one public descriptor per
+// level to feed the machine promptly (Section III-B: "if the task tree
+// is balanced, fewer public task descriptors suffice... very
+// unbalanced trees require more"), and an owner deep in a coarse leaf
+// cannot answer the trip wire until its next task operation.
+func (s System) run(p int, root *sim.Def, args sim.Args) sim.Result {
+	c := sim.Config{
+		Procs:         p,
+		Kind:          s.Kind,
+		LockStrategy:  s.Strat,
+		Costs:         s.Costs,
+		PrivateTasks:  s.Private,
+		InitialPublic: 4,
+		TripDistance:  2,
+		PublishAmount: 4,
+		Seed:          0x5eed + uint64(p)*977,
+	}
+	return sim.Run(c, root, args)
+}
+
+// serialWork measures T_S: the pure application work of root(args) in
+// cycles, from a single-processor run under a zero-overhead profile
+// with span tracking (Work counts only Work() charges).
+func serialWork(root *sim.Def, args sim.Args) sim.Result {
+	return sim.Run(sim.Config{
+		Procs: 1, Kind: sim.KindDirectStack,
+		Costs:     costmodel.Profile{Name: "zero"},
+		TrackSpan: true, SpanOverhead: 2000,
+	}, root, args)
+}
+
+// procsFor returns the processor counts plotted at this scale.
+func procsFor(sc Scale) []int {
+	if sc == Quick {
+		return []int{1, 2, 4, 8}
+	}
+	return []int{1, 2, 3, 4, 5, 6, 7, 8}
+}
+
+func floatProcs(ps []int) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = float64(p)
+	}
+	return out
+}

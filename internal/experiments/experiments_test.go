@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig4", "fig5", "fig6", "table1", "table2", "table3", "table4", "xablate", "xcilk", "xgonative", "xscale"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("experiment %d = %q, want %q", i, all[i].ID, id)
+		}
+		if all[i].Paper == "" || all[i].Title == "" || all[i].Run == nil {
+			t.Errorf("experiment %q incomplete", id)
+		}
+	}
+	if _, ok := ByID("fig1"); !ok {
+		t.Error("ByID(fig1) failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID(nope) succeeded")
+	}
+}
+
+func TestCatalogBuilds(t *testing.T) {
+	for _, sc := range []Scale{Quick, Full} {
+		for _, wl := range Catalog(sc) {
+			if wl.Name() == "" || wl.Reps <= 0 {
+				t.Errorf("bad workload %+v", wl)
+			}
+			root, _ := wl.Root()
+			if root == nil {
+				t.Errorf("%s: nil root", wl.Name())
+			}
+		}
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	if s, err := ParseScale("quick"); err != nil || s != Quick {
+		t.Error("quick parse failed")
+	}
+	if s, err := ParseScale("full"); err != nil || s != Full {
+		t.Error("full parse failed")
+	}
+	if _, err := ParseScale("medium"); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+// TestQuickExperimentsRun executes every experiment at Quick scale and
+// sanity-checks the output. This is the integration test of the whole
+// reproduction pipeline (workloads → sim → analysis → rendering).
+func TestQuickExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still take seconds each")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(Quick, &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if len(out) < 100 {
+				t.Fatalf("%s: suspiciously short output:\n%s", e.ID, out)
+			}
+			if !strings.Contains(out, "==") {
+				t.Errorf("%s: no table header in output", e.ID)
+			}
+		})
+	}
+}
+
+func TestSerialWorkStable(t *testing.T) {
+	wl := mmWL(32, 4)
+	root, args := wl.Root()
+	a := serialWork(root, args)
+	root, args = wl.Root()
+	b := serialWork(root, args)
+	if a.Work != b.Work || a.Span0 != b.Span0 {
+		t.Errorf("serialWork not deterministic: %d/%d vs %d/%d", a.Work, a.Span0, b.Work, b.Span0)
+	}
+	if a.Work == 0 || a.Span0 == 0 {
+		t.Error("zero work/span")
+	}
+}
+
+func TestStealOverheadGrowsWithProcs(t *testing.T) {
+	wool := Systems()[0]
+	s2 := stealOverhead(wool, 1)
+	s8 := stealOverhead(wool, 3)
+	if s2 <= 0 {
+		t.Fatalf("steal overhead @2 = %f, want > 0", s2)
+	}
+	if s8 <= s2 {
+		t.Errorf("steal overhead @8 (%f) should exceed @2 (%f)", s8, s2)
+	}
+}

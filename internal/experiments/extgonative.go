@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"io"
+	"runtime"
+	"strconv"
+
+	"gowool/internal/core"
+	"gowool/internal/costmodel"
+	"gowool/internal/gonative"
+	"gowool/internal/tabulate"
+	"gowool/internal/workloads/fibw"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "xgonative",
+		Paper: "extension",
+		Title: "The direct task stack vs idiomatic Go concurrency (native measurement)",
+		Run:   runXGoNative,
+	})
+}
+
+// runXGoNative measures, natively, what the paper measured against
+// Cilk++/TBB/OpenMP — but against what a Go programmer would write
+// instead: goroutine-per-fork (with and without a concurrency bound).
+// The per-task overhead gap is the reproduction's practical
+// punchline: fine-grained fork-join needs a task pool, in Go as in C.
+func runXGoNative(sc Scale, w io.Writer) error {
+	n := int64(22)
+	reps := 3
+	if sc == Full {
+		n, reps = 27, 5
+	}
+	tasks := fibw.Tasks(n)
+	serial := measureMin(reps, func() { fibw.Serial(n) })
+
+	t := tabulate.New(
+		"Extension — fib forks: direct task stack vs goroutines (native)",
+		"implementation", "time[ms]", "overhead[ns/task]", "vs serial",
+	)
+	row := func(name string, run func() int64) {
+		d := measureMin(reps, func() { run() })
+		t.Row(name, float64(d.Microseconds())/1000,
+			perTaskNS(d, serial, tasks), float64(d)/float64(serial))
+	}
+
+	pPriv := core.NewPool(core.Options{Workers: 1, PrivateTasks: true})
+	fib := fibw.NewWool()
+	row("gowool (private tasks)", func() int64 {
+		return pPriv.Run(func(w *core.Worker) int64 { return fib.Call(w, n) })
+	})
+	pPriv.Close()
+
+	var goFib func(x int64) int64
+	goFib = func(x int64) int64 {
+		if x < 2 {
+			return x
+		}
+		a, b := gonative.Fork(
+			func() int64 { return goFib(x - 2) },
+			func() int64 { return goFib(x - 1) },
+		)
+		return a + b
+	}
+	// Unbounded goroutines are catastrophic at full size; shrink.
+	gn := n - 6
+	gTasks := fibw.Tasks(gn)
+	gSerial := measureMin(reps, func() { fibw.Serial(gn) })
+	d := measureMin(reps, func() { goFib(gn) })
+	t.Row("goroutine per fork (fib("+strconv.FormatInt(gn, 10)+"))",
+		float64(d.Microseconds())/1000, perTaskNS(d, gSerial, gTasks), float64(d)/float64(gSerial))
+
+	fb := gonative.NewForkBounded(runtime.GOMAXPROCS(0) * 2)
+	var bFib func(x int64) int64
+	bFib = func(x int64) int64 {
+		if x < 2 {
+			return x
+		}
+		a, b := fb.Fork(
+			func() int64 { return bFib(x - 2) },
+			func() int64 { return bFib(x - 1) },
+		)
+		return a + b
+	}
+	row("bounded fork (manual throttle)", func() int64 { return bFib(n) })
+
+	t.Row("serial", float64(serial.Microseconds())/1000, 0.0, 1.0)
+	t.Note("fib(%d), %d tasks, min of %d runs; 1 worker (this host has 1 core)", n, tasks, reps)
+	t.Note("ns/task × %.1f = cycle equivalents at 2.5GHz", costmodel.CyclesPerNS)
+	t.Render(w)
+	return nil
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gowool/internal/tabulate"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Paper: "Figure 1",
+		Title: "Speedup of fib (no cutoff, absolute) and stress(4096,3,reps) (relative)",
+		Run:   runFig1,
+	})
+}
+
+// runFig1 reproduces Figure 1. Left: absolute speedup (against the
+// pure sequential work) of no-cutoff fib on the four systems — the
+// per-task overheads of the baselines exceed fib's 13-cycle tasks so
+// badly that their curves sit near (or below) 1 while Wool climbs.
+// Right: relative speedup of stress with 4096-iteration leaves and
+// height-3 trees — regions so small that load-balancing overhead can
+// make added processors a net loss.
+func runFig1(sc Scale, w io.Writer) error {
+	procs := procsFor(sc)
+
+	// Left: fib.
+	fibN := int64(22)
+	if sc == Full {
+		fibN = 27
+	}
+	wl := fibWL(fibN)
+	root, args := wl.Root()
+	span := serialWork(root, args)
+	left := tabulate.NewPlot("Figure 1 (left) — absolute speedup of fib("+wl.Params+"), no cutoff",
+		"procs", "absolute speedup", floatProcs(procs))
+	for _, sys := range Systems() {
+		vals := make([]float64, len(procs))
+		for i, p := range procs {
+			root, args := wl.Root()
+			res := sys.run(p, root, args)
+			vals[i] = float64(span.Work) / float64(res.Makespan)
+		}
+		left.Add(sys.Name, vals)
+	}
+	left.Render(w)
+
+	// Right: stress(4096, height 3, many repetitions).
+	reps := int64(256)
+	if sc == Full {
+		reps = 2048 // paper: 128K
+	}
+	swl := stressWL(4096, 3, reps)
+	right := tabulate.NewPlot(
+		fmt.Sprintf("Figure 1 (right) — relative speedup of stress(4096,3,%d reps)", swl.Reps),
+		"procs", "speedup vs own 1-proc", floatProcs(procs))
+	for _, sys := range Systems() {
+		root, args := swl.Root()
+		t1 := float64(sys.run(1, root, args).Makespan)
+		vals := make([]float64, len(procs))
+		for i, p := range procs {
+			root, args := swl.Root()
+			res := sys.run(p, root, args)
+			vals[i] = t1 / float64(res.Makespan)
+		}
+		right.Add(sys.Name, vals)
+	}
+	right.Render(w)
+	return nil
+}

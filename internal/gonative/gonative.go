@@ -1,0 +1,128 @@
+// Package gonative is the "what a Go programmer would write" baseline:
+// fork-join parallelism expressed directly with goroutines, channels
+// and WaitGroups, scheduled by the Go runtime rather than by an
+// explicit work-stealing pool.
+//
+// It exists to quantify the gap between the direct task stack and
+// idiomatic Go concurrency for fine-grained tasks: a goroutine spawn
+// costs stack allocation, scheduler queue traffic and (for results) a
+// channel or WaitGroup handoff — orders of magnitude above the paper's
+// 3–19 cycle spawns, which is precisely why fine-grained parallelism
+// needs a library like this repository's.
+package gonative
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Fork runs f and g as a parallel pair, f in a new goroutine, and
+// returns both results. The naive Go analogue of SPAWN/CALL/JOIN.
+func Fork(f, g func() int64) (int64, int64) {
+	ch := make(chan int64, 1)
+	go func() { ch <- f() }()
+	b := g()
+	return <-ch, b
+}
+
+// ForkBounded is Fork with a concurrency budget: it forks only while
+// the budget (a counting semaphore) has capacity, otherwise it runs
+// both functions sequentially. This is the manual throttling Go
+// programs resort to so that fine-grained recursion does not drown in
+// goroutine overhead — the very granularity control the paper's
+// scheduler makes unnecessary.
+type ForkBounded struct {
+	sem chan struct{}
+}
+
+// NewForkBounded creates a bounded forker allowing limit concurrent forks.
+func NewForkBounded(limit int) *ForkBounded {
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	return &ForkBounded{sem: make(chan struct{}, limit)}
+}
+
+// Fork runs f and g in parallel if budget allows, else sequentially.
+func (fb *ForkBounded) Fork(f, g func() int64) (int64, int64) {
+	select {
+	case fb.sem <- struct{}{}:
+		ch := make(chan int64, 1)
+		go func() {
+			ch <- f()
+			<-fb.sem
+		}()
+		b := g()
+		return <-ch, b
+	default:
+		return f(), g()
+	}
+}
+
+// ParallelFor runs body(i) for i in [lo, hi) using one goroutine per
+// chunk and a WaitGroup barrier; chunks defaults to GOMAXPROCS.
+func ParallelFor(lo, hi int64, chunks int, body func(i int64)) {
+	if hi <= lo {
+		return
+	}
+	if chunks <= 0 {
+		chunks = runtime.GOMAXPROCS(0)
+	}
+	n := hi - lo
+	per := (n + int64(chunks) - 1) / int64(chunks)
+	var wg sync.WaitGroup
+	for c := int64(0); c < int64(chunks); c++ {
+		cl, ch := lo+c*per, lo+(c+1)*per
+		if cl >= hi {
+			break
+		}
+		if ch > hi {
+			ch = hi
+		}
+		wg.Add(1)
+		go func(cl, ch int64) {
+			defer wg.Done()
+			for i := cl; i < ch; i++ {
+				body(i)
+			}
+		}(cl, ch)
+	}
+	wg.Wait()
+}
+
+// ParallelForDynamic runs body(i) over [lo, hi) with GOMAXPROCS
+// goroutines pulling chunk-sized slices from a shared counter — the
+// dynamic-schedule analogue.
+func ParallelForDynamic(lo, hi, chunk int64, body func(i int64)) {
+	if hi <= lo {
+		return
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	next.Store(lo)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	for c := 0; c < workers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				cl := next.Add(chunk) - chunk
+				if cl >= hi {
+					return
+				}
+				ch := cl + chunk
+				if ch > hi {
+					ch = hi
+				}
+				for i := cl; i < ch; i++ {
+					body(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

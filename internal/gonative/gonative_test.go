@@ -1,0 +1,100 @@
+package gonative
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func serialFib(n int64) int64 {
+	if n < 2 {
+		return n
+	}
+	return serialFib(n-1) + serialFib(n-2)
+}
+
+func goFib(n int64) int64 {
+	if n < 2 {
+		return n
+	}
+	a, b := Fork(
+		func() int64 { return goFib(n - 2) },
+		func() int64 { return goFib(n - 1) },
+	)
+	return a + b
+}
+
+func TestFork(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	if got := goFib(16); got != serialFib(16) {
+		t.Errorf("goFib(16) = %d, want %d", got, serialFib(16))
+	}
+}
+
+func TestForkBounded(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	fb := NewForkBounded(4)
+	var fib func(n int64) int64
+	fib = func(n int64) int64 {
+		if n < 2 {
+			return n
+		}
+		a, b := fb.Fork(
+			func() int64 { return fib(n - 2) },
+			func() int64 { return fib(n - 1) },
+		)
+		return a + b
+	}
+	if got := fib(20); got != serialFib(20) {
+		t.Errorf("bounded fib(20) = %d, want %d", got, serialFib(20))
+	}
+}
+
+func TestForkBoundedDefaultLimit(t *testing.T) {
+	fb := NewForkBounded(0)
+	a, b := fb.Fork(func() int64 { return 1 }, func() int64 { return 2 })
+	if a != 1 || b != 2 {
+		t.Errorf("got (%d,%d), want (1,2)", a, b)
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	out := make([]int64, 1003)
+	ParallelFor(0, int64(len(out)), 4, func(i int64) { out[i] = i * 3 })
+	for i, v := range out {
+		if v != int64(3*i) {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestParallelForDynamic(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	var sum atomic.Int64
+	ParallelForDynamic(0, 500, 7, func(i int64) { sum.Add(i) })
+	if got, want := sum.Load(), int64(500*499/2); got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestParallelForEmptyAndEdge(t *testing.T) {
+	ParallelFor(3, 3, 4, func(i int64) { t.Error("ran") })
+	ParallelFor(5, 2, 4, func(i int64) { t.Error("ran") })
+	ParallelForDynamic(9, 9, 3, func(i int64) { t.Error("ran") })
+	ran := false
+	ParallelFor(0, 1, 8, func(i int64) { ran = true })
+	if !ran {
+		t.Error("single-element loop did not run")
+	}
+}
+
+func BenchmarkForkJoinGoroutine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Fork(func() int64 { return 1 }, func() int64 { return 2 })
+	}
+}

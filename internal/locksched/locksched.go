@@ -1,0 +1,404 @@
+// Package locksched is the lock-based work-stealing scheduler ladder
+// the paper evaluates against the direct task stack: the "Base"
+// alternative of Table II and the base/peek/trylock steal strategies of
+// Figure 4 (Sections IV-B and IV-C).
+//
+// Per the paper, each worker has a lock providing mutual exclusion
+// between its thieves and itself: a worker takes its own lock for join
+// (but not spawn) operations, and thieves take the victim's lock to
+// steal. No state word is stored in the task descriptors; whether a
+// join or steal succeeds is decided by comparing the top and bot
+// indices. Because bot is protected by the lock, thieves never need to
+// back off.
+//
+// The steal strategies differ in how a thief approaches the lock:
+//
+//   - StealBase: take the lock immediately after selecting a victim.
+//   - StealPeek: first read the indices without the lock and only take
+//     it when there appears to be a stealable task.
+//   - StealTryLock: peek, then use TryLock and abort the attempt if the
+//     lock is contended.
+//
+// Joins that find their task stolen leapfrog, exactly as the direct
+// task stack does, so the ladder isolates the synchronization cost.
+package locksched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StealStrategy selects how thieves interact with the victim's lock.
+type StealStrategy int
+
+// Steal strategies (Figure 4).
+const (
+	StealBase StealStrategy = iota
+	StealPeek
+	StealTryLock
+)
+
+// String returns the strategy name as used in the paper's Figure 4.
+func (s StealStrategy) String() string {
+	switch s {
+	case StealBase:
+		return "base"
+	case StealPeek:
+		return "peek"
+	case StealTryLock:
+		return "trylock"
+	default:
+		return fmt.Sprintf("StealStrategy(%d)", int(s))
+	}
+}
+
+// TaskFunc runs a task from its descriptor.
+type TaskFunc func(w *Worker, t *Task)
+
+// Task is a descriptor in the lock-based pool. There is no state word;
+// stolen/done bookkeeping lives in separate fields because, unlike the
+// direct task stack, the indices alone cannot tell a joining owner when
+// its thief has finished.
+type Task struct {
+	fn             TaskFunc
+	a0, a1, a2, a3 int64
+	ctx            any
+	res            int64
+
+	// stolenBy is the thief index + 1, written under the victim's
+	// lock; 0 means not stolen.
+	stolenBy int32
+	// done is set by the thief when the stolen task completes — the
+	// only lock-free communication in this scheduler.
+	done atomic.Bool
+}
+
+// Stats mirror core.Stats for the events this ladder has.
+type Stats struct {
+	Spawns        int64
+	JoinsInlined  int64
+	JoinsStolen   int64
+	Steals        int64
+	StealAttempts int64
+	LockFailures  int64 // TryLock failures (trylock strategy only)
+	LeapSteals    int64
+}
+
+func (s *Stats) add(o *Stats) {
+	s.Spawns += o.Spawns
+	s.JoinsInlined += o.JoinsInlined
+	s.JoinsStolen += o.JoinsStolen
+	s.Steals += o.Steals
+	s.StealAttempts += o.StealAttempts
+	s.LockFailures += o.LockFailures
+	s.LeapSteals += o.LeapSteals
+}
+
+// Worker is one lock-based worker.
+type Worker struct {
+	pool  *Pool
+	idx   int
+	tasks []Task
+
+	// lock protects the join/steal index comparison and bot updates.
+	lock sync.Mutex
+
+	// top is written by the owner (spawn does not take the lock, as in
+	// the paper) and read by thieves, hence atomic.
+	top atomic.Int64
+	// bot is written only under lock; the peek strategies read it
+	// without the lock, where staleness at worst wastes or skips one
+	// lock acquisition.
+	bot atomic.Int64
+
+	rng uint64
+
+	// stats holds owner-path counters; the thief-path counters are
+	// atomics because idle workers keep attempting steals with no
+	// happens-before edge to a Stats() reader.
+	stats         Stats
+	stealAttempts atomic.Int64
+	steals        atomic.Int64
+	lockFailures  atomic.Int64
+}
+
+// Index returns the worker's index.
+func (w *Worker) Index() int { return w.idx }
+
+// Depth returns the number of live tasks (owner only, approximate when
+// thieves are active).
+func (w *Worker) Depth() int { return int(w.top.Load() - w.bot.Load()) }
+
+// Options configures a Pool.
+type Options struct {
+	// Workers is the worker count; default GOMAXPROCS.
+	Workers int
+	// StackSize is the per-worker pool capacity; default 8192.
+	StackSize int
+	// Strategy is the thief locking strategy; default StealBase.
+	Strategy StealStrategy
+	// StealHalf makes a successful steal take up to half of the
+	// victim's queued tasks in one locked critical section instead of
+	// one (Hendler & Shavit's steal-half, the paper's reference [14]):
+	// fewer lock acquisitions per unit of migrated work, at the price
+	// of claimed-but-unstarted tasks convoying behind the first.
+	StealHalf bool
+	// MaxIdleSleep caps idle back-off sleeping; default 200µs.
+	MaxIdleSleep time.Duration
+}
+
+func (o Options) defaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.StackSize <= 0 {
+		o.StackSize = 8192
+	}
+	if o.MaxIdleSleep == 0 {
+		o.MaxIdleSleep = 200 * time.Microsecond
+	}
+	return o
+}
+
+// Pool is a lock-based scheduler instance.
+type Pool struct {
+	opts     Options
+	workers  []*Worker
+	shutdown atomic.Bool
+	running  atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// NewPool creates the pool; worker 0 is driven by Run's caller.
+func NewPool(opts Options) *Pool {
+	opts = opts.defaults()
+	p := &Pool{opts: opts}
+	p.workers = make([]*Worker, opts.Workers)
+	for i := range p.workers {
+		p.workers[i] = &Worker{
+			pool:  p,
+			idx:   i,
+			tasks: make([]Task, opts.StackSize),
+			rng:   uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+		}
+	}
+	p.wg.Add(opts.Workers - 1)
+	for _, w := range p.workers[1:] {
+		go w.idleLoop()
+	}
+	return p
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Run executes root on worker 0 and returns its result.
+func (p *Pool) Run(root func(*Worker) int64) int64 {
+	if p.shutdown.Load() {
+		panic("locksched: Run on closed Pool")
+	}
+	if !p.running.CompareAndSwap(false, true) {
+		panic("locksched: concurrent Run calls")
+	}
+	defer p.running.Store(false)
+	w := p.workers[0]
+	res := root(w)
+	if w.top.Load() != w.bot.Load() {
+		panic("locksched: root returned with unjoined tasks")
+	}
+	return res
+}
+
+// Close stops the workers.
+func (p *Pool) Close() {
+	if p.shutdown.Swap(true) {
+		return
+	}
+	p.wg.Wait()
+}
+
+// Stats aggregates worker counters (quiescent pools only).
+func (p *Pool) Stats() Stats {
+	var s Stats
+	for _, w := range p.workers {
+		ws := w.stats
+		ws.StealAttempts = w.stealAttempts.Load()
+		ws.Steals = w.steals.Load()
+		ws.LockFailures = w.lockFailures.Load()
+		s.add(&ws)
+	}
+	return s
+}
+
+// ResetStats zeroes the counters.
+func (p *Pool) ResetStats() {
+	for _, w := range p.workers {
+		w.stats = Stats{}
+		w.stealAttempts.Store(0)
+		w.steals.Store(0)
+		w.lockFailures.Store(0)
+	}
+}
+
+// push readies the next descriptor for a spawn.
+func (w *Worker) push() *Task {
+	top := w.top.Load()
+	if top == int64(len(w.tasks)) {
+		panic(fmt.Sprintf("locksched: task stack overflow on worker %d (capacity %d)", w.idx, len(w.tasks)))
+	}
+	return &w.tasks[top]
+}
+
+// spawn publishes the descriptor: the atomic bump of top is the release
+// making the task visible to thieves. No lock, per the paper.
+func (w *Worker) spawn(t *Task) {
+	t.stolenBy = 0
+	t.done.Store(false)
+	w.top.Add(1)
+	w.stats.Spawns++
+}
+
+// joinAcquire pops the youngest task. The owner takes its own lock and
+// compares indices: if bot stayed at or below the popped slot the task
+// is still present and is inlined; otherwise it was stolen and the
+// owner leapfrogs off the recorded thief until done.
+func (w *Worker) joinAcquire() (*Task, bool) {
+	w.lock.Lock()
+	top := w.top.Load() - 1
+	t := &w.tasks[top]
+	if w.bot.Load() <= top {
+		w.top.Store(top)
+		w.lock.Unlock()
+		w.stats.JoinsInlined++
+		return t, true
+	}
+	// Stolen: bot passed the slot (it is top+1). Leave top alone until
+	// the thief is done — it is still writing into this descriptor,
+	// and work acquired by leapfrogging spawns at top, which would
+	// recycle the slot under the thief. With bot == top the slot is
+	// not stealable meanwhile.
+	thief := int(t.stolenBy) - 1
+	w.lock.Unlock()
+	w.stats.JoinsStolen++
+
+	victim := w.pool.workers[thief]
+	fails := 0
+	for !t.done.Load() {
+		if w.trySteal(victim) {
+			w.stats.LeapSteals++
+			fails = 0
+		} else {
+			fails++
+			if fails&0x3f == 0 || runtime.GOMAXPROCS(0) == 1 {
+				runtime.Gosched()
+			}
+		}
+	}
+	// Retire the slot: pull top and bot back over the joined descriptor.
+	w.lock.Lock()
+	w.top.Store(top)
+	w.bot.Store(top)
+	w.lock.Unlock()
+	return t, false
+}
+
+// trySteal attempts one steal from victim under the configured
+// strategy, running the stolen task to completion on w.
+func (w *Worker) trySteal(victim *Worker) bool {
+	if victim == w {
+		return false
+	}
+	w.stealAttempts.Add(1)
+	strat := w.pool.opts.Strategy
+
+	if strat != StealBase {
+		// Peek: look at the indices without the lock first.
+		if victim.bot.Load() >= victim.top.Load() {
+			return false
+		}
+	}
+	if strat == StealTryLock {
+		if !victim.lock.TryLock() {
+			w.lockFailures.Add(1)
+			return false
+		}
+	} else {
+		victim.lock.Lock()
+	}
+	// Re-check under mutual exclusion.
+	bot := victim.bot.Load()
+	top := victim.top.Load()
+	if bot >= top {
+		victim.lock.Unlock()
+		return false
+	}
+	take := int64(1)
+	if w.pool.opts.StealHalf {
+		if avail := top - bot; avail > 1 {
+			take = (avail + 1) / 2
+		}
+	}
+	for i := int64(0); i < take; i++ {
+		victim.tasks[bot+i].stolenBy = int32(w.idx) + 1
+	}
+	victim.bot.Store(bot + take)
+	victim.lock.Unlock()
+
+	w.steals.Add(1)
+	// Run the claimed tasks oldest-first (the order thieves would have
+	// taken them individually).
+	for i := int64(0); i < take; i++ {
+		t := &victim.tasks[bot+i]
+		fn := t.fn
+		fn(w, t)
+		t.done.Store(true)
+	}
+	return true
+}
+
+// nextVictim picks a random victim index != w.idx.
+func (w *Worker) nextVictim() int {
+	if len(w.pool.workers) == 1 {
+		return w.idx
+	}
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng = x
+	n := len(w.pool.workers) - 1
+	v := int(x % uint64(n))
+	if v >= w.idx {
+		v++
+	}
+	return v
+}
+
+func (w *Worker) idleLoop() {
+	fails := 0
+	for !w.pool.shutdown.Load() {
+		if w.trySteal(w.pool.workers[w.nextVictim()]) {
+			fails = 0
+			continue
+		}
+		fails++
+		switch {
+		case fails < 64:
+			if runtime.GOMAXPROCS(0) == 1 {
+				runtime.Gosched()
+			}
+		case fails < 1024 || w.pool.opts.MaxIdleSleep <= 0:
+			runtime.Gosched()
+		default:
+			d := time.Duration(fails-1023) * time.Microsecond
+			if d > w.pool.opts.MaxIdleSleep {
+				d = w.pool.opts.MaxIdleSleep
+			}
+			time.Sleep(d)
+		}
+	}
+	w.pool.wg.Done()
+}

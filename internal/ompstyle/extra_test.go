@@ -1,0 +1,104 @@
+package ompstyle
+
+import (
+	"runtime"
+	"testing"
+	"testing/quick"
+)
+
+func TestNestedParallelFor(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	p := NewPool(Options{Workers: 4})
+	defer p.Close()
+	const n = 24
+	out := make([][]int64, n)
+	p.Run(func(tc *Context) int64 {
+		// Nested regions must nest through task contexts: each outer
+		// task runs an inner ParallelFor on its own context. (Waiting
+		// on an ancestor's context from inside one of its descendants
+		// would deadlock — the descendant would wait for itself.)
+		for i := int64(0); i < n; i++ {
+			i := i
+			tc.SpawnTask(func(tc2 *Context) {
+				row := make([]int64, n)
+				tc2.ParallelFor(0, n, Static, 0, func(j int64) {
+					row[j] = i*n + j
+				})
+				out[i] = row
+			})
+		}
+		tc.Taskwait()
+		return 0
+	})
+	for i := int64(0); i < n; i++ {
+		for j := int64(0); j < n; j++ {
+			if out[i][j] != i*n+j {
+				t.Fatalf("out[%d][%d] = %d", i, j, out[i][j])
+			}
+		}
+	}
+}
+
+func TestMaxQueuedHighWater(t *testing.T) {
+	p := NewPool(Options{Workers: 1})
+	defer p.Close()
+	p.Run(func(tc *Context) int64 {
+		for i := 0; i < 50; i++ {
+			tc.SpawnTask(func(*Context) {})
+		}
+		tc.Taskwait()
+		return 0
+	})
+	if st := p.Stats(); st.MaxQueued < 50 {
+		t.Errorf("MaxQueued = %d, want >= 50", st.MaxQueued)
+	}
+}
+
+func TestRunOnClosedPanics(t *testing.T) {
+	p := NewPool(Options{Workers: 1})
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Run(func(tc *Context) int64 { return 0 })
+}
+
+func TestImplicitBarrierAtRunEnd(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	p := NewPool(Options{Workers: 4})
+	defer p.Close()
+	done := 0 // plain: the barrier must order this
+	p.Run(func(tc *Context) int64 {
+		for i := 0; i < 200; i++ {
+			tc.SpawnTask(func(*Context) {})
+		}
+		// No explicit Taskwait: Run's implicit barrier must cover it.
+		done = 1
+		return 0
+	})
+	if done != 1 {
+		t.Fatal("unreachable")
+	}
+	if st := p.Stats(); st.Executed != st.Spawns {
+		t.Errorf("executed %d of %d spawned after Run returned", st.Executed, st.Spawns)
+	}
+}
+
+func TestQuickTreeEquivalence(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	err := quick.Check(func(nRaw, wRaw uint8) bool {
+		n := int64(nRaw % 14)
+		workers := int(wRaw%4) + 1
+		p := NewPool(Options{Workers: workers})
+		defer p.Close()
+		return p.Run(func(tc *Context) int64 { return ompFib(tc, n) }) == serialFib(n)
+	}, &quick.Config{MaxCount: 15})
+	if err != nil {
+		t.Error(err)
+	}
+}

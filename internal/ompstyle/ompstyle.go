@@ -1,0 +1,306 @@
+// Package ompstyle is a task scheduler shaped like the icc OpenMP 3.0
+// runtime the paper compares against: tasks are closures routed
+// through a central, lock-protected pool shared by the thread team,
+// and loop parallelism uses work-sharing (ParallelFor) rather than
+// task recursion — exactly how the paper's mm and ssf OpenMP versions
+// are written.
+//
+// The structural costs this baseline reproduces: every task is a heap
+// allocation (closure + descriptor), every submission and retrieval
+// crosses one global lock, and a taskwait helps by executing arbitrary
+// queued tasks (OpenMP's untied-task behaviour), with the attendant
+// contention when many fine-grained tasks hit the pool at once.
+package ompstyle
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task is a queued task: a closure plus the parent link used by
+// Taskwait's completion counting.
+type Task struct {
+	fn     func(*Context)
+	parent *Task
+	// children counts outstanding child tasks (spawned minus completed).
+	children atomic.Int64
+}
+
+// Context is the execution context of a task (or the master function):
+// the handle through which the body spawns tasks, waits, and runs
+// parallel loops.
+type Context struct {
+	pool *Pool
+	cur  *Task
+}
+
+// Stats are the scheduler's event counters.
+type Stats struct {
+	Spawns     int64
+	Executed   int64
+	WaitLoops  int64 // Taskwait help-iterations that found nothing to run
+	ChunksRun  int64 // ParallelFor chunks executed
+	MaxQueued  int64 // high-water mark of the central queue
+	LockPasses int64 // queue lock acquisitions
+}
+
+// Pool is an OpenMP-style thread team with a central task pool.
+type Pool struct {
+	opts Options
+
+	mu    sync.Mutex
+	queue []*Task
+
+	spawns     atomic.Int64
+	executed   atomic.Int64
+	waitLoops  atomic.Int64
+	chunksRun  atomic.Int64
+	maxQueued  atomic.Int64
+	lockPasses atomic.Int64
+
+	shutdown atomic.Bool
+	running  atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// Options configures a Pool.
+type Options struct {
+	// Workers is the team size; default GOMAXPROCS.
+	Workers int
+	// MaxIdleSleep caps idle back-off sleeping; default 200µs.
+	MaxIdleSleep time.Duration
+}
+
+func (o Options) defaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxIdleSleep == 0 {
+		o.MaxIdleSleep = 200 * time.Microsecond
+	}
+	return o
+}
+
+// NewPool creates the team; the master is the goroutine calling Run.
+func NewPool(opts Options) *Pool {
+	opts = opts.defaults()
+	p := &Pool{opts: opts}
+	p.wg.Add(opts.Workers - 1)
+	for i := 1; i < opts.Workers; i++ {
+		go p.workerLoop()
+	}
+	return p
+}
+
+// Workers returns the team size.
+func (p *Pool) Workers() int { return p.opts.Workers }
+
+// Run executes master with a root context and returns its result after
+// all transitively spawned tasks have completed.
+func (p *Pool) Run(master func(*Context) int64) int64 {
+	if p.shutdown.Load() {
+		panic("ompstyle: Run on closed Pool")
+	}
+	if !p.running.CompareAndSwap(false, true) {
+		panic("ompstyle: concurrent Run calls")
+	}
+	defer p.running.Store(false)
+	root := &Task{}
+	tc := &Context{pool: p, cur: root}
+	res := master(tc)
+	tc.Taskwait() // implicit barrier: no task escapes the run
+	return res
+}
+
+// Close stops the team.
+func (p *Pool) Close() {
+	if p.shutdown.Swap(true) {
+		return
+	}
+	p.wg.Wait()
+}
+
+// Stats returns aggregate counters (quiescent pools only).
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Spawns:     p.spawns.Load(),
+		Executed:   p.executed.Load(),
+		WaitLoops:  p.waitLoops.Load(),
+		ChunksRun:  p.chunksRun.Load(),
+		MaxQueued:  p.maxQueued.Load(),
+		LockPasses: p.lockPasses.Load(),
+	}
+}
+
+// ResetStats zeroes the counters.
+func (p *Pool) ResetStats() {
+	p.spawns.Store(0)
+	p.executed.Store(0)
+	p.waitLoops.Store(0)
+	p.chunksRun.Store(0)
+	p.maxQueued.Store(0)
+	p.lockPasses.Store(0)
+}
+
+// push queues t centrally (LIFO end; OpenMP runtimes favour newest
+// tasks for locality).
+func (p *Pool) push(t *Task) {
+	p.mu.Lock()
+	p.lockPasses.Add(1)
+	p.queue = append(p.queue, t)
+	if n := int64(len(p.queue)); n > p.maxQueued.Load() {
+		p.maxQueued.Store(n)
+	}
+	p.mu.Unlock()
+}
+
+// tryPop takes the newest queued task, or nil.
+func (p *Pool) tryPop() *Task {
+	p.mu.Lock()
+	p.lockPasses.Add(1)
+	n := len(p.queue)
+	if n == 0 {
+		p.mu.Unlock()
+		return nil
+	}
+	t := p.queue[n-1]
+	p.queue[n-1] = nil
+	p.queue = p.queue[:n-1]
+	p.mu.Unlock()
+	return t
+}
+
+// execute runs t and performs completion accounting.
+func (p *Pool) execute(t *Task) {
+	tc := &Context{pool: p, cur: t}
+	t.fn(tc)
+	// A task is complete only when its own children are: OpenMP's
+	// implicit end-of-task region does not wait, but completion
+	// accounting toward the parent's taskwait must. Help until quiet.
+	tc.Taskwait()
+	p.executed.Add(1)
+	if t.parent != nil {
+		t.parent.children.Add(-1)
+	}
+}
+
+// SpawnTask submits fn as a child task of the current context.
+func (tc *Context) SpawnTask(fn func(*Context)) {
+	t := &Task{fn: fn, parent: tc.cur}
+	tc.cur.children.Add(1)
+	tc.pool.spawns.Add(1)
+	tc.pool.push(t)
+}
+
+// Taskwait blocks until all child tasks of the current context have
+// completed, helping by executing queued tasks meanwhile (untied-task
+// semantics: any queued task may run here).
+func (tc *Context) Taskwait() {
+	p := tc.pool
+	fails := 0
+	for tc.cur.children.Load() > 0 {
+		if t := p.tryPop(); t != nil {
+			p.execute(t)
+			fails = 0
+			continue
+		}
+		p.waitLoops.Add(1)
+		fails++
+		if fails&0xf == 0 || runtime.GOMAXPROCS(0) == 1 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Schedule selects the ParallelFor distribution, mirroring OpenMP's
+// schedule(static) and schedule(dynamic, chunk).
+type Schedule int
+
+// Schedules.
+const (
+	Static Schedule = iota
+	Dynamic
+)
+
+// ParallelFor runs body(i) for i in [lo, hi) across the team: the
+// work-sharing construct the paper's OpenMP mm and ssf use instead of
+// task recursion. Static cuts the range into one chunk per team
+// member; Dynamic cuts it into chunks of the given size handed out
+// through the central pool.
+//
+// Nested regions must nest through task contexts: call ParallelFor on
+// the *Context the enclosing task received, never on an ancestor's —
+// waiting on an ancestor's children from inside one of them would
+// wait for itself.
+func (tc *Context) ParallelFor(lo, hi int64, sched Schedule, chunk int64, body func(i int64)) {
+	if hi <= lo {
+		return
+	}
+	n := hi - lo
+	switch sched {
+	case Static:
+		team := int64(tc.pool.opts.Workers)
+		per := (n + team - 1) / team
+		for c := int64(0); c < team; c++ {
+			cl, ch := lo+c*per, lo+(c+1)*per
+			if cl >= hi {
+				break
+			}
+			if ch > hi {
+				ch = hi
+			}
+			tc.spawnChunk(cl, ch, body)
+		}
+	case Dynamic:
+		if chunk <= 0 {
+			chunk = 1
+		}
+		for cl := lo; cl < hi; cl += chunk {
+			ch := cl + chunk
+			if ch > hi {
+				ch = hi
+			}
+			tc.spawnChunk(cl, ch, body)
+		}
+	}
+	tc.Taskwait()
+}
+
+func (tc *Context) spawnChunk(lo, hi int64, body func(i int64)) {
+	tc.SpawnTask(func(tc2 *Context) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+		tc2.pool.chunksRun.Add(1)
+	})
+}
+
+// workerLoop is the life of team members 1..N-1.
+func (p *Pool) workerLoop() {
+	fails := 0
+	for !p.shutdown.Load() {
+		if t := p.tryPop(); t != nil {
+			p.execute(t)
+			fails = 0
+			continue
+		}
+		fails++
+		switch {
+		case fails < 64:
+			if runtime.GOMAXPROCS(0) == 1 {
+				runtime.Gosched()
+			}
+		case fails < 1024 || p.opts.MaxIdleSleep <= 0:
+			runtime.Gosched()
+		default:
+			d := time.Duration(fails-1023) * time.Microsecond
+			if d > p.opts.MaxIdleSleep {
+				d = p.opts.MaxIdleSleep
+			}
+			time.Sleep(d)
+		}
+	}
+	p.wg.Done()
+}

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"testing"
+
+	"gowool/internal/costmodel"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindDirectStack: "direct-stack",
+		KindDeque:       "deque",
+		KindLock:        "lock",
+		KindCentral:     "central",
+		Kind(99):        "Kind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+	for s, want := range map[LockStrategy]string{
+		LockBase:         "base",
+		LockPeek:         "peek",
+		LockTryLock:      "trylock",
+		LockStrategy(42): "LockStrategy(42)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("LockStrategy.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestCentralQueueHelping(t *testing.T) {
+	// A wide frontier on the central kind: the blocked root must help
+	// by executing queued tasks itself (LeapSteals counts them).
+	wide := &Def{Name: "wide"}
+	leaf := &Def{Name: "leaf"}
+	leaf.F = func(w *W, a Args) int64 {
+		w.Work(500)
+		return 1
+	}
+	wide.F = func(w *W, a Args) int64 {
+		n := a.A0
+		for i := int64(0); i < n; i++ {
+			leaf.Spawn(w, Args{})
+		}
+		var total int64
+		for i := int64(0); i < n; i++ {
+			total += w.Join()
+		}
+		return total
+	}
+	res := Run(Config{Procs: 1, Kind: KindCentral, Costs: costmodel.OpenMP()}, wide, Args{A0: 40})
+	if res.Value != 40 {
+		t.Fatalf("value = %d, want 40", res.Value)
+	}
+	// On one processor every queued task is popped by the blocked
+	// joins themselves; LIFO joins meet LIFO pops, so each pop is
+	// exactly the joined task (LeapSteals stays 0 — nothing ran out
+	// of order). The pops must account for every spawn.
+	if res.Total.Steals != 40 {
+		t.Errorf("central pops = %d, want 40", res.Total.Steals)
+	}
+	if res.Total.LeapSteals != 0 {
+		t.Errorf("out-of-order executions = %d on one proc, want 0", res.Total.LeapSteals)
+	}
+}
+
+func TestCentralMultiProcContention(t *testing.T) {
+	fib := simFib()
+	r1 := Run(Config{Procs: 1, Kind: KindCentral, Costs: costmodel.OpenMP()}, fib, Args{A0: 15})
+	r8 := Run(Config{Procs: 8, Kind: KindCentral, Costs: costmodel.OpenMP()}, fib, Args{A0: 15})
+	if r1.Value != r8.Value {
+		t.Fatalf("values differ")
+	}
+	if r8.Total.LockWaits == 0 {
+		t.Error("8 procs hammering one queue produced no lock waits — contention model inert")
+	}
+}
+
+func TestDequeKindUnrestrictedWait(t *testing.T) {
+	// KindDeque's blocked joins steal from anyone: with several procs
+	// and fine tasks it must still be exact.
+	tree := simTree(256)
+	for _, procs := range []int{2, 5, 8} {
+		res := Run(Config{Procs: procs, Kind: KindDeque, Costs: costmodel.TBB(), Seed: 3}, tree, Args{A0: 9})
+		if res.Value != 512 {
+			t.Errorf("procs=%d: %d leaves, want 512", procs, res.Value)
+		}
+	}
+}
+
+func TestWorkerAccessors(t *testing.T) {
+	d := &Def{Name: "acc"}
+	d.F = func(w *W, a Args) int64 {
+		if w.Proc() == nil || w.Machine() == nil {
+			t.Error("nil accessors")
+		}
+		return 1
+	}
+	if res := Run(Config{Procs: 1, Kind: KindDirectStack, Costs: costmodel.Wool()}, d, Args{}); res.Value != 1 {
+		t.Error("run failed")
+	}
+}
+
+func TestJoinWithoutSpawnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bad := &Def{Name: "bad"}
+	bad.F = func(w *W, a Args) int64 { return w.Join() }
+	Run(Config{Procs: 1, Kind: KindDirectStack, Costs: costmodel.Wool()}, bad, Args{})
+}
+
+func TestUnjoinedRootPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	leak := &Def{Name: "leak"}
+	leak.F = func(w *W, a Args) int64 {
+		leak.Spawn(w, Args{A0: -1})
+		return 0
+	}
+	Run(Config{Procs: 1, Kind: KindDirectStack, Costs: costmodel.Wool()}, leak, Args{A0: 1})
+}
+
+func TestStackOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	leafDef := &Def{Name: "noop"}
+	leafDef.F = func(w *W, a Args) int64 { return 0 }
+	deep := &Def{Name: "deep"}
+	deep.F = func(w *W, a Args) int64 {
+		for i := 0; i < 100; i++ {
+			leafDef.Spawn(w, Args{})
+		}
+		for i := 0; i < 100; i++ {
+			w.Join()
+		}
+		return 0
+	}
+	Run(Config{Procs: 1, Kind: KindDirectStack, Costs: costmodel.Wool(), StackSize: 8}, deep, Args{})
+}
+
+func TestFig6CategoriesSum(t *testing.T) {
+	tree := simTree(2000)
+	res := Run(Config{Procs: 4, Kind: KindDirectStack, Costs: costmodel.Wool(), Seed: 11}, tree, Args{A0: 10})
+	st := res.Total
+	if st.NA == 0 {
+		t.Error("no NA cycles recorded")
+	}
+	if st.Steals > 0 && st.ST == 0 {
+		t.Error("steals without ST cycles")
+	}
+	// Work cycles all land in NA/LA.
+	if st.NA+st.LA < 1024*2000 {
+		t.Errorf("application cycles %d below the workload's %d", st.NA+st.LA, 1024*2000)
+	}
+}

@@ -1,0 +1,402 @@
+package sim
+
+import "fmt"
+
+// This file is the simulated scheduling protocol: spawn, join, steal,
+// trip-wire publication and lock modelling. All state is plain data
+// guarded by the vtime token; costs come from the machine's Profile.
+
+// spawn pushes a task for def with the given args.
+func (w *W) spawn(def *Def, a Args) {
+	if w.morePublic {
+		w.publishMore()
+	}
+	if w.top == len(w.tasks) {
+		panic(fmt.Sprintf("sim: task stack overflow on worker %d (capacity %d)", w.p.ID(), len(w.tasks)))
+	}
+	c := &w.m.cfg.Costs
+	t := &w.tasks[w.top]
+	t.fn, t.args = def, a
+	t.thief = 0
+
+	if w.m.cfg.Kind == KindCentral {
+		// Central queue: the task is also registered globally, behind
+		// the queue lock.
+		t.state = sTask
+		t.priv = false
+		w.m.centralLock(w)
+		w.m.central = append(w.m.central, t)
+		w.top++
+		w.St.Spawns++
+		w.chargeApp(c.SpawnPublic)
+		w.spanSpawn()
+		w.p.Step(c.SpawnPublic)
+		return
+	}
+
+	if w.top < w.publicLimit {
+		t.priv = false
+		t.state = sTask
+		w.chargeApp(c.SpawnPublic)
+		w.spanSpawn()
+		w.p.Step(c.SpawnPublic)
+	} else {
+		t.priv = true
+		t.state = sEmpty
+		w.chargeApp(c.SpawnPrivate)
+		w.spanSpawn()
+		w.p.Step(c.SpawnPrivate)
+	}
+	w.top++
+	w.St.Spawns++
+}
+
+// Join resolves the most recently spawned task of w and returns its
+// result: inline it when still present, otherwise wait out the thief
+// under the kind's policy.
+func (w *W) Join() int64 {
+	// Note: top == bot does NOT mean "no matching spawn" — when the
+	// youngest task was stolen, bot has already passed its slot while
+	// top still reserves it. Only top == 0 is a true imbalance.
+	if w.top == 0 {
+		panic("sim: join without matching spawn")
+	}
+	c := &w.m.cfg.Costs
+	t := &w.tasks[w.top-1]
+
+	if w.m.cfg.Kind == KindCentral {
+		return w.joinCentral(t)
+	}
+
+	if t.priv {
+		// Private fast path: no synchronization.
+		w.top--
+		t.priv = false
+		w.St.JoinsPrivate++
+		w.chargeApp(c.JoinPrivate)
+		w.spanJoinStart()
+		w.p.Step(c.JoinPrivate)
+		res := t.fn.F(w, t.args)
+		w.spanJoinEnd()
+		return res
+	}
+
+	// Lock systems: the owner takes its own lock to join, waiting out
+	// any thief currently holding it.
+	if c.UsesLock {
+		w.acquireOwnLock()
+	}
+
+	if t.state == sTask {
+		t.state = sEmpty
+		w.top--
+		w.St.JoinsPublic++
+		w.notePublicInline()
+		w.chargeApp(c.JoinPublic)
+		w.spanJoinStart()
+		w.p.Step(c.JoinPublic)
+		res := t.fn.F(w, t.args)
+		w.spanJoinEnd()
+		return res
+	}
+
+	// Stolen: pay the victim-side sync cost, then wait under the wait
+	// policy. top stays put (the slot is reserved until resolution).
+	w.St.JoinsStolen++
+	w.chargeApp(c.JoinStolen)
+	w.p.Step(c.JoinStolen)
+	thief := w.m.ws[t.thief]
+	probeBackoff := uint64(16)
+	for t.state != sDone {
+		var ok bool
+		if w.m.cfg.Kind == KindDeque {
+			// TBB-like: unrestricted stealing while blocked.
+			ok = w.trySteal(w.nextVictim(), modeLA)
+		} else {
+			// Wool and the lock ladder: leapfrog off the thief.
+			ok = w.trySteal(thief, modeLA)
+		}
+		if ok {
+			w.St.LeapSteals++
+			probeBackoff = 16
+			continue
+		}
+		if t.state == sDone {
+			break
+		}
+		w.St.LF += probeBackoff
+		w.p.Step(probeBackoff)
+		if probeBackoff < w.m.cfg.IdleBackoffCap {
+			probeBackoff *= 2
+		}
+	}
+	w.top--
+	w.bot--
+	return t.res
+}
+
+// joinCentral is the OpenMP-style join: wait for this child, helping
+// by executing arbitrary queued tasks (untied taskwait semantics).
+func (w *W) joinCentral(t *STask) int64 {
+	c := &w.m.cfg.Costs
+	probeBackoff := uint64(16)
+	for t.state != sDone {
+		if got := w.centralPop(); got != nil {
+			mode := w.mode
+			if got != t {
+				w.mode = modeLA
+				w.St.LeapSteals++
+			}
+			w.runTask(got)
+			w.mode = mode
+			probeBackoff = 16
+			continue
+		}
+		w.St.LF += probeBackoff
+		w.p.Step(probeBackoff)
+		if probeBackoff < w.m.cfg.IdleBackoffCap {
+			probeBackoff *= 2
+		}
+	}
+	w.St.JoinsStolen++
+	w.chargeApp(c.JoinStolen)
+	w.p.Step(c.JoinStolen)
+	w.top--
+	return t.res
+}
+
+// notePublicInline implements the public→private pull-down of the
+// revocable cut-off (KindDirectStack with PrivateTasks).
+func (w *W) notePublicInline() {
+	cfg := &w.m.cfg
+	if !cfg.PrivateTasks || cfg.Kind != KindDirectStack {
+		return
+	}
+	w.inlineRun++
+	if w.inlineRun >= cfg.PrivatizeRun {
+		w.inlineRun = 0
+		if newPL := w.top + cfg.InitialPublic; newPL < w.publicLimit {
+			w.publicLimit = newPL
+		}
+	}
+}
+
+// publishMore answers a trip-wire notification.
+func (w *W) publishMore() {
+	w.morePublic = false
+	w.inlineRun = 0
+	cfg := &w.m.cfg
+	newPL := w.publicLimit + cfg.PublishAmount
+	if newPL > len(w.tasks) {
+		newPL = len(w.tasks)
+	}
+	for i := w.publicLimit; i < newPL && i < w.top; i++ {
+		t := &w.tasks[i]
+		if t.priv {
+			t.priv = false
+			t.state = sTask
+		}
+	}
+	w.publicLimit = newPL
+	w.St.Publications++
+	w.p.Step(w.m.cfg.Costs.SpawnPublic) // publication is a handful of stores
+}
+
+// trySteal attempts one steal from victim under the machine's kind,
+// running the stolen task to completion on w in the given mode.
+// Returns whether a task was stolen and executed.
+func (w *W) trySteal(victim *W, mode int) bool {
+	if victim == w {
+		return false
+	}
+	c := &w.m.cfg.Costs
+	w.St.Attempts++
+
+	switch w.m.cfg.Kind {
+	case KindCentral:
+		if got := w.centralPop(); got != nil {
+			prev := w.mode
+			w.mode = mode
+			w.runSteal(got, victim)
+			w.mode = prev
+			return true
+		}
+		w.St.ST += c.StealProbe
+		w.p.Step(c.StealProbe)
+		return false
+
+	case KindLock:
+		return w.tryStealLocked(victim, mode)
+
+	default: // KindDirectStack, KindDeque
+		if victim.bot >= victim.top || victim.bot >= victim.publicLimit {
+			w.St.ST += c.StealProbe
+			w.p.Step(c.StealProbe)
+			return false
+		}
+		t := &victim.tasks[victim.bot]
+		if t.state != sTask {
+			w.St.ST += c.StealProbe
+			w.p.Step(c.StealProbe)
+			return false
+		}
+		w.claim(t, victim)
+		prev := w.mode
+		w.mode = mode
+		w.runSteal(t, victim)
+		w.mode = prev
+		return true
+	}
+}
+
+// lockTicket models a fair (FIFO) mutex in virtual time: the acquirer
+// atomically reserves the next free slot of the lock and waits for its
+// grant time. Reservation-then-wait is starvation-free — exactly the
+// eventual fairness a real futex provides — which matters because an
+// unfair model lets leapfrogging owners hammer a victim's lock forever
+// ahead of the victim's own join. occupy is how long the slot holds
+// the lock (acquire/release plus the critical section).
+func (w *W) lockTicket(l *uint64, occupy uint64) {
+	now := w.p.Now()
+	grant := now
+	if *l > grant {
+		grant = *l
+		w.St.LockWaits++
+	}
+	*l = grant + occupy
+	w.St.ST += grant - now
+	w.p.WaitUntil(grant)
+}
+
+// tryStealLocked is the Figure 4 ladder: how a thief approaches the
+// victim's lock.
+func (w *W) tryStealLocked(victim *W, mode int) bool {
+	c := &w.m.cfg.Costs
+	stealable := func() bool {
+		return victim.bot < victim.top && victim.bot < victim.publicLimit &&
+			victim.tasks[victim.bot].state == sTask
+	}
+
+	switch w.m.cfg.LockStrategy {
+	case LockPeek, LockTryLock:
+		// Peek at the indices without the lock first.
+		if !stealable() {
+			w.St.ST += c.StealProbe
+			w.p.Step(c.StealProbe)
+			return false
+		}
+		if w.m.cfg.LockStrategy == LockTryLock && w.p.Now() < victim.lockUntil {
+			// Contended: abort rather than wait.
+			w.St.LockWaits++
+			w.St.ST += c.StealProbe
+			w.p.Step(c.StealProbe)
+			return false
+		}
+	case LockBase:
+		// Take the lock immediately after selecting the victim.
+	}
+
+	// Acquire the victim's lock: a steal occupies it for the acquire
+	// plus the hold window, whether or not anything is stealable —
+	// locking victims that turn out to be empty is precisely where the
+	// base strategy loses to peek in Figure 4. The acquisition's own
+	// processor time is part of the profile's steal/probe costs; the
+	// ticket contributes only the queueing delay.
+	w.lockTicket(&victim.lockUntil, c.LockAcquire+c.LockHold)
+
+	if !stealable() {
+		w.St.ST += c.StealProbe
+		w.p.Step(c.StealProbe)
+		return false
+	}
+	t := &victim.tasks[victim.bot]
+	w.claim(t, victim)
+	prev := w.mode
+	w.mode = mode
+	w.runSteal(t, victim)
+	w.mode = prev
+	return true
+}
+
+// claim marks t stolen by w and advances the victim's bot — the atomic
+// (token-held) analogue of the CAS-claim plus bot update.
+func (w *W) claim(t *STask, victim *W) {
+	t.state = sStolen
+	t.thief = int32(w.p.ID())
+	victim.bot++
+	// Trip wire: a steal at or past the wire asks the owner to publish.
+	cfg := &w.m.cfg
+	if cfg.PrivateTasks && cfg.Kind == KindDirectStack &&
+		victim.bot > victim.publicLimit-cfg.TripDistance {
+		victim.morePublic = true
+	}
+}
+
+// runSteal pays the steal cost (with the coherence model) and executes
+// the stolen task.
+func (w *W) runSteal(t *STask, victim *W) {
+	c := &w.m.cfg.Costs
+	cost := c.StealWork
+	now := w.p.Now()
+	// Coherence model: a victim whose pool was robbed moments ago (or
+	// a machine with steal traffic in flight) serves the descriptor
+	// from a contended cache line.
+	if victim != nil && now-victim.lastSteal < 2*c.StealWork {
+		cost += c.StealWork / 2
+	}
+	if now-w.m.lastAnySteal < c.StealWork/2 {
+		cost += c.StealWork / 4
+	}
+	if victim != nil {
+		victim.lastSteal = now
+	}
+	w.m.lastAnySteal = now
+	w.St.Steals++
+	w.St.ST += cost
+	w.p.Step(cost)
+	w.runTask(t)
+}
+
+// runTask executes t's function on w and marks it done.
+func (w *W) runTask(t *STask) {
+	t.res = t.fn.F(w, t.args)
+	t.state = sDone
+}
+
+// centralPop takes the newest task from the central queue (behind the
+// queue lock), or nil.
+func (w *W) centralPop() *STask {
+	w.m.centralLock(w)
+	q := w.m.central
+	n := len(q)
+	if n == 0 {
+		return nil
+	}
+	t := q[n-1]
+	q[n-1] = nil
+	w.m.central = q[:n-1]
+	t.state = sStolen
+	t.thief = int32(w.p.ID())
+	w.St.Steals++
+	c := &w.m.cfg.Costs
+	w.St.ST += c.StealWork
+	w.p.Step(c.StealWork)
+	return t
+}
+
+// centralLock acquires the central queue lock (fair ticket model):
+// every push and pop serializes through it. The lock's processor time
+// is inside the profile's spawn/steal costs; the ticket adds only the
+// queueing delay under contention.
+func (m *Machine) centralLock(w *W) {
+	w.lockTicket(&m.centralLockUntil, m.cfg.Costs.LockAcquire)
+}
+
+// acquireOwnLock is the victim-side join lock of the lock ladder: the
+// owner occupies its lock only for the brief index comparison (its
+// processor time is part of JoinPublic — the paper's 77-cycle base
+// join includes its lock).
+func (w *W) acquireOwnLock() {
+	c := &w.m.cfg.Costs
+	w.lockTicket(&w.lockUntil, c.LockAcquire)
+}

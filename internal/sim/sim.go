@@ -1,0 +1,420 @@
+// Package sim executes the paper's work-stealing schedulers on the
+// deterministic virtual-time multiprocessor of internal/vtime, with
+// per-operation costs from internal/costmodel. It is the stand-in for
+// the paper's 8-core Opteron (this reproduction's host has one core):
+// speedup curves, steal counts, granularity tables and time breakdowns
+// for 1..64 processors all come out of this package, bit-identical
+// across runs.
+//
+// The scheduling protocols execute for real — per-worker task stacks,
+// bottom-up stealing, trip-wired private tasks, leapfrogging,
+// lock-held windows — but synchronization primitives are modelled:
+// the vtime token makes each claim atomic, a victim's lock is a
+// "locked until" timestamp that contending processors wait out, and
+// cache-coherence traffic appears as a penalty for stealing from a
+// recently-robbed victim.
+package sim
+
+import (
+	"fmt"
+
+	"gowool/internal/costmodel"
+	"gowool/internal/vtime"
+)
+
+// Kind selects the scheduler protocol.
+type Kind int
+
+// Scheduler kinds.
+const (
+	// KindDirectStack is the paper's contribution: synchronization on
+	// the task descriptor, task-specific joins, optional private
+	// tasks, leapfrogging (Wool).
+	KindDirectStack Kind = iota
+	// KindDeque is the TBB-like steal-child scheduler: index-based
+	// synchronization costs, free-listed tasks, and unrestricted
+	// stealing while a join is blocked.
+	KindDeque
+	// KindLock is the lock-ladder of Figure 4: per-worker locks taken
+	// by thieves (strategy base/peek/trylock) and by the victim's own
+	// joins.
+	KindLock
+	// KindCentral is the OpenMP-like scheduler: every task goes
+	// through one central, lock-protected queue; a blocked join helps
+	// by running queued tasks.
+	KindCentral
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDirectStack:
+		return "direct-stack"
+	case KindDeque:
+		return "deque"
+	case KindLock:
+		return "lock"
+	case KindCentral:
+		return "central"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// LockStrategy is the Figure 4 thief strategy for KindLock.
+type LockStrategy int
+
+// Lock strategies.
+const (
+	LockBase LockStrategy = iota
+	LockPeek
+	LockTryLock
+)
+
+// String names the strategy as in Figure 4.
+func (s LockStrategy) String() string {
+	switch s {
+	case LockBase:
+		return "base"
+	case LockPeek:
+		return "peek"
+	case LockTryLock:
+		return "trylock"
+	default:
+		return fmt.Sprintf("LockStrategy(%d)", int(s))
+	}
+}
+
+// Config parameterizes one simulated machine.
+type Config struct {
+	// Procs is the number of virtual processors.
+	Procs int
+	// Costs is the per-operation cycle cost profile.
+	Costs costmodel.Profile
+	// Kind selects the protocol; LockStrategy applies to KindLock.
+	Kind         Kind
+	LockStrategy LockStrategy
+
+	// PrivateTasks enables the trip-wired private-task scheme
+	// (KindDirectStack only).
+	PrivateTasks  bool
+	InitialPublic int // default 2
+	TripDistance  int // default 1
+	PublishAmount int // default 2
+	PrivatizeRun  int // default 16
+
+	// StackSize is the per-worker task pool capacity; default 65536.
+	StackSize int
+
+	// Seed drives victim selection; same seed ⇒ identical run.
+	Seed uint64
+
+	// IdleBackoffCap bounds the exponential back-off (in cycles) of
+	// idle and blocked workers between failed steal probes. The
+	// paper's dedicated machine polls continuously; small caps model
+	// that faithfully at the price of more simulation steps. Default
+	// 1024 cycles.
+	IdleBackoffCap uint64
+
+	// TrackSpan records work and critical path during the run (use
+	// with Procs == 1); SpanOverhead is the O of the realistic model
+	// (paper: 2000 cycles).
+	TrackSpan    bool
+	SpanOverhead uint64
+}
+
+func (c Config) defaults() Config {
+	if c.Procs <= 0 {
+		c.Procs = 1
+	}
+	if c.InitialPublic <= 0 {
+		c.InitialPublic = 2
+	}
+	if c.TripDistance <= 0 {
+		c.TripDistance = 1
+	}
+	if c.PublishAmount <= 0 {
+		c.PublishAmount = 2
+	}
+	if c.PrivatizeRun <= 0 {
+		c.PrivatizeRun = 16
+	}
+	if c.StackSize <= 0 {
+		c.StackSize = 65536
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x9e3779b97f4a7c15
+	}
+	if c.SpanOverhead == 0 {
+		c.SpanOverhead = 2000
+	}
+	if c.IdleBackoffCap == 0 {
+		c.IdleBackoffCap = 1024
+	}
+	return c
+}
+
+// Args are a task's arguments: four integer slots and a context
+// pointer, mirroring the native schedulers' task descriptors.
+type Args struct {
+	A0, A1, A2, A3 int64
+	Ctx            any
+}
+
+// Def is a task definition: a named function from worker+args to a
+// result. Definitions are shared across runs and kinds.
+type Def struct {
+	Name string
+	F    func(w *W, a Args) int64
+}
+
+// Spawn pushes a task on w's pool (made stealable now, or deferred to
+// the trip wire when it lands in the private region).
+func (d *Def) Spawn(w *W, a Args) { w.spawn(d, a) }
+
+// Call invokes the task function directly — the CALL of the Wool idiom.
+func (d *Def) Call(w *W, a Args) int64 { return d.F(w, a) }
+
+// Task states.
+const (
+	sEmpty uint8 = iota
+	sTask
+	sStolen
+	sDone
+)
+
+// STask is a simulated task descriptor.
+type STask struct {
+	state uint8
+	priv  bool
+	thief int32
+	fn    *Def
+	args  Args
+	res   int64
+}
+
+// Execution modes, for attributing application time (Figure 6).
+const (
+	modeNA = iota // root / idle-steal acquired application code
+	modeLA        // leapfrog-acquired application code
+)
+
+// Stats are one worker's (or the whole machine's) event counters and
+// virtual-cycle time breakdown.
+type Stats struct {
+	Spawns       int64
+	JoinsPublic  int64
+	JoinsPrivate int64
+	JoinsStolen  int64
+	Steals       int64
+	Attempts     int64
+	LeapSteals   int64
+	Publications int64
+	LockWaits    int64 // cycles lost waiting for locks are in ST/LF; this counts events
+
+	// Figure 6 categories, in cycles: stealing (ST), leapfrogging
+	// search (LF), application+overhead acquired normally (NA) or by
+	// leapfrogging (LA).
+	ST, LF, NA, LA uint64
+}
+
+func (s *Stats) add(o *Stats) {
+	s.Spawns += o.Spawns
+	s.JoinsPublic += o.JoinsPublic
+	s.JoinsPrivate += o.JoinsPrivate
+	s.JoinsStolen += o.JoinsStolen
+	s.Steals += o.Steals
+	s.Attempts += o.Attempts
+	s.LeapSteals += o.LeapSteals
+	s.Publications += o.Publications
+	s.LockWaits += o.LockWaits
+	s.ST += o.ST
+	s.LF += o.LF
+	s.NA += o.NA
+	s.LA += o.LA
+}
+
+// Joins returns total joins.
+func (s Stats) Joins() int64 { return s.JoinsPublic + s.JoinsPrivate + s.JoinsStolen }
+
+// W is one simulated worker.
+type W struct {
+	m *Machine
+	p *vtime.Proc
+
+	tasks       []STask
+	top, bot    int
+	publicLimit int
+	morePublic  bool
+	inlineRun   int
+
+	lockUntil uint64 // victim-lock model (KindLock, Cilk-style costs)
+	lastSteal uint64 // time of the last successful steal from this worker (coherence model)
+
+	rng  uint64
+	mode int
+
+	St Stats
+}
+
+// Proc returns the underlying virtual processor (for Work/clock access).
+func (w *W) Proc() *vtime.Proc { return w.p }
+
+// Machine returns the machine.
+func (w *W) Machine() *Machine { return w.m }
+
+// Work advances this worker's clock by cycles of application work,
+// charging the current Figure 6 category and the span strand.
+func (w *W) Work(cycles uint64) {
+	w.chargeApp(cycles)
+	if w.m.span != nil {
+		w.m.span.strand += cycles
+	}
+	w.p.Step(cycles)
+}
+
+// chargeApp attributes cycles to NA or LA.
+func (w *W) chargeApp(cycles uint64) {
+	if w.mode == modeLA {
+		w.St.LA += cycles
+	} else {
+		w.St.NA += cycles
+	}
+}
+
+// Machine is one simulated scheduler instance.
+type Machine struct {
+	cfg Config
+	vm  *vtime.Machine
+	ws  []*W
+
+	central          []*STask // KindCentral shared queue
+	centralLockUntil uint64
+	lastAnySteal     uint64 // global steal-traffic timestamp (coherence model)
+
+	span *spanTracker
+
+	result   int64
+	makespan uint64
+}
+
+// Result is everything one simulated run produces.
+type Result struct {
+	Value    int64
+	Makespan uint64   // virtual cycles until the root completed
+	Times    []uint64 // final clock of every processor
+	Total    Stats    // aggregated counters
+	Workers  []Stats  // per-worker counters
+
+	// Span data (TrackSpan runs): total work, critical path in the
+	// abstract (O=0) and realistic (O=SpanOverhead) models.
+	Work, Span0, SpanO uint64
+}
+
+// NewMachine builds a machine for cfg.
+func NewMachine(cfg Config) *Machine {
+	cfg = cfg.defaults()
+	m := &Machine{cfg: cfg, vm: vtime.NewMachine(cfg.Procs)}
+	m.ws = make([]*W, cfg.Procs)
+	for i := range m.ws {
+		w := &W{
+			m:     m,
+			tasks: make([]STask, cfg.StackSize),
+			rng:   cfg.Seed + uint64(i)*0x2545f4914f6cdd1d + 1,
+		}
+		if cfg.PrivateTasks && cfg.Kind == KindDirectStack {
+			w.publicLimit = cfg.InitialPublic
+		} else {
+			w.publicLimit = int(^uint(0) >> 1)
+		}
+		m.ws[i] = w
+	}
+	if cfg.TrackSpan {
+		if cfg.Procs != 1 {
+			panic("sim: TrackSpan requires Procs == 1")
+		}
+		m.span = newSpanTracker(cfg.SpanOverhead)
+	}
+	return m
+}
+
+// Run executes root(args) to completion and returns the run's Result.
+func Run(cfg Config, root *Def, args Args) Result {
+	m := NewMachine(cfg)
+	return m.run(root, args)
+}
+
+func (m *Machine) run(root *Def, args Args) Result {
+	times := m.vm.Run(func(p *vtime.Proc) {
+		w := m.ws[p.ID()]
+		w.p = p
+		if p.ID() == 0 {
+			if m.span != nil {
+				m.span.begin()
+			}
+			m.result = root.F(w, args)
+			if w.top != w.bot {
+				panic("sim: root returned with unjoined tasks")
+			}
+			m.makespan = p.Now()
+			m.vm.SetStop()
+			if m.span != nil {
+				m.span.end(w)
+			}
+			return
+		}
+		w.idleLoop()
+	})
+	res := Result{
+		Value:    m.result,
+		Makespan: m.makespan,
+		Times:    times,
+		Workers:  make([]Stats, len(m.ws)),
+	}
+	for i, w := range m.ws {
+		res.Workers[i] = w.St
+		res.Total.add(&w.St)
+	}
+	if m.span != nil {
+		res.Work = m.span.work
+		res.Span0 = m.span.span0
+		res.SpanO = m.span.spanO
+	}
+	return res
+}
+
+// nextVictim picks a deterministic pseudo-random victim != self.
+func (w *W) nextVictim() *W {
+	n := len(w.m.ws)
+	if n == 1 {
+		return w
+	}
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng = x
+	self := w.p.ID()
+	v := int(x % uint64(n-1))
+	if v >= self {
+		v++
+	}
+	return w.m.ws[v]
+}
+
+// idleLoop steals until the root completes.
+func (w *W) idleLoop() {
+	cap := w.m.cfg.IdleBackoffCap
+	backoff := uint64(16)
+	for !w.m.vm.Stopped() {
+		if w.trySteal(w.nextVictim(), modeNA) {
+			backoff = 16
+			continue
+		}
+		w.St.ST += backoff
+		w.p.Step(backoff)
+		if backoff < cap {
+			backoff *= 2
+		}
+	}
+}

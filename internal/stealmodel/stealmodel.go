@@ -1,0 +1,40 @@
+// Package stealmodel implements the paper's simple steal-cost
+// performance model (Section IV-D2a, Table IV): an estimate of
+// p-processor execution time from the sequential work, the number of
+// steals and the 2- and p-processor steal costs.
+//
+// The reasoning, following the paper's mm(64) walk-through: of the S_p
+// steals per repetition, p−1 distribute the initial work and cost like
+// the p-processor micro benchmark (C_p); each remaining steal is a
+// rebalancing event that, assumed uncontended, costs like the
+// 2-processor case (C_2) and is paid by two processors — the thief and
+// the victim that must join with it.
+package stealmodel
+
+// Estimate is the model's prediction for one (workload, p) point.
+type Estimate struct {
+	P        int
+	Work     float64 // W: sequential work per repetition (cycles)
+	Steals   float64 // S_p: steals per repetition
+	C2, Cp   float64 // steal costs (cycles) at 2 and p processors
+	TimeP    float64 // modelled p-processor time per repetition
+	SpeedupP float64 // W / TimeP
+}
+
+// Predict evaluates the paper's formula
+//
+//	T_p = C_p + (W + 2·(S_p − (p−1))·C_2) / p
+//
+// and the resulting speedup W/T_p.
+func Predict(work, steals, c2, cp float64, p int) Estimate {
+	rebalance := steals - float64(p-1)
+	if rebalance < 0 {
+		rebalance = 0
+	}
+	tp := cp + (work+2*rebalance*c2)/float64(p)
+	return Estimate{
+		P: p, Work: work, Steals: steals, C2: c2, Cp: cp,
+		TimeP:    tp,
+		SpeedupP: work / tp,
+	}
+}

@@ -1,0 +1,65 @@
+package stealmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestPaperMMExample replays the paper's own instantiation (Section
+// IV-D2a): mm(64) has W = 976k cycles and ~17 steals at 8 processors;
+// with Wool's costs (C2 = 2200, C8 = 10400) the model gives ≈ 7.1.
+func TestPaperMMExample(t *testing.T) {
+	est := Predict(976_000, 17, 2200, 10400, 8)
+	if math.Abs(est.SpeedupP-7.1) > 0.3 {
+		t.Errorf("model speedup = %.2f, paper computes 7.1", est.SpeedupP)
+	}
+	// Cilk++ at 8 procs: C2 = 31050, C8 = 110400 → paper's 3.2.
+	est = Predict(976_000, 17, 31050, 110400, 8)
+	if math.Abs(est.SpeedupP-3.2) > 0.4 {
+		t.Errorf("cilk model speedup = %.2f, paper computes 3.2", est.SpeedupP)
+	}
+}
+
+func TestNoRebalanceFloor(t *testing.T) {
+	// Fewer steals than p−1 means no rebalancing term (clamped at 0).
+	a := Predict(1e6, 3, 2000, 8000, 8)
+	b := Predict(1e6, 7, 2000, 8000, 8)
+	if a.TimeP != b.TimeP {
+		t.Errorf("steals below p-1 must clamp: %.0f vs %.0f", a.TimeP, b.TimeP)
+	}
+}
+
+func TestQuickModelProperties(t *testing.T) {
+	err := quick.Check(func(wRaw, sRaw, c2Raw, cpRaw uint16, pRaw uint8) bool {
+		w := float64(wRaw)*1000 + 10000
+		s := float64(sRaw % 200)
+		c2 := float64(c2Raw%5000) + 100
+		cp := c2 + float64(cpRaw%20000)
+		p := int(pRaw%7) + 2
+
+		est := Predict(w, s, c2, cp, p)
+		// Speedup bounded by p and positive.
+		if est.SpeedupP <= 0 || est.SpeedupP > float64(p) {
+			return false
+		}
+		// More steals never speed things up in the model.
+		worse := Predict(w, s+50, c2, cp, p)
+		return worse.SpeedupP <= est.SpeedupP+1e-9
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostMonotone(t *testing.T) {
+	base := Predict(1e6, 30, 2000, 8000, 8)
+	dearer := Predict(1e6, 30, 4000, 8000, 8)
+	if dearer.SpeedupP >= base.SpeedupP {
+		t.Error("higher C2 must lower modelled speedup")
+	}
+	dearerP := Predict(1e6, 30, 2000, 16000, 8)
+	if dearerP.SpeedupP >= base.SpeedupP {
+		t.Error("higher Cp must lower modelled speedup")
+	}
+}

@@ -1,0 +1,208 @@
+// Package tabulate renders the experiment results as aligned text
+// tables and simple ASCII series plots, one per paper table or figure.
+package tabulate
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+	notes   []string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Row appends a row; values are formatted with %v, float64 compactly.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Note appends a footnote line printed under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 100 || v <= -100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	var b strings.Builder
+	for i, h := range t.Headers {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], h)
+	}
+	fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total-2))
+	for _, r := range t.rows {
+		b.Reset()
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			width := 0
+			if i < len(widths) {
+				width = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s", width, c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Series is one line of a figure: a name and y-values over the shared
+// x-axis of a Plot.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Plot renders figure data as a numeric table plus a coarse ASCII
+// chart — enough to read off who wins, by what factor, and where
+// curves cross, which is what the paper's figures communicate.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	series []Series
+}
+
+// NewPlot creates a plot over the shared x values.
+func NewPlot(title, xlabel, ylabel string, x []float64) *Plot {
+	return &Plot{Title: title, XLabel: xlabel, YLabel: ylabel, X: x}
+}
+
+// Add appends a series (must have len(values) == len(X)).
+func (p *Plot) Add(name string, values []float64) {
+	p.series = append(p.series, Series{Name: name, Values: values})
+}
+
+// Render writes the numeric table and chart to w.
+func (p *Plot) Render(w io.Writer) {
+	headers := append([]string{p.XLabel}, nil...)
+	for _, s := range p.series {
+		headers = append(headers, s.Name)
+	}
+	tb := New(fmt.Sprintf("%s  (y: %s)", p.Title, p.YLabel), headers...)
+	for i, x := range p.X {
+		cells := []any{formatFloat(x)}
+		for _, s := range p.series {
+			if i < len(s.Values) {
+				cells = append(cells, s.Values[i])
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		tb.Row(cells...)
+	}
+	tb.Render(w)
+	p.renderChart(w)
+}
+
+const chartHeight = 12
+const chartWidth = 60
+
+// renderChart draws the series as a coarse ASCII chart, one marker
+// letter per series.
+func (p *Plot) renderChart(w io.Writer) {
+	if len(p.series) == 0 || len(p.X) < 2 {
+		return
+	}
+	ymax := 0.0
+	for _, s := range p.series {
+		for _, v := range s.Values {
+			if v > ymax {
+				ymax = v
+			}
+		}
+	}
+	if ymax <= 0 {
+		return
+	}
+	grid := make([][]byte, chartHeight)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", chartWidth))
+	}
+	xmin, xmax := p.X[0], p.X[len(p.X)-1]
+	if xmax == xmin {
+		return
+	}
+	markers := "ABCDEFGHIJ"
+	for si, s := range p.series {
+		m := markers[si%len(markers)]
+		for i, v := range s.Values {
+			col := int((p.X[i] - xmin) / (xmax - xmin) * float64(chartWidth-1))
+			row := chartHeight - 1 - int(v/ymax*float64(chartHeight-1))
+			if row >= 0 && row < chartHeight && col >= 0 && col < chartWidth {
+				grid[row][col] = m
+			}
+		}
+	}
+	fmt.Fprintf(w, "  %s\n", formatFloat(ymax))
+	for _, line := range grid {
+		fmt.Fprintf(w, "  |%s\n", string(line))
+	}
+	fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", chartWidth))
+	fmt.Fprintf(w, "   %s: %s .. %s", p.XLabel, formatFloat(xmin), formatFloat(xmax))
+	fmt.Fprint(w, "   legend:")
+	for si, s := range p.series {
+		fmt.Fprintf(w, " %c=%s", markers[si%len(markers)], s.Name)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w)
+}

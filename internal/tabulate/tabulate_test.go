@@ -1,0 +1,83 @@
+package tabulate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := New("demo", "name", "value", "ratio")
+	tb.Row("alpha", 42, 1.5)
+	tb.Row("beta-long-name", 7, 123456.789)
+	tb.Note("a note with %d args", 2)
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+
+	for _, want := range []string{"== demo ==", "alpha", "beta-long-name", "42", "1.50", "123457", "note: a note with 2 args"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns must align: "value" header starts where 42 and 7 start.
+	lines := strings.Split(out, "\n")
+	header := lines[1]
+	idx := strings.Index(header, "value")
+	if idx < 0 {
+		t.Fatal("no value header")
+	}
+	if lines[3][idx:idx+2] != "42" {
+		t.Errorf("column misaligned: %q", lines[3])
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1.25:    "1.25",
+		99.999:  "100.00",
+		150.4:   "150.4",
+		2000.49: "2000",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestPlotRender(t *testing.T) {
+	p := NewPlot("speedup", "procs", "x faster", []float64{1, 2, 4, 8})
+	p.Add("wool", []float64{1, 2, 3.9, 7})
+	p.Add("other", []float64{1, 1.2, 1.1, 0.9})
+	var buf bytes.Buffer
+	p.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"speedup", "procs", "wool", "other", "legend:", "A=wool", "B=other", "7.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotEdgeCases(t *testing.T) {
+	var buf bytes.Buffer
+	// No series: table renders, chart skipped, no panic.
+	NewPlot("empty", "x", "y", []float64{1, 2}).Render(&buf)
+	// One x point: chart skipped.
+	p := NewPlot("single", "x", "y", []float64{3})
+	p.Add("s", []float64{5})
+	p.Render(&buf)
+	// All-zero values: chart skipped.
+	pz := NewPlot("zeros", "x", "y", []float64{1, 2})
+	pz.Add("s", []float64{0, 0})
+	pz.Render(&buf)
+	// Short series: missing cells render as '-'.
+	ps := NewPlot("short", "x", "y", []float64{1, 2, 3})
+	ps.Add("s", []float64{5})
+	ps.Render(&buf)
+	if !strings.Contains(buf.String(), "-") {
+		t.Error("missing-cell marker absent")
+	}
+}

@@ -1,0 +1,180 @@
+// Package vtime is a deterministic virtual-time multiprocessor kernel:
+// P logical processors execute Go code under a global token that is
+// always granted to the processor with the smallest virtual clock.
+//
+// This is the substrate on which internal/sim runs the paper's
+// schedulers with P ∈ {1..64} virtual processors on any host,
+// including the single-core container this reproduction targets. The
+// scheduling algorithms execute for real — every steal, back-off,
+// trip-wire and leapfrog actually happens — but time is a per-processor
+// cycle counter advanced by an explicit cost model instead of the
+// wall clock.
+//
+// Concurrency discipline: exactly one processor goroutine runs at a
+// time (it holds the token); all simulated-shared state is therefore
+// plain Go data, data-race-free by construction, and every run with
+// the same seed replays the identical interleaving. Processor code
+// must call Step (or Yield) inside every loop so the coordinator can
+// keep global time moving; between two yields a processor's actions
+// are atomic with respect to the others, which is how the simulated
+// schedulers model their CAS/lock primitives.
+package vtime
+
+import "fmt"
+
+// Proc is one virtual processor. Its methods may only be called from
+// the body function the Machine invoked on it, and only while that
+// body holds the token (which it does whenever it is executing).
+type Proc struct {
+	id  int
+	m   *Machine
+	now uint64
+
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+}
+
+// ID returns the processor's index, 0..P-1.
+func (p *Proc) ID() int { return p.id }
+
+// Now returns the processor's virtual clock in cycles.
+func (p *Proc) Now() uint64 { return p.now }
+
+// Machine returns the machine this processor belongs to.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Advance adds cost cycles to the clock without releasing the token.
+// Use it for the pieces of a compound operation that must stay atomic
+// with respect to other processors.
+func (p *Proc) Advance(cost uint64) { p.now += cost }
+
+// Step adds cost cycles to the clock and releases the token, letting
+// any processor that is now earlier in virtual time run. Every loop in
+// simulated scheduler code must Step, or global time stalls.
+func (p *Proc) Step(cost uint64) {
+	p.now += cost
+	p.yieldToken()
+}
+
+// Yield releases the token without advancing the clock.
+func (p *Proc) Yield() { p.yieldToken() }
+
+// WaitUntil advances the clock to at least t (modelling blocking on a
+// resource that frees at time t, e.g. a contended lock) and yields.
+// It is a no-op beyond a yield if the clock is already past t.
+func (p *Proc) WaitUntil(t uint64) {
+	if p.now < t {
+		p.now = t
+	}
+	p.yieldToken()
+}
+
+func (p *Proc) yieldToken() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Machine is a set of virtual processors sharing a token.
+type Machine struct {
+	procs []*Proc
+	// stop is the cooperative shutdown flag for idle loops (set by the
+	// workload when the root computation completes). Token-guarded.
+	stop bool
+	// panicVal holds the first panic raised by a processor body;
+	// Run re-raises it on its caller.
+	panicVal  any
+	panicking bool
+}
+
+// NewMachine creates a machine with n processors.
+func NewMachine(n int) *Machine {
+	if n <= 0 {
+		panic(fmt.Sprintf("vtime: invalid processor count %d", n))
+	}
+	m := &Machine{}
+	m.procs = make([]*Proc, n)
+	for i := range m.procs {
+		m.procs[i] = &Proc{
+			id:     i,
+			m:      m,
+			resume: make(chan struct{}),
+			yield:  make(chan struct{}),
+		}
+	}
+	return m
+}
+
+// Procs returns the processor count.
+func (m *Machine) Procs() int { return len(m.procs) }
+
+// SetStop raises the cooperative stop flag (call from a proc body).
+func (m *Machine) SetStop() { m.stop = true }
+
+// Stopped reports the stop flag (call from a proc body).
+func (m *Machine) Stopped() bool { return m.stop }
+
+// Run executes body on every processor concurrently in virtual time
+// and returns when all bodies have returned. It returns the final
+// virtual clocks of all processors.
+//
+// The token protocol: the coordinator always resumes the unfinished
+// processor with the smallest clock (ties broken by lowest ID), waits
+// for it to yield or finish, and repeats. Within a call to Run the
+// interleaving is a pure function of the bodies' behaviour.
+// A panic in any body is re-raised from Run on the caller's goroutine;
+// the machine is then unusable (the other processor goroutines are
+// abandoned parked on their resume channels).
+func (m *Machine) Run(body func(p *Proc)) []uint64 {
+	m.stop = false
+	m.panicVal = nil
+	m.panicking = false
+	for _, p := range m.procs {
+		p.now = 0
+		p.done = false
+		go func(p *Proc) {
+			<-p.resume
+			defer func() {
+				if r := recover(); r != nil && !m.panicking {
+					// Token-held: the coordinator is blocked on our
+					// yield, so this write is ordered.
+					m.panicking = true
+					m.panicVal = r
+				}
+				p.done = true
+				p.yield <- struct{}{}
+			}()
+			body(p)
+		}(p)
+	}
+	active := len(m.procs)
+	for active > 0 {
+		next := m.minProc()
+		next.resume <- struct{}{}
+		<-next.yield
+		if m.panicking {
+			panic(m.panicVal)
+		}
+		if next.done {
+			active--
+		}
+	}
+	times := make([]uint64, len(m.procs))
+	for i, p := range m.procs {
+		times[i] = p.now
+	}
+	return times
+}
+
+func (m *Machine) minProc() *Proc {
+	var best *Proc
+	for _, p := range m.procs {
+		if p.done {
+			continue
+		}
+		if best == nil || p.now < best.now {
+			best = p
+		}
+	}
+	return best
+}

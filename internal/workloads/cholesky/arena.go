@@ -1,0 +1,248 @@
+// Package cholesky is the paper's sparse matrix factorization
+// benchmark, taken (structurally) from the Cilk-5 distribution: a
+// quadtree-represented sparse symmetric positive-definite matrix is
+// factored as A = L·Lᵀ by divide and conquer, with dense BLOCK×BLOCK
+// kernels at the quadtree leaves and fill-in allocated on the fly.
+// Parameters are the number of matrix rows and the number of nonzero
+// elements, as in Table I.
+//
+// The quadtree lives in an arena of index-linked nodes so that task
+// arguments are plain integers (they travel in the schedulers'
+// fixed-size task descriptors without allocation) and concurrent
+// fill-in allocation is a single atomic counter bump.
+package cholesky
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Block is the dense leaf tile edge; leaves are Block×Block.
+const Block = 16
+
+// BlockWords is the number of float64 in one leaf tile.
+const BlockWords = Block * Block
+
+// Quadrant indices within a node: row-major 2×2.
+const (
+	q00 = 0 // top-left (diagonal)
+	q01 = 1 // top-right (always nil in lower-triangular nodes)
+	q10 = 2 // bottom-left
+	q11 = 3 // bottom-right (diagonal)
+)
+
+// Node is one quadtree node. Internal nodes use Child (0 = nil
+// subtree); leaves have BlockIdx != 0 pointing at their tile.
+type Node struct {
+	Child    [4]int32
+	BlockIdx int32 // 1-based index into the arena's tile slab; 0 = none
+}
+
+// Arena holds the quadtree storage: nodes and dense tiles, both
+// allocated by atomic counter bump so concurrent factorization tasks
+// can create fill-in without locks.
+type Arena struct {
+	Size int64 // padded matrix edge (power of two, multiple of Block)
+
+	nodes  []Node
+	nNodes atomic.Int64
+
+	tiles  []float64 // nTiles × BlockWords
+	nTiles atomic.Int64
+}
+
+// NewArena creates an arena for a size×size matrix (size is rounded up
+// to a power of two ≥ Block) with the given node and tile capacities.
+func NewArena(n int64, nodeCap, tileCap int) *Arena {
+	size := int64(Block)
+	for size < n {
+		size *= 2
+	}
+	ar := &Arena{
+		Size:  size,
+		nodes: make([]Node, nodeCap),
+		tiles: make([]float64, int64(tileCap)*BlockWords),
+	}
+	ar.nNodes.Store(1) // index 0 is the nil sentinel
+	return ar
+}
+
+// NewNode allocates a fresh (all-nil) node and returns its index.
+func (ar *Arena) NewNode() int32 {
+	i := ar.nNodes.Add(1) - 1
+	if int(i) >= len(ar.nodes) {
+		panic(fmt.Sprintf("cholesky: node arena exhausted (%d); raise the capacity", len(ar.nodes)))
+	}
+	return int32(i)
+}
+
+// NewTile allocates a zeroed dense tile and returns its 1-based index.
+func (ar *Arena) NewTile() int32 {
+	i := ar.nTiles.Add(1) - 1
+	if (i+1)*BlockWords > int64(len(ar.tiles)) {
+		panic(fmt.Sprintf("cholesky: tile arena exhausted (%d tiles); raise the capacity", len(ar.tiles)/BlockWords))
+	}
+	return int32(i) + 1
+}
+
+// NewLeaf allocates a leaf node with a fresh zero tile.
+func (ar *Arena) NewLeaf() int32 {
+	n := ar.NewNode()
+	ar.nodes[n].BlockIdx = ar.NewTile()
+	return n
+}
+
+// Node returns the node at index i (i != 0).
+func (ar *Arena) Node(i int32) *Node { return &ar.nodes[i] }
+
+// Tile returns the tile of leaf node i as a BlockWords-long slice.
+func (ar *Arena) Tile(i int32) []float64 {
+	b := int64(ar.nodes[i].BlockIdx - 1)
+	return ar.tiles[b*BlockWords : (b+1)*BlockWords : (b+1)*BlockWords]
+}
+
+// NodesInUse returns the number of allocated nodes (excluding the nil
+// sentinel) — a fill-in metric.
+func (ar *Arena) NodesInUse() int64 { return ar.nNodes.Load() - 1 }
+
+// TilesInUse returns the number of allocated tiles.
+func (ar *Arena) TilesInUse() int64 { return ar.nTiles.Load() }
+
+// set stores val at (row, col), descending from root and allocating
+// nodes on the path. Build-time only (single goroutine).
+func (ar *Arena) set(root int32, size, row, col int64, val float64) {
+	for size > Block {
+		half := size / 2
+		q := 0
+		if row >= half {
+			q += 2
+			row -= half
+		}
+		if col >= half {
+			q++
+			col -= half
+		}
+		n := ar.Node(root)
+		if n.Child[q] == 0 {
+			if half == Block {
+				n.Child[q] = ar.NewLeaf()
+			} else {
+				n.Child[q] = ar.NewNode()
+			}
+		}
+		root = n.Child[q]
+		size = half
+	}
+	ar.Tile(root)[row*Block+col] = val
+}
+
+// get reads (row, col), returning 0 for absent blocks.
+func (ar *Arena) get(root int32, size, row, col int64) float64 {
+	for size > Block {
+		if root == 0 {
+			return 0
+		}
+		half := size / 2
+		q := 0
+		if row >= half {
+			q += 2
+			row -= half
+		}
+		if col >= half {
+			q++
+			col -= half
+		}
+		root = ar.Node(root).Child[q]
+		size = half
+	}
+	if root == 0 {
+		return 0
+	}
+	return ar.Tile(root)[row*Block+col]
+}
+
+// Matrix is a generated sparse SPD matrix: the arena plus its root
+// node and logical dimension.
+type Matrix struct {
+	Ar   *Arena
+	Root int32
+	N    int64 // logical rows (≤ Ar.Size)
+}
+
+// Get reads element (row, col) of the lower triangle.
+func (m *Matrix) Get(row, col int64) float64 { return m.Ar.get(m.Root, m.Ar.Size, row, col) }
+
+// Generate builds a random sparse symmetric positive-definite matrix
+// with n rows and about nonzeros off-diagonal entries in the lower
+// triangle (duplicates overwrite), as the Cilk-5 benchmark does. The
+// diagonal is made strongly dominant so the factorization exists; the
+// padding region (n..Size) carries an identity diagonal.
+func Generate(n, nonzeros int64, seed uint64) *Matrix {
+	// Capacity heuristic: fill-in grows the tree well beyond the
+	// initial nonzeros; size generously (indices are cheap).
+	perDim := int(n/Block) + 1
+	nodeCap := 64*perDim*perDim + 4096
+	tileCap := 32*perDim*perDim + 2048
+	ar := NewArena(n, nodeCap, tileCap)
+	root := ar.NewNode()
+	if ar.Size == Block {
+		// Single-tile matrix: the root must be a leaf.
+		ar.nodes[root].BlockIdx = ar.NewTile()
+	}
+
+	m := &Matrix{Ar: ar, Root: root, N: n}
+	diag := float64(n) + 16
+	for i := int64(0); i < n; i++ {
+		ar.set(root, ar.Size, i, i, diag)
+	}
+	for i := n; i < ar.Size; i++ {
+		ar.set(root, ar.Size, i, i, 1)
+	}
+	rng := seed | 1
+	for k := int64(0); k < nonzeros; k++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		r := int64((rng >> 16) % uint64(n))
+		rng = rng*6364136223846793005 + 1442695040888963407
+		c := int64((rng >> 16) % uint64(n))
+		if r == c {
+			continue // diagonal already set
+		}
+		if r < c {
+			r, c = c, r
+		}
+		val := 0.5 + float64((rng>>40)&0xff)/512.0
+		ar.set(root, ar.Size, r, c, val)
+	}
+	return m
+}
+
+// ToDense expands the lower triangle into a full symmetric dense
+// matrix of dimension m.N (for verification on small inputs).
+func (m *Matrix) ToDense() [][]float64 {
+	d := make([][]float64, m.N)
+	for i := range d {
+		d[i] = make([]float64, m.N)
+	}
+	for i := int64(0); i < m.N; i++ {
+		for j := int64(0); j <= i; j++ {
+			v := m.Get(i, j)
+			d[i][j] = v
+			d[j][i] = v
+		}
+	}
+	return d
+}
+
+// ToDenseLower expands the lower triangle only (upper left as zeros).
+func (m *Matrix) ToDenseLower() [][]float64 {
+	d := make([][]float64, m.N)
+	for i := range d {
+		d[i] = make([]float64, m.N)
+	}
+	for i := int64(0); i < m.N; i++ {
+		for j := int64(0); j <= i; j++ {
+			d[i][j] = m.Get(i, j)
+		}
+	}
+	return d
+}

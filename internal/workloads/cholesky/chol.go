@@ -1,0 +1,94 @@
+package cholesky
+
+// Serial divide-and-conquer factorization (the reference the parallel
+// versions must match, and the T_S baseline of the granularity
+// measures). The recursion follows the Cilk-5 benchmark:
+//
+//	cholesky(A):                       // A symmetric, lower stored
+//	    L00  = cholesky(A00)
+//	    L10  = backsub(A10, L00)       // solve L10·L00ᵀ = A10
+//	    A11' = A11 − L10·L10ᵀ          // symmetric update, lower only
+//	    L11  = cholesky(A11')
+//
+// backsub and mulsub recurse over quadrants; mulsub allocates fill-in
+// where a zero block turns nonzero.
+
+// Factor factors m in place: afterwards the quadtree holds L.
+func (m *Matrix) Factor() { m.Root = m.Ar.cholesky(m.Root, m.Ar.Size) }
+
+// cholesky factors the diagonal (lower-triangular) subtree a in place.
+func (ar *Arena) cholesky(a int32, size int64) int32 {
+	if a == 0 {
+		panic("cholesky: zero diagonal block (matrix is singular)")
+	}
+	if size == Block {
+		blockCholesky(ar.Tile(a))
+		return a
+	}
+	n := ar.Node(a)
+	half := size / 2
+	n.Child[q00] = ar.cholesky(n.Child[q00], half)
+	n.Child[q10] = ar.backsub(n.Child[q10], n.Child[q00], half)
+	n.Child[q11] = ar.mulsub(n.Child[q11], n.Child[q10], n.Child[q10], half, true)
+	n.Child[q11] = ar.cholesky(n.Child[q11], half)
+	return a
+}
+
+// backsub solves X·Lᵀ = A in place over a full (rectangular) subtree a
+// against the lower-triangular factor subtree l, returning a.
+func (ar *Arena) backsub(a, l int32, size int64) int32 {
+	if a == 0 {
+		return 0
+	}
+	if size == Block {
+		blockBacksub(ar.Tile(a), ar.Tile(l))
+		return a
+	}
+	na, nl := ar.Node(a), ar.Node(l)
+	half := size / 2
+	l00, l10, l11 := nl.Child[q00], nl.Child[q10], nl.Child[q11]
+
+	// Left column against L00.
+	na.Child[q00] = ar.backsub(na.Child[q00], l00, half)
+	na.Child[q10] = ar.backsub(na.Child[q10], l00, half)
+	// Eliminate the L10 coupling from the right column.
+	na.Child[q01] = ar.mulsub(na.Child[q01], na.Child[q00], l10, half, false)
+	na.Child[q11] = ar.mulsub(na.Child[q11], na.Child[q10], l10, half, false)
+	// Right column against L11.
+	na.Child[q01] = ar.backsub(na.Child[q01], l11, half)
+	na.Child[q11] = ar.backsub(na.Child[q11], l11, half)
+	return a
+}
+
+// mulsub computes r −= a·bᵀ over subtrees, allocating r (fill-in)
+// where needed; lower restricts the update to the lower triangle of a
+// symmetric diagonal target. Returns the (possibly new) r.
+func (ar *Arena) mulsub(r, a, b int32, size int64, lower bool) int32 {
+	if a == 0 || b == 0 {
+		return r
+	}
+	if size == Block {
+		if r == 0 {
+			r = ar.NewLeaf()
+		}
+		blockMulSub(ar.Tile(r), ar.Tile(a), ar.Tile(b), lower)
+		return r
+	}
+	if r == 0 {
+		r = ar.NewNode()
+	}
+	nr, na, nb := ar.Node(r), ar.Node(a), ar.Node(b)
+	half := size / 2
+
+	nr.Child[q00] = ar.mulsub(nr.Child[q00], na.Child[q00], nb.Child[q00], half, lower)
+	nr.Child[q00] = ar.mulsub(nr.Child[q00], na.Child[q01], nb.Child[q01], half, lower)
+	if !lower {
+		nr.Child[q01] = ar.mulsub(nr.Child[q01], na.Child[q00], nb.Child[q10], half, false)
+		nr.Child[q01] = ar.mulsub(nr.Child[q01], na.Child[q01], nb.Child[q11], half, false)
+	}
+	nr.Child[q10] = ar.mulsub(nr.Child[q10], na.Child[q10], nb.Child[q00], half, false)
+	nr.Child[q10] = ar.mulsub(nr.Child[q10], na.Child[q11], nb.Child[q01], half, false)
+	nr.Child[q11] = ar.mulsub(nr.Child[q11], na.Child[q10], nb.Child[q10], half, lower)
+	nr.Child[q11] = ar.mulsub(nr.Child[q11], na.Child[q11], nb.Child[q11], half, lower)
+	return r
+}

@@ -1,0 +1,88 @@
+package cholesky
+
+import "math"
+
+// Dense Block×Block kernels, operating on flat row-major tiles. These
+// are the leaves of the divide-and-conquer factorization; everything
+// above them is task structure.
+
+// Virtual cycle costs of the kernels for the simulator, at ~4 cycles
+// per multiply-add on the unblocked scalar code.
+const (
+	// CholeskyKernelCycles ≈ 4·B³/6.
+	CholeskyKernelCycles = 4 * Block * Block * Block / 6
+	// BacksubKernelCycles ≈ 4·B³/2.
+	BacksubKernelCycles = 4 * Block * Block * Block / 2
+	// MulSubKernelCycles ≈ 4·B³ (full target; the lower-only variant
+	// does half).
+	MulSubKernelCycles = 4 * Block * Block * Block
+)
+
+// blockCholesky factors tile a in place (lower triangle), a = l·lᵀ.
+func blockCholesky(a []float64) {
+	for k := 0; k < Block; k++ {
+		akk := a[k*Block+k]
+		if akk <= 0 {
+			panic("cholesky: matrix not positive definite (zero/negative pivot)")
+		}
+		d := math.Sqrt(akk)
+		a[k*Block+k] = d
+		inv := 1 / d
+		for i := k + 1; i < Block; i++ {
+			a[i*Block+k] *= inv
+		}
+		for j := k + 1; j < Block; j++ {
+			ajk := a[j*Block+k]
+			if ajk == 0 {
+				continue
+			}
+			for i := j; i < Block; i++ {
+				a[i*Block+j] -= a[i*Block+k] * ajk
+			}
+		}
+	}
+	// Clear the (stale) upper triangle so later tile reuse sees a
+	// clean lower-triangular factor.
+	for i := 0; i < Block; i++ {
+		for j := i + 1; j < Block; j++ {
+			a[i*Block+j] = 0
+		}
+	}
+}
+
+// blockBacksub solves x·lᵀ = a for x in place (a becomes x), where l
+// is lower triangular: forward substitution along each row of a.
+func blockBacksub(a, l []float64) {
+	for i := 0; i < Block; i++ {
+		row := a[i*Block : (i+1)*Block]
+		for j := 0; j < Block; j++ {
+			s := row[j]
+			lj := l[j*Block : (j+1)*Block]
+			for k := 0; k < j; k++ {
+				s -= row[k] * lj[k]
+			}
+			row[j] = s / lj[j]
+		}
+	}
+}
+
+// blockMulSub computes r -= a·bᵀ; when lower is set only the lower
+// triangle of r (j ≤ i) is updated, for symmetric diagonal targets.
+func blockMulSub(r, a, b []float64, lower bool) {
+	for i := 0; i < Block; i++ {
+		ai := a[i*Block : (i+1)*Block]
+		ri := r[i*Block : (i+1)*Block]
+		jmax := Block
+		if lower {
+			jmax = i + 1
+		}
+		for j := 0; j < jmax; j++ {
+			bj := b[j*Block : (j+1)*Block]
+			var s float64
+			for k := 0; k < Block; k++ {
+				s += ai[k] * bj[k]
+			}
+			ri[j] -= s
+		}
+	}
+}

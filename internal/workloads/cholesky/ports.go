@@ -1,0 +1,123 @@
+package cholesky
+
+import (
+	"gowool/internal/chaselev"
+)
+
+// Port of the parallel factorization to the deque scheduler (the
+// TBB-like baseline), for cross-scheduler validation: identical task
+// structure to the wool version, different runtime underneath.
+
+// ChaseLevSched bundles the deque-scheduler task definitions.
+type ChaseLevSched struct {
+	backsub *chaselev.TaskDefC3[Arena]
+	mulsub  *chaselev.TaskDefC3[Arena]
+}
+
+// NewChaseLev builds the task definitions.
+func NewChaseLev() *ChaseLevSched {
+	s := &ChaseLevSched{}
+	s.backsub = chaselev.DefineC3("chol-backsub", func(w *chaselev.Worker, ar *Arena, a, l, size int64) int64 {
+		return int64(s.backsubStep(w, ar, int32(a), int32(l), size))
+	})
+	s.mulsub = chaselev.DefineC3("chol-mulsub", func(w *chaselev.Worker, ar *Arena, meta, ab1, ab2 int64) int64 {
+		r, size, lower := unpackMeta(meta)
+		a1, b1 := unpack2(ab1)
+		a2, b2 := unpack2(ab2)
+		r = s.mulsubStep(w, ar, r, a1, b1, size, lower)
+		r = s.mulsubStep(w, ar, r, a2, b2, size, lower)
+		return int64(r)
+	})
+	return s
+}
+
+// Factor factors m on the deque pool.
+func (s *ChaseLevSched) Factor(p *chaselev.Pool, m *Matrix) {
+	p.Run(func(w *chaselev.Worker) int64 {
+		m.Root = s.chol(w, m.Ar, m.Root, m.Ar.Size)
+		return 0
+	})
+}
+
+func (s *ChaseLevSched) chol(w *chaselev.Worker, ar *Arena, a int32, size int64) int32 {
+	if a == 0 {
+		panic("cholesky: zero diagonal block (matrix is singular)")
+	}
+	if size == Block {
+		blockCholesky(ar.Tile(a))
+		return a
+	}
+	n := ar.Node(a)
+	half := size / 2
+	n.Child[q00] = s.chol(w, ar, n.Child[q00], half)
+	n.Child[q10] = int32(s.backsub.Call(w, ar, int64(n.Child[q10]), int64(n.Child[q00]), half))
+	n.Child[q11] = s.mulsubStep(w, ar, n.Child[q11], n.Child[q10], n.Child[q10], half, true)
+	n.Child[q11] = s.chol(w, ar, n.Child[q11], half)
+	return a
+}
+
+func (s *ChaseLevSched) backsubStep(w *chaselev.Worker, ar *Arena, a, l int32, size int64) int32 {
+	if a == 0 {
+		return 0
+	}
+	if size == Block {
+		blockBacksub(ar.Tile(a), ar.Tile(l))
+		return a
+	}
+	na, nl := ar.Node(a), ar.Node(l)
+	half := size / 2
+	l00, l10, l11 := nl.Child[q00], nl.Child[q10], nl.Child[q11]
+
+	s.backsub.Spawn(w, ar, int64(na.Child[q00]), int64(l00), half)
+	x10 := int32(s.backsub.Call(w, ar, int64(na.Child[q10]), int64(l00), half))
+	x00 := int32(s.backsub.Join(w))
+	na.Child[q00], na.Child[q10] = x00, x10
+
+	s.mulsub.Spawn(w, ar, packMeta(na.Child[q01], half, false), pack2(x00, l10), 0)
+	r11 := int32(s.mulsub.Call(w, ar, packMeta(na.Child[q11], half, false), pack2(x10, l10), 0))
+	r01 := int32(s.mulsub.Join(w))
+
+	s.backsub.Spawn(w, ar, int64(r01), int64(l11), half)
+	x11 := int32(s.backsub.Call(w, ar, int64(r11), int64(l11), half))
+	x01 := int32(s.backsub.Join(w))
+	na.Child[q01], na.Child[q11] = x01, x11
+	return a
+}
+
+func (s *ChaseLevSched) mulsubStep(w *chaselev.Worker, ar *Arena, r, a, b int32, size int64, lower bool) int32 {
+	if a == 0 || b == 0 {
+		return r
+	}
+	if size == Block {
+		if r == 0 {
+			r = ar.NewLeaf()
+		}
+		blockMulSub(ar.Tile(r), ar.Tile(a), ar.Tile(b), lower)
+		return r
+	}
+	if r == 0 {
+		r = ar.NewNode()
+	}
+	nr, na, nb := ar.Node(r), ar.Node(a), ar.Node(b)
+	half := size / 2
+
+	s.mulsub.Spawn(w, ar, packMeta(nr.Child[q00], half, lower),
+		pack2(na.Child[q00], nb.Child[q00]), pack2(na.Child[q01], nb.Child[q01]))
+	if !lower {
+		s.mulsub.Spawn(w, ar, packMeta(nr.Child[q01], half, false),
+			pack2(na.Child[q00], nb.Child[q10]), pack2(na.Child[q01], nb.Child[q11]))
+	}
+	s.mulsub.Spawn(w, ar, packMeta(nr.Child[q10], half, false),
+		pack2(na.Child[q10], nb.Child[q00]), pack2(na.Child[q11], nb.Child[q01]))
+	r11 := int32(s.mulsub.Call(w, ar, packMeta(nr.Child[q11], half, lower),
+		pack2(na.Child[q10], nb.Child[q10]), pack2(na.Child[q11], nb.Child[q11])))
+
+	r10 := int32(s.mulsub.Join(w))
+	r01 := nr.Child[q01]
+	if !lower {
+		r01 = int32(s.mulsub.Join(w))
+	}
+	r00 := int32(s.mulsub.Join(w))
+	nr.Child[q00], nr.Child[q01], nr.Child[q10], nr.Child[q11] = r00, r01, r10, r11
+	return r
+}

@@ -1,0 +1,53 @@
+package fibw
+
+import "gowool/internal/sim"
+
+// fib as a continuation state machine for the steal-parent simulator
+// (sim.RunCilkSim): the execution order Cilk++'s compiler produces.
+
+// CilkSimFrame is the cactus-stack frame of one fib activation.
+type CilkSimFrame struct {
+	sim.CFrame
+	n    int64
+	a, b int64
+	res  *int64
+}
+
+// Step0 is the entry step.
+func (f *CilkSimFrame) Step0(w *sim.CW) sim.CStep {
+	if f.n < 2 {
+		w.Work(LeafWork)
+		*f.res = f.n
+		return w.Return(&f.CFrame)
+	}
+	child := &CilkSimFrame{n: f.n - 1, res: &f.a}
+	sim.NewCChild(&f.CFrame, &child.CFrame)
+	return w.Spawn(&f.CFrame, f.step1, child.Step0)
+}
+
+func (f *CilkSimFrame) step1(w *sim.CW) sim.CStep {
+	child := &CilkSimFrame{n: f.n - 2, res: &f.b}
+	sim.NewCChild(&f.CFrame, &child.CFrame)
+	return w.Spawn(&f.CFrame, f.step2, child.Step0)
+}
+
+func (f *CilkSimFrame) step2(w *sim.CW) sim.CStep {
+	return w.Sync(&f.CFrame, f.step3)
+}
+
+func (f *CilkSimFrame) step3(w *sim.CW) sim.CStep {
+	w.Work(NodeWork)
+	*f.res = f.a + f.b
+	return w.Return(&f.CFrame)
+}
+
+// RunCilkSim computes fib(n) under steal-parent simulation and returns
+// the value with the run's result.
+func RunCilkSim(cfg sim.Config, n int64) (int64, sim.CResult) {
+	var out int64
+	res := sim.RunCilkSim(cfg, func(w *sim.CW) sim.CStep {
+		root := &CilkSimFrame{n: n, res: &out}
+		return root.Step0
+	})
+	return out, res
+}

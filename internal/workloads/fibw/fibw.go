@@ -1,0 +1,132 @@
+// Package fibw is the fib benchmark of the paper (Figures 1 and 2,
+// Table II): the doubly recursive Fibonacci function with no cutoff,
+// spawning a task roughly every 13 cycles of useful work — the
+// most spawn-intensive workload in the suite and the paper's yardstick
+// for inlined-task overhead.
+package fibw
+
+import (
+	"gowool/internal/chaselev"
+	"gowool/internal/core"
+	"gowool/internal/locksched"
+	"gowool/internal/ompstyle"
+	"gowool/internal/sim"
+)
+
+// Serial is the reference implementation with no task constructs.
+func Serial(n int64) int64 {
+	if n < 2 {
+		return n
+	}
+	return Serial(n-1) + Serial(n-2)
+}
+
+// Tasks returns the number of tasks a no-cutoff fib(n) spawns (one per
+// internal call, paper notation N_T).
+func Tasks(n int64) int64 {
+	if n < 2 {
+		return 0
+	}
+	return 1 + Tasks(n-1) + Tasks(n-2)
+}
+
+// NewWool builds the direct-task-stack fib (paper Figure 2).
+func NewWool() *core.TaskDef1 {
+	var fib *core.TaskDef1
+	fib = core.Define1("fib", func(w *core.Worker, n int64) int64 {
+		if n < 2 {
+			return n
+		}
+		fib.Spawn(w, n-2)
+		a := fib.Call(w, n-1)
+		b := fib.Join(w)
+		return a + b
+	})
+	return fib
+}
+
+// NewWoolGenericJoin builds fib joined through the generic wrapper
+// path (Worker.JoinAny) instead of the task-specific join — the
+// Table II "synchronize on task" rung.
+func NewWoolGenericJoin() *core.TaskDef1 {
+	var fib *core.TaskDef1
+	fib = core.Define1("fib-generic", func(w *core.Worker, n int64) int64 {
+		if n < 2 {
+			return n
+		}
+		fib.Spawn(w, n-2)
+		a := fib.Call(w, n-1)
+		b := w.JoinAny()
+		return a + b
+	})
+	return fib
+}
+
+// NewLockSched builds fib on the lock-based ladder.
+func NewLockSched() *locksched.TaskDef1 {
+	var fib *locksched.TaskDef1
+	fib = locksched.Define1("fib", func(w *locksched.Worker, n int64) int64 {
+		if n < 2 {
+			return n
+		}
+		fib.Spawn(w, n-2)
+		a := fib.Call(w, n-1)
+		b := fib.Join(w)
+		return a + b
+	})
+	return fib
+}
+
+// NewChaseLev builds fib on the deque scheduler.
+func NewChaseLev() *chaselev.TaskDef1 {
+	var fib *chaselev.TaskDef1
+	fib = chaselev.Define1("fib", func(w *chaselev.Worker, n int64) int64 {
+		if n < 2 {
+			return n
+		}
+		fib.Spawn(w, n-2)
+		a := fib.Call(w, n-1)
+		b := fib.Join(w)
+		return a + b
+	})
+	return fib
+}
+
+// OMP computes fib on the OpenMP-style pool.
+func OMP(tc *ompstyle.Context, n int64) int64 {
+	if n < 2 {
+		return n
+	}
+	var a int64
+	tc.SpawnTask(func(tc2 *ompstyle.Context) { a = OMP(tc2, n-2) })
+	b := OMP(tc, n-1)
+	tc.Taskwait()
+	return a + b
+}
+
+// LeafWork and NodeWork are the virtual work charged by the simulated
+// fib: ~13 cycles per spawned task, matching the paper's measured task
+// granularity G_T(fib) ≈ 13 cycles (Section I: "it spawns a task for
+// every 13 cycles worth of work").
+const (
+	LeafWork = 4
+	NodeWork = 13
+)
+
+// NewSim builds the simulated fib.
+func NewSim() *sim.Def {
+	d := &sim.Def{Name: "fib"}
+	d.F = func(w *sim.W, a sim.Args) int64 {
+		n := a.A0
+		if n < 2 {
+			w.Work(LeafWork)
+			return n
+		}
+		d.Spawn(w, sim.Args{A0: n - 2})
+		x := d.Call(w, sim.Args{A0: n - 1})
+		y := w.Join()
+		w.Work(NodeWork)
+		return x + y
+	}
+	return d
+}

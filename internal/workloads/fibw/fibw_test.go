@@ -1,0 +1,89 @@
+package fibw
+
+import (
+	"runtime"
+	"testing"
+
+	"gowool/internal/chaselev"
+	"gowool/internal/core"
+	"gowool/internal/costmodel"
+	"gowool/internal/locksched"
+	"gowool/internal/ompstyle"
+	"gowool/internal/sim"
+)
+
+func TestSerial(t *testing.T) {
+	want := []int64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	for n, v := range want {
+		if got := Serial(int64(n)); got != v {
+			t.Errorf("Serial(%d) = %d, want %d", n, got, v)
+		}
+	}
+}
+
+func TestTasks(t *testing.T) {
+	// N_T(fib): internal nodes of the call tree.
+	if got := Tasks(5); got != 7 {
+		t.Errorf("Tasks(5) = %d, want 7", got)
+	}
+	if got := Tasks(1); got != 0 {
+		t.Errorf("Tasks(1) = %d, want 0", got)
+	}
+}
+
+func TestAllSchedulersAgree(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	const n = 18
+	want := Serial(n)
+
+	wp := core.NewPool(core.Options{Workers: 3, PrivateTasks: true})
+	if got := wp.Run(func(w *core.Worker) int64 { return NewWool().Call(w, n) }); got != want {
+		t.Errorf("wool: %d, want %d", got, want)
+	}
+	wp.Close()
+
+	wg := core.NewPool(core.Options{Workers: 3})
+	if got := wg.Run(func(w *core.Worker) int64 { return NewWoolGenericJoin().Call(w, n) }); got != want {
+		t.Errorf("wool generic join: %d, want %d", got, want)
+	}
+	wg.Close()
+
+	lp := locksched.NewPool(locksched.Options{Workers: 3})
+	if got := lp.Run(func(w *locksched.Worker) int64 { return NewLockSched().Call(w, n) }); got != want {
+		t.Errorf("locksched: %d, want %d", got, want)
+	}
+	lp.Close()
+
+	cp := chaselev.NewPool(chaselev.Options{Workers: 3})
+	if got := cp.Run(func(w *chaselev.Worker) int64 { return NewChaseLev().Call(w, n) }); got != want {
+		t.Errorf("chaselev: %d, want %d", got, want)
+	}
+	cp.Close()
+
+	op := ompstyle.NewPool(ompstyle.Options{Workers: 3})
+	if got := op.Run(func(tc *ompstyle.Context) int64 { return OMP(tc, n) }); got != want {
+		t.Errorf("ompstyle: %d, want %d", got, want)
+	}
+	op.Close()
+
+	res := sim.Run(sim.Config{Procs: 4, Kind: sim.KindDirectStack, Costs: costmodel.Wool()},
+		NewSim(), sim.Args{A0: n})
+	if res.Value != want {
+		t.Errorf("sim: %d, want %d", res.Value, want)
+	}
+}
+
+func TestSimGranularity(t *testing.T) {
+	// G_T = work/tasks must be ≈ NodeWork (the paper's 13 cycles).
+	res := sim.Run(sim.Config{Procs: 1, Kind: sim.KindDirectStack, Costs: costmodel.Wool(),
+		TrackSpan: true}, NewSim(), sim.Args{A0: 20})
+	tasks := res.Total.Spawns
+	if tasks != Tasks(20) {
+		t.Fatalf("spawns = %d, want %d", tasks, Tasks(20))
+	}
+	gt := float64(res.Work) / float64(tasks)
+	if gt < 13 || gt > 25 {
+		t.Errorf("G_T = %.1f cycles/task, want ≈ 13–25", gt)
+	}
+}

@@ -1,0 +1,127 @@
+// Package mm is the paper's dense matrix multiply benchmark (from the
+// Wool distribution): an unblocked n×n multiply with the outermost
+// loop parallelized — as a balanced task tree over row ranges in the
+// task schedulers, and as a work-sharing loop in the OpenMP version
+// (Section IV-A: "the OpenMP implementations use OpenMP parallel for
+// loops rather than using tasks trees to implement loops").
+package mm
+
+import (
+	"gowool/internal/core"
+	"gowool/internal/ompstyle"
+	"gowool/internal/sim"
+)
+
+// Matrices holds the operands and result as flat row-major n×n slices.
+type Matrices struct {
+	N       int64
+	A, B, C []float64
+}
+
+// New allocates n×n matrices with a deterministic fill.
+func New(n int64) *Matrices {
+	m := &Matrices{N: n, A: make([]float64, n*n), B: make([]float64, n*n), C: make([]float64, n*n)}
+	for i := range m.A {
+		m.A[i] = float64(i%17) * 0.25
+		m.B[i] = float64(i%13) * 0.5
+	}
+	return m
+}
+
+// Reset zeroes the result matrix.
+func (m *Matrices) Reset() {
+	for i := range m.C {
+		m.C[i] = 0
+	}
+}
+
+// Row computes one row of C = A×B.
+func (m *Matrices) Row(i int64) {
+	n := m.N
+	ai := m.A[i*n : (i+1)*n]
+	ci := m.C[i*n : (i+1)*n]
+	for j := int64(0); j < n; j++ {
+		var sum float64
+		for k := int64(0); k < n; k++ {
+			sum += ai[k] * m.B[k*n+j]
+		}
+		ci[j] = sum
+	}
+}
+
+// Serial computes C = A×B with no task constructs.
+func Serial(m *Matrices) {
+	for i := int64(0); i < m.N; i++ {
+		m.Row(i)
+	}
+}
+
+// NewWool builds the row-range task: split [A0, A1) until single rows.
+// This is how Wool's loop constructs expand into balanced task trees.
+func NewWool() *core.TaskDefC2[Matrices] {
+	var rows *core.TaskDefC2[Matrices]
+	rows = core.DefineC2("mm-rows", func(w *core.Worker, m *Matrices, lo, hi int64) int64 {
+		if hi-lo == 1 {
+			m.Row(lo)
+			return 1
+		}
+		mid := (lo + hi) / 2
+		rows.Spawn(w, m, mid, hi)
+		a := rows.Call(w, m, lo, mid)
+		b := rows.Join(w)
+		return a + b
+	})
+	return rows
+}
+
+// RunWool multiplies on the pool and returns the number of rows done.
+func RunWool(p *core.Pool, rows *core.TaskDefC2[Matrices], m *Matrices) int64 {
+	return p.Run(func(w *core.Worker) int64 { return rows.Call(w, m, 0, m.N) })
+}
+
+// OMP multiplies with the work-sharing loop, as the paper's OpenMP
+// version does.
+func OMP(tc *ompstyle.Context, m *Matrices) {
+	tc.ParallelFor(0, m.N, ompstyle.Static, 0, func(i int64) { m.Row(i) })
+}
+
+// RowCycles is the virtual cost of one row of an unblocked n×n
+// multiply: n² multiply-adds at about 4 cycles each (memory bound;
+// calibrated so mm(64) lands near the paper's RepSz of 976k cycles:
+// 64 rows × 64² × 4 ≈ 1.05M).
+func RowCycles(n int64) uint64 { return uint64(4 * n * n) }
+
+// NewSim builds the simulated row-range task over an n×n multiply:
+// A0 = lo, A1 = hi, A2 = n. Only time is simulated; the arithmetic
+// itself is the native packages' job.
+func NewSim() *sim.Def {
+	d := &sim.Def{Name: "mm-rows"}
+	d.F = func(w *sim.W, a sim.Args) int64 {
+		lo, hi, n := a.A0, a.A1, a.A2
+		if hi-lo == 1 {
+			w.Work(RowCycles(n))
+			return 1
+		}
+		mid := (lo + hi) / 2
+		d.Spawn(w, sim.Args{A0: mid, A1: hi, A2: n})
+		x := d.Call(w, sim.Args{A0: lo, A1: mid, A2: n})
+		y := w.Join()
+		return x + y
+	}
+	return d
+}
+
+// NewSimReps wraps the simulated multiply in reps serialized parallel
+// regions: A0 = n, A1 = reps.
+func NewSimReps() *sim.Def {
+	rows := NewSim()
+	d := &sim.Def{Name: "mm-reps"}
+	d.F = func(w *sim.W, a sim.Args) int64 {
+		var total int64
+		for r := int64(0); r < a.A1; r++ {
+			total += rows.Call(w, sim.Args{A0: 0, A1: a.A0, A2: a.A0})
+		}
+		return total
+	}
+	return d
+}

@@ -1,0 +1,55 @@
+package mm
+
+import (
+	"gowool/internal/chaselev"
+	"gowool/internal/locksched"
+)
+
+// Ports of the row-range multiply to the other native schedulers, for
+// cross-scheduler validation and native micro-comparisons (the
+// simulator, not these ports, produces the paper's multi-processor
+// figures).
+
+// NewChaseLev builds the row-range task on the deque scheduler.
+func NewChaseLev() *chaselev.TaskDefC2[Matrices] {
+	var rows *chaselev.TaskDefC2[Matrices]
+	rows = chaselev.DefineC2("mm-rows", func(w *chaselev.Worker, m *Matrices, lo, hi int64) int64 {
+		if hi-lo == 1 {
+			m.Row(lo)
+			return 1
+		}
+		mid := (lo + hi) / 2
+		rows.Spawn(w, m, mid, hi)
+		a := rows.Call(w, m, lo, mid)
+		b := rows.Join(w)
+		return a + b
+	})
+	return rows
+}
+
+// RunChaseLev multiplies on the deque pool.
+func RunChaseLev(p *chaselev.Pool, rows *chaselev.TaskDefC2[Matrices], m *Matrices) int64 {
+	return p.Run(func(w *chaselev.Worker) int64 { return rows.Call(w, m, 0, m.N) })
+}
+
+// NewLockSched builds the row-range task on the lock ladder.
+func NewLockSched() *locksched.TaskDefC2[Matrices] {
+	var rows *locksched.TaskDefC2[Matrices]
+	rows = locksched.DefineC2("mm-rows", func(w *locksched.Worker, m *Matrices, lo, hi int64) int64 {
+		if hi-lo == 1 {
+			m.Row(lo)
+			return 1
+		}
+		mid := (lo + hi) / 2
+		rows.Spawn(w, m, mid, hi)
+		a := rows.Call(w, m, lo, mid)
+		b := rows.Join(w)
+		return a + b
+	})
+	return rows
+}
+
+// RunLockSched multiplies on the lock-ladder pool.
+func RunLockSched(p *locksched.Pool, rows *locksched.TaskDefC2[Matrices], m *Matrices) int64 {
+	return p.Run(func(w *locksched.Worker) int64 { return rows.Call(w, m, 0, m.N) })
+}

@@ -1,0 +1,109 @@
+// Package nqueens is an irregular search-tree workload: subtree sizes
+// are unpredictable and wildly skewed, the situation the paper's
+// Section III-B flags for the private-task scheme ("if the task tree
+// is balanced, fewer public task descriptors suffice to keep all
+// workers busy while very unbalanced trees require more") and that
+// its introduction gives as the reason manual cut-offs fail ("task
+// execution times can not be predicted in advance").
+//
+// Boards are packed into one int64 (4 bits per placed row, n ≤ 15), so
+// a complete search state rides in a task descriptor's integer slots.
+package nqueens
+
+import (
+	"gowool/internal/core"
+	"gowool/internal/sim"
+)
+
+// MaxN is the largest supported board (4-bit column packing).
+const MaxN = 15
+
+// ok reports whether a queen at (rows, col) is compatible with board.
+func ok(rows, board, col int64) bool {
+	for r := int64(0); r < rows; r++ {
+		c := (board >> (4 * r)) & 0xf
+		if c == col || c-col == rows-r || col-c == rows-r {
+			return false
+		}
+	}
+	return true
+}
+
+// Serial counts the solutions of the n-queens problem.
+func Serial(n int64) int64 {
+	return serialFrom(0, 0, n)
+}
+
+func serialFrom(board, rows, n int64) int64 {
+	if rows == n {
+		return 1
+	}
+	var total int64
+	for col := int64(0); col < n; col++ {
+		if ok(rows, board, col) {
+			total += serialFrom(board|col<<(4*rows), rows+1, n)
+		}
+	}
+	return total
+}
+
+// NewWool builds the task: arguments are (board, rows, n); every
+// feasible placement is spawned with no cutoff.
+func NewWool() *core.TaskDef3 {
+	var nq *core.TaskDef3
+	nq = core.Define3("nqueens", func(w *core.Worker, board, rows, n int64) int64 {
+		if rows == n {
+			return 1
+		}
+		spawned := 0
+		for col := int64(0); col < n; col++ {
+			if !ok(rows, board, col) {
+				continue
+			}
+			nq.Spawn(w, board|col<<(4*rows), rows+1, n)
+			spawned++
+		}
+		var total int64
+		for i := 0; i < spawned; i++ {
+			total += nq.Join(w)
+		}
+		return total
+	})
+	return nq
+}
+
+// RunWool counts solutions on the pool.
+func RunWool(p *core.Pool, nq *core.TaskDef3, n int64) int64 {
+	return p.Run(func(w *core.Worker) int64 { return nq.Call(w, 0, 0, n) })
+}
+
+// NodeCycles is the simulated cost of one placement check pass (the
+// feasibility loop over placed rows, ~6 cycles per comparison, plus
+// task body overheadry).
+func NodeCycles(rows int64) uint64 { return 20 + 6*uint64(rows) }
+
+// NewSim builds the simulated task: A0 = board, A1 = rows, A2 = n.
+func NewSim() *sim.Def {
+	d := &sim.Def{Name: "nqueens"}
+	d.F = func(w *sim.W, a sim.Args) int64 {
+		board, rows, n := a.A0, a.A1, a.A2
+		w.Work(NodeCycles(rows) * uint64(n))
+		if rows == n {
+			return 1
+		}
+		spawned := 0
+		for col := int64(0); col < n; col++ {
+			if !ok(rows, board, col) {
+				continue
+			}
+			d.Spawn(w, sim.Args{A0: board | col<<(4*rows), A1: rows + 1, A2: n})
+			spawned++
+		}
+		var total int64
+		for i := 0; i < spawned; i++ {
+			total += w.Join()
+		}
+		return total
+	}
+	return d
+}

@@ -1,0 +1,104 @@
+package nqueens
+
+import (
+	"runtime"
+	"testing"
+
+	"gowool/internal/core"
+	"gowool/internal/costmodel"
+	"gowool/internal/sim"
+)
+
+// Known n-queens solution counts.
+var known = map[int64]int64{
+	1: 1, 2: 0, 3: 0, 4: 2, 5: 10, 6: 4, 7: 40, 8: 92, 9: 352, 10: 724,
+}
+
+func TestSerialKnownCounts(t *testing.T) {
+	for n, want := range known {
+		if got := Serial(n); got != want {
+			t.Errorf("Serial(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestWoolMatchesSerial(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, workers := range []int{1, 2, 4} {
+		p := core.NewPool(core.Options{Workers: workers, PrivateTasks: true})
+		nq := NewWool()
+		if got := RunWool(p, nq, 8); got != known[8] {
+			t.Errorf("workers=%d: %d, want %d", workers, got, known[8])
+		}
+		p.Close()
+	}
+}
+
+func TestSimMatchesSerial(t *testing.T) {
+	for _, procs := range []int{1, 4, 8} {
+		res := sim.Run(sim.Config{Procs: procs, Kind: sim.KindDirectStack,
+			Costs: costmodel.Wool(), PrivateTasks: true}, NewSim(), sim.Args{A2: 8})
+		if res.Value != known[8] {
+			t.Errorf("procs=%d: %d, want %d", procs, res.Value, known[8])
+		}
+	}
+}
+
+// TestPublicWindowSensitivity exercises the Section III-B trade-off
+// with a deterministic sweep of the public window: for a balanced tree
+// the narrowest window is sufficient for load balance (per the paper:
+// "if the task tree is balanced, fewer public task descriptors
+// suffice") and wide windows only add public-join cost; the irregular
+// n-queens tree must stay correct — and keep publishing through the
+// trip wire — across the whole sweep.
+func TestPublicWindowSensitivity(t *testing.T) {
+	run := func(def *sim.Def, args sim.Args, ip int) sim.Result {
+		return sim.Run(sim.Config{Procs: 8, Kind: sim.KindDirectStack,
+			Costs: costmodel.Wool(), PrivateTasks: true,
+			InitialPublic: ip, PublishAmount: ip, Seed: 31}, def, args)
+	}
+	balanced := &sim.Def{Name: "balanced"}
+	balanced.F = func(w *sim.W, a sim.Args) int64 {
+		if a.A0 == 0 {
+			w.Work(180)
+			return 1
+		}
+		balanced.Spawn(w, sim.Args{A0: a.A0 - 1})
+		x := balanced.Call(w, sim.Args{A0: a.A0 - 1})
+		y := w.Join()
+		return x + y
+	}
+	balNarrow := run(balanced, sim.Args{A0: 12}, 1)
+	balWide := run(balanced, sim.Args{A0: 12}, 16)
+	if balNarrow.Value != 4096 || balWide.Value != 4096 {
+		t.Fatalf("balanced tree wrong: %d / %d", balNarrow.Value, balWide.Value)
+	}
+	if balNarrow.Makespan >= balWide.Makespan {
+		t.Errorf("balanced tree: narrow window (%d) should beat wide (%d) — balanced trees need few public descriptors",
+			balNarrow.Makespan, balWide.Makespan)
+	}
+
+	for _, ip := range []int{1, 2, 8, 16} {
+		nq := run(NewSim(), sim.Args{A2: 9}, ip)
+		if nq.Value != known[9] {
+			t.Errorf("nqueens ip=%d: %d, want %d", ip, nq.Value, known[9])
+		}
+		if ip <= 2 && nq.Total.Publications == 0 && nq.Total.Steals > 8 {
+			t.Errorf("nqueens ip=%d: steals (%d) without trip-wire publications", ip, nq.Total.Steals)
+		}
+	}
+}
+
+func TestQuickWoolEquivalence(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	nq := NewWool()
+	for n := int64(1); n <= 8; n++ {
+		p := core.NewPool(core.Options{Workers: 3})
+		if got := RunWool(p, nq, n); got != Serial(n) {
+			t.Errorf("n=%d: %d, want %d", n, got, Serial(n))
+		}
+		p.Close()
+	}
+}

@@ -1,0 +1,58 @@
+package ssf
+
+import (
+	"gowool/internal/chaselev"
+	"gowool/internal/locksched"
+)
+
+// Ports of the position-range scan to the other native schedulers.
+
+// NewChaseLev builds the position-range task on the deque scheduler.
+func NewChaseLev() *chaselev.TaskDefC2[Work] {
+	var span *chaselev.TaskDefC2[Work]
+	span = chaselev.DefineC2("ssf-range", func(w *chaselev.Worker, wk *Work, lo, hi int64) int64 {
+		if hi-lo == 1 {
+			best, _ := Position(wk.S, lo)
+			if wk.Out != nil {
+				wk.Out[lo] = best
+			}
+			return best
+		}
+		mid := (lo + hi) / 2
+		span.Spawn(w, wk, mid, hi)
+		a := span.Call(w, wk, lo, mid)
+		b := span.Join(w)
+		return a + b
+	})
+	return span
+}
+
+// RunChaseLev scans on the deque pool, returning the checksum.
+func RunChaseLev(p *chaselev.Pool, d *chaselev.TaskDefC2[Work], wk *Work) int64 {
+	return p.Run(func(w *chaselev.Worker) int64 { return d.Call(w, wk, 0, int64(len(wk.S))) })
+}
+
+// NewLockSched builds the position-range task on the lock ladder.
+func NewLockSched() *locksched.TaskDefC2[Work] {
+	var span *locksched.TaskDefC2[Work]
+	span = locksched.DefineC2("ssf-range", func(w *locksched.Worker, wk *Work, lo, hi int64) int64 {
+		if hi-lo == 1 {
+			best, _ := Position(wk.S, lo)
+			if wk.Out != nil {
+				wk.Out[lo] = best
+			}
+			return best
+		}
+		mid := (lo + hi) / 2
+		span.Spawn(w, wk, mid, hi)
+		a := span.Call(w, wk, lo, mid)
+		b := span.Join(w)
+		return a + b
+	})
+	return span
+}
+
+// RunLockSched scans on the lock-ladder pool, returning the checksum.
+func RunLockSched(p *locksched.Pool, d *locksched.TaskDefC2[Work], wk *Work) int64 {
+	return p.Run(func(w *locksched.Worker) int64 { return d.Call(w, wk, 0, int64(len(wk.S))) })
+}

@@ -1,0 +1,64 @@
+package stress
+
+import (
+	"gowool/internal/cilkstyle"
+)
+
+// Steal-parent (Cilk-style) port of the stress kernel, written as the
+// explicit continuation state machine the cilkstyle scheduler requires
+// — the shape Cilk++'s compiler generates for
+//
+//	a = spawn tree(h-1); b = spawn tree(h-1); sync; return a+b;
+
+// CilkFrame is the cactus-stack frame of one tree node.
+type CilkFrame struct {
+	cilkstyle.Frame
+	height int64
+	iters  int64
+	a, b   int64
+	res    *int64
+}
+
+// NewCilkFrame builds a root frame whose result lands in res.
+func NewCilkFrame(height, iters int64, res *int64) *CilkFrame {
+	return &CilkFrame{height: height, iters: iters, res: res}
+}
+
+// Step0 is the entry step.
+func (f *CilkFrame) Step0(w *cilkstyle.Worker) cilkstyle.Step {
+	if f.height == 0 {
+		*f.res = SpinLeaf(f.iters)
+		return w.Return(&f.Frame)
+	}
+	child := &CilkFrame{height: f.height - 1, iters: f.iters, res: &f.a}
+	cilkstyle.NewChild(&f.Frame, &child.Frame)
+	return w.Spawn(&f.Frame, f.step1, child.Step0)
+}
+
+func (f *CilkFrame) step1(w *cilkstyle.Worker) cilkstyle.Step {
+	child := &CilkFrame{height: f.height - 1, iters: f.iters, res: &f.b}
+	cilkstyle.NewChild(&f.Frame, &child.Frame)
+	return w.Spawn(&f.Frame, f.step2, child.Step0)
+}
+
+func (f *CilkFrame) step2(w *cilkstyle.Worker) cilkstyle.Step {
+	return w.Sync(&f.Frame, f.step3)
+}
+
+func (f *CilkFrame) step3(w *cilkstyle.Worker) cilkstyle.Step {
+	*f.res = f.a + f.b
+	return w.Return(&f.Frame)
+}
+
+// RunCilk executes reps serialized repetitions on the steal-parent
+// pool and returns the total leaf count.
+func RunCilk(p *cilkstyle.Pool, height, iters, reps int64) int64 {
+	var total int64
+	for r := int64(0); r < reps; r++ {
+		var res int64
+		root := NewCilkFrame(height, iters, &res)
+		p.Run(&root.Frame, root.Step0)
+		total += res
+	}
+	return total
+}

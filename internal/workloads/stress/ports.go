@@ -1,0 +1,58 @@
+package stress
+
+import (
+	"gowool/internal/chaselev"
+	"gowool/internal/ompstyle"
+)
+
+// Ports of the stress kernel to the remaining native schedulers.
+
+// NewChaseLev builds the task tree on the deque scheduler.
+func NewChaseLev() *chaselev.TaskDef2 {
+	var tree *chaselev.TaskDef2
+	tree = chaselev.Define2("stress", func(w *chaselev.Worker, height, iters int64) int64 {
+		if height == 0 {
+			return SpinLeaf(iters)
+		}
+		tree.Spawn(w, height-1, iters)
+		a := tree.Call(w, height-1, iters)
+		b := tree.Join(w)
+		return a + b
+	})
+	return tree
+}
+
+// RunChaseLev executes reps serialized repetitions on the deque pool.
+func RunChaseLev(p *chaselev.Pool, tree *chaselev.TaskDef2, height, iters, reps int64) int64 {
+	return p.Run(func(w *chaselev.Worker) int64 {
+		var total int64
+		for r := int64(0); r < reps; r++ {
+			total += tree.Call(w, height, iters)
+		}
+		return total
+	})
+}
+
+// OMP runs one tree with OpenMP-style tasks (spawn one child task per
+// node, compute the other branch inline, taskwait).
+func OMP(tc *ompstyle.Context, height, iters int64) int64 {
+	if height == 0 {
+		return SpinLeaf(iters)
+	}
+	var a int64
+	tc.SpawnTask(func(tc2 *ompstyle.Context) { a = OMP(tc2, height-1, iters) })
+	b := OMP(tc, height-1, iters)
+	tc.Taskwait()
+	return a + b
+}
+
+// RunOMP executes reps serialized repetitions on the OpenMP-style pool.
+func RunOMP(p *ompstyle.Pool, height, iters, reps int64) int64 {
+	return p.Run(func(tc *ompstyle.Context) int64 {
+		var total int64
+		for r := int64(0); r < reps; r++ {
+			total += OMP(tc, height, iters)
+		}
+		return total
+	})
+}

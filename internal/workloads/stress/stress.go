@@ -1,0 +1,142 @@
+// Package stress is the paper's stress micro benchmark (Section IV-A):
+// a balanced binary tree of tasks whose leaves run a simple loop with
+// no memory references, repeated many times with serialization between
+// repetitions. Leaf iterations and tree height control task and
+// region granularity precisely, which is what makes it the paper's
+// instrument for measuring load-balancing performance (Figures 1, 4,
+// Table III) — "for some systems, this overhead is large enough that
+// adding processors makes performance worse."
+//
+// The paper's two workload sets use leaves of 256 iterations (512
+// cycles) and 4096 iterations (8K cycles): two cycles per iteration,
+// which is what the simulated version charges.
+package stress
+
+import (
+	"gowool/internal/core"
+	"gowool/internal/locksched"
+	"gowool/internal/sim"
+)
+
+// CyclesPerIter is the paper's cost of one leaf loop iteration (a
+// simple no-memory loop retires ~2 cycles per iteration).
+const CyclesPerIter = 2
+
+// SpinLeaf is the leaf kernel: iters iterations of a loop making no
+// memory references. Returns 1 so tree results count leaves.
+//
+//go:noinline
+func SpinLeaf(iters int64) int64 {
+	acc := uint64(1)
+	for i := int64(0); i < iters; i++ {
+		acc = acc*6364136223846793005 + 1442695040888963407
+	}
+	if acc == 0 { // never true; keeps the loop from being optimized out
+		return 0
+	}
+	return 1
+}
+
+// Serial runs one tree of the given height serially and returns the
+// leaf count.
+func Serial(height, iters int64) int64 {
+	if height == 0 {
+		return SpinLeaf(iters)
+	}
+	return Serial(height-1, iters) + Serial(height-1, iters)
+}
+
+// SerialReps runs reps serialized repetitions.
+func SerialReps(height, iters, reps int64) int64 {
+	var total int64
+	for r := int64(0); r < reps; r++ {
+		total += Serial(height, iters)
+	}
+	return total
+}
+
+// NewWool builds the task-tree kernel for the direct task stack; the
+// second argument of the task is the leaf iteration count.
+func NewWool() *core.TaskDef2 {
+	var tree *core.TaskDef2
+	tree = core.Define2("stress", func(w *core.Worker, height, iters int64) int64 {
+		if height == 0 {
+			return SpinLeaf(iters)
+		}
+		tree.Spawn(w, height-1, iters)
+		a := tree.Call(w, height-1, iters)
+		b := tree.Join(w)
+		return a + b
+	})
+	return tree
+}
+
+// RunWool executes reps serialized repetitions on the pool.
+func RunWool(p *core.Pool, tree *core.TaskDef2, height, iters, reps int64) int64 {
+	return p.Run(func(w *core.Worker) int64 {
+		var total int64
+		for r := int64(0); r < reps; r++ {
+			total += tree.Call(w, height, iters)
+		}
+		return total
+	})
+}
+
+// NewLockSched builds the kernel for the lock ladder (Figure 4 runs).
+func NewLockSched() *locksched.TaskDef2 {
+	var tree *locksched.TaskDef2
+	tree = locksched.Define2("stress", func(w *locksched.Worker, height, iters int64) int64 {
+		if height == 0 {
+			return SpinLeaf(iters)
+		}
+		tree.Spawn(w, height-1, iters)
+		a := tree.Call(w, height-1, iters)
+		b := tree.Join(w)
+		return a + b
+	})
+	return tree
+}
+
+// RunLockSched executes reps serialized repetitions on the pool.
+func RunLockSched(p *locksched.Pool, tree *locksched.TaskDef2, height, iters, reps int64) int64 {
+	return p.Run(func(w *locksched.Worker) int64 {
+		var total int64
+		for r := int64(0); r < reps; r++ {
+			total += tree.Call(w, height, iters)
+		}
+		return total
+	})
+}
+
+// NewSim builds the simulated kernel: A0 = height, A1 = leaf
+// iterations (charged at CyclesPerIter virtual cycles each).
+func NewSim() *sim.Def {
+	d := &sim.Def{Name: "stress"}
+	d.F = func(w *sim.W, a sim.Args) int64 {
+		height, iters := a.A0, a.A1
+		if height == 0 {
+			w.Work(uint64(iters) * CyclesPerIter)
+			return 1
+		}
+		d.Spawn(w, sim.Args{A0: height - 1, A1: iters})
+		x := d.Call(w, sim.Args{A0: height - 1, A1: iters})
+		y := w.Join()
+		return x + y
+	}
+	return d
+}
+
+// NewSimReps wraps the simulated kernel in reps serialized parallel
+// regions: A0 = height, A1 = iters, A2 = reps.
+func NewSimReps() *sim.Def {
+	tree := NewSim()
+	d := &sim.Def{Name: "stress-reps"}
+	d.F = func(w *sim.W, a sim.Args) int64 {
+		var total int64
+		for r := int64(0); r < a.A2; r++ {
+			total += tree.Call(w, sim.Args{A0: a.A0, A1: a.A1})
+		}
+		return total
+	}
+	return d
+}

@@ -1,0 +1,118 @@
+package stress
+
+import (
+	"runtime"
+	"testing"
+
+	"gowool/internal/cilkstyle"
+	"gowool/internal/core"
+	"gowool/internal/costmodel"
+	"gowool/internal/locksched"
+	"gowool/internal/sim"
+)
+
+func TestSerialCountsLeaves(t *testing.T) {
+	if got := Serial(5, 16); got != 32 {
+		t.Errorf("Serial(5) = %d leaves, want 32", got)
+	}
+	if got := SerialReps(3, 16, 10); got != 80 {
+		t.Errorf("SerialReps = %d, want 80", got)
+	}
+}
+
+func TestWoolMatchesSerial(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	p := core.NewPool(core.Options{Workers: 4, PrivateTasks: true})
+	defer p.Close()
+	tree := NewWool()
+	if got := RunWool(p, tree, 7, 256, 20); got != 20*128 {
+		t.Errorf("wool: %d, want %d", got, 20*128)
+	}
+}
+
+func TestLockSchedMatchesSerial(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, strat := range []locksched.StealStrategy{locksched.StealBase, locksched.StealPeek, locksched.StealTryLock} {
+		p := locksched.NewPool(locksched.Options{Workers: 4, Strategy: strat})
+		tree := NewLockSched()
+		if got := RunLockSched(p, tree, 6, 256, 10); got != 10*64 {
+			t.Errorf("%v: %d, want %d", strat, got, 10*64)
+		}
+		p.Close()
+	}
+}
+
+func TestSimLeafWorkCharged(t *testing.T) {
+	res := sim.Run(sim.Config{Procs: 1, Kind: sim.KindDirectStack, Costs: costmodel.Wool(),
+		TrackSpan: true}, NewSim(), sim.Args{A0: 6, A1: 256})
+	if res.Value != 64 {
+		t.Fatalf("leaves = %d, want 64", res.Value)
+	}
+	wantWork := uint64(64 * 256 * CyclesPerIter)
+	if res.Work != wantWork {
+		t.Errorf("work = %d, want %d", res.Work, wantWork)
+	}
+	// The paper quotes 512-cycle leaves for 256 iterations.
+	if leaf := res.Work / 64; leaf != 512 {
+		t.Errorf("leaf cost = %d cycles, want 512", leaf)
+	}
+}
+
+func TestSimRepsSerializeRegions(t *testing.T) {
+	res := sim.Run(sim.Config{Procs: 8, Kind: sim.KindDirectStack, Costs: costmodel.Wool()},
+		NewSimReps(), sim.Args{A0: 3, A1: 4096, A2: 50})
+	if res.Value != 50*8 {
+		t.Fatalf("leaves = %d, want 400", res.Value)
+	}
+	// Each region is only 8 leaves: at 8 procs the steals per region
+	// must be bounded by the region's task count.
+	if res.Total.Steals > 50*7 {
+		t.Errorf("steals = %d, want <= %d (bounded by tasks per region)", res.Total.Steals, 50*7)
+	}
+}
+
+func TestSpinLeafScalesLinearly(t *testing.T) {
+	if SpinLeaf(0) != 1 || SpinLeaf(100000) != 1 {
+		t.Error("SpinLeaf result wrong")
+	}
+}
+
+func TestCilkStyleMatchesSerial(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, workers := range []int{1, 2, 4} {
+		p := cilkstyle.NewPool(cilkstyle.Options{Workers: workers})
+		got := RunCilk(p, 6, 128, 5)
+		p.Close()
+		if want := SerialReps(6, 128, 5); got != want {
+			t.Errorf("workers=%d: got %d want %d", workers, got, want)
+		}
+	}
+}
+
+func TestCilkSimTreeMatchesSerial(t *testing.T) {
+	for _, procs := range []int{1, 2, 8} {
+		cfg := sim.Config{Procs: procs, Costs: costmodel.CilkPP(), Seed: 5}
+		got, _ := RunCilkSimReps(cfg, 6, 256, 10)
+		if want := int64(10 * 64); got != want {
+			t.Errorf("procs=%d: leaves = %d, want %d", procs, got, want)
+		}
+	}
+}
+
+// TestCilkSimConstantSpaceSpawnLoop is the paper's Section I-a space
+// property, on the simulator: under steal-parent execution the task
+// pool holds at most one continuation regardless of loop length, where
+// a steal-child pool would hold one task per element.
+func TestCilkSimConstantSpaceSpawnLoop(t *testing.T) {
+	cfg := sim.Config{Procs: 1, Costs: costmodel.CilkPP()}
+	hits, res := RunCilkSimSpawnLoop(cfg, 5000, 16)
+	if hits != 5000 {
+		t.Fatalf("leaves = %d, want 5000", hits)
+	}
+	if res.MaxDeque > 1 {
+		t.Errorf("steal-parent pool high-water = %d, want <= 1 (constant space)", res.MaxDeque)
+	}
+}
