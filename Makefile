@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test race bench all
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the scheduler core (thief/victim protocol, trip wire,
+# park/wake handshake).
+race:
+	$(GO) test -race -count=1 ./internal/core/...
+
+# Machine-readable fast-path/idle-engine numbers for the perf
+# trajectory; commit the refreshed BENCH_core.json with perf PRs.
+bench:
+	$(GO) run ./cmd/woolbench -corejson BENCH_core.json

@@ -149,6 +149,63 @@ func BenchmarkSpawnJoin(b *testing.B) {
 	})
 }
 
+// BenchmarkSpawnJoinPrivate is the tracked fast-path guard: one
+// private spawn+join pair (plain loads and stores only — with the
+// owner-side publicLimit shadow, zero atomic operations).
+func BenchmarkSpawnJoinPrivate(b *testing.B) {
+	p := gowool.NewPool(gowool.Options{Workers: 1, PrivateTasks: true})
+	defer p.Close()
+	noop := gowool.Define1("noop", func(w *gowool.Worker, x int64) int64 { return x })
+	b.ResetTimer()
+	p.Run(func(w *gowool.Worker) int64 {
+		for i := 0; i < b.N; i++ {
+			noop.Spawn(w, 1)
+			noop.Join(w)
+		}
+		return 0
+	})
+}
+
+// BenchmarkSpawnJoinPublic is the public-descriptor pair: the join
+// pays its atomic exchange, the spawn still avoids atomic loads.
+func BenchmarkSpawnJoinPublic(b *testing.B) {
+	p := gowool.NewPool(gowool.Options{Workers: 1})
+	defer p.Close()
+	noop := gowool.Define1("noop", func(w *gowool.Worker, x int64) int64 { return x })
+	b.ResetTimer()
+	p.Run(func(w *gowool.Worker) int64 {
+		for i := 0; i < b.N; i++ {
+			noop.Spawn(w, 1)
+			noop.Join(w)
+		}
+		return 0
+	})
+}
+
+// BenchmarkIdleWake measures launching a small parallel region against
+// a pool whose thief has parked on the idle engine, so each iteration
+// pays the park→wake→steal round trip on top of the region itself.
+func BenchmarkIdleWake(b *testing.B) {
+	p := gowool.NewPool(gowool.Options{Workers: 2, PrivateTasks: true,
+		MaxIdleSleep: 50 * time.Microsecond})
+	defer p.Close()
+	tree := stress.NewWool()
+	stress.RunWool(p, tree, 4, 64, 1) // warm up
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		deadline := time.Now().Add(2 * time.Second)
+		for p.ParkedWorkers() < 1 && time.Now().Before(deadline) {
+			time.Sleep(50 * time.Microsecond)
+		}
+		if p.ParkedWorkers() < 1 {
+			b.Fatal("thief never parked between iterations")
+		}
+		b.StartTimer()
+		stress.RunWool(p, tree, 4, 64, 1)
+	}
+}
+
 // --- Figure 1 kernels, native. ---
 
 // BenchmarkFibNative runs the no-cutoff fib on the real scheduler.

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"gowool/internal/core"
+	"gowool/internal/workloads/fibw"
+	"gowool/internal/workloads/stress"
+)
+
+// coreBenchReport is the machine-readable perf snapshot written by
+// -corejson. Future PRs diff these files to track the fast-path and
+// idle-engine trajectory.
+type coreBenchReport struct {
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	NumCPU     int                `json:"num_cpu"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+	Counters   map[string]int64   `json:"counters"`
+	Notes      map[string]string  `json:"notes"`
+}
+
+// spawnJoinNs measures one spawn+join pair on a single-worker pool
+// (Table II's ladder, but against the live tree) in ns/op.
+func spawnJoinNs(private bool) float64 {
+	p := core.NewPool(core.Options{Workers: 1, PrivateTasks: private})
+	defer p.Close()
+	noop := core.Define1("noop", func(w *core.Worker, x int64) int64 { return x })
+	r := testing.Benchmark(func(b *testing.B) {
+		p.Run(func(w *core.Worker) int64 {
+			for i := 0; i < b.N; i++ {
+				noop.Spawn(w, 1)
+				noop.Join(w)
+			}
+			return 0
+		})
+	})
+	return float64(r.NsPerOp())
+}
+
+// fibWallMs runs fib(n) on a private-task pool and returns the best
+// wall time in ms across reps, with parking forced to the given mode.
+func fibWallMs(workers int, mode core.ParkMode, n int64, reps int) float64 {
+	p := core.NewPool(core.Options{Workers: workers, PrivateTasks: true, Parking: mode})
+	defer p.Close()
+	fib := fibw.NewWool()
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		p.Run(func(w *core.Worker) int64 { return fib.Call(w, n) })
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return float64(best) / float64(time.Millisecond)
+}
+
+// waitParked polls until at least n workers are parked or the deadline
+// expires.
+func waitParked(p *core.Pool, n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for p.ParkedWorkers() < n {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
+}
+
+// idleWakeUs measures a small parallel region launched against a fully
+// parked pool (wake + steal latency included) vs the same region on a
+// warm pool, in µs per region.
+func idleWakeUs() (parked, warm float64, ok bool) {
+	p := core.NewPool(core.Options{Workers: 2, PrivateTasks: true,
+		MaxIdleSleep: 50 * time.Microsecond})
+	defer p.Close()
+	tree := stress.NewWool()
+	region := func() { stress.RunWool(p, tree, 4, 64, 1) }
+	region() // warm up code paths
+
+	const rounds = 50
+	var parkedTotal time.Duration
+	for i := 0; i < rounds; i++ {
+		if !waitParked(p, 1, 2*time.Second) {
+			return 0, 0, false
+		}
+		t0 := time.Now()
+		region()
+		parkedTotal += time.Since(t0)
+	}
+	t0 := time.Now()
+	for i := 0; i < rounds; i++ {
+		region()
+	}
+	warmTotal := time.Since(t0)
+	us := func(d time.Duration) float64 {
+		return float64(d) / float64(rounds) / float64(time.Microsecond)
+	}
+	return us(parkedTotal), us(warmTotal), true
+}
+
+// idleCPUMs measures process CPU time consumed across a 200ms window
+// while an 8-worker pool sits quiescent, in ms. requireParked gates on
+// the idle engine; with parking off the pool sleep-polls through the
+// window instead.
+func idleCPUMs(mode core.ParkMode, requireParked bool) (float64, bool) {
+	p := core.NewPool(core.Options{Workers: 8, Parking: mode,
+		MaxIdleSleep: 50 * time.Microsecond})
+	defer p.Close()
+	fib := fibw.NewWool()
+	p.Run(func(w *core.Worker) int64 { return fib.Call(w, 16) })
+	if requireParked {
+		if !waitParked(p, 7, 5*time.Second) {
+			return 0, false
+		}
+	} else {
+		time.Sleep(20 * time.Millisecond) // settle into the sleep rung
+	}
+	before, ok := processCPUTime()
+	if !ok {
+		return 0, false
+	}
+	time.Sleep(200 * time.Millisecond)
+	after, _ := processCPUTime()
+	return float64(after-before) / float64(time.Millisecond), true
+}
+
+// coreCounters runs a steal-heavy private-task stress workload and
+// returns the aggregate scheduler counters.
+func coreCounters() core.Stats {
+	p := core.NewPool(core.Options{Workers: 4, PrivateTasks: true,
+		InitialPublic: 1, TripDistance: 1, PublishAmount: 1,
+		MaxIdleSleep: 50 * time.Microsecond})
+	defer p.Close()
+	tree := stress.NewWool()
+	for i := 0; i < 10; i++ {
+		stress.RunWool(p, tree, 8, 256, 4)
+		// Let workers park between regions so Parks/Wakes are exercised.
+		waitParked(p, 1, time.Second)
+	}
+	return p.Stats()
+}
+
+// runCoreBench produces BENCH_core.json: the native fast-path and
+// idle-engine numbers guarded by this repo's acceptance criteria.
+func runCoreBench(path string) error {
+	gmp := runtime.GOMAXPROCS(0)
+	if gmp < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(gmp)
+	}
+	rep := coreBenchReport{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]float64{},
+		Counters:   map[string]int64{},
+		Notes: map[string]string{
+			"spawn_join":  "ns per spawn+join pair, single worker (Table II ladder)",
+			"fib28":       "best-of-3 wall ms, fib(28), 4 workers, private tasks",
+			"idle_region": "µs per small stress region: launched against a fully parked pool vs warm",
+			"idle_cpu":    "process CPU ms consumed over a 200ms quiescent window, 8 workers",
+		},
+	}
+
+	fmt.Println("core: spawn/join ladder")
+	rep.Benchmarks["spawn_join_private_ns"] = spawnJoinNs(true)
+	rep.Benchmarks["spawn_join_public_ns"] = spawnJoinNs(false)
+
+	fmt.Println("core: fib(28) parking on vs off")
+	rep.Benchmarks["fib28_parking_on_ms"] = fibWallMs(4, core.ParkOn, 28, 3)
+	rep.Benchmarks["fib28_parking_off_ms"] = fibWallMs(4, core.ParkOff, 28, 3)
+
+	fmt.Println("core: wake latency")
+	if parked, warm, ok := idleWakeUs(); ok {
+		rep.Benchmarks["region_from_parked_us"] = parked
+		rep.Benchmarks["region_warm_us"] = warm
+	}
+
+	fmt.Println("core: quiescent CPU")
+	if ms, ok := idleCPUMs(core.ParkOn, true); ok {
+		rep.Benchmarks["idle_cpu_parked_ms"] = ms
+	}
+	if ms, ok := idleCPUMs(core.ParkOff, false); ok {
+		rep.Benchmarks["idle_cpu_sleep_poll_ms"] = ms
+	}
+
+	fmt.Println("core: counter sweep (stress, tight public boundary)")
+	st := coreCounters()
+	rep.Counters["spawns"] = st.Spawns
+	rep.Counters["steals"] = st.Steals
+	rep.Counters["steal_attempts"] = st.StealAttempts
+	rep.Counters["backoffs"] = st.Backoffs
+	rep.Counters["publications"] = st.Publications
+	rep.Counters["privatizations"] = st.Privatizations
+	rep.Counters["retained_steals"] = st.RetainedSteals
+	rep.Counters["parks"] = st.Parks
+	rep.Counters["wakes"] = st.Wakes
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -6,6 +6,7 @@
 //
 //	woolbench [-scale quick|full] [experiment ...]
 //	woolbench -list
+//	woolbench -corejson BENCH_core.json
 //
 // With no experiment arguments every experiment runs in order. The
 // multi-processor experiments run on the deterministic virtual-time
@@ -25,6 +26,7 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "quick", "input scale: quick or full")
 	list := flag.Bool("list", false, "list experiments and exit")
+	coreJSON := flag.String("corejson", "", "run the native core fast-path/idle-engine benchmarks and write machine-readable results to FILE")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: woolbench [-scale quick|full] [experiment ...]\n\nexperiments:\n")
 		for _, e := range experiments.All() {
@@ -36,6 +38,14 @@ func main() {
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s %-12s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return
+	}
+
+	if *coreJSON != "" {
+		if err := runCoreBench(*coreJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -6,6 +6,13 @@
 //
 //	woolstat -scale quick
 //	woolstat -workload stress -height 9 -iters 256 -reps 64
+//
+// With -native the workload instead runs on the real scheduler and the
+// live Stats counters are printed — spawns, steals, trip-wire
+// publications, parks/wakes from the idle engine and retained-victim
+// steal hits:
+//
+//	woolstat -native -workload fib -n 28 -workers 4
 package main
 
 import (
@@ -32,10 +39,19 @@ var (
 	height    = flag.Int64("height", 8, "stress height")
 	iters     = flag.Int64("iters", 256, "stress leaf iterations")
 	reps      = flag.Int64("reps", 16, "repetitions")
+	native    = flag.Bool("native", false, "run on the real scheduler and print live Stats counters (fib and stress only)")
+	workers   = flag.Int("workers", 4, "worker count for -native runs")
 )
 
 func main() {
 	flag.Parse()
+	if *native {
+		if err := runNative(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
 	if *workload == "" {
 		scale, err := experiments.ParseScale(*scaleFlag)
 		if err != nil {

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"gowool/internal/core"
+	"gowool/internal/tabulate"
+	"gowool/internal/workloads/fibw"
+	"gowool/internal/workloads/stress"
+)
+
+// runNative executes the selected workload on the real scheduler and
+// prints the live counter set, including the idle-engine (Parks,
+// Wakes) and victim-retention (RetainedSteals) columns introduced with
+// the parked-idle engine.
+func runNative() error {
+	if runtime.GOMAXPROCS(0) < *workers {
+		prev := runtime.GOMAXPROCS(*workers)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	p := core.NewPool(core.Options{Workers: *workers, PrivateTasks: true,
+		MaxIdleSleep: 50 * time.Microsecond})
+	defer p.Close()
+
+	var name string
+	t0 := time.Now()
+	switch *workload {
+	case "", "fib":
+		fib := fibw.NewWool()
+		name = fmt.Sprintf("fib(%d)", *n)
+		for i := int64(0); i < *reps; i++ {
+			got := p.Run(func(w *core.Worker) int64 { return fib.Call(w, *n) })
+			if want := fibw.Serial(*n); got != want {
+				return fmt.Errorf("fib(%d) = %d, want %d", *n, got, want)
+			}
+			// Quiesce between repetitions so parks/wakes show up.
+			deadline := time.Now().Add(200 * time.Millisecond)
+			for p.ParkedWorkers() < *workers-1 && time.Now().Before(deadline) {
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	case "stress":
+		tree := stress.NewWool()
+		name = fmt.Sprintf("stress(h=%d,i=%d)x%d", *height, *iters, *reps)
+		got := stress.RunWool(p, tree, *height, *iters, *reps)
+		if want := stress.SerialReps(*height, *iters, *reps); got != want {
+			return fmt.Errorf("stress = %d, want %d", got, want)
+		}
+	default:
+		return fmt.Errorf("-native supports fib and stress, not %q", *workload)
+	}
+	wall := time.Since(t0)
+
+	st := p.Stats()
+	t := tabulate.New(fmt.Sprintf("native counters — %s, %d workers (%v)", name, *workers, wall.Round(time.Millisecond)),
+		"counter", "value")
+	t.Row("spawns", st.Spawns)
+	t.Row("joins inlined private", st.JoinsInlinedPrivate)
+	t.Row("joins inlined public", st.JoinsInlinedPublic)
+	t.Row("joins stolen", st.JoinsStolen)
+	t.Row("steals", st.Steals)
+	t.Row("steal attempts", st.StealAttempts)
+	t.Row("leap steals", st.LeapSteals)
+	t.Row("backoffs", st.Backoffs)
+	t.Row("publications", st.Publications)
+	t.Row("privatizations", st.Privatizations)
+	t.Row("retained steals", st.RetainedSteals)
+	t.Row("parks", st.Parks)
+	t.Row("wakes", st.Wakes)
+	t.Row("parked now", p.ParkedWorkers())
+	t.Render(os.Stdout)
+	return nil
+}

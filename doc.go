@@ -47,6 +47,22 @@
 // Wool's SPAWN/JOIN. Run executes the root on the calling goroutine as
 // worker 0 while the pool's other workers steal.
 //
+// # Idle workers and profiling
+//
+// Between parallel regions, idle workers back off from spinning through
+// yields into capped sleeps (Options.MaxIdleSleep) and finally park on
+// an idle engine, so a quiescent pool consumes ~0% CPU; producers wake
+// parked workers the moment work becomes visible. Options.Parking
+// controls this (ParkOff, or a negative MaxIdleSleep, restores the
+// paper's dedicated-machine spinning), Stats.Parks and Stats.Wakes
+// count it, and Pool.ParkedWorkers observes it live.
+//
+// With Options.Profile enabled, the failed-steal category (ST) of the
+// TimeBreakdown is a sampled estimate: the idle loop times every 64th
+// failed steal attempt and scales it by the sampling period, keeping
+// profiled idle loops as cheap as unprofiled ones. Successful steals
+// and leapfrog searches are always timed exactly.
+//
 // The repository also contains, under internal/, the baseline
 // schedulers (Chase-Lev deque, lock-based ladder, steal-parent
 // continuation scheduler, centralized pool), the deterministic
@@ -87,6 +103,19 @@ type (
 	TaskDef2 = core.TaskDef2
 	TaskDef3 = core.TaskDef3
 	TaskDef4 = core.TaskDef4
+
+	// ParkMode selects the idle-worker parking behaviour
+	// (Options.Parking).
+	ParkMode = core.ParkMode
+)
+
+// Parking modes for Options.Parking: ParkDefault parks unless spin
+// mode (negative MaxIdleSleep) is selected; ParkOn and ParkOff force
+// the choice.
+const (
+	ParkDefault = core.ParkDefault
+	ParkOn      = core.ParkOn
+	ParkOff     = core.ParkOff
 )
 
 // NewPool creates a pool with opts.Workers workers (default

@@ -35,9 +35,36 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.MaxIdleSleep != 200*time.Microsecond {
 		t.Errorf("MaxIdleSleep default = %v", o.MaxIdleSleep)
 	}
+	if o.StealRetain != 1 {
+		t.Errorf("StealRetain default = %d, want 1", o.StealRetain)
+	}
+	if o.Parking != ParkOn {
+		t.Errorf("Parking default = %v, want ParkOn", o.Parking)
+	}
 	// Negative sleep (never sleep) must survive Defaults.
 	if n := (Options{MaxIdleSleep: -1}).Defaults(); n.MaxIdleSleep != -1 {
 		t.Errorf("negative MaxIdleSleep rewritten to %v", n.MaxIdleSleep)
+	}
+	// Spin mode implies parking off: the paper's dedicated-machine
+	// configuration must stay pure spinning.
+	if n := (Options{MaxIdleSleep: -1}).Defaults(); n.Parking != ParkOff {
+		t.Errorf("spin mode Parking = %v, want ParkOff", n.Parking)
+	}
+	// Explicit settings survive Defaults.
+	if n := (Options{Parking: ParkOff}).Defaults(); n.Parking != ParkOff {
+		t.Errorf("explicit ParkOff rewritten to %v", n.Parking)
+	}
+	if n := (Options{StealRetain: -1}).Defaults(); n.StealRetain != -1 {
+		t.Errorf("negative StealRetain rewritten to %d", n.StealRetain)
+	}
+}
+
+func TestParkModeString(t *testing.T) {
+	if ParkDefault.String() != "default" || ParkOn.String() != "on" || ParkOff.String() != "off" {
+		t.Error("park mode names wrong")
+	}
+	if ParkMode(9).String() != "ParkMode(9)" {
+		t.Error("unknown park mode formatting wrong")
 	}
 }
 

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"unsafe"
+)
+
+// --- Owner-side shadow of publicLimit -------------------------------
+
+// TestSpawnUsesOwnerShadow proves the spawn path performs zero atomic
+// loads of publicLimit: the thief-visible atomic is deliberately
+// desynchronized from the owner's shadow, and the public/private
+// decision must follow the shadow in both directions.
+func TestSpawnUsesOwnerShadow(t *testing.T) {
+	p := NewPool(Options{Workers: 1, PrivateTasks: true, InitialPublic: 2})
+	defer p.Close()
+	noop := Define1("noop", func(w *Worker, x int64) int64 { return x })
+	p.Run(func(w *Worker) int64 {
+		if w.pubShadow != 2 || w.publicLimit.Load() != 2 {
+			t.Fatalf("initial shadow/atomic = %d/%d, want 2/2", w.pubShadow, w.publicLimit.Load())
+		}
+		// Atomic says "nothing is public"; shadow says 2. A spawn that
+		// consulted the atomic would go private.
+		w.publicLimit.Store(0)
+		noop.Spawn(w, 1) // top 0 < shadow 2
+		if w.tasks[0].priv {
+			t.Error("spawn at top=0 went private: it read the atomic publicLimit, not the shadow")
+		}
+		noop.Spawn(w, 2) // top 1 < shadow 2
+		// Atomic says "everything is public"; shadow still says 2. A
+		// spawn that consulted the atomic would go public.
+		w.publicLimit.Store(int64(len(w.tasks)))
+		noop.Spawn(w, 3) // top 2 == shadow 2
+		if !w.tasks[2].priv {
+			t.Error("spawn at top=2 went public: it read the atomic publicLimit, not the shadow")
+		}
+		// Restore the invariant before joining (no thieves exist on a
+		// single-worker pool, so the desync was never observable).
+		w.publicLimit.Store(w.pubShadow)
+		for i := 0; i < 3; i++ {
+			noop.Join(w)
+		}
+		return 0
+	})
+}
+
+// TestShadowTracksPublicLimit checks the owner-shadow invariant
+// (pubShadow == publicLimit) across publications and privatizations on
+// every worker of a steal-heavy private-task run.
+func TestShadowTracksPublicLimit(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	p := NewPool(Options{Workers: 4, PrivateTasks: true,
+		InitialPublic: 1, PublishAmount: 2, PrivatizeRun: 4})
+	defer p.Close()
+	fib := fibDef()
+	for rep := 0; rep < 10; rep++ {
+		if got := p.Run(func(w *Worker) int64 { return fib.Call(w, 20) }); got != serialFib(20) {
+			t.Fatalf("rep %d: wrong result %d", rep, got)
+		}
+	}
+	st := p.Stats()
+	if st.Publications == 0 && st.Privatizations == 0 && st.Steals > 10 {
+		t.Log("boundary never moved; invariant check is vacuous this run")
+	}
+	for i, w := range p.workers {
+		if pl := w.publicLimit.Load(); w.pubShadow != pl {
+			t.Errorf("worker %d: pubShadow = %d, publicLimit = %d", i, w.pubShadow, pl)
+		}
+	}
+}
+
+// --- Cache-line-grouped Worker layout -------------------------------
+
+// TestWorkerLayout guards the padded Worker layout: the owner-private
+// fields, the thief-shared protocol words and the thief-side counters
+// must occupy pairwise-disjoint 64-byte cache lines, so owner pushes,
+// thief probes and counter flushes never false-share.
+func TestWorkerLayout(t *testing.T) {
+	const line = 64
+	var w Worker
+	type fieldSpan struct {
+		name     string
+		off, end uintptr // [off, end) in bytes
+	}
+	span := func(name string, off, size uintptr) fieldSpan {
+		return fieldSpan{name, off, off + size}
+	}
+	owner := []fieldSpan{
+		span("top", unsafe.Offsetof(w.top), unsafe.Sizeof(w.top)),
+		span("pubShadow", unsafe.Offsetof(w.pubShadow), unsafe.Sizeof(w.pubShadow)),
+		span("inlineRun", unsafe.Offsetof(w.inlineRun), unsafe.Sizeof(w.inlineRun)),
+		span("rng", unsafe.Offsetof(w.rng), unsafe.Sizeof(w.rng)),
+		span("lastVictim", unsafe.Offsetof(w.lastVictim), unsafe.Sizeof(w.lastVictim)),
+		span("stats", unsafe.Offsetof(w.stats), unsafe.Sizeof(w.stats)),
+		span("prof", unsafe.Offsetof(w.prof), unsafe.Sizeof(w.prof)),
+	}
+	thief := []fieldSpan{
+		span("bot", unsafe.Offsetof(w.bot), unsafe.Sizeof(w.bot)),
+		span("publicLimit", unsafe.Offsetof(w.publicLimit), unsafe.Sizeof(w.publicLimit)),
+		span("morePublic", unsafe.Offsetof(w.morePublic), unsafe.Sizeof(w.morePublic)),
+	}
+	counters := []fieldSpan{
+		span("stealAttempts", unsafe.Offsetof(w.stealAttempts), unsafe.Sizeof(w.stealAttempts)),
+		span("steals", unsafe.Offsetof(w.steals), unsafe.Sizeof(w.steals)),
+		span("backoffs", unsafe.Offsetof(w.backoffs), unsafe.Sizeof(w.backoffs)),
+		span("parks", unsafe.Offsetof(w.parks), unsafe.Sizeof(w.parks)),
+		span("wakes", unsafe.Offsetof(w.wakes), unsafe.Sizeof(w.wakes)),
+	}
+	sameLine := func(a, b fieldSpan) bool {
+		return a.off/line <= (b.end-1)/line && b.off/line <= (a.end-1)/line
+	}
+	checkDisjoint := func(ga, gb []fieldSpan, na, nb string) {
+		for _, a := range ga {
+			for _, b := range gb {
+				if sameLine(a, b) {
+					t.Errorf("%s field %s (offset %d) shares a cache line with %s field %s (offset %d)",
+						na, a.name, a.off, nb, b.name, b.off)
+				}
+			}
+		}
+	}
+	checkDisjoint(owner, thief, "owner", "thief")
+	checkDisjoint(thief, counters, "thief", "counter")
+	checkDisjoint(owner, counters, "owner", "counter")
+}
+
+// --- Victim selection ------------------------------------------------
+
+// stoppedPool builds a pool whose idle loops have exited, so worker
+// internals can be driven by hand without racing the real thieves.
+func stoppedPool(t *testing.T, opts Options) *Pool {
+	t.Helper()
+	p := NewPool(opts)
+	p.Close()
+	return p
+}
+
+// TestDistinctVictims covers the StealSampling > 1 fix: one sampling
+// round never probes the same victim twice, even when every probe
+// fails.
+func TestDistinctVictims(t *testing.T) {
+	p := stoppedPool(t, Options{Workers: 5, StealSampling: 3})
+	w := p.workers[1]
+	var buf [maxSampling]int
+	for seed := uint64(1); seed < 64; seed++ {
+		w.rng = seed * 0x9e3779b97f4a7c15
+		n := w.distinctVictims(3, buf[:])
+		if n != 3 {
+			t.Fatalf("seed %d: distinctVictims(3) produced %d victims, want 3", seed, n)
+		}
+		seen := map[int]bool{}
+		for _, idx := range buf[:n] {
+			if idx == w.idx {
+				t.Fatalf("seed %d: sampled self (%d)", seed, idx)
+			}
+			if seen[idx] {
+				t.Fatalf("seed %d: victim %d sampled twice in one round: %v", seed, idx, buf[:n])
+			}
+			seen[idx] = true
+		}
+	}
+	// k >= number of possible victims: enumerate them all, once each.
+	n := w.distinctVictims(maxSampling, buf[:])
+	if n != 4 {
+		t.Fatalf("distinctVictims(8) on 5 workers = %d victims, want 4", n)
+	}
+	want := map[int]bool{0: true, 2: true, 3: true, 4: true}
+	for _, idx := range buf[:n] {
+		if !want[idx] {
+			t.Fatalf("unexpected or duplicate victim %d in %v", idx, buf[:n])
+		}
+		delete(want, idx)
+	}
+}
+
+func TestDistinctVictimsSingleWorker(t *testing.T) {
+	p := stoppedPool(t, Options{Workers: 1})
+	var buf [maxSampling]int
+	if n := p.workers[0].distinctVictims(3, buf[:]); n != 0 {
+		t.Fatalf("single-worker pool produced %d victims", n)
+	}
+}
+
+// TestChooseVictimRetention drives the last-successful-victim policy by
+// hand: a stealable retained victim is probed first; once it runs dry
+// it is dropped after StealRetain misses.
+func TestChooseVictimRetention(t *testing.T) {
+	p := stoppedPool(t, Options{Workers: 4}) // StealRetain defaults to 1
+	w := p.workers[1]
+	target := p.workers[3]
+
+	w.lastVictim = 3
+	w.retainMisses = 0
+	target.tasks[0].state.Store(stateTask) // bot=0, publicLimit pinned high
+	if v := w.chooseVictim(); v != target {
+		t.Fatalf("retained stealable victim not chosen: got worker %d", v.idx)
+	}
+	if w.lastVictim != 3 {
+		t.Fatalf("retained victim dropped while still stealable")
+	}
+
+	target.tasks[0].state.Store(stateEmpty)
+	v := w.chooseVictim() // miss: must fall back to sampling and drop retention
+	if v == nil || v == w {
+		t.Fatalf("chooseVictim returned invalid fallback")
+	}
+	if w.lastVictim != -1 {
+		t.Fatalf("retained victim not dropped after %d misses (lastVictim=%d)",
+			p.opts.StealRetain, w.lastVictim)
+	}
+}
+
+// TestStealRetainDisabled checks the negative-value opt-out end to end.
+func TestStealRetainDisabled(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	p := NewPool(Options{Workers: 4, StealRetain: -1})
+	defer p.Close()
+	fib := fibDef()
+	for rep := 0; rep < 3; rep++ {
+		if got := p.Run(func(w *Worker) int64 { return fib.Call(w, 21) }); got != serialFib(21) {
+			t.Fatalf("rep %d: wrong result %d", rep, got)
+		}
+	}
+	if st := p.Stats(); st.RetainedSteals != 0 {
+		t.Errorf("retention disabled but RetainedSteals = %d", st.RetainedSteals)
+	}
+}
+
+// TestStealRetainEnabled runs a steal-heavy workload with retention on
+// and checks the accounting (hits never exceed successes, correctness
+// holds across repetitions).
+func TestStealRetainEnabled(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	p := NewPool(Options{Workers: 4})
+	defer p.Close()
+	fib := fibDef()
+	for rep := 0; rep < 5; rep++ {
+		if got := p.Run(func(w *Worker) int64 { return fib.Call(w, 22) }); got != serialFib(22) {
+			t.Fatalf("rep %d: wrong result %d", rep, got)
+		}
+	}
+	st := p.Stats()
+	if st.RetainedSteals > st.Steals {
+		t.Errorf("RetainedSteals (%d) exceeds Steals (%d)", st.RetainedSteals, st.Steals)
+	}
+	t.Logf("steals=%d retained=%d", st.Steals, st.RetainedSteals)
+}
+
+// --- Trip-wire publication under contention --------------------------
+
+// TestTripWireContentionStress keeps the public boundary as tight as
+// possible (one public slot, one-slot publications) so thieves trip the
+// wire on essentially every steal while the owner spawns and joins at
+// the boundary. Run under -race this exercises the morePublic
+// handshake; the conservation law (every spawn joined) plus correct
+// results is the "no lost publications" assertion — a lost publication
+// would strand spawned tasks and panic or deadlock the Run.
+func TestTripWireContentionStress(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	p := NewPool(Options{Workers: 4, PrivateTasks: true,
+		InitialPublic: 1, TripDistance: 1, PublishAmount: 1})
+	defer p.Close()
+	fib := fibDef()
+	reps := 30
+	if testing.Short() {
+		reps = 5
+	}
+	want := serialFib(18)
+	for rep := 0; rep < reps; rep++ {
+		if got := p.Run(func(w *Worker) int64 { return fib.Call(w, 18) }); got != want {
+			t.Fatalf("rep %d: got %d, want %d", rep, got, want)
+		}
+	}
+	st := p.Stats()
+	if st.Spawns != st.Joins() {
+		t.Errorf("conservation violated: spawns=%d joins=%d", st.Spawns, st.Joins())
+	}
+	if st.Steals > 4 && st.Publications == 0 {
+		t.Errorf("thieves stole %d times at a one-slot boundary but no publications happened", st.Steals)
+	}
+	t.Logf("steals=%d publications=%d backoffs=%d", st.Steals, st.Publications, st.Backoffs)
+}

@@ -1,0 +1,47 @@
+//go:build unix
+
+package core
+
+import (
+	"runtime"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func processCPU(t *testing.T) time.Duration {
+	t.Helper()
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		t.Fatalf("getrusage: %v", err)
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
+// TestIdleCPU is the quiescent-pool guard from the issue: an 8-worker
+// pool whose thieves have all parked must consume well under one
+// CPU-second across a 200ms idle window. Spinning (parking off) would
+// burn up to 7 CPU-threads' worth here; sleep-polling still wakes every
+// worker ~20x per window. The 100ms bound leaves headroom for the
+// runtime's own background work while failing loudly if the idle engine
+// regresses to polling.
+func TestIdleCPU(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	p := NewPool(Options{Workers: 8, MaxIdleSleep: 50 * time.Microsecond})
+	defer p.Close()
+	fib := fibDef()
+	if got := p.Run(func(w *Worker) int64 { return fib.Call(w, 16) }); got != serialFib(16) {
+		t.Fatalf("warmup: wrong result %d", got)
+	}
+	if got := waitParked(p, 7, 10*time.Second); got != 7 {
+		t.Fatalf("only %d/7 workers parked; cannot measure quiescent CPU", got)
+	}
+	before := processCPU(t)
+	time.Sleep(200 * time.Millisecond)
+	used := processCPU(t) - before
+	t.Logf("quiescent 200ms window used %v CPU", used)
+	if used > 100*time.Millisecond {
+		t.Errorf("parked pool used %v CPU over a 200ms quiescent window (want well under one CPU-second; bound 100ms)", used)
+	}
+}

@@ -61,8 +61,26 @@ type Options struct {
 	// to one uniformly random victim (1, the default and the paper's
 	// policy). Sampling trades extra read-only probes for fewer failed
 	// attempts when few pools hold work — the direction Wool's own
-	// later development took.
+	// later development took. Probes within one attempt are pairwise
+	// distinct (capped at 8).
 	StealSampling int
+
+	// StealRetain is the last-successful-victim retention policy: after
+	// a successful steal the thief returns to the same victim first,
+	// dropping it after this many consecutive probes that find nothing.
+	// Steals cluster, so the retained victim very often has more work.
+	// 0 means the default of 1; negative disables retention (every
+	// attempt picks a fresh random victim, the paper's policy).
+	StealRetain int
+
+	// Parking controls whether fully idle workers park on the pool's
+	// idle engine once the back-off ladder is exhausted, dropping a
+	// quiescent pool to ~0% CPU; producers issue a targeted wake when
+	// work appears (see park.go). ParkDefault enables parking unless
+	// MaxIdleSleep is negative (pure spinning — a dedicated machine,
+	// the paper's setup — implies no parking either). ParkOff
+	// reproduces the seed behaviour of sleep-polling forever.
+	Parking ParkMode
 
 	// BlockedJoinWait selects what a join does while its task is
 	// stolen. The default, WaitLeapfrog, steals from the thief (the
@@ -86,6 +104,35 @@ type Options struct {
 	// bounding added steal latency; negative means never sleep (pure
 	// spin + yield), matching a dedicated latency-sensitive machine.
 	MaxIdleSleep time.Duration
+}
+
+// ParkMode selects the idle-worker parking behaviour (Options.Parking).
+type ParkMode int
+
+// Parking modes.
+const (
+	// ParkDefault resolves to ParkOn, except when MaxIdleSleep is
+	// negative (pure spinning), which implies ParkOff.
+	ParkDefault ParkMode = iota
+	// ParkOn parks exhausted idle workers on the pool's idle engine.
+	ParkOn
+	// ParkOff never parks: idle workers sleep-poll forever (the seed
+	// behaviour, and the paper's dedicated-machine assumption).
+	ParkOff
+)
+
+// String names the mode.
+func (m ParkMode) String() string {
+	switch m {
+	case ParkDefault:
+		return "default"
+	case ParkOn:
+		return "on"
+	case ParkOff:
+		return "off"
+	default:
+		return fmt.Sprintf("ParkMode(%d)", int(m))
+	}
 }
 
 // WaitPolicy selects the blocked-join behaviour.
@@ -135,11 +182,26 @@ func (o Options) Defaults() Options {
 	if o.StealSampling <= 0 {
 		o.StealSampling = 1
 	}
+	if o.StealRetain == 0 {
+		o.StealRetain = 1
+	}
 	if o.MaxIdleSleep == 0 {
 		o.MaxIdleSleep = 200 * time.Microsecond
 	}
+	if o.Parking == ParkDefault {
+		if o.MaxIdleSleep < 0 {
+			o.Parking = ParkOff
+		} else {
+			o.Parking = ParkOn
+		}
+	}
 	return o
 }
+
+// parkAfterFactor scales MaxIdleSleep into the cumulative back-off
+// sleep an idle worker pays before parking (default 16 × 200µs ≈ 3.2ms
+// of quiet), keeping parking invisible during normal run-to-run gaps.
+const parkAfterFactor = 16
 
 // Pool is a work-stealing scheduler instance: a set of workers, each
 // with a direct task stack. Create one with NewPool, submit work with
@@ -147,6 +209,7 @@ func (o Options) Defaults() Options {
 type Pool struct {
 	opts    Options
 	workers []*Worker
+	idle    *idleEngine // nil when parking is disabled
 
 	shutdown atomic.Bool
 	running  atomic.Bool
@@ -166,20 +229,26 @@ func NewPool(opts Options) *Pool {
 	opts = opts.Defaults()
 	t0 := time.Now()
 	p := &Pool{opts: opts}
+	if opts.Parking == ParkOn && opts.Workers > 1 {
+		p.idle = newIdleEngine(opts.Workers, parkAfterFactor*opts.MaxIdleSleep)
+	}
 	p.workers = make([]*Worker, opts.Workers)
 	for i := range p.workers {
 		w := &Worker{
-			pool:  p,
-			idx:   i,
-			tasks: make([]Task, opts.StackSize),
-			rng:   uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+			pool:       p,
+			idx:        i,
+			idle:       p.idle,
+			tasks:      make([]Task, opts.StackSize),
+			rng:        uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+			lastVictim: -1,
 		}
 		w.prof.on = opts.Profile
 		if opts.PrivateTasks {
-			w.publicLimit.Store(int64(opts.InitialPublic))
+			w.pubShadow = int64(opts.InitialPublic)
 		} else {
-			w.publicLimit.Store(math.MaxInt64)
+			w.pubShadow = math.MaxInt64
 		}
+		w.publicLimit.Store(w.pubShadow)
 		p.workers[i] = w
 	}
 	if opts.Span {
@@ -256,7 +325,20 @@ func (p *Pool) Close() {
 	if p.shutdown.Swap(true) {
 		return
 	}
+	if p.idle != nil {
+		p.idle.wakeAll()
+	}
 	p.wg.Wait()
+}
+
+// ParkedWorkers returns the number of workers currently parked on the
+// pool's idle engine (0 when parking is disabled). Racy by nature; use
+// it for monitoring and tests, not scheduling decisions.
+func (p *Pool) ParkedWorkers() int {
+	if p.idle == nil {
+		return 0
+	}
+	return int(p.idle.parked.Load())
 }
 
 // Stats aggregates per-worker counters. Call it on a quiescent pool
@@ -277,6 +359,9 @@ func (p *Pool) WorkerStats(i int) Stats {
 	s.StealAttempts = w.stealAttempts.Load()
 	s.Steals = w.steals.Load()
 	s.Backoffs = w.backoffs.Load()
+	s.RetainedSteals = w.retainedSteals.Load()
+	s.Parks = w.parks.Load()
+	s.Wakes = w.wakes.Load()
 	return s
 }
 
@@ -287,6 +372,9 @@ func (p *Pool) ResetStats() {
 		w.stealAttempts.Store(0)
 		w.steals.Store(0)
 		w.backoffs.Store(0)
+		w.retainedSteals.Store(0)
+		w.parks.Store(0)
+		w.wakes.Store(0)
 		w.prof.reset()
 	}
 }
@@ -324,6 +412,9 @@ type Stats struct {
 	LeapSteals          int64 // successful steals made while leapfrogging
 	Publications        int64 // trip-wire publications
 	Privatizations      int64 // public-boundary pull-downs
+	RetainedSteals      int64 // successful steals from the retained victim (StealRetain hits)
+	Parks               int64 // times a worker parked on the idle engine
+	Wakes               int64 // targeted wakes this worker issued to parked peers
 }
 
 func (s *Stats) add(o *Stats) {
@@ -337,6 +428,9 @@ func (s *Stats) add(o *Stats) {
 	s.LeapSteals += o.LeapSteals
 	s.Publications += o.Publications
 	s.Privatizations += o.Privatizations
+	s.RetainedSteals += o.RetainedSteals
+	s.Parks += o.Parks
+	s.Wakes += o.Wakes
 }
 
 // Joins returns the total number of joins.
@@ -357,9 +451,14 @@ func (b TimeBreakdown) Total() time.Duration { return b.TR + b.LA + b.NA + b.ST 
 
 // profState accumulates the Figure 6 time categories in nanoseconds.
 // Atomics because idle workers keep charging ST with no happens-before
-// edge to a Profile() reader.
+// edge to a Profile() reader. ST is a sampled estimate: idleLoop times
+// only every stSamplePeriod-th failed attempt and scales it up, so
+// enabling Profile no longer doubles the idle-loop cost. tick is the
+// sampling phase, owner-private to the idle loop (not reset by
+// ResetStats, which may run while idle loops are live).
 type profState struct {
 	on             bool
+	tick           uint64
 	st, lf, na, la atomic.Int64
 }
 

@@ -11,41 +11,46 @@ import (
 // that calls Pool.Run; the remaining workers are goroutines created by
 // NewPool that steal until the pool is closed.
 //
-// The fields split into three groups:
-//   - owner-private (top, rng, counters, span state): plain access only,
-//     touched exclusively by the goroutine driving this worker;
-//   - thief-visible (bot, publicLimit, morePublic): atomics;
-//   - immutable after construction (pool, idx, tasks backing array).
+// The fields split into four groups, separated by cache-line pads so
+// the owner's push/pop traffic and the thieves' probe traffic never
+// share a line (checked by TestWorkerLayout):
+//   - immutable after construction (pool, idx, idle, tasks backing
+//     array): read by everyone, written by nobody after NewPool;
+//   - owner-private (top, pubShadow, rng, victim retention, counters,
+//     profiling state): plain access only, touched exclusively by the
+//     goroutine driving this worker;
+//   - thief-shared protocol words (bot, publicLimit, morePublic):
+//     atomics probed by every thief on every attempt;
+//   - thief-side counters (stealAttempts, steals, ...): atomics this
+//     worker bumps while acting as a thief, kept off the protocol line
+//     so counter flushes do not invalidate it under the probing
+//     thieves.
 type Worker struct {
 	pool *Pool
 	idx  int
+
+	// idle is the pool's parking engine, or nil when parking is
+	// disabled (Options.Parking, single-worker pools).
+	idle *idleEngine
 
 	// tasks is the direct task stack: descriptors stored inline, strict
 	// stack discipline. Fixed capacity (Options.StackSize); overflow is
 	// a programming error reported by panic, like native stack overflow.
 	tasks []Task
 
+	_ [64]byte // pad: end of the immutable group
+
 	// top indexes the next free descriptor. Private to the owner: this
 	// is the decoupling the paper gets from synchronizing on the task
 	// descriptor instead of on the indices.
 	top int
 
-	// bot indexes the bottom-most live task, the next steal candidate.
-	// No lock protects it; see trySteal and joinSlow for the implicit
-	// ownership protocol.
-	bot atomic.Int64
-
-	// publicLimit: descriptors with index < publicLimit are public
-	// (stealable, joined with an atomic exchange); descriptors at or
-	// above it are private (invisible to thieves, joined with plain
-	// loads and stores). When private tasks are disabled it is pinned
-	// at the stack capacity.
-	publicLimit atomic.Int64
-
-	// morePublic is the trip-wire notification flag: a thief that
-	// steals close to the public boundary sets it, and the owner
-	// publishes more descriptors at its next spawn or join.
-	morePublic atomic.Bool
+	// pubShadow is the owner's private shadow of publicLimit. The owner
+	// is the sole writer of publicLimit, so the spawn fast path and the
+	// revocable cut-off compare against this plain copy instead of
+	// paying an atomic load per spawn; the atomic below exists for the
+	// thieves. Invariant (owner's view): pubShadow == publicLimit.
+	pubShadow int64
 
 	// inlineRun counts consecutive inlined public joins; a long run is
 	// the signal that the public boundary is too high and can be pulled
@@ -53,6 +58,13 @@ type Worker struct {
 	inlineRun int
 
 	rng uint64
+
+	// lastVictim is the retained steal target: after a successful steal
+	// the thief goes straight back to the same victim (Options.
+	// StealRetain), dropping it after StealRetain consecutive probes
+	// that find nothing. -1 when empty or retention is disabled.
+	lastVictim   int
+	retainMisses int
 
 	// stats holds the owner-path counters (spawns, joins, ...): plain
 	// fields written only by the goroutine driving this worker, and
@@ -63,13 +75,42 @@ type Worker struct {
 	// Stats() reader.
 	stats Stats
 
-	stealAttempts atomic.Int64
-	steals        atomic.Int64
-	backoffs      atomic.Int64
-
 	// Profiling state (only used when pool.opts.Profile is set).
 	prof     profState
 	spanProf *SpanProfiler
+
+	_ [64]byte // pad: end of the owner-private group
+
+	// bot indexes the bottom-most live task, the next steal candidate.
+	// No lock protects it; see trySteal and joinSlow for the implicit
+	// ownership protocol.
+	bot atomic.Int64
+
+	// publicLimit: descriptors with index < publicLimit are public
+	// (stealable, joined with an atomic exchange); descriptors at or
+	// above it are private (invisible to thieves, joined with plain
+	// loads and stores). When private tasks are disabled it is pinned
+	// at the stack capacity. Written only by the owner (mirrored in
+	// pubShadow); loaded by thieves.
+	publicLimit atomic.Int64
+
+	// morePublic is the trip-wire notification flag: a thief that
+	// steals close to the public boundary sets it, and the owner
+	// publishes more descriptors at its next spawn or join.
+	morePublic atomic.Bool
+
+	_ [64]byte // pad: end of the thief-shared protocol group
+
+	// Thief-side counters. stealAttempts and backoffs are batched in
+	// plain locals by the steal loops and flushed here periodically
+	// (see stealCounters), so the failed-attempt inner loop performs no
+	// atomic RMW.
+	stealAttempts  atomic.Int64
+	steals         atomic.Int64
+	backoffs       atomic.Int64
+	retainedSteals atomic.Int64
+	parks          atomic.Int64
+	wakes          atomic.Int64
 }
 
 // Index returns the worker's index within its pool. Thief indices
@@ -82,6 +123,26 @@ func (w *Worker) Pool() *Pool { return w.pool }
 // Depth returns the number of live tasks currently in this worker's
 // pool (spawned and not yet joined or stolen-and-completed). Owner only.
 func (w *Worker) Depth() int { return w.top - int(w.bot.Load()) }
+
+// stealCounters batches a steal loop's failure-path counters in plain
+// locals; flush writes them to the worker's atomics. The loops flush
+// every 64 failed attempts, after every success, before parking and on
+// exit, so a quiescent Stats() read lags by at most one batch.
+type stealCounters struct {
+	attempts int64
+	backoffs int64
+}
+
+func (w *Worker) flushStealCounters(c *stealCounters) {
+	if c.attempts != 0 {
+		w.stealAttempts.Add(c.attempts)
+		c.attempts = 0
+	}
+	if c.backoffs != 0 {
+		w.backoffs.Add(c.backoffs)
+		c.backoffs = 0
+	}
+}
 
 // push readies the next descriptor for a spawn, handling the trip-wire
 // flag and pool overflow. It returns the descriptor; the caller fills
@@ -102,14 +163,25 @@ func (w *Worker) push() *Task {
 // paper's "the write which makes the task stealable is the last write").
 // Private descriptors just set the owner-only priv flag: no atomics at
 // all on the spawn side.
+//
+// The public/private decision reads the owner's pubShadow, never the
+// atomic publicLimit (TestSpawnUsesOwnerShadow). A public spawn that
+// creates the first stealable descriptor (bot caught up to top) wakes
+// one parked worker; the parked check is a single atomic load and is
+// skipped entirely while anything is running.
 func (w *Worker) spawn(t *Task) {
-	if int64(w.top) < w.publicLimit.Load() {
+	if int64(w.top) < w.pubShadow {
 		t.priv = false
 		t.state.Store(stateTask)
+		w.top++
+		if w.idle != nil && w.idle.parked.Load() != 0 &&
+			int64(w.top)-1 == w.bot.Load() {
+			w.idle.wakeOne(w)
+		}
 	} else {
 		t.priv = true
+		w.top++
 	}
-	w.top++
 	w.stats.Spawns++
 	if w.spanProf != nil {
 		w.spanProf.onSpawn()
@@ -169,7 +241,8 @@ func (w *Worker) noteInlinedPublic() {
 	if w.inlineRun >= w.pool.opts.PrivatizeRun {
 		w.inlineRun = 0
 		newPL := int64(w.top + w.pool.opts.InitialPublic)
-		if newPL < w.publicLimit.Load() {
+		if newPL < w.pubShadow {
+			w.pubShadow = newPL
 			w.publicLimit.Store(newPL)
 			w.stats.Privatizations++
 		}
@@ -179,11 +252,12 @@ func (w *Worker) noteInlinedPublic() {
 // publishMore answers a trip-wire notification: convert up to
 // PublishAmount private descriptors to public and raise the limit.
 // Owner only. The atomic store of publicLimit is the release making the
-// state stores visible to thieves that load the limit.
+// state stores visible to thieves that load the limit; parked workers
+// get a targeted wake since fresh public work just appeared.
 func (w *Worker) publishMore() {
 	w.morePublic.Store(false)
 	w.inlineRun = 0
-	pl := w.publicLimit.Load()
+	pl := w.pubShadow
 	newPL := pl + int64(w.pool.opts.PublishAmount)
 	if max := int64(len(w.tasks)); newPL > max {
 		newPL = max
@@ -195,8 +269,12 @@ func (w *Worker) publishMore() {
 			t.state.Store(stateTask)
 		}
 	}
+	w.pubShadow = newPL
 	w.publicLimit.Store(newPL)
 	w.stats.Publications++
+	if w.idle != nil && w.idle.parked.Load() != 0 {
+		w.idle.wakeOne(w)
+	}
 }
 
 // joinSlow is RTS_join from the paper: the swap in the fast path
@@ -279,6 +357,7 @@ func (w *Worker) leapfrog(t *Task, thief int) {
 		return
 	}
 	victim := w.pool.workers[thief]
+	var sc stealCounters
 	var tLF, tLA time.Duration
 	fails := 0
 	for t.state.Load() != stateDone {
@@ -286,7 +365,7 @@ func (w *Worker) leapfrog(t *Task, thief int) {
 		if w.prof.on {
 			start = time.Now()
 		}
-		ok := w.trySteal(victim, true)
+		ok := w.trySteal(victim, true, &sc)
 		if w.prof.on {
 			d := time.Since(start)
 			if ok {
@@ -297,14 +376,19 @@ func (w *Worker) leapfrog(t *Task, thief int) {
 		}
 		if ok {
 			w.stats.LeapSteals++
+			w.flushStealCounters(&sc)
 			fails = 0
 		} else {
 			fails++
-			if fails&0x3f == 0 || runtime.GOMAXPROCS(0) == 1 {
+			if fails&0x3f == 0 {
+				w.flushStealCounters(&sc)
+				runtime.Gosched()
+			} else if runtime.GOMAXPROCS(0) == 1 {
 				runtime.Gosched()
 			}
 		}
 	}
+	w.flushStealCounters(&sc)
 	if w.prof.on {
 		w.prof.lf.Add(int64(tLF))
 		w.prof.la.Add(int64(tLA))
@@ -314,7 +398,8 @@ func (w *Worker) leapfrog(t *Task, thief int) {
 // trySteal is RTS_steal from the paper. It attempts to steal the task
 // at victim.bot and run it to completion on w. leap marks steals made
 // from inside a blocked join (leapfrogging) so profiling can attribute
-// the acquired application time to the LA category.
+// the acquired application time to the LA category. sc batches the
+// failure-path counters; the caller flushes them (flushStealCounters).
 //
 // Protocol, in order:
 //  1. read bot; give up if it is outside the victim's public region or
@@ -328,11 +413,11 @@ func (w *Worker) leapfrog(t *Task, thief int) {
 //     and a joining owner wait;
 //  5. commit: state=STOLEN(self), bot=b+1 (the thief now owns bot),
 //     run the wrapper, state=DONE.
-func (w *Worker) trySteal(victim *Worker, leap bool) bool {
+func (w *Worker) trySteal(victim *Worker, leap bool, sc *stealCounters) bool {
 	if victim == w {
 		return false
 	}
-	w.stealAttempts.Add(1)
+	sc.attempts++
 	b := victim.bot.Load()
 	if b >= victim.publicLimit.Load() || b >= int64(len(victim.tasks)) {
 		return false
@@ -349,14 +434,18 @@ func (w *Worker) trySteal(victim *Worker, leap bool) bool {
 		// ABA guard: the descriptor was joined and re-spawned while we
 		// were between reading bot and the CAS. Restore and back off.
 		t.state.Store(s1)
-		w.backoffs.Add(1)
+		sc.backoffs++
 		return false
 	}
 	// Trip wire: stealing at or past the wire means the public region
-	// is running dry; ask the owner to publish more.
+	// is running dry; ask the owner to publish more, and pre-wake a
+	// parked worker for the work about to appear.
 	if w.pool.opts.PrivateTasks &&
 		b >= victim.publicLimit.Load()-int64(w.pool.opts.TripDistance) {
 		victim.morePublic.Store(true)
+		if w.idle != nil && w.idle.parked.Load() != 0 {
+			w.idle.wakeOne(w)
+		}
 	}
 	t.state.Store(stolenState(w.idx))
 	victim.bot.Store(b + 1)
@@ -412,47 +501,154 @@ func (w *Worker) nextVictim() int {
 	return v
 }
 
-// chooseVictim picks a steal target: with StealSampling > 1 it probes
+// stealableAt reports whether v's bottom descriptor currently looks
+// stealable (read-only probe; the state can of course change between
+// the probe and a steal attempt).
+func stealableAt(v *Worker) bool {
+	b := v.bot.Load()
+	return b < v.publicLimit.Load() && b < int64(len(v.tasks)) &&
+		v.tasks[b].state.Load() == stateTask
+}
+
+// maxSampling caps Options.StealSampling's distinct-victim bookkeeping.
+const maxSampling = 8
+
+// distinctVictims fills out with up to k pairwise-distinct victim
+// indices (never w.idx) and returns how many it produced. With fewer
+// than k possible victims it enumerates them all; otherwise it
+// rejection-samples from the xorshift stream with a bounded number of
+// redraws, so a StealSampling > 1 probe never wastes slots re-probing
+// the same victim (the all-probes-fail case previously could return a
+// duplicate set).
+func (w *Worker) distinctVictims(k int, out []int) int {
+	n := len(w.pool.workers) - 1
+	if n <= 0 {
+		return 0
+	}
+	if k > len(out) {
+		k = len(out)
+	}
+	if k >= n {
+		j := 0
+		for i := range w.pool.workers {
+			if i != w.idx && j < len(out) {
+				out[j] = i
+				j++
+			}
+		}
+		return j
+	}
+	cnt := 0
+	for tries := 0; cnt < k && tries < 4*k+8; tries++ {
+		idx := w.nextVictim()
+		dup := false
+		for j := 0; j < cnt; j++ {
+			if out[j] == idx {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out[cnt] = idx
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// chooseVictim picks a steal target. The retained last-successful
+// victim (Options.StealRetain) is probed first: steals cluster in time
+// and space, so a victim that just yielded a task very often has more.
+// Otherwise, with StealSampling > 1 it probes up to k distinct
 // candidates read-only and returns the first whose bot descriptor
 // looks stealable, falling back to the last candidate.
 func (w *Worker) chooseVictim() *Worker {
-	k := w.pool.opts.StealSampling
-	var v *Worker
-	for i := 0; i < k; i++ {
-		v = w.pool.workers[w.nextVictim()]
-		if k == 1 {
+	if lv := w.lastVictim; lv >= 0 {
+		v := w.pool.workers[lv]
+		if stealableAt(v) {
 			return v
 		}
-		b := v.bot.Load()
-		if b < v.publicLimit.Load() && b < int64(len(v.tasks)) &&
-			v.tasks[b].state.Load() == stateTask {
+		w.retainMisses++
+		if w.retainMisses >= w.pool.opts.StealRetain {
+			w.lastVictim = -1
+			w.retainMisses = 0
+		}
+	}
+	k := w.pool.opts.StealSampling
+	if k == 1 {
+		return w.pool.workers[w.nextVictim()]
+	}
+	var buf [maxSampling]int
+	n := w.distinctVictims(k, buf[:])
+	if n == 0 {
+		return w.pool.workers[w.nextVictim()]
+	}
+	var v *Worker
+	for i := 0; i < n; i++ {
+		v = w.pool.workers[buf[i]]
+		if stealableAt(v) {
 			return v
 		}
 	}
 	return v
 }
 
+// stSamplePeriod: when profiling, idleLoop measures only every 64th
+// failed steal attempt and scales the sample by the period, so ST is a
+// sampled estimate and Profile no longer doubles the idle-loop cost
+// with two clock reads per attempt.
+const stSamplePeriod = 64
+
 // idleLoop is the life of workers 1..N-1: steal from random victims
 // until the pool shuts down. Failed attempts back off through Gosched
-// into short sleeps so an idle pool does not saturate the host (the
-// sleep cap is Options.MaxIdleSleep; negative keeps pure spinning+yield,
-// matching the paper's dedicated-machine setup).
+// into short sleeps (capped at Options.MaxIdleSleep); once a worker has
+// slept through the engine's idle budget it parks on the pool's idle
+// engine and costs nothing until a producer wakes it (Options.Parking).
+// A negative MaxIdleSleep keeps pure spinning+yield, matching the
+// paper's dedicated-machine setup.
 func (w *Worker) idleLoop() {
+	var sc stealCounters
 	fails := 0
+	var slept time.Duration
 	for !w.pool.shutdown.Load() {
+		v := w.chooseVictim()
 		var start time.Time
+		sampled := false
 		if w.prof.on {
-			start = time.Now()
+			w.prof.tick++
+			if w.prof.tick%stSamplePeriod == 0 {
+				sampled = true
+				start = time.Now()
+			}
 		}
-		ok := w.trySteal(w.chooseVictim(), false)
-		if w.prof.on && !ok {
-			w.prof.st.Add(int64(time.Since(start)))
+		ok := w.trySteal(v, false, &sc)
+		if sampled && !ok {
+			w.prof.st.Add(stSamplePeriod * int64(time.Since(start)))
 		}
 		if ok {
+			if w.pool.opts.StealRetain > 0 {
+				if w.lastVictim == v.idx {
+					w.retainedSteals.Add(1)
+				} else {
+					w.lastVictim = v.idx
+				}
+				w.retainMisses = 0
+			}
+			// Wake propagation: we are about to go busy on the stolen
+			// task; if the victim still has visible work and workers
+			// are parked, hand one of them the scan.
+			if w.idle != nil && w.idle.parked.Load() != 0 && stealableAt(v) {
+				w.idle.wakeOne(w)
+			}
+			w.flushStealCounters(&sc)
 			fails = 0
+			slept = 0
 			continue
 		}
 		fails++
+		if fails&0x3f == 0 {
+			w.flushStealCounters(&sc)
+		}
 		switch {
 		case fails < 64:
 			if runtime.GOMAXPROCS(0) == 1 {
@@ -466,7 +662,26 @@ func (w *Worker) idleLoop() {
 				d = w.pool.opts.MaxIdleSleep
 			}
 			time.Sleep(d)
+			slept += d
+			if w.idle != nil && slept >= w.idle.parkAfter {
+				w.flushStealCounters(&sc)
+				w.idle.park(w)
+				fails = 0
+				slept = 0
+			}
 		}
 	}
+	w.flushStealCounters(&sc)
 	w.pool.wg.Done()
+}
+
+// anyVisibleWork is the parking re-check: a read-only scan of every
+// other worker for a stealable bottom descriptor.
+func (w *Worker) anyVisibleWork() bool {
+	for _, v := range w.pool.workers {
+		if v != w && stealableAt(v) {
+			return true
+		}
+	}
+	return false
 }
