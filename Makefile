@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench all
+.PHONY: build test race bench ci all
 
 all: build test
 
@@ -19,3 +19,12 @@ race:
 # trajectory; commit the refreshed BENCH_core.json with perf PRs.
 bench:
 	$(GO) run ./cmd/woolbench -corejson BENCH_core.json
+
+# What .github/workflows/ci.yml runs: build, vet, the tier-1 suite,
+# and a short race pass over the scheduler protocols and the registry
+# conformance suite.
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race -count=1 -short ./internal/core/... ./internal/sched/... ./internal/workloads/

@@ -24,6 +24,7 @@ import (
 	"gowool/internal/experiments"
 	"gowool/internal/locksched"
 	"gowool/internal/ompstyle"
+	"gowool/internal/sched"
 	"gowool/internal/workloads/fibw"
 	"gowool/internal/workloads/stress"
 )
@@ -246,7 +247,7 @@ func BenchmarkAblationWaitPolicy(b *testing.B) {
 		b.Run(wp.String(), func(b *testing.B) {
 			p := chaselev.NewPool(chaselev.Options{Workers: 2, Wait: wp})
 			defer p.Close()
-			fib := fibw.NewChaseLev()
+			fib := sched.BuildRec(chaselev.Define1, fibw.Job(18, 1))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				p.Run(func(w *chaselev.Worker) int64 { return fib.Call(w, 18) })
@@ -310,7 +311,7 @@ func BenchmarkAblationStealLocus(b *testing.B) {
 	b.Run("on-indices", func(b *testing.B) {
 		p := chaselev.NewPool(chaselev.Options{Workers: 1})
 		defer p.Close()
-		fib := fibw.NewChaseLev()
+		fib := sched.BuildRec(chaselev.Define1, fibw.Job(20, 1))
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			p.Run(func(w *chaselev.Worker) int64 { return fib.Call(w, 20) })
@@ -319,7 +320,7 @@ func BenchmarkAblationStealLocus(b *testing.B) {
 	b.Run("on-lock", func(b *testing.B) {
 		p := locksched.NewPool(locksched.Options{Workers: 1})
 		defer p.Close()
-		fib := fibw.NewLockSched()
+		fib := sched.BuildRec(locksched.Define1, fibw.Job(20, 1))
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			p.Run(func(w *locksched.Worker) int64 { return fib.Call(w, 20) })

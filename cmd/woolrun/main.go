@@ -1,13 +1,15 @@
 // Command woolrun runs a single workload on a chosen scheduler — the
-// quick way to poke at the runtime: native execution on the gowool
-// scheduler (and baselines), or a deterministic virtual-time
-// simulation at any processor count.
+// quick way to poke at the runtime: native execution on any scheduler
+// in the registry, or a deterministic virtual-time simulation at any
+// processor count.
 //
 // Examples:
 //
+//	woolrun -list
 //	woolrun -workload fib -n 30 -workers 4 -private
 //	woolrun -workload stress -height 8 -iters 256 -reps 1000 -workers 8
 //	woolrun -workload mm -n 256 -sched chaselev
+//	woolrun -workload ssf -n 14 -sched gonative
 //	woolrun -workload cholesky -n 500 -nz 2000 -stats
 //	woolrun -sim -workload fib -n 24 -workers 8
 package main
@@ -17,13 +19,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"gowool/internal/chaselev"
 	"gowool/internal/core"
 	"gowool/internal/costmodel"
 	"gowool/internal/locksched"
-	"gowool/internal/ompstyle"
+	"gowool/internal/sched"
 	"gowool/internal/sim"
 	"gowool/internal/workloads/cholesky"
 	"gowool/internal/workloads/fibw"
@@ -33,26 +36,69 @@ import (
 )
 
 var (
-	workload = flag.String("workload", "fib", "fib | stress | mm | ssf | cholesky")
-	sched    = flag.String("sched", "wool", "wool | locksched | chaselev | omp | serial")
-	workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker count")
-	private  = flag.Bool("private", false, "enable private tasks (wool)")
-	simulate = flag.Bool("sim", false, "run on the virtual-time simulator instead of natively")
-	n        = flag.Int64("n", 30, "size parameter (fib n, mm rows, ssf word index, cholesky rows)")
-	nz       = flag.Int64("nz", 4000, "cholesky nonzeros")
-	height   = flag.Int64("height", 8, "stress tree height")
-	iters    = flag.Int64("iters", 256, "stress leaf iterations")
-	reps     = flag.Int64("reps", 1, "repetitions (serialized parallel regions)")
-	stats    = flag.Bool("stats", false, "print scheduler statistics")
+	workload  = flag.String("workload", "fib", "fib | stress | mm | ssf | cholesky")
+	schedName = flag.String("sched", "wool", "a registered scheduler (see -list), or serial")
+	workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker count")
+	private   = flag.Bool("private", false, "enable private tasks (schedulers with the capability)")
+	simulate  = flag.Bool("sim", false, "run on the virtual-time simulator instead of natively")
+	list      = flag.Bool("list", false, "list the registered schedulers and exit")
+	n         = flag.Int64("n", 30, "size parameter (fib n, mm rows, ssf word index, cholesky rows)")
+	nz        = flag.Int64("nz", 4000, "cholesky nonzeros")
+	height    = flag.Int64("height", 8, "stress tree height")
+	iters     = flag.Int64("iters", 256, "stress leaf iterations")
+	reps      = flag.Int64("reps", 1, "repetitions (serialized parallel regions)")
+	stats     = flag.Bool("stats", false, "print scheduler statistics")
 )
 
 func main() {
 	flag.Parse()
+	if *list {
+		listSchedulers()
+		return
+	}
 	if *simulate {
 		runSim()
 		return
 	}
 	runNative()
+}
+
+// listSchedulers prints the registry: one block per scheduler with its
+// capability flags and steal mechanism (the README's scheduler table
+// is generated from this output).
+func listSchedulers() {
+	for _, s := range sched.All() {
+		fmt.Printf("%-10s %s\n", s.Name(), capsTokens(s.Caps()))
+		fmt.Printf("%-10s %s\n", "", s.Blurb())
+		fmt.Printf("%-10s steal: %s\n", "", s.Caps().Steal)
+	}
+}
+
+// capsTokens renders the boolean capability flags as a token list.
+func capsTokens(c sched.Caps) string {
+	var t []string
+	if c.StealChild {
+		t = append(t, "steal-child")
+	}
+	if c.PrivateTasks {
+		t = append(t, "private-tasks")
+	}
+	if c.Leapfrog {
+		t = append(t, "leapfrog")
+	}
+	if c.WorkSharing {
+		t = append(t, "work-sharing")
+	}
+	if c.Stats {
+		t = append(t, "stats")
+	}
+	if c.TaskDefs {
+		t = append(t, "taskdefs")
+	}
+	if len(t) == 0 {
+		return "-"
+	}
+	return strings.Join(t, " ")
 }
 
 func runSim() {
@@ -89,40 +135,90 @@ func runSim() {
 }
 
 func runNative() {
+	if *schedName == "serial" {
+		t0 := time.Now()
+		result := runSerial()
+		fmt.Printf("result=%d elapsed=%v\n", result, time.Since(t0).Round(time.Microsecond))
+		return
+	}
+
+	s, ok := sched.Lookup(*schedName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q (registered: %s, serial)\n",
+			*schedName, strings.Join(sched.Names(), ", "))
+		os.Exit(2)
+	}
+	p := s.NewPool(sched.Options{Workers: *workers, PrivateTasks: *private})
+	defer p.Close()
+
 	t0 := time.Now()
 	var result int64
-	var printStats func()
-
-	switch *sched {
-	case "serial":
-		result = runSerial()
-	case "wool":
-		p := core.NewPool(core.Options{Workers: *workers, PrivateTasks: *private})
-		defer p.Close()
-		result = runWool(p)
-		printStats = func() { fmt.Printf("%+v\n", p.Stats()) }
-	case "locksched":
-		p := locksched.NewPool(locksched.Options{Workers: *workers})
-		defer p.Close()
-		result = runLock(p)
-		printStats = func() { fmt.Printf("%+v\n", p.Stats()) }
-	case "chaselev":
-		p := chaselev.NewPool(chaselev.Options{Workers: *workers})
-		defer p.Close()
-		result = runChaseLev(p)
-		printStats = func() { fmt.Printf("%+v\n", p.Stats()) }
-	case "omp":
-		p := ompstyle.NewPool(ompstyle.Options{Workers: *workers})
-		defer p.Close()
-		result = runOMP(p)
-		printStats = func() { fmt.Printf("%+v\n", p.Stats()) }
+	switch *workload {
+	case "fib":
+		result = p.RunRec(fibw.Job(*n, *reps))
+	case "stress":
+		result = p.RunRec(stress.Job(*height, *iters, *reps))
+	case "mm":
+		result = p.RunRange(mm.Job(mm.New(*n), *reps))
+	case "ssf":
+		result = p.RunRange(ssf.Job(&ssf.Work{S: ssf.FibString(*n)}, *reps))
+	case "cholesky":
+		result = runCholesky(s, p)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *sched)
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
 		os.Exit(2)
 	}
 	fmt.Printf("result=%d elapsed=%v\n", result, time.Since(t0).Round(time.Microsecond))
-	if *stats && printStats != nil {
-		printStats()
+	if *stats {
+		printStats(s, p)
+	}
+}
+
+// runCholesky instantiates the generic factorization for backends that
+// expose DefineC3-style task constructors (Caps.TaskDefs): the
+// workload's irregular spawn structure doesn't fit the RunRec/RunRange
+// shapes, so it reaches the concrete pool through Pool.Native.
+func runCholesky(s sched.Scheduler, p sched.Pool) int64 {
+	var factor func(m *cholesky.Matrix)
+	switch np := p.Native().(type) {
+	case *core.Pool:
+		sc := cholesky.New(core.DefineC3[cholesky.Arena])
+		factor = func(m *cholesky.Matrix) { sc.Factor(np.Run, m) }
+	case *chaselev.Pool:
+		sc := cholesky.New(chaselev.DefineC3[cholesky.Arena])
+		factor = func(m *cholesky.Matrix) { sc.Factor(np.Run, m) }
+	case *locksched.Pool:
+		sc := cholesky.New(locksched.DefineC3[cholesky.Arena])
+		factor = func(m *cholesky.Matrix) { sc.Factor(np.Run, m) }
+	default:
+		fmt.Fprintf(os.Stderr, "cholesky needs task definitions; %s has no port (use wool, chaselev or locksched)\n", s.Name())
+		os.Exit(2)
+	}
+	var total int64
+	for r := int64(0); r < *reps; r++ {
+		m := cholesky.Generate(*n, *nz, 42+uint64(r))
+		factor(m)
+		total += m.Ar.NodesInUse()
+	}
+	return total
+}
+
+// printStats prints the normalized counters, plus the backend-specific
+// extras, when the scheduler keeps any.
+func printStats(s sched.Scheduler, p sched.Pool) {
+	if !s.Caps().Stats {
+		fmt.Printf("(no stats: %s keeps no counters)\n", s.Name())
+		return
+	}
+	st := p.Stats()
+	fmt.Printf("spawns=%d joins(inlined/stolen)=%d/%d steals=%d attempts=%d backoffs=%d\n",
+		st.Spawns, st.JoinsInlined, st.JoinsStolen, st.Steals, st.StealAttempts, st.Backoffs)
+	if keys := st.ExtraKeys(); len(keys) > 0 {
+		var parts []string
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, st.Extra[k]))
+		}
+		fmt.Println(strings.Join(parts, " "))
 	}
 }
 
@@ -150,107 +246,4 @@ func runSerial() int64 {
 		}
 	}
 	return total
-}
-
-func runWool(p *core.Pool) int64 {
-	switch *workload {
-	case "fib":
-		fib := fibw.NewWool()
-		var total int64
-		for r := int64(0); r < *reps; r++ {
-			total += p.Run(func(w *core.Worker) int64 { return fib.Call(w, *n) })
-		}
-		return total
-	case "stress":
-		return stress.RunWool(p, stress.NewWool(), *height, *iters, *reps)
-	case "mm":
-		rows := mm.NewWool()
-		var total int64
-		for r := int64(0); r < *reps; r++ {
-			m := mm.New(*n)
-			total += mm.RunWool(p, rows, m)
-		}
-		return total
-	case "ssf":
-		d := ssf.NewWool()
-		wk := &ssf.Work{S: ssf.FibString(*n)}
-		var total int64
-		for r := int64(0); r < *reps; r++ {
-			total += ssf.RunWool(p, d, wk)
-		}
-		return total
-	case "cholesky":
-		s := cholesky.NewWool()
-		var total int64
-		for r := int64(0); r < *reps; r++ {
-			m := cholesky.Generate(*n, *nz, 42+uint64(r))
-			s.Factor(p, m)
-			total += m.Ar.NodesInUse()
-		}
-		return total
-	}
-	fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
-	os.Exit(2)
-	return 0
-}
-
-func runLock(p *locksched.Pool) int64 {
-	switch *workload {
-	case "fib":
-		fib := fibw.NewLockSched()
-		var total int64
-		for r := int64(0); r < *reps; r++ {
-			total += p.Run(func(w *locksched.Worker) int64 { return fib.Call(w, *n) })
-		}
-		return total
-	case "stress":
-		return stress.RunLockSched(p, stress.NewLockSched(), *height, *iters, *reps)
-	}
-	fmt.Fprintf(os.Stderr, "workload %q not ported to locksched (use fib or stress)\n", *workload)
-	os.Exit(2)
-	return 0
-}
-
-func runChaseLev(p *chaselev.Pool) int64 {
-	switch *workload {
-	case "fib":
-		fib := fibw.NewChaseLev()
-		var total int64
-		for r := int64(0); r < *reps; r++ {
-			total += p.Run(func(w *chaselev.Worker) int64 { return fib.Call(w, *n) })
-		}
-		return total
-	}
-	fmt.Fprintf(os.Stderr, "workload %q not ported to chaselev (use fib)\n", *workload)
-	os.Exit(2)
-	return 0
-}
-
-func runOMP(p *ompstyle.Pool) int64 {
-	switch *workload {
-	case "fib":
-		var total int64
-		for r := int64(0); r < *reps; r++ {
-			total += p.Run(func(tc *ompstyle.Context) int64 { return fibw.OMP(tc, *n) })
-		}
-		return total
-	case "mm":
-		var total int64
-		for r := int64(0); r < *reps; r++ {
-			m := mm.New(*n)
-			p.Run(func(tc *ompstyle.Context) int64 { mm.OMP(tc, m); return 0 })
-			total += *n
-		}
-		return total
-	case "ssf":
-		wk := &ssf.Work{S: ssf.FibString(*n)}
-		var total int64
-		for r := int64(0); r < *reps; r++ {
-			total += p.Run(func(tc *ompstyle.Context) int64 { return ssf.OMP(tc, wk) })
-		}
-		return total
-	}
-	fmt.Fprintf(os.Stderr, "workload %q not ported to omp (use fib, mm or ssf)\n", *workload)
-	os.Exit(2)
-	return 0
 }

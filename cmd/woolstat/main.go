@@ -41,6 +41,7 @@ var (
 	reps      = flag.Int64("reps", 16, "repetitions")
 	native    = flag.Bool("native", false, "run on the real scheduler and print live Stats counters (fib and stress only)")
 	workers   = flag.Int("workers", 4, "worker count for -native runs")
+	schedName = flag.String("sched", "wool", "scheduler for -native runs (any registered name; wool prints the full core counter set, others the normalized one)")
 )
 
 func main() {

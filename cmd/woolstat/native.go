@@ -4,22 +4,29 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"gowool/internal/core"
+	"gowool/internal/sched"
 	"gowool/internal/tabulate"
 	"gowool/internal/workloads/fibw"
 	"gowool/internal/workloads/stress"
 )
 
 // runNative executes the selected workload on the real scheduler and
-// prints the live counter set, including the idle-engine (Parks,
-// Wakes) and victim-retention (RetainedSteals) columns introduced with
-// the parked-idle engine.
+// prints the live counter set. The default (-sched wool) runs the
+// hand-written core kernels and prints the full core counter set,
+// including the idle-engine (Parks, Wakes) and victim-retention
+// (RetainedSteals) columns; any other registered scheduler runs the
+// generic job and prints the normalized counters.
 func runNative() error {
 	if runtime.GOMAXPROCS(0) < *workers {
 		prev := runtime.GOMAXPROCS(*workers)
 		defer runtime.GOMAXPROCS(prev)
+	}
+	if *schedName != "wool" {
+		return runNativeRegistry()
 	}
 	p := core.NewPool(core.Options{Workers: *workers, PrivateTasks: true,
 		MaxIdleSleep: 50 * time.Microsecond})
@@ -71,6 +78,59 @@ func runNative() error {
 	t.Row("parks", st.Parks)
 	t.Row("wakes", st.Wakes)
 	t.Row("parked now", p.ParkedWorkers())
+	t.Render(os.Stdout)
+	return nil
+}
+
+// runNativeRegistry runs the workload as a generic job on a registered
+// scheduler and prints the normalized Stats mapping (plus the
+// backend's extra counters).
+func runNativeRegistry() error {
+	s, ok := sched.Lookup(*schedName)
+	if !ok {
+		return fmt.Errorf("unknown scheduler %q (registered: %s)",
+			*schedName, strings.Join(sched.Names(), ", "))
+	}
+	p := s.NewPool(sched.Options{Workers: *workers, MaxIdleSleep: 50 * time.Microsecond})
+	defer p.Close()
+
+	var name string
+	t0 := time.Now()
+	switch *workload {
+	case "", "fib":
+		name = fmt.Sprintf("fib(%d)", *n)
+		j := fibw.Job(*n, *reps)
+		if got, want := p.RunRec(j), j.Serial(); got != want {
+			return fmt.Errorf("fib(%d)x%d = %d, want %d", *n, *reps, got, want)
+		}
+	case "stress":
+		name = fmt.Sprintf("stress(h=%d,i=%d)x%d", *height, *iters, *reps)
+		got := p.RunRec(stress.Job(*height, *iters, *reps))
+		if want := stress.SerialReps(*height, *iters, *reps); got != want {
+			return fmt.Errorf("stress = %d, want %d", got, want)
+		}
+	default:
+		return fmt.Errorf("-native supports fib and stress, not %q", *workload)
+	}
+	wall := time.Since(t0)
+
+	t := tabulate.New(fmt.Sprintf("native counters — %s on %s, %d workers (%v)",
+		name, s.Name(), *workers, wall.Round(time.Millisecond)), "counter", "value")
+	if !s.Caps().Stats {
+		t.Note("%s keeps no counters (Caps.Stats is false)", s.Name())
+		t.Render(os.Stdout)
+		return nil
+	}
+	st := p.Stats()
+	t.Row("spawns", st.Spawns)
+	t.Row("joins inlined", st.JoinsInlined)
+	t.Row("joins stolen", st.JoinsStolen)
+	t.Row("steals", st.Steals)
+	t.Row("steal attempts", st.StealAttempts)
+	t.Row("backoffs", st.Backoffs)
+	for _, k := range st.ExtraKeys() {
+		t.Row(strings.ReplaceAll(k, "_", " "), st.Extra[k])
+	}
 	t.Render(os.Stdout)
 	return nil
 }

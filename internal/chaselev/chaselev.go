@@ -80,6 +80,7 @@ type Stats struct {
 	JoinsStolen   int64
 	Steals        int64
 	StealAttempts int64
+	Backoffs      int64 // owner pops that lost the last-element CAS race to a thief
 	WaitSteals    int64 // tasks executed while blocked in a join
 	Allocs        int64 // task structures taken from the heap (not free list)
 }
@@ -90,6 +91,7 @@ func (s *Stats) add(o *Stats) {
 	s.JoinsStolen += o.JoinsStolen
 	s.Steals += o.Steals
 	s.StealAttempts += o.StealAttempts
+	s.Backoffs += o.Backoffs
 	s.WaitSteals += o.WaitSteals
 	s.Allocs += o.Allocs
 }
@@ -287,6 +289,7 @@ func (w *Worker) popBottom() *Task {
 		// Last element: race with thieves through top.
 		if !w.top.CompareAndSwap(t, t+1) {
 			task = nil // a thief won
+			w.stats.Backoffs++
 		}
 		w.bottom.Store(t + 1)
 	}

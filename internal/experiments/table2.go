@@ -4,11 +4,9 @@ import (
 	"io"
 	"time"
 
-	"gowool/internal/chaselev"
 	"gowool/internal/core"
 	"gowool/internal/costmodel"
-	"gowool/internal/locksched"
-	"gowool/internal/ompstyle"
+	"gowool/internal/sched"
 	"gowool/internal/tabulate"
 	"gowool/internal/workloads/fibw"
 )
@@ -59,13 +57,11 @@ func runTable2(sc Scale, w io.Writer) error {
 
 	serial := measureMin(reps, func() { fibw.Serial(n) })
 
-	// Base: per-worker locks, top/bot comparison.
-	lockPool := locksched.NewPool(locksched.Options{Workers: 1})
-	lockFib := fibw.NewLockSched()
-	base := measureMin(reps, func() {
-		lockPool.Run(func(w *locksched.Worker) int64 { return lockFib.Call(w, n) })
-	})
-	lockPool.Close()
+	// Base: per-worker locks, top/bot comparison — the registry's
+	// generic fib port on the lock ladder.
+	baseRun, baseClose := registryFibRunner("locksched")
+	base := measureMin(reps, func() { baseRun(n) })
+	baseClose()
 
 	// Synchronize on task: atomic exchange on the descriptor state,
 	// but the generic (wrapper) join.
@@ -123,43 +119,29 @@ func nativeFibOverheadNS(n int64, reps int, run func(n int64) int64) float64 {
 	return perTaskNS(t1, serial, fibw.Tasks(n))
 }
 
-// Native single-worker fib runners for Table III's inlined column.
+// Native single-worker fib runners for the inlined-overhead columns.
+//
+// The wool rows keep the hand-written fib kernel (fibw.NewWool): its
+// per-task overhead is a handful of cycles, so the generic port
+// layer's closure calls would dominate the measurement. The baseline
+// rows run through the registry's generic port — their native
+// overheads are tens to hundreds of cycles, where that layer is noise.
 
-func woolPrivateRunner() (func(n int64) int64, func()) {
-	p := core.NewPool(core.Options{Workers: 1, PrivateTasks: true})
+func woolFibRunner(private bool) (func(n int64) int64, func()) {
+	p := core.NewPool(core.Options{Workers: 1, PrivateTasks: private})
 	fib := fibw.NewWool()
 	return func(n int64) int64 {
 		return p.Run(func(w *core.Worker) int64 { return fib.Call(w, n) })
 	}, p.Close
 }
 
-func woolPublicRunner() (func(n int64) int64, func()) {
-	p := core.NewPool(core.Options{Workers: 1})
-	fib := fibw.NewWool()
-	return func(n int64) int64 {
-		return p.Run(func(w *core.Worker) int64 { return fib.Call(w, n) })
-	}, p.Close
-}
-
-func chaselevRunner() (func(n int64) int64, func()) {
-	p := chaselev.NewPool(chaselev.Options{Workers: 1})
-	fib := fibw.NewChaseLev()
-	return func(n int64) int64 {
-		return p.Run(func(w *chaselev.Worker) int64 { return fib.Call(w, n) })
-	}, p.Close
-}
-
-func lockschedRunner() (func(n int64) int64, func()) {
-	p := locksched.NewPool(locksched.Options{Workers: 1})
-	fib := fibw.NewLockSched()
-	return func(n int64) int64 {
-		return p.Run(func(w *locksched.Worker) int64 { return fib.Call(w, n) })
-	}, p.Close
-}
-
-func ompRunner() (func(n int64) int64, func()) {
-	p := ompstyle.NewPool(ompstyle.Options{Workers: 1})
-	return func(n int64) int64 {
-		return p.Run(func(tc *ompstyle.Context) int64 { return fibw.OMP(tc, n) })
-	}, p.Close
+// registryFibRunner builds a single-worker fib runner on any
+// registered scheduler, via the generic port layer.
+func registryFibRunner(name string) (func(n int64) int64, func()) {
+	s, ok := sched.Lookup(name)
+	if !ok {
+		panic("experiments: scheduler not registered: " + name)
+	}
+	p := s.NewPool(sched.Options{Workers: 1})
+	return func(n int64) int64 { return p.RunRec(fibw.Job(n, 1)) }, p.Close
 }

@@ -61,12 +61,17 @@ func runTable3(sc Scale, w io.Writer) error {
 		paper  string
 	}
 	systems := Systems()
+	woolPrivate := func() (func(int64) int64, func()) { return woolFibRunner(true) }
+	woolPublic := func() (func(int64) int64, func()) { return woolFibRunner(false) }
+	onRegistry := func(name string) func() (func(int64) int64, func()) {
+		return func() (func(int64) int64, func()) { return registryFibRunner(name) }
+	}
 	rows := []rowSpec{
-		{"Wool (private)", woolPrivateRunner, systems[0], "3"},
-		{"Wool (public)", woolPublicRunner, systems[0], "19"},
-		{"Cilk++ (lock-based)", lockschedRunner, systems[1], "134"},
-		{"TBB (deque)", chaselevRunner, systems[2], "323"},
-		{"OpenMP (central)", ompRunner, systems[3], "878"},
+		{"Wool (private)", woolPrivate, systems[0], "3"},
+		{"Wool (public)", woolPublic, systems[0], "19"},
+		{"Cilk++ (lock-based)", onRegistry("locksched"), systems[1], "134"},
+		{"TBB (deque)", onRegistry("chaselev"), systems[2], "323"},
+		{"OpenMP (central)", onRegistry("omp"), systems[3], "878"},
 	}
 	for i, r := range rows {
 		nEff := n

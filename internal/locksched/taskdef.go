@@ -179,3 +179,18 @@ func (d *TaskDefC3[C]) Join(w *Worker) int64 {
 	}
 	return t.res
 }
+
+// Name returns the definition's diagnostic name.
+func (d *TaskDef1) Name() string { return d.name }
+
+// Name returns the definition's diagnostic name.
+func (d *TaskDef2) Name() string { return d.name }
+
+// Name returns the definition's diagnostic name.
+func (d *TaskDefC1[C]) Name() string { return d.name }
+
+// Name returns the definition's diagnostic name.
+func (d *TaskDefC2[C]) Name() string { return d.name }
+
+// Name returns the definition's diagnostic name.
+func (d *TaskDefC3[C]) Name() string { return d.name }

@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"gowool/internal/cilkstyle"
+)
+
+func init() { register(cilkSched{}, 3) }
+
+// cilkSched registers the steal-parent continuation scheduler (the
+// Cilk++ stand-in). Its task functions are explicit continuation
+// state machines, so the generic ports here are hand-written frame
+// recursions — the shape Cilk++'s compiler generates for
+//
+//	a = spawn f(x); b = spawn f(y); sync; return a+b;
+type cilkSched struct{}
+
+func (cilkSched) Name() string { return "cilk" }
+func (cilkSched) Blurb() string {
+	return "steal-parent continuations, Cilk++-style: cactus-stack frames, locked deques of continuations, constant task-pool space in spawn loops"
+}
+func (cilkSched) Caps() Caps {
+	return Caps{
+		Steal: "lock on the victim's continuation deque; steal parent (the continuation), oldest first",
+		Stats: true,
+	}
+}
+
+func (cilkSched) NewPool(o Options) Pool {
+	return &cilkPool{p: cilkstyle.NewPool(cilkstyle.Options{
+		Workers:      o.Workers,
+		MaxIdleSleep: o.MaxIdleSleep,
+	})}
+}
+
+type cilkPool struct{ p *cilkstyle.Pool }
+
+func (cp *cilkPool) Workers() int { return cp.p.Workers() }
+func (cp *cilkPool) Close()       { cp.p.Close() }
+func (cp *cilkPool) Native() any  { return cp.p }
+func (cp *cilkPool) ResetStats()  { cp.p.ResetStats() }
+
+func (cp *cilkPool) Stats() Stats {
+	s := cp.p.Stats()
+	return Stats{
+		Spawns:        s.Spawns,
+		Steals:        s.Steals,
+		StealAttempts: s.StealAttempts,
+		Extra: map[string]int64{
+			"suspends": s.Suspends,
+			"resumes":  s.Resumes,
+		},
+	}
+}
+
+// cilkRecFrame is the cactus-stack frame of one RecJob node: spawn
+// both subproblems, sync, sum.
+type cilkRecFrame struct {
+	cilkstyle.Frame
+	job  *RecJob
+	n    int64
+	a, b int64
+	res  *int64
+}
+
+func (f *cilkRecFrame) step0(w *cilkstyle.Worker) cilkstyle.Step {
+	if v, ok := f.job.Leaf(f.n); ok {
+		*f.res = v
+		return w.Return(&f.Frame)
+	}
+	first, _ := f.job.Split(f.n)
+	child := &cilkRecFrame{job: f.job, n: first, res: &f.a}
+	cilkstyle.NewChild(&f.Frame, &child.Frame)
+	return w.Spawn(&f.Frame, f.step1, child.step0)
+}
+
+func (f *cilkRecFrame) step1(w *cilkstyle.Worker) cilkstyle.Step {
+	_, second := f.job.Split(f.n)
+	child := &cilkRecFrame{job: f.job, n: second, res: &f.b}
+	cilkstyle.NewChild(&f.Frame, &child.Frame)
+	return w.Spawn(&f.Frame, f.step2, child.step0)
+}
+
+func (f *cilkRecFrame) step2(w *cilkstyle.Worker) cilkstyle.Step {
+	return w.Sync(&f.Frame, f.step3)
+}
+
+func (f *cilkRecFrame) step3(w *cilkstyle.Worker) cilkstyle.Step {
+	*f.res = f.a + f.b
+	return w.Return(&f.Frame)
+}
+
+func (cp *cilkPool) RunRec(j RecJob) int64 {
+	var total int64
+	for r := int64(0); r < reps(j.Reps); r++ {
+		var res int64
+		root := &cilkRecFrame{job: &j, n: j.Root, res: &res}
+		cp.p.Run(&root.Frame, root.step0)
+		total += res
+	}
+	return total
+}
+
+// cilkRangeFrame is the frame of one balanced range-splitter node.
+type cilkRangeFrame struct {
+	cilkstyle.Frame
+	job    *RangeJob
+	lo, hi int64
+	a, b   int64
+	res    *int64
+}
+
+func (f *cilkRangeFrame) step0(w *cilkstyle.Worker) cilkstyle.Step {
+	if f.hi-f.lo <= 1 {
+		if f.hi > f.lo {
+			*f.res = f.job.Leaf(f.lo)
+		}
+		return w.Return(&f.Frame)
+	}
+	mid := (f.lo + f.hi) / 2
+	child := &cilkRangeFrame{job: f.job, lo: f.lo, hi: mid, res: &f.a}
+	cilkstyle.NewChild(&f.Frame, &child.Frame)
+	return w.Spawn(&f.Frame, f.step1, child.step0)
+}
+
+func (f *cilkRangeFrame) step1(w *cilkstyle.Worker) cilkstyle.Step {
+	mid := (f.lo + f.hi) / 2
+	child := &cilkRangeFrame{job: f.job, lo: mid, hi: f.hi, res: &f.b}
+	cilkstyle.NewChild(&f.Frame, &child.Frame)
+	return w.Spawn(&f.Frame, f.step2, child.step0)
+}
+
+func (f *cilkRangeFrame) step2(w *cilkstyle.Worker) cilkstyle.Step {
+	return w.Sync(&f.Frame, f.step3)
+}
+
+func (f *cilkRangeFrame) step3(w *cilkstyle.Worker) cilkstyle.Step {
+	*f.res = f.a + f.b
+	return w.Return(&f.Frame)
+}
+
+func (cp *cilkPool) RunRange(j RangeJob) int64 {
+	var total int64
+	for r := int64(0); r < reps(j.Reps); r++ {
+		var res int64
+		root := &cilkRangeFrame{job: &j, lo: 0, hi: j.N, res: &res}
+		cp.p.Run(&root.Frame, root.step0)
+		total += res
+	}
+	return total
+}

@@ -4,158 +4,18 @@ import (
 	"gowool/internal/core"
 )
 
-// Parallel factorization on the direct task stack. The cholesky chain
-// itself is a sequential dependency (L00 → L10 → update → L11); the
-// parallelism lives in backsub and mulsub, which fork over quadrants —
-// the "explicit nested tasks" of the paper's benchmark description.
-//
-// Task arguments are node indices packed into the descriptors' int64
-// slots, so no allocation happens on the spawn path; fill-in nodes
-// come from the arena's atomic bump allocator.
-
-// pack2 packs two node indices into one int64 argument slot.
-func pack2(a, b int32) int64 { return int64(uint64(uint32(a))<<32 | uint64(uint32(b))) }
-
-// unpack2 reverses pack2.
-func unpack2(v int64) (int32, int32) { return int32(uint64(v) >> 32), int32(uint32(uint64(v))) }
-
-// packMeta packs a result-node index, subtree size and the lower flag.
-func packMeta(r int32, size int64, lower bool) int64 {
-	m := int64(uint32(r)) | size<<32
-	if lower {
-		m |= 1 << 62
-	}
-	return m
+// WoolSched is the generic factorization instantiated for the direct
+// task stack (the default scheduler).
+type WoolSched struct {
+	*Sched[*core.Worker, *core.TaskDefC3[Arena]]
 }
 
-// unpackMeta reverses packMeta.
-func unpackMeta(m int64) (r int32, size int64, lower bool) {
-	r = int32(uint32(uint64(m)))
-	size = (m >> 32) & 0x3fffffff
-	lower = m&(1<<62) != 0
-	return
-}
-
-// Sched bundles the task definitions of the parallel factorization.
-type Sched struct {
-	backsub *core.TaskDefC3[Arena]
-	// mulsub computes r −= a1·b1ᵀ + a2·b2ᵀ (second product optional):
-	// args are (meta, pack2(a1,b1), pack2(a2,b2)).
-	mulsub *core.TaskDefC3[Arena]
-}
-
-// NewWool builds the task definitions.
-func NewWool() *Sched {
-	s := &Sched{}
-	s.backsub = core.DefineC3("chol-backsub", func(w *core.Worker, ar *Arena, a, l, size int64) int64 {
-		return int64(s.backsubStep(w, ar, int32(a), int32(l), size))
-	})
-	s.mulsub = core.DefineC3("chol-mulsub", func(w *core.Worker, ar *Arena, meta, ab1, ab2 int64) int64 {
-		r, size, lower := unpackMeta(meta)
-		a1, b1 := unpack2(ab1)
-		a2, b2 := unpack2(ab2)
-		r = s.mulsubStep(w, ar, r, a1, b1, size, lower)
-		r = s.mulsubStep(w, ar, r, a2, b2, size, lower)
-		return int64(r)
-	})
-	return s
+// NewWool builds the task definitions on the direct task stack.
+func NewWool() WoolSched {
+	return WoolSched{New(core.DefineC3[Arena])}
 }
 
 // Factor factors m on the pool.
-func (s *Sched) Factor(p *core.Pool, m *Matrix) {
-	p.Run(func(w *core.Worker) int64 {
-		m.Root = s.chol(w, m.Ar, m.Root, m.Ar.Size)
-		return 0
-	})
-}
-
-// chol is the sequential factorization chain over the diagonal.
-func (s *Sched) chol(w *core.Worker, ar *Arena, a int32, size int64) int32 {
-	if a == 0 {
-		panic("cholesky: zero diagonal block (matrix is singular)")
-	}
-	if size == Block {
-		blockCholesky(ar.Tile(a))
-		return a
-	}
-	n := ar.Node(a)
-	half := size / 2
-	n.Child[q00] = s.chol(w, ar, n.Child[q00], half)
-	n.Child[q10] = int32(s.backsub.Call(w, ar, int64(n.Child[q10]), int64(n.Child[q00]), half))
-	n.Child[q11] = s.mulsubStep(w, ar, n.Child[q11], n.Child[q10], n.Child[q10], half, true)
-	n.Child[q11] = s.chol(w, ar, n.Child[q11], half)
-	return a
-}
-
-// backsubStep forks the quadrant structure of backsub.
-func (s *Sched) backsubStep(w *core.Worker, ar *Arena, a, l int32, size int64) int32 {
-	if a == 0 {
-		return 0
-	}
-	if size == Block {
-		blockBacksub(ar.Tile(a), ar.Tile(l))
-		return a
-	}
-	na, nl := ar.Node(a), ar.Node(l)
-	half := size / 2
-	l00, l10, l11 := nl.Child[q00], nl.Child[q10], nl.Child[q11]
-
-	// Left column against L00, in parallel.
-	s.backsub.Spawn(w, ar, int64(na.Child[q00]), int64(l00), half)
-	x10 := int32(s.backsub.Call(w, ar, int64(na.Child[q10]), int64(l00), half))
-	x00 := int32(s.backsub.Join(w))
-	na.Child[q00], na.Child[q10] = x00, x10
-
-	// Eliminate the L10 coupling, both halves in parallel.
-	s.mulsub.Spawn(w, ar, packMeta(na.Child[q01], half, false), pack2(x00, l10), 0)
-	r11 := int32(s.mulsub.Call(w, ar, packMeta(na.Child[q11], half, false), pack2(x10, l10), 0))
-	r01 := int32(s.mulsub.Join(w))
-
-	// Right column against L11, in parallel.
-	s.backsub.Spawn(w, ar, int64(r01), int64(l11), half)
-	x11 := int32(s.backsub.Call(w, ar, int64(r11), int64(l11), half))
-	x01 := int32(s.backsub.Join(w))
-	na.Child[q01], na.Child[q11] = x01, x11
-	return a
-}
-
-// mulsubStep forks the quadrants of r −= a·bᵀ; each quadrant task
-// folds its two sub-products sequentially (and recursively in
-// parallel below). Join order mirrors the LIFO spawn order.
-func (s *Sched) mulsubStep(w *core.Worker, ar *Arena, r, a, b int32, size int64, lower bool) int32 {
-	if a == 0 || b == 0 {
-		return r
-	}
-	if size == Block {
-		if r == 0 {
-			r = ar.NewLeaf()
-		}
-		blockMulSub(ar.Tile(r), ar.Tile(a), ar.Tile(b), lower)
-		return r
-	}
-	if r == 0 {
-		r = ar.NewNode()
-	}
-	nr, na, nb := ar.Node(r), ar.Node(a), ar.Node(b)
-	half := size / 2
-
-	s.mulsub.Spawn(w, ar, packMeta(nr.Child[q00], half, lower),
-		pack2(na.Child[q00], nb.Child[q00]), pack2(na.Child[q01], nb.Child[q01]))
-	if !lower {
-		s.mulsub.Spawn(w, ar, packMeta(nr.Child[q01], half, false),
-			pack2(na.Child[q00], nb.Child[q10]), pack2(na.Child[q01], nb.Child[q11]))
-	}
-	s.mulsub.Spawn(w, ar, packMeta(nr.Child[q10], half, false),
-		pack2(na.Child[q10], nb.Child[q00]), pack2(na.Child[q11], nb.Child[q01]))
-	r11 := int32(s.mulsub.Call(w, ar, packMeta(nr.Child[q11], half, lower),
-		pack2(na.Child[q10], nb.Child[q10]), pack2(na.Child[q11], nb.Child[q11])))
-
-	r10 := int32(s.mulsub.Join(w))
-	r01 := nr.Child[q01]
-	if !lower {
-		r01 = int32(s.mulsub.Join(w))
-	}
-	r00 := int32(s.mulsub.Join(w))
-	nr.Child[q00], nr.Child[q01], nr.Child[q10], nr.Child[q11] = r00, r01, r10, r11
-	return r
+func (s WoolSched) Factor(p *core.Pool, m *Matrix) {
+	s.Sched.Factor(p.Run, m)
 }

@@ -1,6 +1,10 @@
 // Package workloads_test cross-validates every workload on every
-// native scheduler it is ported to: all ports must compute identical
-// results to the serial reference, under concurrency, repeatedly.
+// registered scheduler through the internal/sched registry: each
+// workload body is written once as a Job and must compute results
+// identical to the serial reference on every backend, under
+// concurrency. (The per-scheduler cholesky instantiations are checked
+// in internal/sched's conformance suite, where the concrete scheduler
+// packages are in scope.)
 package workloads_test
 
 import (
@@ -8,11 +12,7 @@ import (
 	"runtime"
 	"testing"
 
-	"gowool/internal/chaselev"
-	"gowool/internal/core"
-	"gowool/internal/locksched"
-	"gowool/internal/ompstyle"
-	"gowool/internal/workloads/cholesky"
+	"gowool/internal/sched"
 	"gowool/internal/workloads/mm"
 	"gowool/internal/workloads/ssf"
 	"gowool/internal/workloads/stress"
@@ -27,41 +27,21 @@ func TestMMAllSchedulers(t *testing.T) {
 		mm.Serial(m)
 		return m.C
 	}()
-	check := func(name string, c []float64) {
-		for i := range c {
-			if math.Abs(c[i]-want[i]) > 1e-9 {
-				t.Fatalf("%s: C[%d] = %g, want %g", name, i, c[i], want[i])
-			}
-		}
-	}
 
-	{
-		m := mm.New(n)
-		p := core.NewPool(core.Options{Workers: 3, PrivateTasks: true})
-		mm.RunWool(p, mm.NewWool(), m)
-		p.Close()
-		check("wool", m.C)
-	}
-	{
-		m := mm.New(n)
-		p := chaselev.NewPool(chaselev.Options{Workers: 3})
-		mm.RunChaseLev(p, mm.NewChaseLev(), m)
-		p.Close()
-		check("chaselev", m.C)
-	}
-	{
-		m := mm.New(n)
-		p := locksched.NewPool(locksched.Options{Workers: 3, Strategy: locksched.StealPeek})
-		mm.RunLockSched(p, mm.NewLockSched(), m)
-		p.Close()
-		check("locksched", m.C)
-	}
-	{
-		m := mm.New(n)
-		p := ompstyle.NewPool(ompstyle.Options{Workers: 3})
-		p.Run(func(tc *ompstyle.Context) int64 { mm.OMP(tc, m); return 0 })
-		p.Close()
-		check("omp", m.C)
+	for _, s := range sched.All() {
+		t.Run(s.Name(), func(t *testing.T) {
+			m := mm.New(n)
+			p := s.NewPool(sched.Options{Workers: 3})
+			defer p.Close()
+			if rows := p.RunRange(mm.Job(m, 1)); rows != n {
+				t.Fatalf("rows computed = %d, want %d", rows, n)
+			}
+			for i := range m.C {
+				if math.Abs(m.C[i]-want[i]) > 1e-9 {
+					t.Fatalf("C[%d] = %g, want %g", i, m.C[i], want[i])
+				}
+			}
+		})
 	}
 }
 
@@ -70,38 +50,23 @@ func TestSSFAllSchedulers(t *testing.T) {
 	defer runtime.GOMAXPROCS(prev)
 	s := ssf.FibString(11)
 	want := ssf.Serial(s, nil)
+	serialOut := make([]int64, len(s))
+	ssf.Serial(s, serialOut)
 
-	{
-		p := core.NewPool(core.Options{Workers: 3, PrivateTasks: true})
-		got := ssf.RunWool(p, ssf.NewWool(), &ssf.Work{S: s})
-		p.Close()
-		if got != want {
-			t.Errorf("wool: %d want %d", got, want)
-		}
-	}
-	{
-		p := chaselev.NewPool(chaselev.Options{Workers: 3})
-		got := ssf.RunChaseLev(p, ssf.NewChaseLev(), &ssf.Work{S: s})
-		p.Close()
-		if got != want {
-			t.Errorf("chaselev: %d want %d", got, want)
-		}
-	}
-	{
-		p := locksched.NewPool(locksched.Options{Workers: 3})
-		got := ssf.RunLockSched(p, ssf.NewLockSched(), &ssf.Work{S: s})
-		p.Close()
-		if got != want {
-			t.Errorf("locksched: %d want %d", got, want)
-		}
-	}
-	{
-		p := ompstyle.NewPool(ompstyle.Options{Workers: 3})
-		got := p.Run(func(tc *ompstyle.Context) int64 { return ssf.OMP(tc, &ssf.Work{S: s}) })
-		p.Close()
-		if got != want {
-			t.Errorf("omp: %d want %d", got, want)
-		}
+	for _, sc := range sched.All() {
+		t.Run(sc.Name(), func(t *testing.T) {
+			wk := &ssf.Work{S: s, Out: make([]int64, len(s))}
+			p := sc.NewPool(sched.Options{Workers: 3})
+			defer p.Close()
+			if got := p.RunRange(ssf.Job(wk, 1)); got != want {
+				t.Fatalf("checksum = %d, want %d", got, want)
+			}
+			for i := range serialOut {
+				if wk.Out[i] != serialOut[i] {
+					t.Fatalf("out[%d] = %d, want %d", i, wk.Out[i], serialOut[i])
+				}
+			}
+		})
 	}
 }
 
@@ -111,59 +76,13 @@ func TestStressAllSchedulers(t *testing.T) {
 	const height, iters, reps = 6, 64, 5
 	want := stress.SerialReps(height, iters, reps)
 
-	{
-		p := core.NewPool(core.Options{Workers: 3, PrivateTasks: true})
-		got := stress.RunWool(p, stress.NewWool(), height, iters, reps)
-		p.Close()
-		if got != want {
-			t.Errorf("wool: %d want %d", got, want)
-		}
-	}
-	{
-		p := chaselev.NewPool(chaselev.Options{Workers: 3})
-		got := stress.RunChaseLev(p, stress.NewChaseLev(), height, iters, reps)
-		p.Close()
-		if got != want {
-			t.Errorf("chaselev: %d want %d", got, want)
-		}
-	}
-	{
-		p := locksched.NewPool(locksched.Options{Workers: 3, Strategy: locksched.StealTryLock})
-		got := stress.RunLockSched(p, stress.NewLockSched(), height, iters, reps)
-		p.Close()
-		if got != want {
-			t.Errorf("locksched: %d want %d", got, want)
-		}
-	}
-	{
-		p := ompstyle.NewPool(ompstyle.Options{Workers: 3})
-		got := stress.RunOMP(p, height, iters, reps)
-		p.Close()
-		if got != want {
-			t.Errorf("omp: %d want %d", got, want)
-		}
-	}
-}
-
-func TestCholeskyChaseLevMatchesSerial(t *testing.T) {
-	prev := runtime.GOMAXPROCS(4)
-	defer runtime.GOMAXPROCS(prev)
-	mSerial := cholesky.Generate(96, 350, 1234)
-	mSerial.Factor()
-	want := mSerial.ToDenseLower()
-
-	for _, workers := range []int{1, 3} {
-		mPar := cholesky.Generate(96, 350, 1234)
-		p := chaselev.NewPool(chaselev.Options{Workers: workers})
-		cholesky.NewChaseLev().Factor(p, mPar)
-		p.Close()
-		got := mPar.ToDenseLower()
-		for i := range want {
-			for j := 0; j <= i; j++ {
-				if math.Abs(want[i][j]-got[i][j]) > 1e-9 {
-					t.Fatalf("workers=%d: L[%d][%d] = %g, want %g", workers, i, j, got[i][j], want[i][j])
-				}
+	for _, s := range sched.All() {
+		t.Run(s.Name(), func(t *testing.T) {
+			p := s.NewPool(sched.Options{Workers: 3})
+			defer p.Close()
+			if got := p.RunRec(stress.Job(height, iters, reps)); got != want {
+				t.Fatalf("leaves = %d, want %d", got, want)
 			}
-		}
+		})
 	}
 }

@@ -6,10 +6,8 @@
 package fibw
 
 import (
-	"gowool/internal/chaselev"
 	"gowool/internal/core"
-	"gowool/internal/locksched"
-	"gowool/internal/ompstyle"
+	"gowool/internal/sched"
 	"gowool/internal/sim"
 )
 
@@ -62,46 +60,23 @@ func NewWoolGenericJoin() *core.TaskDef1 {
 	return fib
 }
 
-// NewLockSched builds fib on the lock-based ladder.
-func NewLockSched() *locksched.TaskDef1 {
-	var fib *locksched.TaskDef1
-	fib = locksched.Define1("fib", func(w *locksched.Worker, n int64) int64 {
-		if n < 2 {
-			return n
-		}
-		fib.Spawn(w, n-2)
-		a := fib.Call(w, n-1)
-		b := fib.Join(w)
-		return a + b
-	})
-	return fib
-}
-
-// NewChaseLev builds fib on the deque scheduler.
-func NewChaseLev() *chaselev.TaskDef1 {
-	var fib *chaselev.TaskDef1
-	fib = chaselev.Define1("fib", func(w *chaselev.Worker, n int64) int64 {
-		if n < 2 {
-			return n
-		}
-		fib.Spawn(w, n-2)
-		a := fib.Call(w, n-1)
-		b := fib.Join(w)
-		return a + b
-	})
-	return fib
-}
-
-// OMP computes fib on the OpenMP-style pool.
-func OMP(tc *ompstyle.Context, n int64) int64 {
-	if n < 2 {
-		return n
+// Job returns fib as a generic RecJob: the divide-and-conquer body
+// written once, instantiated for any registered scheduler via
+// internal/sched (the baselines' ports used to be hand-written copies
+// of NewWool, one per scheduler package).
+func Job(n, reps int64) sched.RecJob {
+	return sched.RecJob{
+		Name: "fib",
+		Root: n,
+		Reps: reps,
+		Leaf: func(n int64) (int64, bool) {
+			if n < 2 {
+				return n, true
+			}
+			return 0, false
+		},
+		Split: func(n int64) (inline, spawned int64) { return n - 1, n - 2 },
 	}
-	var a int64
-	tc.SpawnTask(func(tc2 *ompstyle.Context) { a = OMP(tc2, n-2) })
-	b := OMP(tc, n-1)
-	tc.Taskwait()
-	return a + b
 }
 
 // LeafWork and NodeWork are the virtual work charged by the simulated

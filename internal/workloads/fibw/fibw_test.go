@@ -4,11 +4,8 @@ import (
 	"runtime"
 	"testing"
 
-	"gowool/internal/chaselev"
 	"gowool/internal/core"
 	"gowool/internal/costmodel"
-	"gowool/internal/locksched"
-	"gowool/internal/ompstyle"
 	"gowool/internal/sim"
 )
 
@@ -31,6 +28,9 @@ func TestTasks(t *testing.T) {
 	}
 }
 
+// TestAllSchedulersAgree checks the hand-written wool ports and the
+// simulator; the baselines are exercised uniformly by the registry
+// conformance suite in internal/sched.
 func TestAllSchedulersAgree(t *testing.T) {
 	prev := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(prev)
@@ -48,24 +48,6 @@ func TestAllSchedulersAgree(t *testing.T) {
 		t.Errorf("wool generic join: %d, want %d", got, want)
 	}
 	wg.Close()
-
-	lp := locksched.NewPool(locksched.Options{Workers: 3})
-	if got := lp.Run(func(w *locksched.Worker) int64 { return NewLockSched().Call(w, n) }); got != want {
-		t.Errorf("locksched: %d, want %d", got, want)
-	}
-	lp.Close()
-
-	cp := chaselev.NewPool(chaselev.Options{Workers: 3})
-	if got := cp.Run(func(w *chaselev.Worker) int64 { return NewChaseLev().Call(w, n) }); got != want {
-		t.Errorf("chaselev: %d, want %d", got, want)
-	}
-	cp.Close()
-
-	op := ompstyle.NewPool(ompstyle.Options{Workers: 3})
-	if got := op.Run(func(tc *ompstyle.Context) int64 { return OMP(tc, n) }); got != want {
-		t.Errorf("ompstyle: %d, want %d", got, want)
-	}
-	op.Close()
 
 	res := sim.Run(sim.Config{Procs: 4, Kind: sim.KindDirectStack, Costs: costmodel.Wool()},
 		NewSim(), sim.Args{A0: n})

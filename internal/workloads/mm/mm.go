@@ -8,7 +8,7 @@ package mm
 
 import (
 	"gowool/internal/core"
-	"gowool/internal/ompstyle"
+	"gowool/internal/sched"
 	"gowool/internal/sim"
 )
 
@@ -79,10 +79,17 @@ func RunWool(p *core.Pool, rows *core.TaskDefC2[Matrices], m *Matrices) int64 {
 	return p.Run(func(w *core.Worker) int64 { return rows.Call(w, m, 0, m.N) })
 }
 
-// OMP multiplies with the work-sharing loop, as the paper's OpenMP
-// version does.
-func OMP(tc *ompstyle.Context, m *Matrices) {
-	tc.ParallelFor(0, m.N, ompstyle.Static, 0, func(i int64) { m.Row(i) })
+// Job returns the multiply as a generic RangeJob over rows: the task
+// schedulers expand it into a balanced task tree, the OpenMP adapter
+// runs it as a static work-sharing loop (regular per-row work), both
+// from this one body.
+func Job(m *Matrices, reps int64) sched.RangeJob {
+	return sched.RangeJob{
+		Name: "mm-rows",
+		N:    m.N,
+		Reps: reps,
+		Leaf: func(i int64) int64 { m.Row(i); return 1 },
+	}
 }
 
 // RowCycles is the virtual cost of one row of an unblocked n×n

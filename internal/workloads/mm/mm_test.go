@@ -7,7 +7,7 @@ import (
 
 	"gowool/internal/core"
 	"gowool/internal/costmodel"
-	"gowool/internal/ompstyle"
+	"gowool/internal/sched"
 	"gowool/internal/sim"
 )
 
@@ -61,16 +61,21 @@ func TestWoolMatchesSerial(t *testing.T) {
 }
 
 func TestOMPMatchesSerial(t *testing.T) {
+	// The OpenMP adapter runs Job as a static work-sharing loop; check
+	// that path writes the same C as the serial reference.
 	prev := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(prev)
 	m := New(50)
 	want := referenceMultiply(m)
-	p := ompstyle.NewPool(ompstyle.Options{Workers: 4})
+	omp, ok := sched.Lookup("omp")
+	if !ok {
+		t.Fatal("omp not registered")
+	}
+	p := omp.NewPool(sched.Options{Workers: 4})
 	defer p.Close()
-	p.Run(func(tc *ompstyle.Context) int64 {
-		OMP(tc, m)
-		return 0
-	})
+	if got := p.RunRange(Job(m, 1)); got != 50 {
+		t.Fatalf("rows computed = %d, want 50", got)
+	}
 	if d := maxDiff(m.C, want); d > 1e-9 {
 		t.Errorf("omp multiply differs by %g", d)
 	}

@@ -10,7 +10,7 @@ package ssf
 
 import (
 	"gowool/internal/core"
-	"gowool/internal/ompstyle"
+	"gowool/internal/sched"
 	"gowool/internal/sim"
 )
 
@@ -100,23 +100,23 @@ func RunWool(p *core.Pool, d *core.TaskDefC2[Work], wk *Work) int64 {
 	return p.Run(func(w *core.Worker) int64 { return d.Call(w, wk, 0, int64(len(wk.S))) })
 }
 
-// OMP computes all positions with the work-sharing loop (dynamic
-// schedule: per-position work is irregular), as the paper's OpenMP
-// version does. Returns the checksum.
-func OMP(tc *ompstyle.Context, wk *Work) int64 {
-	out := wk.Out
-	if out == nil {
-		out = make([]int64, len(wk.S))
+// Job returns the scan as a generic RangeJob over positions. Irregular
+// is set: per-position work varies wildly, so the OpenMP adapter uses
+// a dynamic work-sharing schedule, as the paper's OpenMP version does.
+func Job(wk *Work, reps int64) sched.RangeJob {
+	return sched.RangeJob{
+		Name:      "ssf-range",
+		N:         int64(len(wk.S)),
+		Reps:      reps,
+		Irregular: true,
+		Leaf: func(i int64) int64 {
+			best, _ := Position(wk.S, i)
+			if wk.Out != nil {
+				wk.Out[i] = best
+			}
+			return best
+		},
 	}
-	tc.ParallelFor(0, int64(len(wk.S)), ompstyle.Dynamic, 4, func(i int64) {
-		best, _ := Position(wk.S, i)
-		out[i] = best
-	})
-	var sum int64
-	for _, v := range out {
-		sum += v
-	}
-	return sum
 }
 
 // CyclesPerComparison is the virtual cost of one inner-loop character

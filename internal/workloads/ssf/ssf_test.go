@@ -6,7 +6,7 @@ import (
 
 	"gowool/internal/core"
 	"gowool/internal/costmodel"
-	"gowool/internal/ompstyle"
+	"gowool/internal/sched"
 	"gowool/internal/sim"
 )
 
@@ -72,16 +72,20 @@ func TestWoolMatchesSerial(t *testing.T) {
 }
 
 func TestOMPMatchesSerial(t *testing.T) {
+	// The scan is irregular, so the OpenMP adapter runs Job as a
+	// dynamic work-sharing loop; check that path against the serial
+	// reference.
 	prev := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(prev)
 	s := FibString(10)
 	want := Serial(s, nil)
-	p := ompstyle.NewPool(ompstyle.Options{Workers: 4})
+	omp, ok := sched.Lookup("omp")
+	if !ok {
+		t.Fatal("omp not registered")
+	}
+	p := omp.NewPool(sched.Options{Workers: 4})
 	defer p.Close()
-	got := p.Run(func(tc *ompstyle.Context) int64 {
-		return OMP(tc, &Work{S: s})
-	})
-	if got != want {
+	if got := p.RunRange(Job(&Work{S: s}, 1)); got != want {
 		t.Errorf("omp checksum = %d, want %d", got, want)
 	}
 }

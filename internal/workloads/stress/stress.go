@@ -14,7 +14,7 @@ package stress
 
 import (
 	"gowool/internal/core"
-	"gowool/internal/locksched"
+	"gowool/internal/sched"
 	"gowool/internal/sim"
 )
 
@@ -82,30 +82,23 @@ func RunWool(p *core.Pool, tree *core.TaskDef2, height, iters, reps int64) int64
 	})
 }
 
-// NewLockSched builds the kernel for the lock ladder (Figure 4 runs).
-func NewLockSched() *locksched.TaskDef2 {
-	var tree *locksched.TaskDef2
-	tree = locksched.Define2("stress", func(w *locksched.Worker, height, iters int64) int64 {
-		if height == 0 {
-			return SpinLeaf(iters)
-		}
-		tree.Spawn(w, height-1, iters)
-		a := tree.Call(w, height-1, iters)
-		b := tree.Join(w)
-		return a + b
-	})
-	return tree
-}
-
-// RunLockSched executes reps serialized repetitions on the pool.
-func RunLockSched(p *locksched.Pool, tree *locksched.TaskDef2, height, iters, reps int64) int64 {
-	return p.Run(func(w *locksched.Worker) int64 {
-		var total int64
-		for r := int64(0); r < reps; r++ {
-			total += tree.Call(w, height, iters)
-		}
-		return total
-	})
+// Job returns the stress tree as a generic RecJob: the recursion
+// parameter is the height, the leaf iteration count travels by
+// closure capture, and reps serialized parallel regions are run. One
+// body, instantiated for any registered scheduler via internal/sched.
+func Job(height, iters, reps int64) sched.RecJob {
+	return sched.RecJob{
+		Name: "stress",
+		Root: height,
+		Reps: reps,
+		Leaf: func(h int64) (int64, bool) {
+			if h == 0 {
+				return SpinLeaf(iters), true
+			}
+			return 0, false
+		},
+		Split: func(h int64) (inline, spawned int64) { return h - 1, h - 1 },
+	}
 }
 
 // NewSim builds the simulated kernel: A0 = height, A1 = leaf

@@ -4,10 +4,8 @@ import (
 	"runtime"
 	"testing"
 
-	"gowool/internal/cilkstyle"
 	"gowool/internal/core"
 	"gowool/internal/costmodel"
-	"gowool/internal/locksched"
 	"gowool/internal/sim"
 )
 
@@ -28,19 +26,6 @@ func TestWoolMatchesSerial(t *testing.T) {
 	tree := NewWool()
 	if got := RunWool(p, tree, 7, 256, 20); got != 20*128 {
 		t.Errorf("wool: %d, want %d", got, 20*128)
-	}
-}
-
-func TestLockSchedMatchesSerial(t *testing.T) {
-	prev := runtime.GOMAXPROCS(4)
-	defer runtime.GOMAXPROCS(prev)
-	for _, strat := range []locksched.StealStrategy{locksched.StealBase, locksched.StealPeek, locksched.StealTryLock} {
-		p := locksched.NewPool(locksched.Options{Workers: 4, Strategy: strat})
-		tree := NewLockSched()
-		if got := RunLockSched(p, tree, 6, 256, 10); got != 10*64 {
-			t.Errorf("%v: %d, want %d", strat, got, 10*64)
-		}
-		p.Close()
 	}
 }
 
@@ -76,19 +61,6 @@ func TestSimRepsSerializeRegions(t *testing.T) {
 func TestSpinLeafScalesLinearly(t *testing.T) {
 	if SpinLeaf(0) != 1 || SpinLeaf(100000) != 1 {
 		t.Error("SpinLeaf result wrong")
-	}
-}
-
-func TestCilkStyleMatchesSerial(t *testing.T) {
-	prev := runtime.GOMAXPROCS(4)
-	defer runtime.GOMAXPROCS(prev)
-	for _, workers := range []int{1, 2, 4} {
-		p := cilkstyle.NewPool(cilkstyle.Options{Workers: workers})
-		got := RunCilk(p, 6, 128, 5)
-		p.Close()
-		if want := SerialReps(6, 128, 5); got != want {
-			t.Errorf("workers=%d: got %d want %d", workers, got, want)
-		}
 	}
 }
 
