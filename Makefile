@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: build test race bench ci all
+.PHONY: build test race lint bench ci all
 
-all: build test
+all: build test lint
 
 build:
 	$(GO) build ./...
@@ -10,21 +10,34 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detect the scheduler core (thief/victim protocol, trip wire,
-# park/wake handshake).
+# Race-detect every scheduler backend that has a thief/victim protocol
+# (direct task stack, Chase-Lev deque, locked deque, cilk-style,
+# central queue) plus the simulator driving them.
 race:
-	$(GO) test -race -count=1 ./internal/core/...
+	$(GO) test -race -count=1 ./internal/core/... ./internal/chaselev/... \
+		./internal/locksched/... ./internal/cilkstyle/... \
+		./internal/ompstyle/... ./internal/sim/...
+
+# woolvet enforces the direct-task-stack protocol invariants
+# (atomic-only fields, owner-private fields, cache-line layout,
+# spawn/join balance) over the whole module. See DESIGN.md §10.
+lint:
+	$(GO) run ./cmd/woolvet ./...
 
 # Machine-readable fast-path/idle-engine numbers for the perf
 # trajectory; commit the refreshed BENCH_core.json with perf PRs.
 bench:
 	$(GO) run ./cmd/woolbench -corejson BENCH_core.json
 
-# What .github/workflows/ci.yml runs: build, vet, the tier-1 suite,
-# and a short race pass over the scheduler protocols and the registry
-# conformance suite.
+# What .github/workflows/ci.yml runs: build, vet, woolvet, the tier-1
+# suite, and a short race pass over the scheduler protocols and the
+# registry conformance suite.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(GO) run ./cmd/woolvet ./...
 	$(GO) test ./...
-	$(GO) test -race -count=1 -short ./internal/core/... ./internal/sched/... ./internal/workloads/
+	$(GO) test -race -count=1 -short ./internal/core/... ./internal/chaselev/... \
+		./internal/locksched/... ./internal/cilkstyle/... \
+		./internal/ompstyle/... ./internal/sim/... \
+		./internal/sched/... ./internal/workloads/

@@ -1,0 +1,84 @@
+// Command woolvet runs the woolvet analyzer suite (internal/analysis)
+// over the repository: compile-time enforcement of the direct-task-
+// stack protocol invariants — atomic access discipline on the shared
+// protocol words, owner-privacy of the task-stack indices, the padded
+// cache-line layout, and spawn/join balance in workload code. See
+// DESIGN.md §10 for the invariants and the annotation vocabulary.
+//
+// Usage:
+//
+//	go run ./cmd/woolvet ./...          # lint the whole module (CI)
+//	go run ./cmd/woolvet ./internal/core
+//	go run ./cmd/woolvet -only atomicfield,layoutguard ./...
+//	go run ./cmd/woolvet -list
+//
+// Exit status: 0 clean, 1 findings reported, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gowool/internal/analysis"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list the analyzers and exit")
+	onlyFlag := flag.String("only", "", "comma-separated subset of analyzers to run")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: woolvet [-list] [-only a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *onlyFlag != "" {
+		var err error
+		analyzers, err = analysis.ByName(strings.Split(*onlyFlag, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "woolvet:", err)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "woolvet:", err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "woolvet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadPatterns(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "woolvet:", err)
+		os.Exit(2)
+	}
+
+	found := false
+	for _, pkg := range pkgs {
+		for _, d := range analysis.RunAnalyzers(pkg, analyzers) {
+			found = true
+			fmt.Printf("%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	if found {
+		os.Exit(1)
+	}
+}

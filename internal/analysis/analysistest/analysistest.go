@@ -1,0 +1,116 @@
+// Package analysistest verifies woolvet analyzers against fixture
+// packages annotated with "// want" comments, mirroring the golden-file
+// convention of golang.org/x/tools/go/analysis/analysistest on the
+// repository's stdlib-only analysis framework.
+//
+// A fixture is a package directory under testdata/src/<name>. Each
+// expected diagnostic is declared on the line it is reported at:
+//
+//	w.state.Store(1) // want `may only be claimed via`
+//
+// The backquoted (or double-quoted) strings are regular expressions
+// matched against the diagnostic message; several may appear on one
+// line. The test fails on any unexpected diagnostic and on any want
+// pattern no diagnostic matched, so fixtures prove both that a pass
+// fires and that it stays quiet on the adjacent correct code.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gowool/internal/analysis"
+)
+
+// wantPattern extracts the backquoted or double-quoted expectation
+// patterns from the text after "want".
+var wantPattern = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type want struct {
+	re   *regexp.Regexp
+	pos  token.Position
+	used bool
+}
+
+// Run loads testdata/src/<fixture> (relative to the calling test's
+// package directory), runs the analyzers over it, and compares the
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, fixture string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatalf("resolving fixture dir: %v", err)
+	}
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("creating loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir, "woolvetfixture/"+fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+
+	wants := collectWants(t, pkg)
+	for _, d := range analysis.RunAnalyzers(pkg, analyzers) {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s: no diagnostic matched want %q", w.pos, w.re)
+			}
+		}
+	}
+}
+
+// collectWants indexes the fixture's want comments by file:line.
+func collectWants(t *testing.T, pkg *analysis.Package) map[string][]*want {
+	t.Helper()
+	wants := map[string][]*want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantPattern.FindAllStringSubmatch(rest, -1) {
+					pat := m[1]
+					if pat == "" && m[2] != "" {
+						unq, err := strconv.Unquote(`"` + m[2] + `"`)
+						if err != nil {
+							t.Fatalf("%s: bad want string: %v", pos, err)
+						}
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re, pos: pos})
+				}
+			}
+		}
+	}
+	return wants
+}

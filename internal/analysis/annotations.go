@@ -1,0 +1,263 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The woolvet annotation vocabulary (DESIGN.md §10). Directives are
+// ordinary comments whose text begins with "woolvet:":
+//
+//	// woolvet:atomic [methods=M1,M2,...]
+//	    on a struct field: the field must be a sync/atomic type and
+//	    every access must be an immediate method call on it. With
+//	    methods=..., mutation is further restricted to the listed
+//	    methods (Load is always permitted); other calls need a
+//	    site-level allow.
+//
+//	// woolvet:owner
+//	    on a struct field: owner-private. Accesses must go through the
+//	    executing-worker identifier — the enclosing method's receiver,
+//	    or (by the codebase's convention) a parameter named w.
+//
+//	// woolvet:cacheline group=<name> [maxspan=N]
+//	    on a struct field: starts a padded cache-line group. Groups
+//	    must be separated by >= 64 bytes of padding; with maxspan=N the
+//	    group's fields must span at most N bytes.
+//
+//	// woolvet:cacheline size=N
+//	    on a struct type declaration: sizeof(T) must be exactly N.
+//
+//	// woolvet:thief
+//	    on a function declaration: the function is a root of the
+//	    thief-side call graph (steal/leapfrog paths); ownerprivate
+//	    flags owner-state methods invoked on non-self workers anywhere
+//	    reachable from these roots.
+//
+//	//woolvet:allow <analyzer> [analyzer...] -- <reason>
+//	    on the flagged line, the line above it, or a function's doc
+//	    comment: suppress the named analyzers there. The reason after
+//	    "--" is mandatory by convention (reviewed, not parsed).
+
+// Directive is one parsed woolvet comment.
+type Directive struct {
+	Verb  string            // "atomic", "owner", "cacheline", "thief", "allow"
+	Args  []string          // bare (non key=value) arguments
+	Attrs map[string]string // key=value arguments
+	Pos   token.Pos
+}
+
+// parseDirective parses a single comment; ok is false when the comment
+// is not a woolvet directive.
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSuffix(text, "*/")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "woolvet:") {
+		return Directive{}, false
+	}
+	text = strings.TrimPrefix(text, "woolvet:")
+	// Cut the free-text reason, if any.
+	if i := strings.Index(text, "--"); i >= 0 {
+		text = text[:i]
+	}
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return Directive{}, false
+	}
+	d := Directive{Verb: fields[0], Attrs: map[string]string{}, Pos: c.Pos()}
+	for _, f := range fields[1:] {
+		if k, v, ok := strings.Cut(f, "="); ok {
+			d.Attrs[k] = v
+		} else {
+			d.Args = append(d.Args, f)
+		}
+	}
+	return d, true
+}
+
+// Annotations is the per-package index of woolvet directives.
+type Annotations struct {
+	// Fields maps a field object to its directives (atomic, owner,
+	// cacheline group markers).
+	Fields map[*types.Var][]Directive
+
+	// StructSize maps a struct type object to its declared total size
+	// (the "cacheline size=N" struct-level directive); -1 when unset.
+	StructSize map[*types.TypeName]int64
+
+	// ThiefRoots are functions annotated woolvet:thief.
+	ThiefRoots map[*types.Func]bool
+
+	// allowLine maps file name -> line -> analyzers allowed there.
+	allowLine map[string]map[int][]string
+
+	// allowRange holds function-body spans whose doc comment carries
+	// an allow.
+	allowRange []allowSpan
+}
+
+type allowSpan struct {
+	analyzers  []string
+	start, end token.Pos
+}
+
+// FieldDirective returns the first directive with the given verb on
+// the field, if any.
+func (a *Annotations) FieldDirective(f *types.Var, verb string) (Directive, bool) {
+	for _, d := range a.Fields[f] {
+		if d.Verb == verb {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// Allowed reports whether analyzer findings at pos are suppressed by
+// an allow directive.
+func (a *Annotations) Allowed(analyzer string, fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	if lines, ok := a.allowLine[p.Filename]; ok {
+		for _, l := range [2]int{p.Line, p.Line - 1} {
+			for _, name := range lines[l] {
+				if name == analyzer {
+					return true
+				}
+			}
+		}
+	}
+	for _, s := range a.allowRange {
+		if pos >= s.start && pos <= s.end {
+			for _, name := range s.analyzers {
+				if name == analyzer {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// ScanAnnotations builds the annotation index for a package.
+func ScanAnnotations(fset *token.FileSet, files []*ast.File, info *types.Info) *Annotations {
+	ann := &Annotations{
+		Fields:     map[*types.Var][]Directive{},
+		StructSize: map[*types.TypeName]int64{},
+		ThiefRoots: map[*types.Func]bool{},
+		allowLine:  map[string]map[int][]string{},
+	}
+	for _, f := range files {
+		// Line-level allows, from every comment in the file.
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c)
+				if !ok || d.Verb != "allow" {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				if ann.allowLine[p.Filename] == nil {
+					ann.allowLine[p.Filename] = map[int][]string{}
+				}
+				ann.allowLine[p.Filename][p.Line] = append(ann.allowLine[p.Filename][p.Line], d.Args...)
+			}
+		}
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				scanFuncDoc(ann, info, decl)
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					scanTypeSpec(ann, info, decl, ts)
+				}
+			}
+		}
+	}
+	return ann
+}
+
+func scanFuncDoc(ann *Annotations, info *types.Info, fd *ast.FuncDecl) {
+	if fd.Doc == nil {
+		return
+	}
+	for _, c := range fd.Doc.List {
+		d, ok := parseDirective(c)
+		if !ok {
+			continue
+		}
+		switch d.Verb {
+		case "thief":
+			if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+				ann.ThiefRoots[obj] = true
+			}
+		case "allow":
+			ann.allowRange = append(ann.allowRange, allowSpan{
+				analyzers: d.Args,
+				start:     fd.Pos(),
+				end:       fd.End(),
+			})
+		}
+	}
+}
+
+func scanTypeSpec(ann *Annotations, info *types.Info, gd *ast.GenDecl, ts *ast.TypeSpec) {
+	// Struct-level directives live in the type's doc comment.
+	for _, doc := range []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment} {
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			d, ok := parseDirective(c)
+			if !ok || d.Verb != "cacheline" {
+				continue
+			}
+			if sz, ok := d.Attrs["size"]; ok {
+				if obj, ok2 := info.Defs[ts.Name].(*types.TypeName); ok2 {
+					ann.StructSize[obj] = parseInt(sz)
+				}
+			}
+		}
+	}
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	for _, field := range st.Fields.List {
+		var dirs []Directive
+		for _, doc := range []*ast.CommentGroup{field.Doc, field.Comment} {
+			if doc == nil {
+				continue
+			}
+			for _, c := range doc.List {
+				if d, ok := parseDirective(c); ok && d.Verb != "allow" {
+					dirs = append(dirs, d)
+				}
+			}
+		}
+		if len(dirs) == 0 {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj, ok := info.Defs[name].(*types.Var); ok {
+				ann.Fields[obj] = append(ann.Fields[obj], dirs...)
+			}
+		}
+	}
+}
+
+func parseInt(s string) int64 {
+	var n int64
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return -1
+		}
+		n = n*10 + int64(r-'0')
+	}
+	return n
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicField enforces "// woolvet:atomic": a tagged field is a
+// protocol word shared between owner and thieves, so it must be
+// declared as a sync/atomic type and every access must be an immediate
+// method call on the field (w.bot.Load(), t.state.CompareAndSwap(...)).
+// Anything else — taking its address, copying it, assigning through it
+// — would bypass the protocol the paper's Section III-A correctness
+// argument rests on.
+//
+// A "methods=M1,M2,..." attribute further restricts which methods may
+// be called. Task.state uses it to pin claiming to owner-exchange
+// (Swap) and thief-CAS (CompareAndSwap) plus Load: the remaining
+// stores are each an explicitly allowlisted publication or
+// reset site ("//woolvet:allow atomicfield -- <why>").
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "woolvet:atomic fields are sync/atomic types accessed only through their methods",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) {
+	// Declaration check: a tagged field must be a sync/atomic type.
+	// This is what catches "de-atomizing" a protocol word at the
+	// declaration itself.
+	for obj, dirs := range pass.Ann.Fields {
+		for _, d := range dirs {
+			if d.Verb != "atomic" {
+				continue
+			}
+			if !isAtomicType(obj.Type()) {
+				pass.Report(obj.Pos(),
+					"field %s is tagged woolvet:atomic but declared as %s; protocol words must use a sync/atomic type",
+					obj.Name(), obj.Type())
+			}
+		}
+	}
+
+	walkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pass.Info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		obj, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		dir, tagged := pass.Ann.FieldDirective(obj, "atomic")
+		if !tagged {
+			return true
+		}
+		method, isCall := atomicCallContext(sel, stack)
+		if !isCall {
+			pass.Report(sel.Sel.Pos(),
+				"field %s is tagged woolvet:atomic and may only be used as the receiver of a sync/atomic method call",
+				obj.Name())
+			return true
+		}
+		if ms, restricted := dir.Attrs["methods"]; restricted {
+			if !methodAllowed(ms, method) {
+				pass.Report(sel.Sel.Pos(),
+					"field %s may only be claimed via %s (owner-exchange / thief-CAS discipline); %s needs a //woolvet:allow atomicfield site annotation",
+					obj.Name(), ms, method)
+			}
+		}
+		return true
+	})
+}
+
+// atomicCallContext reports whether sel (the field selector) is
+// immediately the receiver of a method call, returning the method
+// name: parent must be a SelectorExpr whose X is sel, grandparent a
+// CallExpr invoking it.
+func atomicCallContext(sel *ast.SelectorExpr, stack []ast.Node) (string, bool) {
+	if len(stack) < 2 {
+		return "", false
+	}
+	parent, ok := stack[len(stack)-1].(*ast.SelectorExpr)
+	if !ok || parent.X != sel {
+		return "", false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok || call.Fun != parent {
+		return "", false
+	}
+	return parent.Sel.Name, true
+}
+
+func methodAllowed(list, method string) bool {
+	for _, m := range strings.Split(list, ",") {
+		if m == method {
+			return true
+		}
+	}
+	return false
+}
+
+// isAtomicType reports whether t is a named type from sync/atomic
+// (atomic.Uint64, atomic.Int64, atomic.Bool, atomic.Pointer[T], ...).
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// cacheLine is the separation layoutguard enforces between groups. A
+// gap of at least 64 bytes guarantees two fields cannot share a
+// 64-byte cache line regardless of the allocation's base alignment
+// (Go only guarantees word alignment for heap objects), which is
+// strictly stronger than the runtime offset test it replaces.
+const cacheLine = 64
+
+// LayoutGuard enforces "// woolvet:cacheline": the false-sharing
+// contract of the Worker layout (DESIGN.md §8) checked over
+// types.Sizes at analysis time instead of unsafe.Offsetof at test
+// time. A field directive "cacheline group=<name>" opens a group; the
+// group runs until the next group directive or the end of the struct.
+// Consecutive groups must be separated by >= 64 bytes of padding
+// (blank "_ [64]byte" fields), so the owner's push/pop traffic, the
+// thieves' probe traffic and the thief-side counter flushes never
+// share a line. "maxspan=N" additionally bounds the distance from the
+// group's first to last field, and a struct-level "cacheline size=N"
+// pins the total size (Task's two-cache-line descriptor).
+//
+// Sizes are those of the gc compiler for the host architecture; the
+// contract is over the 64-bit layout the schedulers target.
+var LayoutGuard = &Analyzer{
+	Name: "layoutguard",
+	Doc:  "woolvet:cacheline groups stay padded apart and structs keep their declared size",
+	Run:  runLayoutGuard,
+}
+
+func runLayoutGuard(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				checkStructLayout(pass, ts)
+			}
+		}
+	}
+}
+
+type lineGroup struct {
+	name    string
+	maxspan int64
+	pos     ast.Node // the group's first field, for reporting
+	first   int      // flattened field index of the first field
+	last    int      // flattened index of the last non-pad field
+}
+
+func checkStructLayout(pass *Pass, ts *ast.TypeSpec) {
+	obj, _ := pass.Info.Defs[ts.Name].(*types.TypeName)
+	if obj == nil {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	// Generic structs have no concrete layout until instantiated;
+	// sizes are undefined over type parameters.
+	if named, ok := obj.Type().(*types.Named); ok && named.TypeParams().Len() > 0 {
+		return
+	}
+	if want, declared := pass.Ann.StructSize[obj]; declared {
+		if got := pass.Sizes.Sizeof(st); got != want {
+			pass.Report(ts.Name.Pos(),
+				"struct %s is %d bytes but is declared woolvet:cacheline size=%d; adjust the trailing padding",
+				ts.Name.Name, got, want)
+		}
+	}
+
+	astStruct, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+
+	// Flatten the AST field list to the indices of the types.Struct
+	// and collect the groups in declaration order.
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	offsets := pass.Sizes.Offsetsof(fields)
+
+	var groups []lineGroup
+	idx := 0
+	for _, field := range astStruct.Fields.List {
+		names := len(field.Names)
+		if names == 0 {
+			names = 1 // embedded field
+		}
+		for n := 0; n < names; n++ {
+			fv := fields[idx]
+			isPad := fv.Name() == "_"
+			if n == 0 {
+				if d, ok := fieldDirectiveAt(pass, field, "cacheline"); ok {
+					if name, isGroup := d.Attrs["group"]; isGroup {
+						groups = append(groups, lineGroup{
+							name:    name,
+							maxspan: parseIntAttr(d.Attrs, "maxspan"),
+							pos:     field,
+							first:   idx,
+							last:    -1,
+						})
+					}
+				}
+			}
+			if len(groups) > 0 && !isPad {
+				groups[len(groups)-1].last = idx
+			}
+			idx++
+		}
+	}
+
+	for i, g := range groups {
+		if g.last < 0 {
+			pass.Report(g.pos.Pos(),
+				"cache-line group %q in %s contains no fields", g.name, ts.Name.Name)
+			continue
+		}
+		end := offsets[g.last] + pass.Sizes.Sizeof(fields[g.last].Type())
+		if g.maxspan > 0 {
+			if span := end - offsets[g.first]; span > g.maxspan {
+				pass.Report(g.pos.Pos(),
+					"cache-line group %q in %s spans %d bytes, more than its declared maxspan=%d",
+					g.name, ts.Name.Name, span, g.maxspan)
+			}
+		}
+		if i+1 < len(groups) {
+			next := groups[i+1]
+			if gap := offsets[next.first] - end; gap < cacheLine {
+				pass.Report(next.pos.Pos(),
+					"cache-line group %q starts %d bytes after the last field of group %q; groups need >= %d bytes of padding between them to never share a line",
+					next.name, gap, g.name, cacheLine)
+			}
+		}
+	}
+}
+
+// fieldDirectiveAt finds a directive of the given verb on an AST
+// field, via the annotation index of its first named object or, for
+// blank/embedded fields, by scanning its comments directly.
+func fieldDirectiveAt(pass *Pass, field *ast.Field, verb string) (Directive, bool) {
+	for _, name := range field.Names {
+		if obj, ok := pass.Info.Defs[name].(*types.Var); ok {
+			if d, ok := pass.Ann.FieldDirective(obj, verb); ok {
+				return d, true
+			}
+		}
+	}
+	for _, doc := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			if d, ok := parseDirective(c); ok && d.Verb == verb {
+				return d, true
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+func parseIntAttr(attrs map[string]string, key string) int64 {
+	v, ok := attrs[key]
+	if !ok {
+		return -1
+	}
+	return parseInt(v)
+}

@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// OwnerPrivate enforces "// woolvet:owner": a tagged field (Worker.top,
+// the pubShadow publicLimit shadow, the owner-path Stats, ...) is part
+// of the state the paper's Section III-A ownership argument reserves to
+// the goroutine driving the worker. Two rules:
+//
+//  1. Every access must go through the executing-worker identifier:
+//     the enclosing method's receiver, or — the codebase's fixed
+//     convention — a parameter named w. Reaching the field through any
+//     other expression (victim.top, p.workers[i].stats) is flagged;
+//     construction-time and quiescent-pool accessors carry a
+//     function-level "//woolvet:allow ownerprivate -- <why>".
+//
+//  2. Methods that (transitively) touch owner state must not be
+//     invoked on another worker from the thief side: within the call
+//     graph rooted at "// woolvet:thief" functions (trySteal,
+//     leapfrog, idleLoop), calling an owner-state method on anything
+//     but the executing worker is flagged even though rule 1 inside
+//     the callee would not fire.
+var OwnerPrivate = &Analyzer{
+	Name: "ownerprivate",
+	Doc:  "woolvet:owner fields are touched only through the executing worker; steal paths never reach them",
+	Run:  runOwnerPrivate,
+}
+
+func runOwnerPrivate(pass *Pass) {
+	ownerField := func(sel *ast.SelectorExpr) (*types.Var, bool) {
+		selection := pass.Info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return nil, false
+		}
+		obj, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return nil, false
+		}
+		_, tagged := pass.Ann.FieldDirective(obj, "owner")
+		return obj, tagged
+	}
+
+	// The package call graph, for rule 2: which functions touch owner
+	// state (directly or transitively), and which are reachable from
+	// the thief roots.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	callees := map[*types.Func][]*types.Func{}
+	touches := map[*types.Func]bool{}
+	for obj, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if _, tagged := ownerField(n); tagged {
+					touches[obj] = true
+				}
+			case *ast.CallExpr:
+				if callee := calleeFunc(pass.Info, n); callee != nil {
+					if _, local := decls[callee]; local {
+						callees[obj] = append(callees[obj], callee)
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Transitive closure: calling an owner-touching function touches.
+	for changed := true; changed; {
+		changed = false
+		for obj := range decls {
+			if touches[obj] {
+				continue
+			}
+			for _, c := range callees[obj] {
+				if touches[c] {
+					touches[obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	// Forward reachability from the thief roots.
+	thiefReach := map[*types.Func]bool{}
+	var mark func(obj *types.Func)
+	mark = func(obj *types.Func) {
+		if thiefReach[obj] {
+			return
+		}
+		thiefReach[obj] = true
+		for _, c := range callees[obj] {
+			mark(c)
+		}
+	}
+	for obj := range pass.Ann.ThiefRoots {
+		if _, ok := decls[obj]; ok {
+			mark(obj)
+		}
+	}
+
+	// selfStack tracks, per enclosing function literal/declaration,
+	// the objects that denote the executing worker (receiver, params
+	// named w). A closure inherits its enclosing function's self set.
+	var selfStack [][]types.Object
+	selfHas := func(obj types.Object) bool {
+		for _, frame := range selfStack {
+			for _, s := range frame {
+				if s == obj {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	walkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			selfStack = selfStack[:0]
+			selfStack = append(selfStack, selfObjects(pass.Info, n.Recv, n.Type))
+		case *ast.FuncLit:
+			selfStack = append(selfStack, selfObjects(pass.Info, nil, n.Type))
+			// Popping on exit is not observable through walkStack, so
+			// approximate: literals are visited in source order and a
+			// stale inner frame can only widen the self set with
+			// identically-named w params of sibling literals, which
+			// denote the executing worker anyway.
+		case *ast.SelectorExpr:
+			obj, tagged := ownerField(n)
+			if !tagged {
+				return true
+			}
+			if base, ok := n.X.(*ast.Ident); ok {
+				if selfHas(pass.Info.Uses[base]) {
+					return true
+				}
+			}
+			pass.Report(n.Sel.Pos(),
+				"owner-private field %s accessed through %s; woolvet:owner fields may only be reached through the executing worker (method receiver or the w parameter)",
+				obj.Name(), exprString(n.X))
+		case *ast.CallExpr:
+			// Rule 2: owner-state methods on non-self workers in the
+			// thief call graph.
+			fd := enclosingFuncDecl(stack)
+			if fd == nil {
+				return true
+			}
+			encl, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if encl == nil || !thiefReach[encl] {
+				return true
+			}
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.Info, n)
+			if callee == nil || !touches[callee] {
+				return true
+			}
+			if base, ok := sel.X.(*ast.Ident); ok {
+				if selfHas(pass.Info.Uses[base]) {
+					return true
+				}
+			}
+			pass.Report(n.Pos(),
+				"%s touches owner-private state but is called on %s from the steal path (reachable from a woolvet:thief root); thieves may only interact with a victim through the atomic protocol words",
+				callee.Name(), exprString(sel.X))
+		}
+		return true
+	})
+}
+
+// selfObjects collects the executing-worker identifiers of a function:
+// its receiver, plus parameters named w.
+func selfObjects(info *types.Info, recv *ast.FieldList, ft *ast.FuncType) []types.Object {
+	var out []types.Object
+	add := func(fl *ast.FieldList, onlyW bool) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if onlyW && name.Name != "w" {
+					continue
+				}
+				if obj := info.Defs[name]; obj != nil {
+					out = append(out, obj)
+				}
+			}
+		}
+	}
+	add(recv, false)
+	add(ft.Params, true)
+	return out
+}
+
+// calleeFunc resolves a call's static callee within the package, or
+// nil for indirect calls and calls into other packages.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+func enclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
+	default:
+		return "<expr>"
+	}
+}

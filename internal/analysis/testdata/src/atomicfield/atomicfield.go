@@ -1,0 +1,51 @@
+// Package atomicfield is the analysistest fixture for the atomicfield
+// pass: woolvet:atomic fields must be sync/atomic types used only as
+// method-call receivers, and a methods= restriction pins the claim
+// discipline.
+package atomicfield
+
+import "sync/atomic"
+
+type worker struct {
+	// woolvet:atomic methods=Load,Swap,CompareAndSwap
+	state atomic.Uint64
+
+	// woolvet:atomic
+	bot atomic.Int64
+
+	// woolvet:atomic
+	naked int64 // want `field naked is tagged woolvet:atomic but declared as int64`
+
+	plain int64
+}
+
+func ok(w *worker) uint64 {
+	w.bot.Add(1)
+	w.state.Swap(2)
+	if w.state.CompareAndSwap(2, 0) {
+		return 0
+	}
+	return w.state.Load()
+}
+
+func badStore(w *worker) {
+	w.state.Store(3) // want `field state may only be claimed via Load,Swap,CompareAndSwap`
+}
+
+func badAddr(w *worker) *atomic.Uint64 {
+	return &w.state // want `field state is tagged woolvet:atomic and may only be used as the receiver`
+}
+
+func badValue(w *worker) {
+	_ = w.bot // want `field bot is tagged woolvet:atomic and may only be used as the receiver`
+}
+
+func okPlain(w *worker) int64 {
+	w.plain++
+	return w.plain
+}
+
+func allowedStore(w *worker) {
+	//woolvet:allow atomicfield -- fixture: a publication-style store with a reviewed reason
+	w.state.Store(2)
+}

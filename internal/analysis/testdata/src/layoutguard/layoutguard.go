@@ -1,0 +1,54 @@
+// Package layoutguard is the analysistest fixture for the layoutguard
+// pass: cacheline groups must be >= 64 bytes apart, maxspan bounds a
+// group's extent, and size=N pins a struct's total size. Field sizes
+// below are fixed-width so the layout is identical on every 64-bit
+// target.
+package layoutguard
+
+// woolvet:cacheline size=32
+type sized struct {
+	a, b, c, d int64
+}
+
+// woolvet:cacheline size=64
+type wrongSize struct { // want `struct wrongSize is 16 bytes but is declared woolvet:cacheline size=64`
+	a int64
+	b int64
+}
+
+type padded struct {
+	// woolvet:cacheline group=owner
+	top int64
+	rng uint64
+
+	_ [64]byte
+
+	// woolvet:cacheline group=protocol maxspan=16
+	bot   int64
+	limit int64
+}
+
+type unpadded struct {
+	// woolvet:cacheline group=owner
+	top int64
+
+	// woolvet:cacheline group=protocol
+	bot int64 // want `cache-line group "protocol" starts 0 bytes after the last field of group "owner"`
+}
+
+type overspan struct {
+	// woolvet:cacheline group=wide maxspan=8
+	a int64 // want `cache-line group "wide" in overspan spans 16 bytes, more than its declared maxspan=8`
+	b int64
+}
+
+type emptyGroup struct {
+	// woolvet:cacheline group=ghost
+	_ [64]byte // want `cache-line group "ghost" in emptyGroup contains no fields`
+}
+
+// generic structs have no concrete layout and are skipped.
+type generic[T any] struct {
+	// woolvet:cacheline group=g
+	v T
+}

@@ -1,0 +1,54 @@
+// Package ownerprivate is the analysistest fixture for the
+// ownerprivate pass: woolvet:owner fields are reached only through the
+// executing worker (method receiver or a parameter named w), and the
+// call graph below woolvet:thief roots never invokes owner-touching
+// methods on another worker.
+package ownerprivate
+
+type pool struct {
+	workers []*worker
+}
+
+type worker struct {
+	pool *pool
+	idx  int
+
+	// woolvet:owner
+	top int
+
+	// woolvet:owner
+	rng uint64
+}
+
+func (w *worker) push() {
+	w.top++
+}
+
+func (w *worker) depth() int { return w.top }
+
+// helper follows the codebase convention: a parameter named w denotes
+// the executing worker.
+func helper(w *worker) int {
+	return w.top
+}
+
+func bad(w *worker, victim *worker) int {
+	return victim.top // want `owner-private field top accessed through victim`
+}
+
+// woolvet:thief
+func trySteal(w *worker, victim *worker) bool {
+	if victim.depth() > 0 { // want `depth touches owner-private state but is called on victim`
+		return true
+	}
+	return w.depth() > 0 // self calls are fine even on the steal path
+}
+
+//woolvet:allow ownerprivate -- fixture: quiescent aggregate accessor
+func stats(p *pool) int {
+	total := 0
+	for _, w := range p.workers {
+		total += w.top
+	}
+	return total
+}

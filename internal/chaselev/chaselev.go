@@ -17,6 +17,7 @@ package chaselev
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -35,8 +36,10 @@ type Task struct {
 	res            int64
 
 	// stolenBy is the thief index + 1 (atomic; 0 = not stolen).
+	// woolvet:atomic
 	stolenBy atomic.Int32
 	// done is set by the thief on completion.
+	// woolvet:atomic
 	done atomic.Bool
 
 	next *Task // free-list link, owner-only
@@ -96,34 +99,64 @@ func (s *Stats) add(o *Stats) {
 	s.Allocs += o.Allocs
 }
 
-// Worker is one deque-scheduler worker.
+// Worker is one deque-scheduler worker. Like core.Worker, the fields
+// are split into pad-separated cache-line groups (enforced by the
+// woolvet layoutguard pass): the deque indices both sides hammer, the
+// owner-private scheduling state, and the thief-side counters must
+// never share a line, or thief CAS traffic invalidates the owner's
+// push/pop line on every probe.
 type Worker struct {
+	// woolvet:cacheline group=immutable
 	pool *Pool
 	idx  int
 
-	// Chase-Lev deque state. buf holds size slots; live indices are
-	// [top, bottom), the owner pushes/pops at bottom, thieves CAS top.
-	buf    []atomic.Pointer[Task]
-	mask   int64
-	top    atomic.Int64
+	// buf holds size slots; live indices are [top, bottom), the owner
+	// pushes/pops at bottom, thieves CAS top. The slice header and
+	// mask are immutable after construction.
+	buf  []atomic.Pointer[Task]
+	mask int64
+
+	_ [64]byte // pad: end of the immutable group
+
+	// Chase-Lev deque indices. Unlike Wool's protocol words, both are
+	// read by both sides on every operation (the owner reads top in
+	// push/popBottom, thieves read bottom in trySteal), so they share
+	// one line by design: a probe costs a single line transfer.
+	// woolvet:cacheline group=deque maxspan=64
+	// woolvet:atomic
+	top atomic.Int64
+	// woolvet:atomic
 	bottom atomic.Int64
+
+	_ [64]byte // pad: end of the deque-index group
 
 	// shadow tracks this worker's own outstanding spawns so a join
 	// knows which task it is waiting for (TBB tracks this through
 	// parent/ref-count links; an explicit stack is the same
 	// information).
+	// woolvet:cacheline group=owner
+	// woolvet:owner
 	shadow []*Task
 
+	// woolvet:owner
 	free *Task // free list of task structures, owner-only
 
+	// woolvet:owner
 	rng uint64
 
 	// stats holds owner-path counters; the thief-path counters are
 	// atomics because idle workers keep attempting steals with no
 	// happens-before edge to a Stats() reader.
-	stats         Stats
+	// woolvet:owner
+	stats Stats
+
+	_ [64]byte // pad: end of the owner-private group
+
+	// woolvet:cacheline group=counters
+	// woolvet:atomic
 	stealAttempts atomic.Int64
-	steals        atomic.Int64
+	// woolvet:atomic
+	steals atomic.Int64
 }
 
 // Index returns the worker index.
@@ -170,8 +203,13 @@ type Pool struct {
 }
 
 // NewPool creates the pool; worker 0 is driven by Run's caller.
+//
+//woolvet:allow ownerprivate -- construction: workers are unshared until the goroutines start
 func NewPool(opts Options) *Pool {
 	opts = opts.defaults()
+	if opts.Workers > math.MaxInt32-1 {
+		panic(fmt.Sprintf("chaselev: Options.Workers = %d exceeds the int32 stolenBy encoding (thief index + 1)", opts.Workers))
+	}
 	p := &Pool{opts: opts}
 	p.workers = make([]*Worker, opts.Workers)
 	for i := range p.workers {
@@ -194,6 +232,8 @@ func NewPool(opts Options) *Pool {
 func (p *Pool) Workers() int { return len(p.workers) }
 
 // Run executes root on worker 0 and returns its result.
+//
+//woolvet:allow ownerprivate -- the calling goroutine IS worker 0's owner for the duration of Run
 func (p *Pool) Run(root func(*Worker) int64) int64 {
 	if p.shutdown.Load() {
 		panic("chaselev: Run on closed Pool")
@@ -219,6 +259,8 @@ func (p *Pool) Close() {
 }
 
 // Stats aggregates worker counters (quiescent pools only).
+//
+//woolvet:allow ownerprivate -- quiescent-pool accessor by contract
 func (p *Pool) Stats() Stats {
 	var s Stats
 	for _, w := range p.workers {
@@ -231,6 +273,8 @@ func (p *Pool) Stats() Stats {
 }
 
 // ResetStats zeroes the counters.
+//
+//woolvet:allow ownerprivate -- quiescent-pool mutator by contract
 func (p *Pool) ResetStats() {
 	for _, w := range p.workers {
 		w.stats = Stats{}
@@ -297,6 +341,8 @@ func (w *Worker) popBottom() *Task {
 }
 
 // trySteal attempts to steal the oldest task from victim and run it.
+//
+// woolvet:thief
 func (w *Worker) trySteal(victim *Worker, countWait bool) bool {
 	if victim == w {
 		return false
@@ -385,6 +431,7 @@ func (w *Worker) nextVictim() int {
 	return v
 }
 
+// woolvet:thief
 func (w *Worker) idleLoop() {
 	fails := 0
 	for !w.pool.shutdown.Load() {

@@ -185,3 +185,15 @@ func BenchmarkSpawnJoinDeque(b *testing.B) {
 		return 0
 	})
 }
+
+// TestWorkersBoundRejected: stolenBy packs thief index + 1 into an
+// int32, so NewPool must reject worker counts past that encoding
+// before allocating per-worker deques.
+func TestWorkersBoundRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPool accepted Workers beyond the int32 stolenBy encoding")
+		}
+	}()
+	NewPool(Options{Workers: 1 << 31})
+}

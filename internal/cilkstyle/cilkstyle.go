@@ -72,21 +72,39 @@ func (s *Stats) add(o *Stats) {
 	s.Resumes += o.Resumes
 }
 
-// Worker is one steal-parent worker.
+// Worker is one steal-parent worker. Fields are split into
+// pad-separated cache-line groups (enforced by the woolvet layoutguard
+// pass) so the locked deque the thieves probe never shares a line with
+// the owner's scheduling state or the thief-side counters.
 type Worker struct {
+	// woolvet:cacheline group=immutable
 	pool *Pool
 	idx  int
+
+	_ [64]byte // pad: end of the immutable group
 
 	// deque holds ready continuations; the owner pushes and pops at
 	// the tail, thieves take from the head. A single lock protects it,
 	// matching the lock-based stealing the paper attributes to Cilk++.
+	// woolvet:cacheline group=protocol maxspan=64
 	mu    sync.Mutex
 	deque []Step
 
+	_ [64]byte // pad: end of the protocol group
+
+	// woolvet:cacheline group=owner
+	// woolvet:owner
 	rng uint64
 
-	stats         Stats
-	steals        atomic.Int64
+	// woolvet:owner
+	stats Stats
+
+	_ [64]byte // pad: end of the owner-private group
+
+	// woolvet:cacheline group=counters
+	// woolvet:atomic
+	steals atomic.Int64
+	// woolvet:atomic
 	stealAttempts atomic.Int64
 }
 
@@ -130,6 +148,8 @@ type Pool struct {
 }
 
 // NewPool creates the pool; worker 0 is driven by Run's caller.
+//
+//woolvet:allow ownerprivate -- construction: workers are unshared until the goroutines start
 func NewPool(opts Options) *Pool {
 	opts = opts.defaults()
 	p := &Pool{opts: opts}
@@ -198,6 +218,8 @@ func (p *Pool) Close() {
 }
 
 // Stats aggregates worker counters (quiescent pools only).
+//
+//woolvet:allow ownerprivate -- quiescent-pool accessor by contract
 func (p *Pool) Stats() Stats {
 	var s Stats
 	for _, w := range p.workers {
@@ -210,6 +232,8 @@ func (p *Pool) Stats() Stats {
 }
 
 // ResetStats zeroes the counters.
+//
+//woolvet:allow ownerprivate -- quiescent-pool mutator by contract
 func (p *Pool) ResetStats() {
 	for _, w := range p.workers {
 		w.stats = Stats{}
@@ -313,6 +337,8 @@ func (w *Worker) popBottom() Step {
 
 // trySteal takes the oldest ready continuation from victim and runs
 // its chain to the next scheduling point.
+//
+// woolvet:thief
 func (w *Worker) trySteal(victim *Worker) bool {
 	if victim == w {
 		return false
@@ -351,6 +377,7 @@ func (w *Worker) nextVictim() int {
 	return v
 }
 
+// woolvet:thief
 func (w *Worker) idleLoop() {
 	fails := 0
 	for !w.pool.shutdown.Load() {

@@ -3,7 +3,6 @@ package core
 import (
 	"runtime"
 	"testing"
-	"unsafe"
 )
 
 // --- Owner-side shadow of publicLimit -------------------------------
@@ -69,61 +68,6 @@ func TestShadowTracksPublicLimit(t *testing.T) {
 			t.Errorf("worker %d: pubShadow = %d, publicLimit = %d", i, w.pubShadow, pl)
 		}
 	}
-}
-
-// --- Cache-line-grouped Worker layout -------------------------------
-
-// TestWorkerLayout guards the padded Worker layout: the owner-private
-// fields, the thief-shared protocol words and the thief-side counters
-// must occupy pairwise-disjoint 64-byte cache lines, so owner pushes,
-// thief probes and counter flushes never false-share.
-func TestWorkerLayout(t *testing.T) {
-	const line = 64
-	var w Worker
-	type fieldSpan struct {
-		name     string
-		off, end uintptr // [off, end) in bytes
-	}
-	span := func(name string, off, size uintptr) fieldSpan {
-		return fieldSpan{name, off, off + size}
-	}
-	owner := []fieldSpan{
-		span("top", unsafe.Offsetof(w.top), unsafe.Sizeof(w.top)),
-		span("pubShadow", unsafe.Offsetof(w.pubShadow), unsafe.Sizeof(w.pubShadow)),
-		span("inlineRun", unsafe.Offsetof(w.inlineRun), unsafe.Sizeof(w.inlineRun)),
-		span("rng", unsafe.Offsetof(w.rng), unsafe.Sizeof(w.rng)),
-		span("lastVictim", unsafe.Offsetof(w.lastVictim), unsafe.Sizeof(w.lastVictim)),
-		span("stats", unsafe.Offsetof(w.stats), unsafe.Sizeof(w.stats)),
-		span("prof", unsafe.Offsetof(w.prof), unsafe.Sizeof(w.prof)),
-	}
-	thief := []fieldSpan{
-		span("bot", unsafe.Offsetof(w.bot), unsafe.Sizeof(w.bot)),
-		span("publicLimit", unsafe.Offsetof(w.publicLimit), unsafe.Sizeof(w.publicLimit)),
-		span("morePublic", unsafe.Offsetof(w.morePublic), unsafe.Sizeof(w.morePublic)),
-	}
-	counters := []fieldSpan{
-		span("stealAttempts", unsafe.Offsetof(w.stealAttempts), unsafe.Sizeof(w.stealAttempts)),
-		span("steals", unsafe.Offsetof(w.steals), unsafe.Sizeof(w.steals)),
-		span("backoffs", unsafe.Offsetof(w.backoffs), unsafe.Sizeof(w.backoffs)),
-		span("parks", unsafe.Offsetof(w.parks), unsafe.Sizeof(w.parks)),
-		span("wakes", unsafe.Offsetof(w.wakes), unsafe.Sizeof(w.wakes)),
-	}
-	sameLine := func(a, b fieldSpan) bool {
-		return a.off/line <= (b.end-1)/line && b.off/line <= (a.end-1)/line
-	}
-	checkDisjoint := func(ga, gb []fieldSpan, na, nb string) {
-		for _, a := range ga {
-			for _, b := range gb {
-				if sameLine(a, b) {
-					t.Errorf("%s field %s (offset %d) shares a cache line with %s field %s (offset %d)",
-						na, a.name, a.off, nb, b.name, b.off)
-				}
-			}
-		}
-	}
-	checkDisjoint(owner, thief, "owner", "thief")
-	checkDisjoint(thief, counters, "thief", "counter")
-	checkDisjoint(owner, counters, "owner", "counter")
 }
 
 // --- Victim selection ------------------------------------------------

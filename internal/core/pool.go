@@ -225,8 +225,14 @@ type Pool struct {
 // NewPool creates a pool with opts.Workers workers. Worker 0 is driven
 // by the goroutine that calls Run; workers 1..N-1 are goroutines that
 // steal until Close.
+//
+//woolvet:allow ownerprivate -- construction: no worker goroutine exists yet, so every field is still unshared
 func NewPool(opts Options) *Pool {
 	opts = opts.Defaults()
+	if uint64(opts.Workers) > maxWorkers {
+		panic(fmt.Sprintf("core: Options.Workers = %d exceeds the %d the STOLEN(thief) state encoding can name (thief index is packed at state>>%d)",
+			opts.Workers, maxWorkers, stolenShift))
+	}
 	t0 := time.Now()
 	p := &Pool{opts: opts}
 	if opts.Parking == ParkOn && opts.Workers > 1 {
@@ -280,6 +286,8 @@ func (p *Pool) Workers() int { return len(p.workers) }
 // overlap; between calls the pool stays warm (idle workers keep their
 // steal loops), which is exactly the repeated-kernel structure of the
 // paper's benchmarks.
+//
+//woolvet:allow ownerprivate -- the calling goroutine IS worker 0's owner for the duration of Run
 func (p *Pool) Run(root func(*Worker) int64) int64 {
 	if p.shutdown.Load() {
 		panic("core: Run on closed Pool")
@@ -353,6 +361,8 @@ func (p *Pool) Stats() Stats {
 }
 
 // WorkerStats returns the counters of a single worker.
+//
+//woolvet:allow ownerprivate -- quiescent-pool accessor: callers read stats between Run calls (see Stats)
 func (p *Pool) WorkerStats(i int) Stats {
 	w := p.workers[i]
 	s := w.stats
@@ -366,6 +376,8 @@ func (p *Pool) WorkerStats(i int) Stats {
 }
 
 // ResetStats zeroes all counters (quiescent pools only).
+//
+//woolvet:allow ownerprivate -- quiescent-pool mutator by contract
 func (p *Pool) ResetStats() {
 	for _, w := range p.workers {
 		w.stats = Stats{}
@@ -382,6 +394,8 @@ func (p *Pool) ResetStats() {
 // Profile returns the aggregated CPU-time breakdown (Figure 6
 // categories). TR is the pool's startup cost; per-Run shutdown is
 // negligible because the pool stays warm.
+//
+//woolvet:allow ownerprivate -- quiescent-pool accessor; prof's inner counters are atomics besides
 func (p *Pool) Profile() TimeBreakdown {
 	var b TimeBreakdown
 	b.TR = p.startup
@@ -396,6 +410,8 @@ func (p *Pool) Profile() TimeBreakdown {
 
 // SpanProfiler returns the span measurement facility of worker 0, or
 // nil when Options.Span is off.
+//
+//woolvet:allow ownerprivate -- Span requires Workers == 1; the field is set once in NewPool and immutable after
 func (p *Pool) SpanProfiler() *SpanProfiler { return p.workers[0].spanProf }
 
 // Stats are the scheduler's event counters, the raw material for the

@@ -46,6 +46,12 @@ const (
 	stolenShift            = 8
 )
 
+// maxWorkers bounds Options.Workers: a thief index must survive the
+// round trip through stolenState/stolenThief, and the state word has
+// 64-stolenShift bits for it. NewPool rejects larger pools — silently
+// truncated indices would make leapfrog steal from the wrong worker.
+const maxWorkers uint64 = 1 << (64 - stolenShift)
+
 func stolenState(thief int) uint64 { return stateStolenBase | uint64(thief)<<stolenShift }
 
 func isStolen(s uint64) bool { return s&0xff == stateStolenBase }
@@ -76,7 +82,13 @@ type TaskFunc func(w *Worker, t *Task)
 // Descriptors are recycled without clearing, so a ctx pointer stays
 // referenced until its slot is reused — at most StackSize stale
 // references per worker, the price of an allocation-free spawn path.
+//
+// woolvet:cacheline size=128
 type Task struct {
+	// state transitions are claims: the owner Swaps, a thief
+	// CompareAndSwaps. The only plain Stores are publication and the
+	// thief's commit/back-off, each individually allowed at the site.
+	// woolvet:atomic methods=Load,Swap,CompareAndSwap
 	state atomic.Uint64
 
 	fn TaskFunc
@@ -92,6 +104,7 @@ type Task struct {
 	// Pad the descriptor to 128 bytes (two cache lines on common
 	// hardware, one on those with 128-byte lines) so adjacent
 	// descriptors do not false-share while owner and thief work on
-	// neighbouring stack slots. Checked by TestTaskSize.
+	// neighbouring stack slots. Checked by TestTaskSize and by the
+	// layoutguard pass (woolvet:cacheline size=128 above).
 	_ [39]byte
 }

@@ -148,3 +148,38 @@ func TestRecordPanicFromStolenTask(t *testing.T) {
 	}
 	t.Log("bomb was never stolen in 30 attempts; inline panic path exercised instead")
 }
+
+// TestStolenStateEncoding pins the STOLEN(thief) packing at its
+// boundaries: every thief index NewPool can hand out (bounded by
+// maxWorkers) must survive the stolenState/stolenThief round trip, and
+// the non-stolen states must never read as stolen.
+func TestStolenStateEncoding(t *testing.T) {
+	for _, thief := range []int{0, 1, 255, 256, 1 << 20, int(maxWorkers - 1)} {
+		s := stolenState(thief)
+		if !isStolen(s) {
+			t.Errorf("stolenState(%d) = %#x does not read as stolen", thief, s)
+		}
+		if got := stolenThief(s); got != thief {
+			t.Errorf("stolenThief(stolenState(%d)) = %d", thief, got)
+		}
+	}
+	for _, s := range []uint64{stateEmpty, stateDone, stateTask} {
+		if isStolen(s) {
+			t.Errorf("state %#x reads as stolen", s)
+		}
+	}
+	if uint64(int(maxWorkers)) != maxWorkers {
+		t.Fatalf("maxWorkers %d does not fit in int", maxWorkers)
+	}
+}
+
+// TestWorkersBoundRejected verifies NewPool rejects worker counts the
+// state encoding cannot name, before allocating anything.
+func TestWorkersBoundRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPool accepted Workers > maxWorkers")
+		}
+	}()
+	NewPool(Options{Workers: int(maxWorkers) + 1})
+}

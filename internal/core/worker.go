@@ -13,7 +13,8 @@ import (
 //
 // The fields split into four groups, separated by cache-line pads so
 // the owner's push/pop traffic and the thieves' probe traffic never
-// share a line (checked by TestWorkerLayout):
+// share a line (checked by the woolvet layoutguard pass over the
+// cacheline group annotations below):
 //   - immutable after construction (pool, idx, idle, tasks backing
 //     array): read by everyone, written by nobody after NewPool;
 //   - owner-private (top, pubShadow, rng, victim retention, counters,
@@ -26,6 +27,7 @@ import (
 //     so counter flushes do not invalidate it under the probing
 //     thieves.
 type Worker struct {
+	// woolvet:cacheline group=immutable
 	pool *Pool
 	idx  int
 
@@ -43,6 +45,8 @@ type Worker struct {
 	// top indexes the next free descriptor. Private to the owner: this
 	// is the decoupling the paper gets from synchronizing on the task
 	// descriptor instead of on the indices.
+	// woolvet:cacheline group=owner
+	// woolvet:owner
 	top int
 
 	// pubShadow is the owner's private shadow of publicLimit. The owner
@@ -50,20 +54,25 @@ type Worker struct {
 	// revocable cut-off compare against this plain copy instead of
 	// paying an atomic load per spawn; the atomic below exists for the
 	// thieves. Invariant (owner's view): pubShadow == publicLimit.
+	// woolvet:owner
 	pubShadow int64
 
 	// inlineRun counts consecutive inlined public joins; a long run is
 	// the signal that the public boundary is too high and can be pulled
 	// back down (the revocable cut-off of Section III-B).
+	// woolvet:owner
 	inlineRun int
 
+	// woolvet:owner
 	rng uint64
 
 	// lastVictim is the retained steal target: after a successful steal
 	// the thief goes straight back to the same victim (Options.
 	// StealRetain), dropping it after StealRetain consecutive probes
 	// that find nothing. -1 when empty or retention is disabled.
-	lastVictim   int
+	// woolvet:owner
+	lastVictim int
+	// woolvet:owner
 	retainMisses int
 
 	// stats holds the owner-path counters (spawns, joins, ...): plain
@@ -73,17 +82,23 @@ type Worker struct {
 	// idle workers keep attempting steals even while the pool is
 	// quiescent and those writes have no happens-before edge to a
 	// Stats() reader.
+	// woolvet:owner
 	stats Stats
 
 	// Profiling state (only used when pool.opts.Profile is set).
-	prof     profState
+	// woolvet:owner
+	prof profState
+	// woolvet:owner
 	spanProf *SpanProfiler
 
 	_ [64]byte // pad: end of the owner-private group
 
 	// bot indexes the bottom-most live task, the next steal candidate.
 	// No lock protects it; see trySteal and joinSlow for the implicit
-	// ownership protocol.
+	// ownership protocol. The three protocol words must stay within one
+	// cache line so a thief's probe costs a single line transfer.
+	// woolvet:cacheline group=protocol maxspan=64
+	// woolvet:atomic
 	bot atomic.Int64
 
 	// publicLimit: descriptors with index < publicLimit are public
@@ -92,11 +107,13 @@ type Worker struct {
 	// loads and stores). When private tasks are disabled it is pinned
 	// at the stack capacity. Written only by the owner (mirrored in
 	// pubShadow); loaded by thieves.
+	// woolvet:atomic
 	publicLimit atomic.Int64
 
 	// morePublic is the trip-wire notification flag: a thief that
 	// steals close to the public boundary sets it, and the owner
 	// publishes more descriptors at its next spawn or join.
+	// woolvet:atomic
 	morePublic atomic.Bool
 
 	_ [64]byte // pad: end of the thief-shared protocol group
@@ -105,12 +122,19 @@ type Worker struct {
 	// plain locals by the steal loops and flushed here periodically
 	// (see stealCounters), so the failed-attempt inner loop performs no
 	// atomic RMW.
-	stealAttempts  atomic.Int64
-	steals         atomic.Int64
-	backoffs       atomic.Int64
+	// woolvet:cacheline group=counters
+	// woolvet:atomic
+	stealAttempts atomic.Int64
+	// woolvet:atomic
+	steals atomic.Int64
+	// woolvet:atomic
+	backoffs atomic.Int64
+	// woolvet:atomic
 	retainedSteals atomic.Int64
-	parks          atomic.Int64
-	wakes          atomic.Int64
+	// woolvet:atomic
+	parks atomic.Int64
+	// woolvet:atomic
+	wakes atomic.Int64
 }
 
 // Index returns the worker's index within its pool. Thief indices
@@ -172,6 +196,7 @@ func (w *Worker) push() *Task {
 func (w *Worker) spawn(t *Task) {
 	if int64(w.top) < w.pubShadow {
 		t.priv = false
+		//woolvet:allow atomicfield -- publication release store: the single point making fn/args visible to thieves
 		t.state.Store(stateTask)
 		w.top++
 		if w.idle != nil && w.idle.parked.Load() != 0 &&
@@ -266,6 +291,7 @@ func (w *Worker) publishMore() {
 		t := &w.tasks[i]
 		if t.priv {
 			t.priv = false
+			//woolvet:allow atomicfield -- publication: the descriptor was private (thief-invisible) until the publicLimit store below
 			t.state.Store(stateTask)
 		}
 	}
@@ -341,6 +367,8 @@ func (w *Worker) joinSlow(t *Task, s uint64) {
 // would have executed ourselves had the steal not happened, so the
 // worker's stack cannot grow beyond its sequential bound and the buried
 // join resolves as soon as the joined task is done.
+//
+// woolvet:thief
 func (w *Worker) leapfrog(t *Task, thief int) {
 	if w.pool.opts.BlockedJoinWait == WaitSpin {
 		// Ablation: just wait (see Options.BlockedJoinWait).
@@ -413,6 +441,8 @@ func (w *Worker) leapfrog(t *Task, thief int) {
 //     and a joining owner wait;
 //  5. commit: state=STOLEN(self), bot=b+1 (the thief now owns bot),
 //     run the wrapper, state=DONE.
+//
+// woolvet:thief
 func (w *Worker) trySteal(victim *Worker, leap bool, sc *stealCounters) bool {
 	if victim == w {
 		return false
@@ -433,6 +463,7 @@ func (w *Worker) trySteal(victim *Worker, leap bool, sc *stealCounters) bool {
 	if victim.bot.Load() != b {
 		// ABA guard: the descriptor was joined and re-spawned while we
 		// were between reading bot and the CAS. Restore and back off.
+		//woolvet:allow atomicfield -- back-off restore: we hold the claim won by the CAS above
 		t.state.Store(s1)
 		sc.backoffs++
 		return false
@@ -447,10 +478,12 @@ func (w *Worker) trySteal(victim *Worker, leap bool, sc *stealCounters) bool {
 			w.idle.wakeOne(w)
 		}
 	}
+	//woolvet:allow atomicfield -- STOLEN commit: we hold the claim won by the CAS above
 	t.state.Store(stolenState(w.idx))
 	victim.bot.Store(b + 1)
 	w.steals.Add(1)
 	w.runStolen(t, leap)
+	//woolvet:allow atomicfield -- DONE commit: the thief owns the descriptor from CAS until this store
 	t.state.Store(stateDone)
 	return true
 }
@@ -606,6 +639,8 @@ const stSamplePeriod = 64
 // engine and costs nothing until a producer wakes it (Options.Parking).
 // A negative MaxIdleSleep keeps pure spinning+yield, matching the
 // paper's dedicated-machine setup.
+//
+// woolvet:thief
 func (w *Worker) idleLoop() {
 	var sc stealCounters
 	fails := 0

@@ -25,6 +25,7 @@ package locksched
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -73,6 +74,7 @@ type Task struct {
 	stolenBy int32
 	// done is set by the thief when the stolen task completes — the
 	// only lock-free communication in this scheduler.
+	// woolvet:atomic
 	done atomic.Bool
 }
 
@@ -97,32 +99,55 @@ func (s *Stats) add(o *Stats) {
 	s.LeapSteals += o.LeapSteals
 }
 
-// Worker is one lock-based worker.
+// Worker is one lock-based worker. The fields are split into
+// pad-separated cache-line groups (enforced by the woolvet layoutguard
+// pass) so the lock word and indices the thieves hammer never share a
+// line with the owner's scheduling state or the thief-side counters.
 type Worker struct {
+	// woolvet:cacheline group=immutable
 	pool  *Pool
 	idx   int
 	tasks []Task
 
+	_ [64]byte // pad: end of the immutable group
+
 	// lock protects the join/steal index comparison and bot updates.
+	// It shares a line with the indices it guards by design: a steal's
+	// lock-compare-update touches a single line.
+	// woolvet:cacheline group=protocol maxspan=64
 	lock sync.Mutex
 
 	// top is written by the owner (spawn does not take the lock, as in
 	// the paper) and read by thieves, hence atomic.
+	// woolvet:atomic
 	top atomic.Int64
 	// bot is written only under lock; the peek strategies read it
 	// without the lock, where staleness at worst wastes or skips one
 	// lock acquisition.
+	// woolvet:atomic
 	bot atomic.Int64
 
+	_ [64]byte // pad: end of the protocol group
+
+	// woolvet:cacheline group=owner
+	// woolvet:owner
 	rng uint64
 
 	// stats holds owner-path counters; the thief-path counters are
 	// atomics because idle workers keep attempting steals with no
 	// happens-before edge to a Stats() reader.
-	stats         Stats
+	// woolvet:owner
+	stats Stats
+
+	_ [64]byte // pad: end of the owner-private group
+
+	// woolvet:cacheline group=counters
+	// woolvet:atomic
 	stealAttempts atomic.Int64
-	steals        atomic.Int64
-	lockFailures  atomic.Int64
+	// woolvet:atomic
+	steals atomic.Int64
+	// woolvet:atomic
+	lockFailures atomic.Int64
 }
 
 // Index returns the worker's index.
@@ -173,8 +198,13 @@ type Pool struct {
 }
 
 // NewPool creates the pool; worker 0 is driven by Run's caller.
+//
+//woolvet:allow ownerprivate -- construction: workers are unshared until the goroutines start
 func NewPool(opts Options) *Pool {
 	opts = opts.defaults()
+	if opts.Workers > math.MaxInt32-1 {
+		panic(fmt.Sprintf("locksched: Options.Workers = %d exceeds the int32 stolenBy encoding (thief index + 1)", opts.Workers))
+	}
 	p := &Pool{opts: opts}
 	p.workers = make([]*Worker, opts.Workers)
 	for i := range p.workers {
@@ -221,6 +251,8 @@ func (p *Pool) Close() {
 }
 
 // Stats aggregates worker counters (quiescent pools only).
+//
+//woolvet:allow ownerprivate -- quiescent-pool accessor by contract
 func (p *Pool) Stats() Stats {
 	var s Stats
 	for _, w := range p.workers {
@@ -234,6 +266,8 @@ func (p *Pool) Stats() Stats {
 }
 
 // ResetStats zeroes the counters.
+//
+//woolvet:allow ownerprivate -- quiescent-pool mutator by contract
 func (p *Pool) ResetStats() {
 	for _, w := range p.workers {
 		w.stats = Stats{}
@@ -307,6 +341,8 @@ func (w *Worker) joinAcquire() (*Task, bool) {
 
 // trySteal attempts one steal from victim under the configured
 // strategy, running the stolen task to completion on w.
+//
+// woolvet:thief
 func (w *Worker) trySteal(victim *Worker) bool {
 	if victim == w {
 		return false
@@ -377,6 +413,7 @@ func (w *Worker) nextVictim() int {
 	return v
 }
 
+// woolvet:thief
 func (w *Worker) idleLoop() {
 	fails := 0
 	for !w.pool.shutdown.Load() {

@@ -44,10 +44,10 @@ func (op *ompPool) Stats() Stats {
 	return Stats{
 		Spawns: s.Spawns,
 		Extra: map[string]int64{
-			"executed":   s.Executed,
-			"wait_loops": s.WaitLoops,
-			"chunks_run": s.ChunksRun,
-			"max_queued": s.MaxQueued,
+			"executed":    s.Executed,
+			"wait_loops":  s.WaitLoops,
+			"chunks_run":  s.ChunksRun,
+			"max_queued":  s.MaxQueued,
 			"lock_passes": s.LockPasses,
 		},
 	}

@@ -64,9 +64,9 @@ func TestConformanceFib(t *testing.T) {
 	for _, s := range sched.All() {
 		t.Run(s.Name(), func(t *testing.T) {
 			for trial := 0; trial < 3; trial++ {
-				n := int64(8 + rng.Intn(9))      // fib(8..16)
-				reps := int64(1 + rng.Intn(3))   // 1..3 serialized regions
-				workers := 3 + rng.Intn(2)       // 3..4
+				n := int64(8 + rng.Intn(9))    // fib(8..16)
+				reps := int64(1 + rng.Intn(3)) // 1..3 serialized regions
+				workers := 3 + rng.Intn(2)     // 3..4
 				j := fibw.Job(n, reps)
 				p := s.NewPool(sched.Options{Workers: workers})
 				got := p.RunRec(j)
