@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint bench ci all
+.PHONY: build test race lint bench ci all trace-smoke
 
 all: build test lint
 
@@ -28,6 +28,23 @@ lint:
 # trajectory; commit the refreshed BENCH_core.json with perf PRs.
 bench:
 	$(GO) run ./cmd/woolbench -corejson BENCH_core.json
+
+# End-to-end check of the wooltrace pipeline (DESIGN.md §11): export a
+# Chrome trace from a real run, validate it against the trace_event
+# schema with -checktrace, and require the load-balancing events (STEAL
+# from the run, PARK from the settle window) plus a non-empty steal
+# matrix. The settle window lets the idle workers reach their PARK
+# transitions before the snapshot — on a loaded single-CPU machine they
+# may not get a timeslice to park during the run itself.
+TRACE_SMOKE_JSON ?= /tmp/wooltrace-smoke.json
+trace-smoke:
+	$(GO) run ./cmd/woolrun -workload fib -n 25 -workers 4 -private \
+		-settle 300ms -trace $(TRACE_SMOKE_JSON) -stealmatrix | tee $(TRACE_SMOKE_JSON).out
+	$(GO) run ./cmd/woolrun -checktrace $(TRACE_SMOKE_JSON)
+	grep -q '"STEAL"' $(TRACE_SMOKE_JSON)
+	grep -q '"PARK"' $(TRACE_SMOKE_JSON)
+	grep -q 'total steals:' $(TRACE_SMOKE_JSON).out
+	! grep -q 'total steals: 0$$' $(TRACE_SMOKE_JSON).out
 
 # What .github/workflows/ci.yml runs: build, vet, woolvet, the tier-1
 # suite, and a short race pass over the scheduler protocols and the

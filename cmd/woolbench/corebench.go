@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gowool/internal/core"
+	"gowool/internal/trace"
 	"gowool/internal/workloads/fibw"
 	"gowool/internal/workloads/stress"
 )
@@ -149,9 +150,33 @@ func coreCounters() core.Stats {
 	return p.Stats()
 }
 
+// tracedFibRep runs one repetition of fib(n) on its own traced pool
+// and writes the Chrome trace to path. The pool is separate from the
+// timed ones and the repetition is never measured, so tracing cost
+// (enabled-path records, the JSON export) cannot contaminate the
+// benchmark numbers — only the first, throwaway repetition is traced.
+func tracedFibRep(path string, workers int, n int64) error {
+	tr := trace.New(workers, 0)
+	p := core.NewPool(core.Options{Workers: workers, PrivateTasks: true, Trace: tr})
+	fib := fibw.NewWool()
+	p.Run(func(w *core.Worker) int64 { return fib.Call(w, n) })
+	p.Close()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // runCoreBench produces BENCH_core.json: the native fast-path and
 // idle-engine numbers guarded by this repo's acceptance criteria.
-func runCoreBench(path string) error {
+// When tracePath is non-empty, one extra untimed fib repetition runs
+// on a traced pool first and its Chrome trace is written there.
+func runCoreBench(path, tracePath string) error {
 	gmp := runtime.GOMAXPROCS(0)
 	if gmp < 4 {
 		runtime.GOMAXPROCS(4)
@@ -176,6 +201,14 @@ func runCoreBench(path string) error {
 	fmt.Println("core: spawn/join ladder")
 	rep.Benchmarks["spawn_join_private_ns"] = spawnJoinNs(true)
 	rep.Benchmarks["spawn_join_public_ns"] = spawnJoinNs(false)
+
+	if tracePath != "" {
+		fmt.Println("core: traced fib repetition (untimed)")
+		if err := tracedFibRep(tracePath, 4, 28); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", tracePath)
+	}
 
 	fmt.Println("core: fib(28) parking on vs off")
 	rep.Benchmarks["fib28_parking_on_ms"] = fibWallMs(4, core.ParkOn, 28, 3)

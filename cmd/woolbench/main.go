@@ -27,6 +27,7 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "input scale: quick or full")
 	list := flag.Bool("list", false, "list experiments and exit")
 	coreJSON := flag.String("corejson", "", "run the native core fast-path/idle-engine benchmarks and write machine-readable results to FILE")
+	benchTrace := flag.String("trace", "", "with -corejson: record one extra untimed fib repetition on a traced pool and write the Chrome trace to FILE")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: woolbench [-scale quick|full] [experiment ...]\n\nexperiments:\n")
 		for _, e := range experiments.All() {
@@ -43,7 +44,7 @@ func main() {
 	}
 
 	if *coreJSON != "" {
-		if err := runCoreBench(*coreJSON); err != nil {
+		if err := runCoreBench(*coreJSON, *benchTrace); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -12,6 +12,8 @@
 //	woolrun -workload ssf -n 14 -sched gonative
 //	woolrun -workload cholesky -n 500 -nz 2000 -stats
 //	woolrun -sim -workload fib -n 24 -workers 8
+//	woolrun -workload fib -n 30 -workers 4 -trace out.json -stealmatrix
+//	woolrun -checktrace out.json
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"gowool/internal/locksched"
 	"gowool/internal/sched"
 	"gowool/internal/sim"
+	"gowool/internal/trace"
 	"gowool/internal/workloads/cholesky"
 	"gowool/internal/workloads/fibw"
 	"gowool/internal/workloads/mm"
@@ -48,12 +51,21 @@ var (
 	iters     = flag.Int64("iters", 256, "stress leaf iterations")
 	reps      = flag.Int64("reps", 1, "repetitions (serialized parallel regions)")
 	stats     = flag.Bool("stats", false, "print scheduler statistics")
+
+	traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (schedulers with the trace capability)")
+	stealMat   = flag.Bool("stealmatrix", false, "print the worker×worker steal matrix after the run (leapfrog steals marked *)")
+	checkTrace = flag.String("checktrace", "", "validate a Chrome trace JSON file produced by -trace, then exit")
+	settle     = flag.Duration("settle", 0, "idle this long after the run before exporting the trace, so idle workers reach their PARK transitions")
 )
 
 func main() {
 	flag.Parse()
 	if *list {
 		listSchedulers()
+		return
+	}
+	if *checkTrace != "" {
+		validateTraceFile(*checkTrace)
 		return
 	}
 	if *simulate {
@@ -94,6 +106,9 @@ func capsTokens(c sched.Caps) string {
 	}
 	if c.TaskDefs {
 		t = append(t, "taskdefs")
+	}
+	if c.Trace {
+		t = append(t, "trace")
 	}
 	if len(t) == 0 {
 		return "-"
@@ -148,7 +163,15 @@ func runNative() {
 			*schedName, strings.Join(sched.Names(), ", "))
 		os.Exit(2)
 	}
-	p := s.NewPool(sched.Options{Workers: *workers, PrivateTasks: *private})
+	var tr *trace.Tracer
+	if *traceOut != "" || *stealMat {
+		if !s.Caps().Trace {
+			fmt.Fprintf(os.Stderr, "scheduler %s does not support tracing\n", s.Name())
+			os.Exit(2)
+		}
+		tr = trace.New(*workers, 0)
+	}
+	p := s.NewPool(sched.Options{Workers: *workers, PrivateTasks: *private, Trace: tr})
 	defer p.Close()
 
 	t0 := time.Now()
@@ -172,6 +195,62 @@ func runNative() {
 	if *stats {
 		printStats(s, p)
 	}
+	if tr != nil {
+		if *settle > 0 {
+			time.Sleep(*settle)
+		}
+		exportTrace(tr)
+	}
+}
+
+// exportTrace writes the Chrome trace file and/or prints the steal
+// matrix from the run's tracer.
+func exportTrace(tr *trace.Tracer) {
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tr.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: wrote %s (%d events, %d dropped)\n", *traceOut, countTraceEvents(tr), tr.Dropped())
+	}
+	if *stealMat {
+		tr.StealMatrix().WriteText(os.Stdout)
+	}
+}
+
+func countTraceEvents(tr *trace.Tracer) int {
+	n := 0
+	for _, evs := range tr.Snapshot() {
+		n += len(evs)
+	}
+	return n
+}
+
+// validateTraceFile checks a -trace output file against the expected
+// trace_event schema (the -checktrace mode used by `make trace-smoke`).
+func validateTraceFile(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checktrace: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	n, err := trace.Validate(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checktrace: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("checktrace: %s ok (%d events)\n", path, n)
 }
 
 // runCholesky instantiates the generic factorization for backends that

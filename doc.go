@@ -63,6 +63,24 @@
 // profiled idle loops as cheap as unprofiled ones. Successful steals
 // and leapfrog searches are always timed exactly.
 //
+// # Tracing and abort semantics
+//
+// Options.Trace attaches a Tracer (NewTracer): each worker records
+// scheduler events — spawns, steals and leapfrogs, publications and
+// privatizations, parks and wakes — into its own lock-free ring at a
+// few nanoseconds per event, and a nil tracer costs nothing on the
+// fast path. Export the result as a Chrome trace_event JSON
+// (Tracer.WriteChromeTrace, viewable in Perfetto) or a worker×worker
+// steal matrix (Tracer.StealMatrix); Tracer.Snapshot and
+// Pool.StatsSnapshot may be read live, with documented raciness.
+//
+// A panic escaping a task re-raises from Run with the original panic
+// value, even when the task was stolen (the thief hands the panic
+// back instead of dying and deadlocking the join). The abandoned task
+// tree is not unwound, so the pool is poisoned: later Run calls panic
+// with a distinct "pool poisoned by earlier task panic" message, and
+// only Close remains safe. See DESIGN.md §11.
+//
 // The repository also contains, under internal/, the baseline
 // schedulers (Chase-Lev deque, lock-based ladder, steal-parent
 // continuation scheduler, centralized pool), the deterministic
@@ -74,6 +92,7 @@ package gowool
 
 import (
 	"gowool/internal/core"
+	"gowool/internal/trace"
 )
 
 // Re-exported core types. The scheduler implementation lives in
@@ -107,6 +126,14 @@ type (
 	// ParkMode selects the idle-worker parking behaviour
 	// (Options.Parking).
 	ParkMode = core.ParkMode
+
+	// Tracer is the low-overhead event tracer (Options.Trace): one
+	// lock-free ring of scheduler events per worker, recording spawns,
+	// steals, leapfrogs, publications, privatizations, parks and
+	// wakes with monotonic timestamps. Export with WriteChromeTrace
+	// (chrome://tracing / Perfetto) or StealMatrix; a nil tracer
+	// disables recording at zero fast-path cost. See DESIGN.md §11.
+	Tracer = trace.Tracer
 )
 
 // Parking modes for Options.Parking: ParkDefault parks unless spin
@@ -122,6 +149,12 @@ const (
 // runtime.GOMAXPROCS(0)). Worker 0 is driven by the goroutine calling
 // Run; the others steal until Close.
 func NewPool(opts Options) *Pool { return core.NewPool(opts) }
+
+// NewTracer creates an event tracer with one ring per worker, each
+// holding capacity events (rounded up to a power of two; <= 0 means
+// the default 65536). Pass it as Options.Trace; when a ring fills,
+// the oldest events are overwritten and counted in Tracer.Dropped.
+func NewTracer(workers, capacity int) *Tracer { return trace.New(workers, capacity) }
 
 // Define1 declares a task taking one int64, generating its
 // task-specific spawn and join (direct call on the inline path).

@@ -22,6 +22,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gowool/internal/trace"
 )
 
 // TaskFunc runs a task from its descriptor.
@@ -110,6 +112,11 @@ type Worker struct {
 	pool *Pool
 	idx  int
 
+	// trc is this worker's wooltrace ring, or nil when tracing is
+	// disabled; set once in NewPool, recorded into only by the
+	// goroutine driving this worker.
+	trc *trace.Ring
+
 	// buf holds size slots; live indices are [top, bottom), the owner
 	// pushes/pops at bottom, thieves CAS top. The slice header and
 	// mask are immutable after construction.
@@ -173,6 +180,10 @@ type Options struct {
 	Wait WaitPolicy
 	// MaxIdleSleep caps idle back-off sleeping; default 200µs.
 	MaxIdleSleep time.Duration
+	// Trace attaches a wooltrace tracer; this backend records STEAL
+	// (victim, deque top index) and PARK (idle sleep-phase entry)
+	// events. nil disables tracing at zero cost (plain nil check).
+	Trace *trace.Tracer
 }
 
 func (o Options) defaults() Options {
@@ -200,6 +211,13 @@ type Pool struct {
 	shutdown atomic.Bool
 	running  atomic.Bool
 	wg       sync.WaitGroup
+
+	// Abort state: the first panic from a stolen task (or the root)
+	// poisons the pool; Run re-raises it and later Runs fail fast.
+	// Same semantics as core (DESIGN.md §11).
+	panicOnce sync.Once
+	panicVal  any
+	panicked  atomic.Bool
 }
 
 // NewPool creates the pool; worker 0 is driven by Run's caller.
@@ -210,16 +228,23 @@ func NewPool(opts Options) *Pool {
 	if opts.Workers > math.MaxInt32-1 {
 		panic(fmt.Sprintf("chaselev: Options.Workers = %d exceeds the int32 stolenBy encoding (thief index + 1)", opts.Workers))
 	}
+	if opts.Trace != nil && opts.Trace.Workers() < opts.Workers {
+		panic(fmt.Sprintf("chaselev: Options.Trace has %d rings for %d workers", opts.Trace.Workers(), opts.Workers))
+	}
 	p := &Pool{opts: opts}
 	p.workers = make([]*Worker, opts.Workers)
 	for i := range p.workers {
-		p.workers[i] = &Worker{
+		w := &Worker{
 			pool: p,
 			idx:  i,
 			buf:  make([]atomic.Pointer[Task], opts.DequeSize),
 			mask: int64(opts.DequeSize - 1),
 			rng:  uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
 		}
+		if opts.Trace != nil {
+			w.trc = opts.Trace.Ring(i)
+		}
+		p.workers[i] = w
 	}
 	p.wg.Add(opts.Workers - 1)
 	for _, w := range p.workers[1:] {
@@ -233,21 +258,47 @@ func (p *Pool) Workers() int { return len(p.workers) }
 
 // Run executes root on worker 0 and returns its result.
 //
+// Abort semantics match core (DESIGN.md §11): a panic in a stolen task
+// is recovered by the thief (so the done flag still publishes and the
+// joining owner unblocks), recorded, and re-raised here; a panic in
+// root itself poisons the pool on the way out. A poisoned pool rejects
+// later Run calls with a distinct message; Close stays safe.
+//
 //woolvet:allow ownerprivate -- the calling goroutine IS worker 0's owner for the duration of Run
 func (p *Pool) Run(root func(*Worker) int64) int64 {
 	if p.shutdown.Load() {
 		panic("chaselev: Run on closed Pool")
 	}
+	if p.panicked.Load() {
+		panic(fmt.Sprintf("chaselev: pool poisoned by earlier task panic: %v", p.panicVal))
+	}
 	if !p.running.CompareAndSwap(false, true) {
 		panic("chaselev: concurrent Run calls")
 	}
 	defer p.running.Store(false)
+	defer func() {
+		if r := recover(); r != nil {
+			p.recordPanic(r)
+			panic(r)
+		}
+	}()
 	w := p.workers[0]
 	res := root(w)
 	if len(w.shadow) != 0 {
 		panic("chaselev: root returned with unjoined tasks")
 	}
+	if p.panicked.Load() {
+		panic(p.panicVal)
+	}
 	return res
+}
+
+// recordPanic stores the first task panic, poisoning the pool.
+func (p *Pool) recordPanic(r any) {
+	p.panicOnce.Do(func() {
+		p.panicVal = r
+		p.panicked.Store(true)
+	})
 }
 
 // Close stops the workers.
@@ -362,10 +413,27 @@ func (w *Worker) trySteal(victim *Worker, countWait bool) bool {
 	if countWait {
 		w.stats.WaitSteals++
 	}
-	fn := task.fn
-	fn(w, task)
+	if w.trc != nil {
+		w.trc.Record(trace.KindSteal, int64(victim.idx), t)
+	}
+	w.runStolen(task)
 	task.done.Store(true)
 	return true
+}
+
+// runStolen executes a stolen task, converting a panic in user code
+// into a pool-wide abort: recovering here lets trySteal still publish
+// the done flag, so the joining owner unblocks instead of spinning on
+// a task that would never complete (the panic-deadlock bug), and Run
+// re-raises the recorded panic.
+func (w *Worker) runStolen(task *Task) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.pool.recordPanic(r)
+		}
+	}()
+	fn := task.fn
+	fn(w, task)
 }
 
 // joinAcquire resolves the youngest outstanding spawn of w: inline it
@@ -431,10 +499,15 @@ func (w *Worker) nextVictim() int {
 	return v
 }
 
+// idleLoop steals until shutdown — or until the pool is poisoned by a
+// task panic, after which the abandoned tree's tasks must not keep
+// executing in the background (a claimed task always finishes; the
+// exit only happens between attempts).
+//
 // woolvet:thief
 func (w *Worker) idleLoop() {
 	fails := 0
-	for !w.pool.shutdown.Load() {
+	for !w.pool.shutdown.Load() && !w.pool.panicked.Load() {
 		if w.trySteal(w.pool.workers[w.nextVictim()], false) {
 			fails = 0
 			continue
@@ -448,6 +521,11 @@ func (w *Worker) idleLoop() {
 		case fails < 1024 || w.pool.opts.MaxIdleSleep <= 0:
 			runtime.Gosched()
 		default:
+			if fails == 1024 && w.trc != nil {
+				// This backend has no parking engine; entering the
+				// sleep phase is its closest PARK analogue.
+				w.trc.Record(trace.KindPark, 0, 0)
+			}
 			d := time.Duration(fails-1023) * time.Microsecond
 			if d > w.pool.opts.MaxIdleSleep {
 				d = w.pool.opts.MaxIdleSleep

@@ -32,10 +32,13 @@
 package cilkstyle
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gowool/internal/trace"
 )
 
 // Step is one unit of a task function between scheduling points. It
@@ -80,6 +83,9 @@ type Worker struct {
 	// woolvet:cacheline group=immutable
 	pool *Pool
 	idx  int
+	// trc is this worker's event ring, nil when tracing is off. Set
+	// once at pool construction and never written again.
+	trc *trace.Ring
 
 	_ [64]byte // pad: end of the immutable group
 
@@ -125,6 +131,12 @@ type Options struct {
 	Workers int
 	// MaxIdleSleep caps idle back-off sleeping; default 200µs.
 	MaxIdleSleep time.Duration
+	// Trace, when non-nil, records scheduler events into per-worker
+	// rings. This backend emits STEAL (victim, 0: a continuation was
+	// taken from the victim's locked deque) and PARK (a spinning idle
+	// worker entered its sleep phase). The tracer must have at least
+	// Workers rings.
+	Trace *trace.Tracer
 }
 
 func (o Options) defaults() Options {
@@ -145,6 +157,22 @@ type Pool struct {
 	running  atomic.Bool
 	rootDone atomic.Bool
 	wg       sync.WaitGroup
+
+	// First-panic capture. A panicking step leaves its frame's pending
+	// count permanently wrong, so the root can never complete; the
+	// panic is recorded here, Run re-raises it, and the pool is
+	// poisoned against reuse.
+	panicOnce sync.Once
+	panicVal  any
+	panicked  atomic.Bool
+}
+
+// recordPanic captures the first panic value and poisons the pool.
+func (p *Pool) recordPanic(r any) {
+	p.panicOnce.Do(func() {
+		p.panicVal = r
+		p.panicked.Store(true)
+	})
 }
 
 // NewPool creates the pool; worker 0 is driven by Run's caller.
@@ -152,6 +180,9 @@ type Pool struct {
 //woolvet:allow ownerprivate -- construction: workers are unshared until the goroutines start
 func NewPool(opts Options) *Pool {
 	opts = opts.defaults()
+	if opts.Trace != nil && opts.Trace.Workers() < opts.Workers {
+		panic("cilkstyle: Options.Trace has fewer rings than workers")
+	}
 	p := &Pool{opts: opts}
 	p.workers = make([]*Worker, opts.Workers)
 	for i := range p.workers {
@@ -159,6 +190,9 @@ func NewPool(opts Options) *Pool {
 			pool: p,
 			idx:  i,
 			rng:  uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+		}
+		if opts.Trace != nil {
+			p.workers[i].trc = opts.Trace.Ring(i)
 		}
 	}
 	p.wg.Add(opts.Workers - 1)
@@ -175,14 +209,31 @@ func (p *Pool) Workers() int { return len(p.workers) }
 // on worker 0 and the thieves, then returns. The root frame must have
 // a nil parent; results travel through fields of the user's frame
 // struct.
+// Abort semantics: a panic in any step poisons the pool. The first
+// Run re-raises the original panic value; every later Run fails fast
+// with a distinct poisoned message (the abandoned frame tree's pending
+// counts are permanently wrong, so the pool cannot be reused). Close
+// remains safe on a poisoned pool.
 func (p *Pool) Run(root *Frame, first Step) {
 	if p.shutdown.Load() {
 		panic("cilkstyle: Run on closed Pool")
+	}
+	if p.panicked.Load() {
+		panic(fmt.Sprintf("cilkstyle: pool poisoned by earlier task panic: %v", p.panicVal))
 	}
 	if !p.running.CompareAndSwap(false, true) {
 		panic("cilkstyle: concurrent Run calls")
 	}
 	defer p.running.Store(false)
+	// A panic escaping a step run inline on worker 0 lands here: record
+	// it so the idle workers stop and the pool is poisoned, then
+	// re-raise the original value to the caller.
+	defer func() {
+		if r := recover(); r != nil {
+			p.recordPanic(r)
+			panic(r)
+		}
+	}()
 	if root.parent != nil {
 		panic("cilkstyle: root frame must have nil parent")
 	}
@@ -191,8 +242,10 @@ func (p *Pool) Run(root *Frame, first Step) {
 	w.runSteps(first)
 	// The chain returned control: either the root completed, or its
 	// continuation was stolen. Work-and-wait until the root is done.
+	// A recorded panic also ends the wait: the broken pending counts
+	// mean rootDone may never be set.
 	fails := 0
-	for !p.rootDone.Load() {
+	for !p.rootDone.Load() && !p.panicked.Load() {
 		if next := w.popBottom(); next != nil {
 			w.runSteps(next)
 			fails = 0
@@ -206,6 +259,9 @@ func (p *Pool) Run(root *Frame, first Step) {
 		if fails&0xf == 0 || runtime.GOMAXPROCS(0) == 1 {
 			runtime.Gosched()
 		}
+	}
+	if p.panicked.Load() {
+		panic(p.panicVal)
 	}
 }
 
@@ -355,8 +411,25 @@ func (w *Worker) trySteal(victim *Worker) bool {
 	victim.deque = victim.deque[:len(victim.deque)-1]
 	victim.mu.Unlock()
 	w.steals.Add(1)
-	w.runSteps(s)
+	if w.trc != nil {
+		w.trc.Record(trace.KindSteal, int64(victim.idx), 0)
+	}
+	w.runStolen(s)
 	return true
+}
+
+// runStolen drives a stolen continuation chain, converting a panic
+// into pool poisoning instead of killing the thief goroutine (which
+// would leave Close hanging on the WaitGroup). The frame tree the
+// panicking step abandons has broken pending counts; Run notices the
+// poison and re-raises to the caller.
+func (w *Worker) runStolen(s Step) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.pool.recordPanic(r)
+		}
+	}()
+	w.runSteps(s)
 }
 
 // nextVictim picks a random victim index != w.idx.
@@ -380,9 +453,13 @@ func (w *Worker) nextVictim() int {
 // woolvet:thief
 func (w *Worker) idleLoop() {
 	fails := 0
-	for !w.pool.shutdown.Load() {
+	// Also exit on poison: after a recorded panic no more useful work
+	// exists, and a chain claimed before the poison always runs to its
+	// next scheduling point (runStolen recovers), so exiting between
+	// attempts never strands a waiting frame.
+	for !w.pool.shutdown.Load() && !w.pool.panicked.Load() {
 		if next := w.popBottom(); next != nil {
-			w.runSteps(next)
+			w.runStolen(next)
 			fails = 0
 			continue
 		}
@@ -399,6 +476,11 @@ func (w *Worker) idleLoop() {
 		case fails < 1024 || w.pool.opts.MaxIdleSleep <= 0:
 			runtime.Gosched()
 		default:
+			// Closest analogue of PARK in this backend: the spin phase
+			// gives way to sleeping (there is no parking engine here).
+			if fails == 1024 && w.trc != nil {
+				w.trc.Record(trace.KindPark, 0, 0)
+			}
 			d := time.Duration(fails-1023) * time.Microsecond
 			if d > w.pool.opts.MaxIdleSleep {
 				d = w.pool.opts.MaxIdleSleep

@@ -1,0 +1,89 @@
+package cilkstyle
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStolenContinuationPanicPropagates covers the steal-parent abort
+// path: the panic is planted in the parent's continuation — exactly
+// the piece a thief takes in this backend — and the child spins until
+// someone starts it, which biases the schedule toward the steal. The
+// thief's recover poisons the pool (its goroutine must survive for
+// Close), Run's wait loop breaks out of its rootDone wait (the
+// abandoned frame's pending count will never reach the root), Run
+// re-raises the original value, and later Runs fail fast with the
+// poisoned message.
+func TestStolenContinuationPanicPropagates(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for attempt := 0; attempt < 30; attempt++ {
+		p := NewPool(Options{Workers: 2, MaxIdleSleep: -1})
+		var started atomic.Bool
+		var contWorker atomic.Int32
+		root := &Frame{}
+		child := &Frame{}
+		NewChild(root, child)
+		childStep := func(w *Worker) Step {
+			// Give the idle worker time to take the parent continuation
+			// sitting in worker 0's deque before this child returns and
+			// worker 0 pops it back itself.
+			deadline := time.Now().Add(5 * time.Millisecond)
+			for !started.Load() && time.Now().Before(deadline) {
+				runtime.Gosched()
+			}
+			return w.Return(child)
+		}
+		cont := func(w *Worker) Step {
+			started.Store(true)
+			contWorker.Store(int32(w.idx))
+			panic("boom")
+		}
+		first := func(w *Worker) Step {
+			return w.Spawn(root, cont, childStep)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatal("panic did not propagate from Run")
+				} else if r != "boom" {
+					t.Fatalf("wrong panic value %v", r)
+				}
+			}()
+			p.Run(root, first)
+		}()
+		stolen := contWorker.Load() != 0
+		if stolen {
+			func() {
+				defer func() {
+					r := recover()
+					if r == nil {
+						t.Fatal("poisoned pool accepted another Run")
+					}
+					if msg := fmt.Sprint(r); !strings.Contains(msg, "pool poisoned by earlier task panic") {
+						t.Fatalf("poisoned Run panicked with %v", r)
+					}
+				}()
+				p.Run(&Frame{}, func(w *Worker) Step { return nil })
+			}()
+		}
+		closed := make(chan struct{})
+		go func() {
+			p.Close()
+			close(closed)
+		}()
+		select {
+		case <-closed:
+		case <-time.After(10 * time.Second):
+			t.Fatal("Close hung after a stolen-continuation panic")
+		}
+		if stolen {
+			return // the thief-side abort path ran; done
+		}
+	}
+	t.Log("continuation was never stolen in 30 attempts; inline panic path exercised instead")
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"runtime"
 	"testing"
+
+	"gowool/internal/trace"
 )
 
 // --- Owner-side shadow of publicLimit -------------------------------
@@ -66,6 +68,102 @@ func TestShadowTracksPublicLimit(t *testing.T) {
 	for i, w := range p.workers {
 		if pl := w.publicLimit.Load(); w.pubShadow != pl {
 			t.Errorf("worker %d: pubShadow = %d, publicLimit = %d", i, w.pubShadow, pl)
+		}
+	}
+}
+
+// --- Trace fast-path guard -------------------------------------------
+
+// TestTraceOverheadDisabled proves that Options.Trace == nil adds zero
+// atomics to the spawn/join fast path. The argument is structural: the
+// only state tracing adds to Worker is the trc ring pointer, every
+// emission site in spawn/publishMore/noteInlinedPublic/trySteal/park
+// is gated on a plain `trc != nil` check, and the trace package's sole
+// atomic lives inside Ring.Record — unreachable through a nil ring.
+// This test pins the structure (nil rings on an untraced pool) and the
+// cost floor (a spawn/join pair allocates nothing with tracing off),
+// so any future emission that bypasses the nil gate or adds per-event
+// allocation shows up here.
+func TestTraceOverheadDisabled(t *testing.T) {
+	p := NewPool(Options{Workers: 2})
+	defer p.Close()
+	for i, w := range p.workers {
+		if w.trc != nil {
+			t.Fatalf("worker %d has a trace ring on an untraced pool", i)
+		}
+	}
+	noop := Define1("noop", func(w *Worker, x int64) int64 { return x })
+	p.Run(func(w *Worker) int64 {
+		if avg := testing.AllocsPerRun(200, func() {
+			noop.Spawn(w, 1)
+			noop.Join(w)
+		}); avg != 0 {
+			t.Errorf("spawn/join pair allocates %v objects with tracing disabled, want 0", avg)
+		}
+		return 0
+	})
+}
+
+// TestTraceRecordsEvents runs a steal-heavy fib with tracing enabled
+// and cross-checks the recorded events against the pool's counters:
+// every spawn, steal and publication must appear in the rings (the
+// capacity is sized so nothing is overwritten), and the steal matrix
+// must agree with Stats.Steals.
+func TestTraceRecordsEvents(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	tr := trace.New(4, 1<<15)
+	p := NewPool(Options{Workers: 4, PrivateTasks: true,
+		InitialPublic: 1, TripDistance: 1, PublishAmount: 1, Trace: tr})
+	defer p.Close()
+	fib := fibDef()
+	if got := p.Run(func(w *Worker) int64 { return fib.Call(w, 20) }); got != serialFib(20) {
+		t.Fatalf("traced fib(20) = %d, want %d", got, serialFib(20))
+	}
+	p.Close() // quiesce the thief rings before reading
+	if d := tr.Dropped(); d != 0 {
+		t.Fatalf("ring overwrote %d events; grow the test capacity", d)
+	}
+	counts := map[trace.Kind]int64{}
+	for _, events := range tr.Snapshot() {
+		for _, e := range events {
+			counts[e.Kind]++
+		}
+	}
+	st := p.Stats()
+	if counts[trace.KindSpawn] != st.Spawns {
+		t.Errorf("recorded %d SPAWN events, Stats.Spawns = %d", counts[trace.KindSpawn], st.Spawns)
+	}
+	if got := counts[trace.KindSteal] + counts[trace.KindLeapfrog]; got != st.Steals {
+		t.Errorf("recorded %d STEAL+LEAPFROG events, Stats.Steals = %d", got, st.Steals)
+	}
+	if counts[trace.KindPublish] != st.Publications {
+		t.Errorf("recorded %d PUBLISH events, Stats.Publications = %d", counts[trace.KindPublish], st.Publications)
+	}
+	if counts[trace.KindTaskStart] != counts[trace.KindTaskEnd] {
+		t.Errorf("unbalanced task spans: %d starts, %d ends",
+			counts[trace.KindTaskStart], counts[trace.KindTaskEnd])
+	}
+	if m := tr.StealMatrix(); m.Total() != st.Steals {
+		t.Errorf("steal matrix total %d, Stats.Steals = %d", m.Total(), st.Steals)
+	}
+}
+
+// TestStatsSnapshotQuiescentAgreement: on a quiescent pool the racy
+// live accessor must agree exactly with the per-worker contract
+// accessor (the raciness only exists mid-run).
+func TestStatsSnapshotQuiescentAgreement(t *testing.T) {
+	p := NewPool(Options{Workers: 3})
+	defer p.Close()
+	fib := fibDef()
+	p.Run(func(w *Worker) int64 { return fib.Call(w, 15) })
+	snap := p.StatsSnapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d workers, want 3", len(snap))
+	}
+	for i := range snap {
+		if snap[i] != p.WorkerStats(i) {
+			t.Errorf("worker %d: snapshot %+v != WorkerStats %+v", i, snap[i], p.WorkerStats(i))
 		}
 	}
 }

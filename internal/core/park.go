@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gowool/internal/trace"
 )
 
 // idleEngine parks fully idle workers so a quiescent pool consumes ~0%
@@ -71,6 +73,9 @@ func (e *idleEngine) park(w *Worker) {
 	e.parked.Store(int32(len(e.stack)))
 	e.mu.Unlock()
 	w.parks.Add(1)
+	if w.trc != nil {
+		w.trc.Record(trace.KindPark, 0, 0)
+	}
 
 	// Re-check after the announce: any work published before the
 	// announce was visible to a producer that may have seen parked==0.
@@ -115,6 +120,9 @@ func (e *idleEngine) wakeOne(by *Worker) {
 	e.parked.Store(int32(n - 1))
 	e.mu.Unlock()
 	by.wakes.Add(1)
+	if by.trc != nil {
+		by.trc.Record(trace.KindWake, int64(idx), 0)
+	}
 	e.sem[idx] <- struct{}{}
 }
 

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gowool/internal/trace"
 )
 
 // Options configures a Pool. The zero value is usable: Defaults fills
@@ -104,6 +106,15 @@ type Options struct {
 	// bounding added steal latency; negative means never sleep (pure
 	// spin + yield), matching a dedicated latency-sensitive machine.
 	MaxIdleSleep time.Duration
+
+	// Trace attaches a wooltrace event tracer: every worker records
+	// SPAWN/STEAL/LEAPFROG/PUBLISH/PRIVATIZE/PARK/WAKE and stolen-task
+	// spans into its per-worker ring (see internal/trace and DESIGN.md
+	// §11). The tracer must have at least Workers rings. nil (the
+	// default) disables tracing with zero fast-path cost: the worker's
+	// ring pointer is nil and every emission site is a plain nil check
+	// — no atomics (TestTraceOverheadDisabled).
+	Trace *trace.Tracer
 }
 
 // ParkMode selects the idle-worker parking behaviour (Options.Parking).
@@ -233,6 +244,10 @@ func NewPool(opts Options) *Pool {
 		panic(fmt.Sprintf("core: Options.Workers = %d exceeds the %d the STOLEN(thief) state encoding can name (thief index is packed at state>>%d)",
 			opts.Workers, maxWorkers, stolenShift))
 	}
+	if opts.Trace != nil && opts.Trace.Workers() < opts.Workers {
+		panic(fmt.Sprintf("core: Options.Trace has %d rings for %d workers; create it with trace.New(Workers, capacity)",
+			opts.Trace.Workers(), opts.Workers))
+	}
 	t0 := time.Now()
 	p := &Pool{opts: opts}
 	if opts.Parking == ParkOn && opts.Workers > 1 {
@@ -249,6 +264,9 @@ func NewPool(opts Options) *Pool {
 			lastVictim: -1,
 		}
 		w.prof.on = opts.Profile
+		if opts.Trace != nil {
+			w.trc = opts.Trace.Ring(i)
+		}
 		if opts.PrivateTasks {
 			w.pubShadow = int64(opts.InitialPublic)
 		} else {
@@ -287,15 +305,37 @@ func (p *Pool) Workers() int { return len(p.workers) }
 // steal loops), which is exactly the repeated-kernel structure of the
 // paper's benchmarks.
 //
+// Abort semantics: a panic anywhere in the task tree — in a stolen
+// task (recovered by the thief's runStolen so the descriptor still
+// reaches DONE) or in root itself — poisons the pool and re-raises
+// from Run with the original panic value. A poisoned pool's task
+// stacks may hold unjoined descriptors whose subtrees never ran, so it
+// cannot be reused: later Run calls panic with a distinct
+// "pool poisoned by earlier task panic" message, the idle workers exit
+// their steal loops (they must not execute leftover descriptors of the
+// abandoned tree), and only Close remains safe. See DESIGN.md §11.
+//
 //woolvet:allow ownerprivate -- the calling goroutine IS worker 0's owner for the duration of Run
 func (p *Pool) Run(root func(*Worker) int64) int64 {
 	if p.shutdown.Load() {
 		panic("core: Run on closed Pool")
 	}
+	if p.panicked.Load() {
+		panic(fmt.Sprintf("core: pool poisoned by earlier task panic: %v", p.panicVal))
+	}
 	if !p.running.CompareAndSwap(false, true) {
 		panic("core: concurrent Run calls on the same Pool")
 	}
 	defer p.running.Store(false)
+	// A panic escaping root (or the unjoined-tasks check below) leaves
+	// worker 0's stack with stealable descriptors of an abandoned tree:
+	// record it so the pool is poisoned before the panic propagates.
+	defer func() {
+		if r := recover(); r != nil {
+			p.recordPanic(r)
+			panic(r)
+		}
+	}()
 	w := p.workers[0]
 	var res int64
 	if w.prof.on {
@@ -318,8 +358,8 @@ func (p *Pool) Run(root func(*Worker) int64) int64 {
 	return res
 }
 
-// recordPanic stores the first panic raised by a stolen task; Run
-// re-raises it after the root returns.
+// recordPanic stores the first panic raised by a task, poisoning the
+// pool; Run re-raises it (and refuses subsequent calls, see Run).
 func (p *Pool) recordPanic(r any) {
 	p.panicOnce.Do(func() {
 		p.panicVal = r
@@ -373,6 +413,32 @@ func (p *Pool) WorkerStats(i int) Stats {
 	s.Parks = w.parks.Load()
 	s.Wakes = w.wakes.Load()
 	return s
+}
+
+// StatsSnapshot returns per-worker counters without requiring the pool
+// to be quiescent, deliberately lifting the Stats/WorkerStats contract
+// for live monitoring (woolrun's trace/matrix plumbing, dashboards).
+// The thief-path counters are atomic loads and always coherent; the
+// owner-path counters (spawns, joins, publications, ...) are plain
+// fields read while their owner may be writing, so a live snapshot can
+// observe slightly stale or torn values on 32-bit platforms. Use it
+// for observability, never for correctness decisions; Stats() between
+// Run calls remains the exact accessor. See DESIGN.md §11.
+//
+//woolvet:allow ownerprivate -- documented-racy live monitoring accessor; exactness is WorkerStats's contract, not ours
+func (p *Pool) StatsSnapshot() []Stats {
+	out := make([]Stats, len(p.workers))
+	for i, w := range p.workers {
+		s := w.stats
+		s.StealAttempts = w.stealAttempts.Load()
+		s.Steals = w.steals.Load()
+		s.Backoffs = w.backoffs.Load()
+		s.RetainedSteals = w.retainedSteals.Load()
+		s.Parks = w.parks.Load()
+		s.Wakes = w.wakes.Load()
+		out[i] = s
+	}
+	return out
 }
 
 // ResetStats zeroes all counters (quiescent pools only).

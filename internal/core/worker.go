@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"gowool/internal/trace"
 )
 
 // Worker is one scheduler worker. Worker 0 is driven by the goroutine
@@ -34,6 +36,12 @@ type Worker struct {
 	// idle is the pool's parking engine, or nil when parking is
 	// disabled (Options.Parking, single-worker pools).
 	idle *idleEngine
+
+	// trc is this worker's wooltrace ring, or nil when tracing is
+	// disabled (Options.Trace). The pointer is set once in NewPool and
+	// only this worker's driving goroutine records into it; nil-ness is
+	// the entire disabled-path cost (TestTraceOverheadDisabled).
+	trc *trace.Ring
 
 	// tasks is the direct task stack: descriptors stored inline, strict
 	// stack discipline. Fixed capacity (Options.StackSize); overflow is
@@ -208,6 +216,9 @@ func (w *Worker) spawn(t *Task) {
 		w.top++
 	}
 	w.stats.Spawns++
+	if w.trc != nil {
+		w.trc.Record(trace.KindSpawn, int64(w.top-1), 0)
+	}
 	if w.spanProf != nil {
 		w.spanProf.onSpawn()
 	}
@@ -270,6 +281,9 @@ func (w *Worker) noteInlinedPublic() {
 			w.pubShadow = newPL
 			w.publicLimit.Store(newPL)
 			w.stats.Privatizations++
+			if w.trc != nil {
+				w.trc.Record(trace.KindPrivatize, newPL, 0)
+			}
 		}
 	}
 }
@@ -298,6 +312,9 @@ func (w *Worker) publishMore() {
 	w.pubShadow = newPL
 	w.publicLimit.Store(newPL)
 	w.stats.Publications++
+	if w.trc != nil {
+		w.trc.Record(trace.KindPublish, pl, newPL)
+	}
 	if w.idle != nil && w.idle.parked.Load() != 0 {
 		w.idle.wakeOne(w)
 	}
@@ -482,7 +499,18 @@ func (w *Worker) trySteal(victim *Worker, leap bool, sc *stealCounters) bool {
 	t.state.Store(stolenState(w.idx))
 	victim.bot.Store(b + 1)
 	w.steals.Add(1)
+	if w.trc != nil {
+		k := trace.KindSteal
+		if leap {
+			k = trace.KindLeapfrog
+		}
+		w.trc.Record(k, int64(victim.idx), b)
+		w.trc.Record(trace.KindTaskStart, int64(victim.idx), b)
+	}
 	w.runStolen(t, leap)
+	if w.trc != nil {
+		w.trc.Record(trace.KindTaskEnd, int64(victim.idx), b)
+	}
 	//woolvet:allow atomicfield -- DONE commit: the thief owns the descriptor from CAS until this store
 	t.state.Store(stateDone)
 	return true
@@ -640,12 +668,19 @@ const stSamplePeriod = 64
 // A negative MaxIdleSleep keeps pure spinning+yield, matching the
 // paper's dedicated-machine setup.
 //
+// The loop also exits when the pool is poisoned by a task panic: the
+// abandoned tree's stealable descriptors must not keep executing in
+// the background after Run has re-raised (see Pool.Run). A task
+// already claimed by a steal always finishes (runStolen recovers and
+// trySteal commits DONE), so exiting between attempts never strands a
+// leapfrogging joiner.
+//
 // woolvet:thief
 func (w *Worker) idleLoop() {
 	var sc stealCounters
 	fails := 0
 	var slept time.Duration
-	for !w.pool.shutdown.Load() {
+	for !w.pool.shutdown.Load() && !w.pool.panicked.Load() {
 		v := w.chooseVictim()
 		var start time.Time
 		sampled := false

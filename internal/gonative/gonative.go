@@ -17,13 +17,39 @@ import (
 	"sync/atomic"
 )
 
+// forkOutcome carries a forked function's result — or its panic —
+// back to the joining side. A panic in a bare goroutine would kill
+// the whole process; transferring it and re-raising at the join gives
+// goroutine forks the same abort semantics as the pool schedulers:
+// the panic surfaces on the caller with the original value.
+type forkOutcome struct {
+	v        int64
+	panicVal any
+	panicked bool
+}
+
 // Fork runs f and g as a parallel pair, f in a new goroutine, and
-// returns both results. The naive Go analogue of SPAWN/CALL/JOIN.
+// returns both results. The naive Go analogue of SPAWN/CALL/JOIN. A
+// panic in f is re-raised on the caller after g completes, with the
+// original panic value.
 func Fork(f, g func() int64) (int64, int64) {
-	ch := make(chan int64, 1)
-	go func() { ch <- f() }()
+	ch := make(chan forkOutcome, 1)
+	go func() {
+		var out forkOutcome
+		defer func() {
+			if r := recover(); r != nil {
+				out.panicVal, out.panicked = r, true
+			}
+			ch <- out
+		}()
+		out.v = f()
+	}()
 	b := g()
-	return <-ch, b
+	out := <-ch
+	if out.panicked {
+		panic(out.panicVal)
+	}
+	return out.v, b
 }
 
 // ForkBounded is Fork with a concurrency budget: it forks only while
@@ -45,23 +71,60 @@ func NewForkBounded(limit int) *ForkBounded {
 }
 
 // Fork runs f and g in parallel if budget allows, else sequentially.
+// A panic in a forked f is re-raised on the caller after g completes;
+// the budget slot is released either way, so a panicking fork does
+// not shrink the semaphore for later calls.
 func (fb *ForkBounded) Fork(f, g func() int64) (int64, int64) {
 	select {
 	case fb.sem <- struct{}{}:
-		ch := make(chan int64, 1)
+		ch := make(chan forkOutcome, 1)
 		go func() {
-			ch <- f()
-			<-fb.sem
+			var out forkOutcome
+			defer func() {
+				if r := recover(); r != nil {
+					out.panicVal, out.panicked = r, true
+				}
+				<-fb.sem
+				ch <- out
+			}()
+			out.v = f()
 		}()
 		b := g()
-		return <-ch, b
+		out := <-ch
+		if out.panicked {
+			panic(out.panicVal)
+		}
+		return out.v, b
 	default:
 		return f(), g()
 	}
 }
 
+// panicBox captures the first panic from a set of worker goroutines
+// for re-raising on the coordinating side after the barrier. The set
+// flag is written under the Once and read only after wg.Wait, whose
+// happens-before edge (capture runs before the deferred wg.Done)
+// makes the read race-free.
+type panicBox struct {
+	once sync.Once
+	val  any
+	set  bool
+}
+
+func (b *panicBox) capture(r any) {
+	b.once.Do(func() { b.val, b.set = r, true })
+}
+
+func (b *panicBox) rethrow() {
+	if b.set {
+		panic(b.val)
+	}
+}
+
 // ParallelFor runs body(i) for i in [lo, hi) using one goroutine per
-// chunk and a WaitGroup barrier; chunks defaults to GOMAXPROCS.
+// chunk and a WaitGroup barrier; chunks defaults to GOMAXPROCS. If a
+// body panics, the remaining chunks still complete and the first
+// panic value is re-raised on the caller after the barrier.
 func ParallelFor(lo, hi int64, chunks int, body func(i int64)) {
 	if hi <= lo {
 		return
@@ -72,6 +135,7 @@ func ParallelFor(lo, hi int64, chunks int, body func(i int64)) {
 	n := hi - lo
 	per := (n + int64(chunks) - 1) / int64(chunks)
 	var wg sync.WaitGroup
+	var pb panicBox
 	for c := int64(0); c < int64(chunks); c++ {
 		cl, ch := lo+c*per, lo+(c+1)*per
 		if cl >= hi {
@@ -83,17 +147,25 @@ func ParallelFor(lo, hi int64, chunks int, body func(i int64)) {
 		wg.Add(1)
 		go func(cl, ch int64) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					pb.capture(r)
+				}
+			}()
 			for i := cl; i < ch; i++ {
 				body(i)
 			}
 		}(cl, ch)
 	}
 	wg.Wait()
+	pb.rethrow()
 }
 
 // ParallelForDynamic runs body(i) over [lo, hi) with GOMAXPROCS
 // goroutines pulling chunk-sized slices from a shared counter — the
-// dynamic-schedule analogue.
+// dynamic-schedule analogue. A panicking body stops its own worker
+// (the other workers finish the remaining chunks) and the first panic
+// value is re-raised on the caller after the barrier.
 func ParallelForDynamic(lo, hi, chunk int64, body func(i int64)) {
 	if hi <= lo {
 		return
@@ -104,11 +176,17 @@ func ParallelForDynamic(lo, hi, chunk int64, body func(i int64)) {
 	var next atomic.Int64
 	next.Store(lo)
 	var wg sync.WaitGroup
+	var pb panicBox
 	workers := runtime.GOMAXPROCS(0)
 	for c := 0; c < workers; c++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					pb.capture(r)
+				}
+			}()
 			for {
 				cl := next.Add(chunk) - chunk
 				if cl >= hi {
@@ -125,4 +203,5 @@ func ParallelForDynamic(lo, hi, chunk int64, body func(i int64)) {
 		}()
 	}
 	wg.Wait()
+	pb.rethrow()
 }

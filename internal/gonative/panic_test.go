@@ -1,0 +1,116 @@
+package gonative
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// mustPanic runs f and returns the recovered panic value, failing the
+// test if f returns normally.
+func mustPanic(t *testing.T, what string, f func()) (r any) {
+	t.Helper()
+	defer func() {
+		r = recover()
+		if r == nil {
+			t.Fatalf("%s: expected panic, got normal return", what)
+		}
+	}()
+	f()
+	return nil
+}
+
+// TestForkPanicPropagates: a panic in the forked half used to kill the
+// whole process (unrecovered goroutine panic); now it must transfer to
+// the joining side and re-raise with the original value.
+func TestForkPanicPropagates(t *testing.T) {
+	type marker struct{ n int }
+	want := &marker{n: 7}
+	var gRan atomic.Bool
+	r := mustPanic(t, "Fork with panicking f", func() {
+		Fork(
+			func() int64 { panic(want) },
+			func() int64 { gRan.Store(true); return 1 },
+		)
+	})
+	if r != want {
+		t.Fatalf("re-raised %v, want the original panic value", r)
+	}
+	if !gRan.Load() {
+		t.Fatal("g did not run to completion before the re-raise")
+	}
+}
+
+// TestForkBoundedPanicReleasesBudget: a panicking forked f must still
+// release its semaphore slot, or every panic would permanently shrink
+// the concurrency budget until forks go sequential forever.
+func TestForkBoundedPanicReleasesBudget(t *testing.T) {
+	fb := NewForkBounded(1)
+	r := mustPanic(t, "bounded Fork with panicking f", func() {
+		fb.Fork(func() int64 { panic("boom") }, func() int64 { return 1 })
+	})
+	if r != "boom" {
+		t.Fatalf("re-raised %v, want boom", r)
+	}
+	// With the single slot released, the next fork can take the
+	// parallel branch again; with a leaked slot this select would fall
+	// through to the sequential default — detectable because the
+	// parallel branch is the only one that runs f on another goroutine.
+	if len(fb.sem) != 0 {
+		t.Fatalf("semaphore holds %d leaked slots after the panic", len(fb.sem))
+	}
+	a, b := fb.Fork(func() int64 { return 2 }, func() int64 { return 3 })
+	if a != 2 || b != 3 {
+		t.Fatalf("post-panic fork returned (%d, %d), want (2, 3)", a, b)
+	}
+}
+
+// TestParallelForPanicPropagates: the first panicking chunk body must
+// re-raise on the caller after the barrier, and the other chunks must
+// still have completed (no abandoned work, no deadlocked WaitGroup).
+func TestParallelForPanicPropagates(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	var done atomic.Int64
+	r := mustPanic(t, "ParallelFor with panicking body", func() {
+		ParallelFor(0, 64, 8, func(i int64) {
+			if i == 17 {
+				panic("body boom")
+			}
+			done.Add(1)
+		})
+	})
+	if r != "body boom" {
+		t.Fatalf("re-raised %v, want body boom", r)
+	}
+	// Everything except the panicking iteration and the iterations
+	// abandoned behind it in its own chunk must have run.
+	if n := done.Load(); n < 64-8 || n > 63 {
+		t.Fatalf("%d iterations completed, want between %d and 63", n, 64-8)
+	}
+}
+
+// TestParallelForDynamicPanicPropagates mirrors the static case for
+// the shared-counter schedule: the panicking worker stops, the others
+// drain the remaining chunks, the caller gets the panic.
+func TestParallelForDynamicPanicPropagates(t *testing.T) {
+	// The drain guarantee needs surviving workers, and the worker count
+	// is GOMAXPROCS — pin it so a single-CPU machine still has some.
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	var done atomic.Int64
+	r := mustPanic(t, "ParallelForDynamic with panicking body", func() {
+		ParallelForDynamic(0, 64, 4, func(i int64) {
+			if i == 17 {
+				panic("body boom")
+			}
+			done.Add(1)
+		})
+	})
+	if r != "body boom" {
+		t.Fatalf("re-raised %v, want body boom", r)
+	}
+	if n := done.Load(); n < 64-4 || n > 63 {
+		t.Fatalf("%d iterations completed, want between %d and 63", n, 64-4)
+	}
+}

@@ -30,6 +30,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gowool/internal/trace"
 )
 
 // StealStrategy selects how thieves interact with the victim's lock.
@@ -109,6 +111,11 @@ type Worker struct {
 	idx   int
 	tasks []Task
 
+	// trc is this worker's wooltrace ring, or nil when tracing is
+	// disabled; set once in NewPool, recorded into only by the
+	// goroutine driving this worker.
+	trc *trace.Ring
+
 	_ [64]byte // pad: end of the immutable group
 
 	// lock protects the join/steal index comparison and bot updates.
@@ -173,6 +180,10 @@ type Options struct {
 	StealHalf bool
 	// MaxIdleSleep caps idle back-off sleeping; default 200µs.
 	MaxIdleSleep time.Duration
+	// Trace attaches a wooltrace tracer; this backend records STEAL
+	// (victim, stolen bot index) and PARK (idle sleep-phase entry)
+	// events. nil disables tracing at zero cost (plain nil check).
+	Trace *trace.Tracer
 }
 
 func (o Options) defaults() Options {
@@ -195,6 +206,13 @@ type Pool struct {
 	shutdown atomic.Bool
 	running  atomic.Bool
 	wg       sync.WaitGroup
+
+	// Abort state: the first panic from a stolen task (or the root)
+	// poisons the pool; Run re-raises it and later Runs fail fast.
+	// Same semantics as core (DESIGN.md §11).
+	panicOnce sync.Once
+	panicVal  any
+	panicked  atomic.Bool
 }
 
 // NewPool creates the pool; worker 0 is driven by Run's caller.
@@ -205,15 +223,22 @@ func NewPool(opts Options) *Pool {
 	if opts.Workers > math.MaxInt32-1 {
 		panic(fmt.Sprintf("locksched: Options.Workers = %d exceeds the int32 stolenBy encoding (thief index + 1)", opts.Workers))
 	}
+	if opts.Trace != nil && opts.Trace.Workers() < opts.Workers {
+		panic(fmt.Sprintf("locksched: Options.Trace has %d rings for %d workers", opts.Trace.Workers(), opts.Workers))
+	}
 	p := &Pool{opts: opts}
 	p.workers = make([]*Worker, opts.Workers)
 	for i := range p.workers {
-		p.workers[i] = &Worker{
+		w := &Worker{
 			pool:  p,
 			idx:   i,
 			tasks: make([]Task, opts.StackSize),
 			rng:   uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
 		}
+		if opts.Trace != nil {
+			w.trc = opts.Trace.Ring(i)
+		}
+		p.workers[i] = w
 	}
 	p.wg.Add(opts.Workers - 1)
 	for _, w := range p.workers[1:] {
@@ -226,20 +251,47 @@ func NewPool(opts Options) *Pool {
 func (p *Pool) Workers() int { return len(p.workers) }
 
 // Run executes root on worker 0 and returns its result.
+//
+// Abort semantics match core (DESIGN.md §11): a panic in a stolen task
+// is recovered by the thief (so every claimed task's done flag still
+// publishes and joining owners unblock), recorded, and re-raised here;
+// a panic in root itself poisons the pool on the way out. A poisoned
+// pool rejects later Run calls with a distinct message; Close stays
+// safe.
 func (p *Pool) Run(root func(*Worker) int64) int64 {
 	if p.shutdown.Load() {
 		panic("locksched: Run on closed Pool")
+	}
+	if p.panicked.Load() {
+		panic(fmt.Sprintf("locksched: pool poisoned by earlier task panic: %v", p.panicVal))
 	}
 	if !p.running.CompareAndSwap(false, true) {
 		panic("locksched: concurrent Run calls")
 	}
 	defer p.running.Store(false)
+	defer func() {
+		if r := recover(); r != nil {
+			p.recordPanic(r)
+			panic(r)
+		}
+	}()
 	w := p.workers[0]
 	res := root(w)
 	if w.top.Load() != w.bot.Load() {
 		panic("locksched: root returned with unjoined tasks")
 	}
+	if p.panicked.Load() {
+		panic(p.panicVal)
+	}
 	return res
+}
+
+// recordPanic stores the first task panic, poisoning the pool.
+func (p *Pool) recordPanic(r any) {
+	p.panicOnce.Do(func() {
+		p.panicVal = r
+		p.panicked.Store(true)
+	})
 }
 
 // Close stops the workers.
@@ -384,15 +436,32 @@ func (w *Worker) trySteal(victim *Worker) bool {
 	victim.lock.Unlock()
 
 	w.steals.Add(1)
+	if w.trc != nil {
+		w.trc.Record(trace.KindSteal, int64(victim.idx), bot)
+	}
 	// Run the claimed tasks oldest-first (the order thieves would have
-	// taken them individually).
+	// taken them individually). runStolen recovers a panicking task so
+	// the remaining claimed tasks still execute and every done flag
+	// still publishes — with StealHalf a single unrecovered panic would
+	// strand every task convoying behind it and deadlock their joins.
 	for i := int64(0); i < take; i++ {
 		t := &victim.tasks[bot+i]
-		fn := t.fn
-		fn(w, t)
+		w.runStolen(t)
 		t.done.Store(true)
 	}
 	return true
+}
+
+// runStolen executes one claimed task, converting a panic in user code
+// into a pool-wide abort (recorded here, re-raised by Run).
+func (w *Worker) runStolen(t *Task) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.pool.recordPanic(r)
+		}
+	}()
+	fn := t.fn
+	fn(w, t)
 }
 
 // nextVictim picks a random victim index != w.idx.
@@ -413,10 +482,15 @@ func (w *Worker) nextVictim() int {
 	return v
 }
 
+// idleLoop steals until shutdown — or until the pool is poisoned by a
+// task panic, after which the abandoned tree's tasks must not keep
+// executing in the background (claimed tasks always finish; the exit
+// only happens between attempts).
+//
 // woolvet:thief
 func (w *Worker) idleLoop() {
 	fails := 0
-	for !w.pool.shutdown.Load() {
+	for !w.pool.shutdown.Load() && !w.pool.panicked.Load() {
 		if w.trySteal(w.pool.workers[w.nextVictim()]) {
 			fails = 0
 			continue
@@ -430,6 +504,11 @@ func (w *Worker) idleLoop() {
 		case fails < 1024 || w.pool.opts.MaxIdleSleep <= 0:
 			runtime.Gosched()
 		default:
+			if fails == 1024 && w.trc != nil {
+				// No parking engine here; entering the sleep phase is
+				// this backend's closest PARK analogue.
+				w.trc.Record(trace.KindPark, 0, 0)
+			}
 			d := time.Duration(fails-1023) * time.Microsecond
 			if d > w.pool.opts.MaxIdleSleep {
 				d = w.pool.opts.MaxIdleSleep

@@ -1,0 +1,136 @@
+package locksched
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStolenTaskPanicPropagates forces the panic onto the thief side
+// (the bomb spins until the owner sees it started, which can only
+// happen on a thief while the owner is still in Run's body) and checks
+// the abort path: the thief's recover publishes done so the join
+// unblocks, Run re-raises the original value, the pool is poisoned
+// against reuse, and Close completes (no dead worker).
+func TestStolenTaskPanicPropagates(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for attempt := 0; attempt < 30; attempt++ {
+		p := NewPool(Options{Workers: 2, MaxIdleSleep: -1})
+		var armed, started atomic.Bool
+		bomb := Define1("bomb", func(w *Worker, x int64) int64 {
+			started.Store(true)
+			for !armed.Load() {
+				runtime.Gosched()
+			}
+			panic("boom")
+		})
+		var stolen bool
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatal("panic did not propagate from Run")
+				} else if r != "boom" {
+					t.Fatalf("wrong panic value %v", r)
+				}
+			}()
+			p.Run(func(w *Worker) int64 {
+				bomb.Spawn(w, 1)
+				deadline := time.Now().Add(5 * time.Millisecond)
+				for !started.Load() && time.Now().Before(deadline) {
+					runtime.Gosched()
+				}
+				stolen = started.Load()
+				armed.Store(true)
+				return bomb.Join(w)
+			})
+		}()
+		if stolen {
+			func() {
+				defer func() {
+					r := recover()
+					if r == nil {
+						t.Fatal("poisoned pool accepted another Run")
+					}
+					if msg := fmt.Sprint(r); !strings.Contains(msg, "pool poisoned by earlier task panic") {
+						t.Fatalf("poisoned Run panicked with %v", r)
+					}
+				}()
+				p.Run(func(w *Worker) int64 { return 0 })
+			}()
+		}
+		closed := make(chan struct{})
+		go func() {
+			p.Close()
+			close(closed)
+		}()
+		select {
+		case <-closed:
+		case <-time.After(10 * time.Second):
+			t.Fatal("Close hung after a stolen-task panic")
+		}
+		if stolen {
+			return // the thief-side abort path ran; done
+		}
+	}
+	t.Log("bomb was never stolen in 30 attempts; inline panic path exercised instead")
+}
+
+// TestStealHalfPanicCompletesConvoy: with StealHalf a thief claims a
+// batch of tasks in one critical section; a panic in an early task of
+// the batch must not strand the ones convoying behind it (their done
+// flags must still publish, or their joins deadlock).
+func TestStealHalfPanicCompletesConvoy(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	var ran atomic.Int64
+	for attempt := 0; attempt < 30; attempt++ {
+		p := NewPool(Options{Workers: 2, StealHalf: true, MaxIdleSleep: -1})
+		var armed, started atomic.Bool
+		bomb := Define1("bomb", func(w *Worker, x int64) int64 {
+			started.Store(true)
+			for !armed.Load() {
+				runtime.Gosched()
+			}
+			if x == 0 {
+				panic("first of batch")
+			}
+			ran.Add(1)
+			return x
+		})
+		var stolen bool
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("panic did not propagate from Run")
+				}
+			}()
+			p.Run(func(w *Worker) int64 {
+				// Four queued tasks; a StealHalf thief claims the oldest
+				// two (x=0 panics, x=1 convoys behind it).
+				for x := int64(0); x < 4; x++ {
+					bomb.Spawn(w, x)
+				}
+				deadline := time.Now().Add(5 * time.Millisecond)
+				for !started.Load() && time.Now().Before(deadline) {
+					runtime.Gosched()
+				}
+				stolen = started.Load()
+				armed.Store(true)
+				var sum int64
+				for x := 0; x < 4; x++ {
+					sum += bomb.Join(w)
+				}
+				return sum
+			})
+		}()
+		p.Close()
+		if stolen {
+			return // joins all resolved despite the mid-batch panic
+		}
+	}
+	t.Log("batch was never stolen in 30 attempts; inline path exercised instead")
+}

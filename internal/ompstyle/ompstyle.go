@@ -13,10 +13,13 @@
 package ompstyle
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gowool/internal/trace"
 )
 
 // Task is a queued task: a closure plus the parent link used by
@@ -31,10 +34,12 @@ type Task struct {
 
 // Context is the execution context of a task (or the master function):
 // the handle through which the body spawns tasks, waits, and runs
-// parallel loops.
+// parallel loops. wi is the team-member index executing the task
+// (master is 0), used to route trace events to the right ring.
 type Context struct {
 	pool *Pool
 	cur  *Task
+	wi   int
 }
 
 // Stats are the scheduler's event counters.
@@ -54,6 +59,9 @@ type Stats struct {
 // invalidations on top of the modelled cost.
 type Pool struct {
 	opts Options
+	// rings holds one trace ring per team member (nil when tracing is
+	// off). Set once at construction, read-only afterwards.
+	rings []*trace.Ring
 
 	// woolvet:cacheline group=queue
 	mu    sync.Mutex
@@ -78,6 +86,29 @@ type Pool struct {
 	shutdown atomic.Bool
 	running  atomic.Bool
 	wg       sync.WaitGroup
+
+	// First-panic capture: a panicking task body poisons the pool (the
+	// task tree it abandons may be incomplete); Run re-raises the value
+	// and later Runs fail fast.
+	panicOnce sync.Once
+	panicVal  any
+	panicked  atomic.Bool
+}
+
+// recordPanic captures the first panic value and poisons the pool.
+func (p *Pool) recordPanic(r any) {
+	p.panicOnce.Do(func() {
+		p.panicVal = r
+		p.panicked.Store(true)
+	})
+}
+
+// ring returns team member wi's trace ring, or nil when tracing is off.
+func (p *Pool) ring(wi int) *trace.Ring {
+	if p.rings == nil {
+		return nil
+	}
+	return p.rings[wi]
 }
 
 // Options configures a Pool.
@@ -86,6 +117,12 @@ type Options struct {
 	Workers int
 	// MaxIdleSleep caps idle back-off sleeping; default 200µs.
 	MaxIdleSleep time.Duration
+	// Trace, when non-nil, records scheduler events into per-member
+	// rings. This backend emits STEAL with victim -1 (a take from the
+	// central queue — there is no per-worker victim) and PARK (an idle
+	// member entered its sleep phase). The tracer must have at least
+	// Workers rings.
+	Trace *trace.Tracer
 }
 
 func (o Options) defaults() Options {
@@ -101,10 +138,19 @@ func (o Options) defaults() Options {
 // NewPool creates the team; the master is the goroutine calling Run.
 func NewPool(opts Options) *Pool {
 	opts = opts.defaults()
+	if opts.Trace != nil && opts.Trace.Workers() < opts.Workers {
+		panic("ompstyle: Options.Trace has fewer rings than workers")
+	}
 	p := &Pool{opts: opts}
+	if opts.Trace != nil {
+		p.rings = make([]*trace.Ring, opts.Workers)
+		for i := range p.rings {
+			p.rings[i] = opts.Trace.Ring(i)
+		}
+	}
 	p.wg.Add(opts.Workers - 1)
 	for i := 1; i < opts.Workers; i++ {
-		go p.workerLoop()
+		go p.workerLoop(i)
 	}
 	return p
 }
@@ -114,18 +160,38 @@ func (p *Pool) Workers() int { return p.opts.Workers }
 
 // Run executes master with a root context and returns its result after
 // all transitively spawned tasks have completed.
+//
+// Abort semantics: a panic in any task body poisons the pool; Run
+// re-raises the first panic value after its implicit barrier, and
+// every later Run fails fast with a distinct poisoned message. Close
+// remains safe on a poisoned pool.
 func (p *Pool) Run(master func(*Context) int64) int64 {
 	if p.shutdown.Load() {
 		panic("ompstyle: Run on closed Pool")
+	}
+	if p.panicked.Load() {
+		panic(fmt.Sprintf("ompstyle: pool poisoned by earlier task panic: %v", p.panicVal))
 	}
 	if !p.running.CompareAndSwap(false, true) {
 		panic("ompstyle: concurrent Run calls")
 	}
 	defer p.running.Store(false)
+	// A panic escaping the master function itself lands here: record
+	// it so the team stops and the pool is poisoned (queued tasks of
+	// the abandoned tree must not keep running), then re-raise.
+	defer func() {
+		if r := recover(); r != nil {
+			p.recordPanic(r)
+			panic(r)
+		}
+	}()
 	root := &Task{}
-	tc := &Context{pool: p, cur: root}
+	tc := &Context{pool: p, cur: root, wi: 0}
 	res := master(tc)
 	tc.Taskwait() // implicit barrier: no task escapes the run
+	if p.panicked.Load() {
+		panic(p.panicVal)
+	}
 	return res
 }
 
@@ -187,18 +253,27 @@ func (p *Pool) tryPop() *Task {
 	return t
 }
 
-// execute runs t and performs completion accounting.
-func (p *Pool) execute(t *Task) {
-	tc := &Context{pool: p, cur: t}
+// execute runs t on team member wi and performs completion accounting.
+// The accounting sits in a recovering defer: a panicking task body
+// poisons the pool, but its parent's children count must still
+// decrement or every ancestor's Taskwait would spin forever (the
+// master's implicit barrier included — Run could never re-raise).
+func (p *Pool) execute(t *Task, wi int) {
+	tc := &Context{pool: p, cur: t, wi: wi}
+	defer func() {
+		if r := recover(); r != nil {
+			p.recordPanic(r)
+		}
+		p.executed.Add(1)
+		if t.parent != nil {
+			t.parent.children.Add(-1)
+		}
+	}()
 	t.fn(tc)
 	// A task is complete only when its own children are: OpenMP's
 	// implicit end-of-task region does not wait, but completion
 	// accounting toward the parent's taskwait must. Help until quiet.
 	tc.Taskwait()
-	p.executed.Add(1)
-	if t.parent != nil {
-		t.parent.children.Add(-1)
-	}
 }
 
 // SpawnTask submits fn as a child task of the current context.
@@ -217,7 +292,10 @@ func (tc *Context) Taskwait() {
 	fails := 0
 	for tc.cur.children.Load() > 0 {
 		if t := p.tryPop(); t != nil {
-			p.execute(t)
+			if r := p.ring(tc.wi); r != nil {
+				r.Record(trace.KindSteal, -1, 0)
+			}
+			p.execute(t, tc.wi)
 			fails = 0
 			continue
 		}
@@ -292,12 +370,17 @@ func (tc *Context) spawnChunk(lo, hi int64, body func(i int64)) {
 	})
 }
 
-// workerLoop is the life of team members 1..N-1.
-func (p *Pool) workerLoop() {
+// workerLoop is the life of team member wi (1..N-1). It also exits on
+// poison: a claimed task always completes its accounting (execute
+// recovers), so exiting between takes never strands a taskwait.
+func (p *Pool) workerLoop(wi int) {
 	fails := 0
-	for !p.shutdown.Load() {
+	for !p.shutdown.Load() && !p.panicked.Load() {
 		if t := p.tryPop(); t != nil {
-			p.execute(t)
+			if r := p.ring(wi); r != nil {
+				r.Record(trace.KindSteal, -1, 0)
+			}
+			p.execute(t, wi)
 			fails = 0
 			continue
 		}
@@ -310,6 +393,13 @@ func (p *Pool) workerLoop() {
 		case fails < 1024 || p.opts.MaxIdleSleep <= 0:
 			runtime.Gosched()
 		default:
+			// Closest analogue of PARK in this backend: the spin phase
+			// gives way to sleeping (there is no parking engine here).
+			if fails == 1024 {
+				if r := p.ring(wi); r != nil {
+					r.Record(trace.KindPark, 0, 0)
+				}
+			}
 			d := time.Duration(fails-1023) * time.Microsecond
 			if d > p.opts.MaxIdleSleep {
 				d = p.opts.MaxIdleSleep

@@ -1,0 +1,81 @@
+package ompstyle
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStolenTaskPanicPropagates forces the panic onto a non-master
+// team member (the bomb spins until the master sees it started, which
+// before the master arms it can only happen on another member) and
+// checks the abort path: execute's recover still decrements the
+// parent's children count so the master's implicit barrier completes,
+// Run re-raises the original value, the pool is poisoned against
+// reuse, and Close completes (no dead team member).
+func TestStolenTaskPanicPropagates(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for attempt := 0; attempt < 30; attempt++ {
+		p := NewPool(Options{Workers: 2, MaxIdleSleep: -1})
+		var armed, started atomic.Bool
+		var bombWorker atomic.Int32
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatal("panic did not propagate from Run")
+				} else if r != "boom" {
+					t.Fatalf("wrong panic value %v", r)
+				}
+			}()
+			p.Run(func(tc *Context) int64 {
+				tc.SpawnTask(func(tc2 *Context) {
+					started.Store(true)
+					bombWorker.Store(int32(tc2.wi))
+					for !armed.Load() {
+						runtime.Gosched()
+					}
+					panic("boom")
+				})
+				deadline := time.Now().Add(5 * time.Millisecond)
+				for !started.Load() && time.Now().Before(deadline) {
+					runtime.Gosched()
+				}
+				armed.Store(true)
+				return 0
+			})
+		}()
+		stolen := bombWorker.Load() != 0
+		if stolen {
+			func() {
+				defer func() {
+					r := recover()
+					if r == nil {
+						t.Fatal("poisoned pool accepted another Run")
+					}
+					if msg := fmt.Sprint(r); !strings.Contains(msg, "pool poisoned by earlier task panic") {
+						t.Fatalf("poisoned Run panicked with %v", r)
+					}
+				}()
+				p.Run(func(tc *Context) int64 { return 0 })
+			}()
+		}
+		closed := make(chan struct{})
+		go func() {
+			p.Close()
+			close(closed)
+		}()
+		select {
+		case <-closed:
+		case <-time.After(10 * time.Second):
+			t.Fatal("Close hung after a task panic")
+		}
+		if stolen {
+			return // the non-master abort path ran; done
+		}
+	}
+	t.Log("bomb was never taken by a non-master member in 30 attempts; master-help path exercised instead")
+}

@@ -20,6 +20,7 @@ func (chaselevSched) Caps() Caps {
 		StealChild: true,
 		Stats:      true,
 		TaskDefs:   true,
+		Trace:      true,
 	}
 }
 
@@ -28,6 +29,7 @@ func (chaselevSched) NewPool(o Options) Pool {
 		Workers:      o.Workers,
 		DequeSize:    o.StackSize,
 		MaxIdleSleep: o.MaxIdleSleep,
+		Trace:        o.Trace,
 	})}
 }
 

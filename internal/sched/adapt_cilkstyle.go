@@ -22,6 +22,7 @@ func (cilkSched) Caps() Caps {
 	return Caps{
 		Steal: "lock on the victim's continuation deque; steal parent (the continuation), oldest first",
 		Stats: true,
+		Trace: true,
 	}
 }
 
@@ -29,6 +30,7 @@ func (cilkSched) NewPool(o Options) Pool {
 	return &cilkPool{p: cilkstyle.NewPool(cilkstyle.Options{
 		Workers:      o.Workers,
 		MaxIdleSleep: o.MaxIdleSleep,
+		Trace:        o.Trace,
 	})}
 }
 

@@ -21,6 +21,7 @@ func (woolSched) Caps() Caps {
 		Leapfrog:     true,
 		Stats:        true,
 		TaskDefs:     true,
+		Trace:        true,
 	}
 }
 
@@ -30,6 +31,7 @@ func (woolSched) NewPool(o Options) Pool {
 		StackSize:    o.StackSize,
 		PrivateTasks: o.PrivateTasks,
 		MaxIdleSleep: o.MaxIdleSleep,
+		Trace:        o.Trace,
 	})}
 }
 

@@ -21,6 +21,7 @@ func (lockSched) Caps() Caps {
 		Leapfrog:   true,
 		Stats:      true,
 		TaskDefs:   true,
+		Trace:      true,
 	}
 }
 
@@ -29,6 +30,7 @@ func (lockSched) NewPool(o Options) Pool {
 		Workers:      o.Workers,
 		StackSize:    o.StackSize,
 		MaxIdleSleep: o.MaxIdleSleep,
+		Trace:        o.Trace,
 	})}
 }
 

@@ -22,6 +22,7 @@ func (ompSched) Caps() Caps {
 		Steal:       "one lock-protected central queue; any idle worker takes the oldest task",
 		WorkSharing: true,
 		Stats:       true,
+		Trace:       true,
 	}
 }
 
@@ -29,6 +30,7 @@ func (ompSched) NewPool(o Options) Pool {
 	return &ompPool{p: ompstyle.NewPool(ompstyle.Options{
 		Workers:      o.Workers,
 		MaxIdleSleep: o.MaxIdleSleep,
+		Trace:        o.Trace,
 	})}
 }
 

@@ -26,6 +26,8 @@ package sched
 import (
 	"sort"
 	"time"
+
+	"gowool/internal/trace"
 )
 
 // Options is the normalized pool configuration. Every field maps onto
@@ -46,6 +48,13 @@ type Options struct {
 	// MaxIdleSleep caps idle back-off sleeping on backends with an
 	// idle loop. 0 means the backend default.
 	MaxIdleSleep time.Duration
+	// Trace is the event sink: when non-nil, backends with Caps.Trace
+	// record scheduler events (at least STEAL and PARK; the direct
+	// task stack records the full vocabulary) into the tracer's
+	// per-worker rings. The tracer must have at least Workers rings.
+	// Backends without the capability ignore it. nil disables tracing
+	// at zero fast-path cost.
+	Trace *trace.Tracer
 }
 
 // Caps declares what a registered scheduler can do, so registry-driven
@@ -72,6 +81,9 @@ type Caps struct {
 	// constructors and Pool.Native returns its concrete pool, so
 	// irregular workloads (cholesky) can be instantiated generically.
 	TaskDefs bool
+	// Trace is true when Options.Trace routes scheduler events into
+	// the tracer's rings (at minimum STEAL and PARK).
+	Trace bool
 }
 
 // Pool is a running scheduler instance behind the normalized surface.

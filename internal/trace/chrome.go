@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format's
+// traceEvents array (the subset we emit: metadata, instants, and
+// begin/end span pairs). Timestamps are microseconds, as the format
+// requires; sub-microsecond precision is kept in the fraction.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	TS    float64        `json:"ts"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	Dropped         uint64        `json:"droppedEvents"`
+}
+
+// WriteChromeTrace exports the tracer's current contents in Chrome's
+// trace_event JSON format: one lane (tid) per worker, instant events
+// for the protocol vocabulary, and Begin/End slices for stolen-task
+// execution spans. Load the file in chrome://tracing or Perfetto.
+// Call it on a quiescent tracer for an exact export (see Snapshot).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	out := chromeTrace{DisplayTimeUnit: "ns", Dropped: t.Dropped()}
+	for i := range t.rings {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			TID:   i,
+			Args:  map[string]any{"name": fmt.Sprintf("worker %d", i)},
+		})
+	}
+	for _, events := range t.Snapshot() {
+		for _, e := range events {
+			ce := chromeEvent{
+				Name: e.Kind.String(),
+				TID:  int(e.Worker),
+				TS:   float64(e.TS) / 1e3,
+			}
+			switch e.Kind {
+			case KindTaskStart:
+				ce.Phase = "B"
+				ce.Name = "stolen task"
+				ce.Args = map[string]any{"victim": e.Arg, "depth": e.Arg2}
+			case KindTaskEnd:
+				ce.Phase = "E"
+				ce.Name = "stolen task"
+			default:
+				ce.Phase = "i"
+				ce.Scope = "t"
+				switch e.Kind {
+				case KindSteal, KindLeapfrog:
+					ce.Args = map[string]any{"victim": e.Arg, "depth": e.Arg2}
+				case KindSpawn:
+					ce.Args = map[string]any{"depth": e.Arg}
+				case KindPublish:
+					ce.Args = map[string]any{"oldLimit": e.Arg, "newLimit": e.Arg2}
+				case KindPrivatize:
+					ce.Args = map[string]any{"newLimit": e.Arg}
+				case KindWake:
+					ce.Args = map[string]any{"woke": e.Arg}
+				}
+			}
+			out.TraceEvents = append(out.TraceEvents, ce)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Validate checks that r holds a structurally valid wooltrace Chrome
+// export: a traceEvents array whose entries carry the required
+// name/ph/pid/tid/ts fields, phases limited to M/i/B/E, and every
+// non-metadata event name drawn from the wooltrace vocabulary. It
+// returns the number of non-metadata events on success. This is the
+// schema check behind `make trace-smoke` (woolrun -checktrace).
+func Validate(r io.Reader) (int, error) {
+	var raw struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&raw); err != nil {
+		return 0, fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if raw.TraceEvents == nil {
+		return 0, fmt.Errorf("trace: missing traceEvents array")
+	}
+	n := 0
+	for i, e := range raw.TraceEvents {
+		name, ok := e["name"].(string)
+		if !ok {
+			return 0, fmt.Errorf("trace: event %d: missing name", i)
+		}
+		ph, ok := e["ph"].(string)
+		if !ok {
+			return 0, fmt.Errorf("trace: event %d (%s): missing ph", i, name)
+		}
+		switch ph {
+		case "M":
+			continue // metadata; no ts required
+		case "i", "B", "E":
+		default:
+			return 0, fmt.Errorf("trace: event %d (%s): unexpected phase %q", i, name, ph)
+		}
+		for _, field := range []string{"pid", "tid", "ts"} {
+			if _, ok := e[field].(float64); !ok {
+				return 0, fmt.Errorf("trace: event %d (%s): missing numeric %s", i, name, field)
+			}
+		}
+		if name != "stolen task" {
+			if _, ok := KindFromString(name); !ok {
+				return 0, fmt.Errorf("trace: event %d: name %q is not in the wooltrace vocabulary", i, name)
+			}
+		}
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// StealMatrix is the worker×worker steal topology extracted from a
+// trace: Steals[thief][victim] counts every successful steal (normal
+// and leapfrog), Leap[thief][victim] the leapfrog subset. Central-queue
+// backends record victim -1; those takes land in the Central column.
+type StealMatrix struct {
+	Workers int
+	Steals  [][]int64 // [thief][victim]
+	Leap    [][]int64 // leapfrog subset of Steals
+	Central []int64   // per-thief takes from a central queue (victim -1)
+}
+
+// StealMatrix builds the steal topology from the tracer's current
+// contents (quiescent tracers give exact counts; see Snapshot).
+func (t *Tracer) StealMatrix() *StealMatrix {
+	n := len(t.rings)
+	m := &StealMatrix{
+		Workers: n,
+		Steals:  make([][]int64, n),
+		Leap:    make([][]int64, n),
+		Central: make([]int64, n),
+	}
+	for i := range m.Steals {
+		m.Steals[i] = make([]int64, n)
+		m.Leap[i] = make([]int64, n)
+	}
+	for thief, events := range t.Snapshot() {
+		for _, e := range events {
+			if e.Kind != KindSteal && e.Kind != KindLeapfrog {
+				continue
+			}
+			v := int(e.Arg)
+			if v < 0 {
+				m.Central[thief]++
+				continue
+			}
+			if v >= n {
+				continue // foreign ring contents; ignore
+			}
+			m.Steals[thief][v]++
+			if e.Kind == KindLeapfrog {
+				m.Leap[thief][v]++
+			}
+		}
+	}
+	return m
+}
+
+// Total returns the total number of steals in the matrix (including
+// central-queue takes).
+func (m *StealMatrix) Total() int64 {
+	var s int64
+	for i := range m.Steals {
+		s += m.Central[i]
+		for j := range m.Steals[i] {
+			s += m.Steals[i][j]
+		}
+	}
+	return s
+}
+
+// WriteText renders the matrix as an aligned table, thieves as rows
+// and victims as columns. Cells with leapfrog steals are highlighted
+// with a trailing "*N" (N leapfrog steals of the cell's total) — the
+// leapfrog edges are the joins that blocked, the paper's LA category.
+func (m *StealMatrix) WriteText(w io.Writer) error {
+	var b strings.Builder
+	hasCentral := false
+	for _, c := range m.Central {
+		if c != 0 {
+			hasCentral = true
+		}
+	}
+	b.WriteString("steal matrix (rows steal from columns; *N marks N leapfrog steals)\n")
+	b.WriteString("thief\\victim")
+	for v := 0; v < m.Workers; v++ {
+		fmt.Fprintf(&b, "%10s", fmt.Sprintf("w%d", v))
+	}
+	if hasCentral {
+		fmt.Fprintf(&b, "%10s", "central")
+	}
+	b.WriteByte('\n')
+	for thief := 0; thief < m.Workers; thief++ {
+		fmt.Fprintf(&b, "%-12s", fmt.Sprintf("w%d", thief))
+		for v := 0; v < m.Workers; v++ {
+			cell := "."
+			if s := m.Steals[thief][v]; s != 0 {
+				cell = fmt.Sprintf("%d", s)
+				if lf := m.Leap[thief][v]; lf != 0 {
+					cell += fmt.Sprintf("*%d", lf)
+				}
+			} else if thief == v {
+				cell = "-"
+			}
+			fmt.Fprintf(&b, "%10s", cell)
+		}
+		if hasCentral {
+			cell := "."
+			if c := m.Central[thief]; c != 0 {
+				cell = fmt.Sprintf("%d", c)
+			}
+			fmt.Fprintf(&b, "%10s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "total steals: %d\n", m.Total())
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,239 @@
+// Package trace (wooltrace) is the scheduler's low-overhead event
+// tracer: one lock-free ring buffer per worker, recording the protocol
+// events that explain a run — spawns, steals (victim and depth),
+// leapfrog steals, trip-wire publications, privatizations, parks and
+// wakes, and the spans of stolen-task execution — with monotonic
+// timestamps relative to the tracer's creation.
+//
+// The design constraints, in order:
+//
+//  1. Disabled tracing must cost nothing on the spawn/join fast path.
+//     The scheduler holds a per-worker *Ring that is nil when tracing
+//     is off; every emission site is gated on a plain nil check, so
+//     the disabled path adds one predictable branch and zero atomics
+//     (guarded by TestTraceOverheadDisabled in internal/core).
+//  2. Enabled tracing must never block or allocate. Record is a plain
+//     array write plus one atomic store (the single-writer publication
+//     of the ring position) and one clock read. No locks, no channels.
+//  3. Tracing must survive arbitrarily long runs. The ring overwrites
+//     its oldest events on wrap (newest-wins policy): a trace is a
+//     window ending at "now", sized by the capacity passed to New.
+//
+// Each Ring has exactly one writer — the goroutine driving that worker
+// — so Record needs no synchronization against other writers. The
+// atomic position store publishes completed events to Snapshot readers;
+// a live Snapshot taken mid-run may additionally observe a slot being
+// overwritten after wrap, which is a benign (and documented) race: the
+// reader sees either the old or the half-new event of the single slot
+// at the write frontier, never a torn pointer. Snapshot on a quiescent
+// tracer is exact.
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Kind enumerates the trace event vocabulary (DESIGN.md §11).
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindSpawn: the worker pushed a task descriptor. Arg is the stack
+	// depth (index) of the new descriptor.
+	KindSpawn Kind = iota
+	// KindSteal: the worker stole a task. Arg is the victim's worker
+	// index (or -1 for a central shared queue), Arg2 the stolen depth.
+	KindSteal
+	// KindLeapfrog: like KindSteal, but the steal happened inside a
+	// blocked join, restricted to the joined task's thief (leapfrogging).
+	KindLeapfrog
+	// KindPublish: the worker answered a trip-wire notification by
+	// raising its public boundary. Arg is the old publicLimit, Arg2 the
+	// new one.
+	KindPublish
+	// KindPrivatize: the revocable cut-off pulled the public boundary
+	// back down. Arg is the new publicLimit.
+	KindPrivatize
+	// KindPark: the worker parked on the pool's idle engine (or, for
+	// backends without a parking engine, entered its idle sleep phase).
+	KindPark
+	// KindWake: the worker issued a targeted wake. Arg is the index of
+	// the worker it woke.
+	KindWake
+	// KindTaskStart: the worker began executing a stolen task. Arg is
+	// the victim index, Arg2 the stolen depth. Paired with KindTaskEnd,
+	// these delimit the spans rendered as slices in the Chrome export.
+	KindTaskStart
+	// KindTaskEnd closes the span opened by the matching KindTaskStart.
+	KindTaskEnd
+
+	numKinds
+)
+
+// kindNames are the exported event names (stable; trace consumers and
+// the trace-smoke schema check key on them).
+var kindNames = [numKinds]string{
+	KindSpawn:     "SPAWN",
+	KindSteal:     "STEAL",
+	KindLeapfrog:  "LEAPFROG",
+	KindPublish:   "PUBLISH",
+	KindPrivatize: "PRIVATIZE",
+	KindPark:      "PARK",
+	KindWake:      "WAKE",
+	KindTaskStart: "TASK-START",
+	KindTaskEnd:   "TASK-END",
+}
+
+// String returns the stable event name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "UNKNOWN"
+}
+
+// KindFromString maps an exported event name back to its Kind,
+// reporting false for names outside the vocabulary.
+func KindFromString(s string) (Kind, bool) {
+	for k, name := range kindNames {
+		if name == s {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one recorded trace event. TS is nanoseconds since the
+// tracer's creation (monotonic). The meaning of Arg/Arg2 depends on
+// Kind (see the kind constants).
+type Event struct {
+	TS     int64
+	Arg    int64
+	Arg2   int64
+	Worker int32
+	Kind   Kind
+}
+
+// Ring is one worker's event buffer. Exactly one goroutine — the one
+// driving the worker — may call Record; Snapshot may be called from
+// anywhere (see the package comment for the wrap race).
+type Ring struct {
+	tracer *Tracer
+	buf    []Event
+	mask   uint64
+	worker int32
+
+	// pos counts events ever recorded; the next write slot is
+	// pos & mask. Written only by the ring's single writer; the atomic
+	// store is the publication point for snapshot readers.
+	pos atomic.Uint64
+}
+
+// Record appends one event. It never blocks and never allocates; on a
+// full ring it overwrites the oldest event.
+func (r *Ring) Record(k Kind, arg, arg2 int64) {
+	p := r.pos.Load() // single writer: this is our own last store
+	e := &r.buf[p&r.mask]
+	e.TS = int64(time.Since(r.tracer.start))
+	e.Arg = arg
+	e.Arg2 = arg2
+	e.Worker = r.worker
+	e.Kind = k
+	r.pos.Store(p + 1)
+}
+
+// Len returns how many events the ring currently holds (at most its
+// capacity, once wrapped).
+func (r *Ring) Len() int {
+	p := r.pos.Load()
+	if p > uint64(len(r.buf)) {
+		return len(r.buf)
+	}
+	return int(p)
+}
+
+// Dropped returns how many events have been overwritten by wrap.
+func (r *Ring) Dropped() uint64 {
+	p := r.pos.Load()
+	if p > uint64(len(r.buf)) {
+		return p - uint64(len(r.buf))
+	}
+	return 0
+}
+
+// DefaultCapacity is the per-worker ring capacity used when New is
+// given a non-positive capacity: 64Ki events ≈ 2 MiB per worker.
+const DefaultCapacity = 1 << 16
+
+// Tracer owns one Ring per worker. Create it with New, hand it to the
+// scheduler (core Options.Trace / sched Options.TraceSink), and read it
+// back with Snapshot, WriteChromeTrace or StealMatrix.
+type Tracer struct {
+	start time.Time
+	rings []*Ring
+}
+
+// New creates a tracer with one ring of the given capacity (rounded up
+// to a power of two; DefaultCapacity if <= 0) per worker.
+func New(workers, capacity int) *Tracer {
+	if workers <= 0 {
+		workers = 1
+	}
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	t := &Tracer{start: time.Now(), rings: make([]*Ring, workers)}
+	for i := range t.rings {
+		t.rings[i] = &Ring{
+			tracer: t,
+			buf:    make([]Event, size),
+			mask:   uint64(size - 1),
+			worker: int32(i),
+		}
+	}
+	return t
+}
+
+// Workers returns the number of per-worker rings.
+func (t *Tracer) Workers() int { return len(t.rings) }
+
+// Ring returns worker i's ring. The scheduler caches this pointer in
+// the worker struct; everything else should go through Snapshot.
+func (t *Tracer) Ring(i int) *Ring { return t.rings[i] }
+
+// Snapshot copies every ring's current contents, oldest event first.
+// On a quiescent tracer (no Run in flight) the copy is exact. Taken
+// live it is deliberately racy — each ring's single slot at the write
+// frontier may be mid-overwrite — which is fine for monitoring but
+// means a live snapshot is not race-detector-clean; see DESIGN.md §11.
+func (t *Tracer) Snapshot() [][]Event {
+	out := make([][]Event, len(t.rings))
+	for i, r := range t.rings {
+		p := r.pos.Load()
+		n := uint64(len(r.buf))
+		if p < n {
+			n = p
+		}
+		events := make([]Event, n)
+		for j := uint64(0); j < n; j++ {
+			events[j] = r.buf[(p-n+j)&r.mask]
+		}
+		out[i] = events
+	}
+	return out
+}
+
+// Dropped sums the overwritten-event counts across all rings; nonzero
+// means the exported trace is a suffix window, not the whole run.
+func (t *Tracer) Dropped() uint64 {
+	var d uint64
+	for _, r := range t.rings {
+		d += r.Dropped()
+	}
+	return d
+}

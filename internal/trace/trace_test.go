@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRingRecordAndSnapshot(t *testing.T) {
+	tr := New(2, 8)
+	r0 := tr.Ring(0)
+	r0.Record(KindSpawn, 3, 0)
+	r0.Record(KindSteal, 1, 5)
+	tr.Ring(1).Record(KindPark, 0, 0)
+
+	snap := tr.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d rings, want 2", len(snap))
+	}
+	if len(snap[0]) != 2 || len(snap[1]) != 1 {
+		t.Fatalf("ring lengths %d/%d, want 2/1", len(snap[0]), len(snap[1]))
+	}
+	if snap[0][0].Kind != KindSpawn || snap[0][0].Arg != 3 {
+		t.Errorf("first event = %+v, want SPAWN(3)", snap[0][0])
+	}
+	if snap[0][1].Kind != KindSteal || snap[0][1].Arg != 1 || snap[0][1].Arg2 != 5 {
+		t.Errorf("second event = %+v, want STEAL(1,5)", snap[0][1])
+	}
+	if snap[0][0].Worker != 0 || snap[1][0].Worker != 1 {
+		t.Errorf("worker stamps wrong: %d/%d", snap[0][0].Worker, snap[1][0].Worker)
+	}
+	if snap[0][1].TS < snap[0][0].TS {
+		t.Errorf("timestamps not monotonic: %d then %d", snap[0][0].TS, snap[0][1].TS)
+	}
+}
+
+// TestRingOverwrite checks the newest-wins wrap policy: a full ring
+// keeps the most recent capacity events, in order, and reports the
+// overwritten count.
+func TestRingOverwrite(t *testing.T) {
+	tr := New(1, 4)
+	r := tr.Ring(0)
+	for i := int64(0); i < 11; i++ {
+		r.Record(KindSpawn, i, 0)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if d := r.Dropped(); d != 7 {
+		t.Fatalf("Dropped = %d, want 7", d)
+	}
+	events := tr.Snapshot()[0]
+	for i, e := range events {
+		if want := int64(7 + i); e.Arg != want {
+			t.Errorf("event %d has Arg %d, want %d (oldest-first suffix window)", i, e.Arg, want)
+		}
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	tr := New(1, 100)
+	if got := len(tr.Ring(0).buf); got != 128 {
+		t.Errorf("capacity 100 rounded to %d, want 128", got)
+	}
+	tr = New(1, 0)
+	if got := len(tr.Ring(0).buf); got != DefaultCapacity {
+		t.Errorf("capacity 0 defaulted to %d, want %d", got, DefaultCapacity)
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		name := k.String()
+		if name == "UNKNOWN" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		back, ok := KindFromString(name)
+		if !ok || back != k {
+			t.Errorf("round trip %v -> %q -> %v/%v", k, name, back, ok)
+		}
+	}
+	if _, ok := KindFromString("NOPE"); ok {
+		t.Error("KindFromString accepted an unknown name")
+	}
+}
+
+// TestChromeExportValidates round-trips a small trace through the
+// exporter and the trace-smoke schema validator.
+func TestChromeExportValidates(t *testing.T) {
+	tr := New(2, 16)
+	tr.Ring(0).Record(KindSpawn, 0, 0)
+	tr.Ring(0).Record(KindPublish, 2, 4)
+	tr.Ring(1).Record(KindSteal, 0, 0)
+	tr.Ring(1).Record(KindTaskStart, 0, 0)
+	tr.Ring(1).Record(KindTaskEnd, 0, 0)
+	tr.Ring(1).Record(KindPark, 0, 0)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	n, err := Validate(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Validate rejected our own export: %v\n%s", err, buf.String())
+	}
+	if n != 6 {
+		t.Errorf("Validate counted %d events, want 6", n)
+	}
+	for _, want := range []string{`"STEAL"`, `"PUBLISH"`, `"PARK"`, `"stolen task"`, `"thread_name"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("export missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestValidateRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{}`,
+		`{"traceEvents":[{"ph":"i"}]}`, // no name
+		`{"traceEvents":[{"name":"STEAL","ph":"X","pid":0,"tid":0,"ts":0}]}`, // bad phase
+		`{"traceEvents":[{"name":"STEAL","ph":"i","pid":0,"tid":0}]}`,        // no ts
+		`{"traceEvents":[{"name":"BOGUS","ph":"i","pid":0,"tid":0,"ts":0}]}`, // unknown name
+	}
+	for _, c := range cases {
+		if _, err := Validate(strings.NewReader(c)); err == nil {
+			t.Errorf("Validate accepted %q", c)
+		}
+	}
+}
+
+func TestStealMatrix(t *testing.T) {
+	tr := New(3, 16)
+	tr.Ring(1).Record(KindSteal, 0, 2)
+	tr.Ring(1).Record(KindSteal, 0, 3)
+	tr.Ring(1).Record(KindLeapfrog, 2, 7)
+	tr.Ring(2).Record(KindSteal, -1, 0) // central queue take
+	tr.Ring(0).Record(KindSpawn, 0, 0)  // not a steal; ignored
+
+	m := tr.StealMatrix()
+	if m.Steals[1][0] != 2 || m.Steals[1][2] != 1 || m.Leap[1][2] != 1 {
+		t.Errorf("matrix wrong: steals[1]=%v leap[1]=%v", m.Steals[1], m.Leap[1])
+	}
+	if m.Central[2] != 1 {
+		t.Errorf("central takes = %v, want [0 0 1]", m.Central)
+	}
+	if m.Total() != 4 {
+		t.Errorf("Total = %d, want 4", m.Total())
+	}
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"1*1", "central", "total steals: 4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentWriters checks the one-writer-per-ring contract scales:
+// distinct goroutines writing distinct rings race-free (run with -race).
+func TestConcurrentWriters(t *testing.T) {
+	tr := New(4, 1024)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := tr.Ring(i)
+			for j := int64(0); j < 2000; j++ {
+				r.Record(KindSpawn, j, 0)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, events := range tr.Snapshot() {
+		if len(events) != 1024 {
+			t.Errorf("ring %d kept %d events, want 1024", i, len(events))
+		}
+	}
+	if d := tr.Dropped(); d != 4*(2000-1024) {
+		t.Errorf("Dropped = %d, want %d", d, 4*(2000-1024))
+	}
+}
