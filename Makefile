@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint bench ci all trace-smoke
+.PHONY: build test race lint bench ci all trace-smoke fuzz-smoke chaos
 
 all: build test lint
 
@@ -12,11 +12,12 @@ test:
 
 # Race-detect every scheduler backend that has a thief/victim protocol
 # (direct task stack, Chase-Lev deque, locked deque, cilk-style,
-# central queue) plus the simulator driving them.
+# central queue) plus the simulator driving them and the registry's
+# chaos-profile conformance suite (internal/sched).
 race:
 	$(GO) test -race -count=1 ./internal/core/... ./internal/chaselev/... \
 		./internal/locksched/... ./internal/cilkstyle/... \
-		./internal/ompstyle/... ./internal/sim/...
+		./internal/ompstyle/... ./internal/sim/... ./internal/sched/...
 
 # woolvet enforces the direct-task-stack protocol invariants
 # (atomic-only fields, owner-private fields, cache-line layout,
@@ -45,6 +46,25 @@ trace-smoke:
 	grep -q '"PARK"' $(TRACE_SMOKE_JSON)
 	grep -q 'total steals:' $(TRACE_SMOKE_JSON).out
 	! grep -q 'total steals: 0$$' $(TRACE_SMOKE_JSON).out
+
+# Short native-fuzz passes over the two lock-free backends: random
+# seed-derived spawn trees with irregular fan-out, a tiny task pool so
+# every run also crosses the overflow-degradation path, and the serial
+# walk as the oracle. Raise FUZZTIME for a longer soak.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzSpawnTree -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/chaselev/ -run '^$$' -fuzz FuzzSpawnTree -fuzztime $(FUZZTIME)
+
+# The fault-injection torture suite (DESIGN.md §12): every registered
+# scheduler under every built-in chaos profile, race-detected, then a
+# time-boxed randomized seed sweep that logs each seed tried so any
+# failure is replayable. Raise CHAOS_SWEEP for a longer soak.
+CHAOS_SWEEP ?= 20s
+chaos:
+	$(GO) test ./internal/sched/ -race -count=1 -run 'TestChaosTorture' -v
+	$(GO) test ./internal/sched/ -race -count=1 -run 'TestChaosSeedSweep' -v \
+		-chaos.sweep=$(CHAOS_SWEEP)
 
 # What .github/workflows/ci.yml runs: build, vet, woolvet, the tier-1
 # suite, and a short race pass over the scheduler protocols and the

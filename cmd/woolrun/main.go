@@ -14,6 +14,8 @@
 //	woolrun -sim -workload fib -n 24 -workers 8
 //	woolrun -workload fib -n 30 -workers 4 -trace out.json -stealmatrix
 //	woolrun -checktrace out.json
+//	woolrun -workload fib -n 25 -workers 4 -chaos cas-starve -chaosseed 7
+//	woolrun -workload fib -n 30 -workers 4 -watchdog 5s
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"gowool/internal/chaos"
 	"gowool/internal/chaselev"
 	"gowool/internal/core"
 	"gowool/internal/costmodel"
@@ -56,6 +59,10 @@ var (
 	stealMat   = flag.Bool("stealmatrix", false, "print the worker×worker steal matrix after the run (leapfrog steals marked *)")
 	checkTrace = flag.String("checktrace", "", "validate a Chrome trace JSON file produced by -trace, then exit")
 	settle     = flag.Duration("settle", 0, "idle this long after the run before exporting the trace, so idle workers reach their PARK transitions")
+
+	chaosName = flag.String("chaos", "", "inject faults from this chaos profile (delay-heavy | cas-starve | park-flap; schedulers with the chaos capability)")
+	chaosSeed = flag.Uint64("chaosseed", 1, "seed for -chaos; the same profile and seed replay the same injection sequence")
+	watchdog  = flag.Duration("watchdog", 0, "fail the run if no scheduler progress for this long (schedulers with the watchdog capability)")
 )
 
 func main() {
@@ -109,6 +116,12 @@ func capsTokens(c sched.Caps) string {
 	}
 	if c.Trace {
 		t = append(t, "trace")
+	}
+	if c.Chaos {
+		t = append(t, "chaos")
+	}
+	if c.Watchdog {
+		t = append(t, "watchdog")
 	}
 	if len(t) == 0 {
 		return "-"
@@ -171,7 +184,34 @@ func runNative() {
 		}
 		tr = trace.New(*workers, 0)
 	}
-	p := s.NewPool(sched.Options{Workers: *workers, PrivateTasks: *private, Trace: tr})
+	var inj *chaos.Injector
+	if *chaosName != "" {
+		if !s.Caps().Chaos {
+			fmt.Fprintf(os.Stderr, "scheduler %s does not support chaos injection\n", s.Name())
+			os.Exit(2)
+		}
+		prof, ok := chaos.ProfileByName(*chaosName)
+		if !ok {
+			var names []string
+			for _, pr := range chaos.Profiles() {
+				names = append(names, pr.Name)
+			}
+			fmt.Fprintf(os.Stderr, "unknown chaos profile %q (profiles: %s)\n",
+				*chaosName, strings.Join(names, ", "))
+			os.Exit(2)
+		}
+		inj = chaos.NewInjector(*workers, prof, *chaosSeed)
+		fmt.Printf("chaos: profile=%s seed=%d (replay with -chaos %s -chaosseed %d)\n",
+			prof.Name, *chaosSeed, prof.Name, *chaosSeed)
+	}
+	if *watchdog > 0 && !s.Caps().Watchdog {
+		fmt.Fprintf(os.Stderr, "scheduler %s does not support the watchdog\n", s.Name())
+		os.Exit(2)
+	}
+	p := s.NewPool(sched.Options{
+		Workers: *workers, PrivateTasks: *private, Trace: tr,
+		Chaos: inj, Watchdog: *watchdog,
+	})
 	defer p.Close()
 
 	t0 := time.Now()

@@ -81,6 +81,18 @@
 // with a distinct "pool poisoned by earlier task panic" message, and
 // only Close remains safe. See DESIGN.md §11.
 //
+// # Robustness
+//
+// A spawn that finds the task pool full (Options.StackSize) degrades
+// to inline serial execution — a spawn is permission to parallelize,
+// not an obligation — counted in Stats.OverflowInlined;
+// Options.StrictOverflow restores the overflow panic for catching
+// runaway spawn depth. Options.Watchdog arms a stuck-run monitor: if
+// scheduler progress stalls for the interval while a join is blocked
+// and nothing is executing, the run fails with a *WatchdogError
+// carrying a diagnostic dump of per-worker protocol state instead of
+// hanging. See DESIGN.md §12.
+//
 // The repository also contains, under internal/, the baseline
 // schedulers (Chase-Lev deque, lock-based ladder, steal-parent
 // continuation scheduler, centralized pool), the deterministic
@@ -126,6 +138,12 @@ type (
 	// ParkMode selects the idle-worker parking behaviour
 	// (Options.Parking).
 	ParkMode = core.ParkMode
+
+	// WatchdogError is the failure a tripped Options.Watchdog raises
+	// from Run: no scheduler progress for the interval with a blocked
+	// join outstanding, plus a diagnostic dump (Bundle) of per-worker
+	// protocol state at trip time. See DESIGN.md §12.
+	WatchdogError = core.WatchdogError
 
 	// Tracer is the low-overhead event tracer (Options.Trace): one
 	// lock-free ring of scheduler events per worker, recording spawns,

@@ -1,0 +1,105 @@
+package chaos
+
+import "testing"
+
+// drain records n decisions from an agent across all points.
+func drain(a *Agent, n int) []bool {
+	out := make([]bool, 0, n*int(NumPoints))
+	for i := 0; i < n; i++ {
+		for p := Point(0); p < NumPoints; p++ {
+			out = append(out, a.Point(p))
+		}
+		out = append(out, a.Force(PointParkDecision))
+	}
+	return out
+}
+
+// TestReplayDeterminism: the same (seed, profile, worker) replays the
+// identical decision stream — the property -chaosseed relies on.
+func TestReplayDeterminism(t *testing.T) {
+	for _, prof := range Profiles() {
+		a := NewInjector(4, prof, 42).Agent(2)
+		b := NewInjector(4, prof, 42).Agent(2)
+		da, db := drain(a, 200), drain(b, 200)
+		for i := range da {
+			if da[i] != db[i] {
+				t.Fatalf("%s: decision %d diverged on replay", prof.Name, i)
+			}
+		}
+	}
+}
+
+// TestWorkerStreamsIndependent: distinct workers (and distinct seeds)
+// get distinct streams.
+func TestWorkerStreamsIndependent(t *testing.T) {
+	prof := casStarve()
+	in := NewInjector(2, prof, 7)
+	d0 := drain(in.Agent(0), 500)
+	d1 := drain(in.Agent(1), 500)
+	same := 0
+	for i := range d0 {
+		if d0[i] == d1[i] {
+			same++
+		}
+	}
+	if same == len(d0) {
+		t.Fatalf("worker streams identical over %d decisions", len(d0))
+	}
+	other := NewInjector(2, prof, 8)
+	d0b := drain(other.Agent(0), 500)
+	same = 0
+	for i := range d0 {
+		if d0[i] == d0b[i] {
+			same++
+		}
+	}
+	if same == len(d0) {
+		t.Fatalf("seed change did not alter the stream")
+	}
+}
+
+// TestRatesRoughlyHonored: a 69% fail rate should actually fail often,
+// and a zero rate must never fire.
+func TestRatesRoughlyHonored(t *testing.T) {
+	prof := casStarve()
+	a := NewInjector(1, prof, 99).Agent(0)
+	fails := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if a.Point(PointThiefCAS) {
+			fails++
+		}
+	}
+	want := float64(prof.Fail[PointThiefCAS]) / 65536
+	got := float64(fails) / n
+	if got < want-0.1 || got > want+0.1 {
+		t.Fatalf("fail rate %.2f, profile asks %.2f", got, want)
+	}
+	for i := 0; i < n; i++ {
+		if a.Point(PointDequePop) { // cas-starve sets no faults here
+			t.Fatalf("point with zero rates reported a fail")
+		}
+	}
+	if c := a.inj.Counts(); c[PointThiefCAS] != n || c[PointDequePop] != n {
+		t.Fatalf("visit counts = %d/%d, want %d/%d", c[PointThiefCAS], c[PointDequePop], n, n)
+	}
+	if inj := a.inj.Injected(); inj[PointThiefCAS] == 0 {
+		t.Fatalf("no injections recorded at a 69%%-fail point")
+	}
+}
+
+// TestProfileLookup covers the registry the CLI flag uses.
+func TestProfileLookup(t *testing.T) {
+	for _, name := range []string{"delay-heavy", "cas-starve", "park-flap"} {
+		p, ok := ProfileByName(name)
+		if !ok || p.Name != name {
+			t.Fatalf("ProfileByName(%q) = %v, %v", name, p.Name, ok)
+		}
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Fatalf("unknown profile resolved")
+	}
+	if PointThiefCAS.String() != "thief-cas" || Point(200).String() == "" {
+		t.Fatalf("Point.String broken")
+	}
+}

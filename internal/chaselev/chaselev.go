@@ -23,6 +23,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gowool/internal/chaos"
+	"gowool/internal/overflow"
 	"gowool/internal/trace"
 )
 
@@ -45,6 +47,13 @@ type Task struct {
 	done atomic.Bool
 
 	next *Task // free-list link, owner-only
+
+	// inlined marks a spawn that overflowed the deque and was executed
+	// inline by its owner (serial elision); the matching join reads res
+	// directly instead of consulting the deque. Owner-only: set and
+	// cleared by the spawning worker, never visible to thieves (an
+	// inlined task is never published).
+	inlined bool
 }
 
 // WaitPolicy selects what a blocked join does while its task is stolen.
@@ -88,6 +97,10 @@ type Stats struct {
 	Backoffs      int64 // owner pops that lost the last-element CAS race to a thief
 	WaitSteals    int64 // tasks executed while blocked in a join
 	Allocs        int64 // task structures taken from the heap (not free list)
+
+	// OverflowInlined counts spawns that found the deque full and
+	// degraded to inline serial execution (not counted in Spawns).
+	OverflowInlined int64
 }
 
 func (s *Stats) add(o *Stats) {
@@ -99,6 +112,7 @@ func (s *Stats) add(o *Stats) {
 	s.Backoffs += o.Backoffs
 	s.WaitSteals += o.WaitSteals
 	s.Allocs += o.Allocs
+	s.OverflowInlined += o.OverflowInlined
 }
 
 // Worker is one deque-scheduler worker. Like core.Worker, the fields
@@ -116,6 +130,11 @@ type Worker struct {
 	// disabled; set once in NewPool, recorded into only by the
 	// goroutine driving this worker.
 	trc *trace.Ring
+
+	// chs is this worker's chaos agent, or nil when fault injection is
+	// disabled; set once in NewPool, consulted only by the goroutine
+	// driving this worker.
+	chs *chaos.Agent
 
 	// buf holds size slots; live indices are [top, bottom), the owner
 	// pushes/pops at bottom, thieves CAS top. The slice header and
@@ -184,6 +203,14 @@ type Options struct {
 	// (victim, deque top index) and PARK (idle sleep-phase entry)
 	// events. nil disables tracing at zero cost (plain nil check).
 	Trace *trace.Tracer
+	// Chaos attaches a woolchaos fault injector perturbing the deque
+	// protocol (PointDequePop, PointThiefCAS, PointLeapfrogPick,
+	// PointParkDecision). nil disables injection at zero cost.
+	Chaos *chaos.Injector
+	// StrictOverflow restores the pre-degradation behaviour: a spawn
+	// that finds the deque full panics instead of executing the child
+	// inline and counting it in Stats.OverflowInlined.
+	StrictOverflow bool
 }
 
 func (o Options) defaults() Options {
@@ -231,6 +258,9 @@ func NewPool(opts Options) *Pool {
 	if opts.Trace != nil && opts.Trace.Workers() < opts.Workers {
 		panic(fmt.Sprintf("chaselev: Options.Trace has %d rings for %d workers", opts.Trace.Workers(), opts.Workers))
 	}
+	if opts.Chaos != nil && opts.Chaos.Workers() < opts.Workers {
+		panic(fmt.Sprintf("chaselev: Options.Chaos has %d agents for %d workers", opts.Chaos.Workers(), opts.Workers))
+	}
 	p := &Pool{opts: opts}
 	p.workers = make([]*Worker, opts.Workers)
 	for i := range p.workers {
@@ -243,6 +273,9 @@ func NewPool(opts Options) *Pool {
 		}
 		if opts.Trace != nil {
 			w.trc = opts.Trace.Ring(i)
+		}
+		if opts.Chaos != nil {
+			w.chs = opts.Chaos.Agent(i)
 		}
 		p.workers[i] = w
 	}
@@ -352,27 +385,53 @@ func (w *Worker) alloc() *Task {
 func (w *Worker) release(t *Task) {
 	t.ctx = nil
 	t.fn = nil
+	t.inlined = false
 	t.next = w.free
 	w.free = t
 }
 
-// push adds t at the bottom of the deque (owner only).
-func (w *Worker) push(t *Task) {
+// push adds t at the bottom of the deque (owner only). Returns false
+// when the deque is full and the caller must degrade the spawn to
+// inline execution (elide); under StrictOverflow a full deque panics
+// instead.
+func (w *Worker) push(t *Task) bool {
 	b := w.bottom.Load()
 	tp := w.top.Load()
 	if b-tp >= int64(len(w.buf))-1 {
-		panic(fmt.Sprintf("chaselev: deque overflow on worker %d (capacity %d)", w.idx, len(w.buf)))
+		if w.pool.opts.StrictOverflow {
+			panic(overflow.PanicMessage("chaselev", w.idx, len(w.buf)))
+		}
+		return false
 	}
 	w.buf[b&w.mask].Store(t)
 	w.bottom.Store(b + 1)
 	w.shadow = append(w.shadow, t)
 	w.stats.Spawns++
+	return true
+}
+
+// elide runs an overflowing spawn inline (serial elision): the wrapper
+// fills t.res now, and the task goes on the shadow stack marked inlined
+// so the matching join reads the result without touching the deque.
+// Spawns and the join counters deliberately exclude elided tasks.
+func (w *Worker) elide(t *Task) {
+	t.inlined = true
+	fn := t.fn
+	fn(w, t)
+	w.shadow = append(w.shadow, t)
+	w.stats.OverflowInlined++
 }
 
 // popBottom is the owner's take from its own deque (Chase-Lev).
 func (w *Worker) popBottom() *Task {
 	b := w.bottom.Load() - 1
 	w.bottom.Store(b)
+	if w.chs != nil {
+		// Widen the window between publishing the lowered bottom and
+		// reading top, where a thief can race for the last element.
+		// Delay/yield only: the pop itself must always complete.
+		w.chs.Point(chaos.PointDequePop)
+	}
 	t := w.top.Load()
 	if t > b {
 		// Empty; restore canonical state.
@@ -405,7 +464,14 @@ func (w *Worker) trySteal(victim *Worker, countWait bool) bool {
 		return false
 	}
 	task := victim.buf[t&victim.mask].Load()
-	if task == nil || !victim.top.CompareAndSwap(t, t+1) {
+	if task == nil {
+		return false
+	}
+	if w.chs != nil && w.chs.Point(chaos.PointThiefCAS) {
+		// Fail-one-attempt is safe pre-CAS: nothing is claimed yet.
+		return false
+	}
+	if !victim.top.CompareAndSwap(t, t+1) {
 		return false
 	}
 	task.stolenBy.Store(int32(w.idx) + 1)
@@ -446,6 +512,13 @@ func (w *Worker) joinAcquire() (*Task, bool) {
 	expected := w.shadow[len(w.shadow)-1]
 	w.shadow = w.shadow[:len(w.shadow)-1]
 
+	if expected.inlined {
+		// Overflow-elided spawn: it never entered the deque and its
+		// result is already in res. Not an inline join for accounting —
+		// the spawn was not counted either.
+		return expected, false
+	}
+
 	if task := w.popBottom(); task != nil {
 		if task != expected {
 			panic("chaselev: deque order violated LIFO nesting")
@@ -461,10 +534,14 @@ func (w *Worker) joinAcquire() (*Task, bool) {
 		progressed := false
 		switch w.pool.opts.Wait {
 		case WaitSteal:
-			progressed = w.trySteal(w.pool.workers[w.nextVictim()], true)
+			if w.chs == nil || !w.chs.Point(chaos.PointLeapfrogPick) {
+				progressed = w.trySteal(w.pool.workers[w.nextVictim()], true)
+			}
 		case WaitLeapfrog:
 			if thief := expected.stolenBy.Load(); thief != 0 {
-				progressed = w.trySteal(w.pool.workers[thief-1], true)
+				if w.chs == nil || !w.chs.Point(chaos.PointLeapfrogPick) {
+					progressed = w.trySteal(w.pool.workers[thief-1], true)
+				}
 			}
 		case WaitSpin:
 			// just wait
@@ -521,6 +598,11 @@ func (w *Worker) idleLoop() {
 		case fails < 1024 || w.pool.opts.MaxIdleSleep <= 0:
 			runtime.Gosched()
 		default:
+			if w.chs != nil {
+				// This backend has no park/unpark protocol to force, so
+				// the sleep-phase decision only gets delay/yield faults.
+				w.chs.Point(chaos.PointParkDecision)
+			}
 			if fails == 1024 && w.trc != nil {
 				// This backend has no parking engine; entering the
 				// sleep phase is its closest PARK analogue.

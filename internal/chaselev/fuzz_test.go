@@ -1,0 +1,71 @@
+package chaselev
+
+import (
+	"math/bits"
+	"runtime"
+	"testing"
+
+	"gowool/internal/chaos"
+)
+
+// fuzzTreeDepth bounds the spawn trees FuzzSpawnTree generates; two
+// bits of path code per level keep the code inside an int64.
+const fuzzTreeDepth = 9
+
+// fuzzNode derives one tree node from (seed, path code): its value and
+// child count. Shape is a pure function of the seed, so the serial
+// walk and the parallel run agree without sharing state.
+func fuzzNode(seed uint64, arg int64) (value int64, children int64) {
+	draw := chaos.Mix(seed, uint64(arg))
+	value = int64(draw % 1000)
+	depth := (bits.Len64(uint64(arg)) - 1) / 2
+	if depth >= fuzzTreeDepth {
+		return value, 0
+	}
+	return value, int64(draw % 3)
+}
+
+// fuzzSerial is the reference walk: plain recursion, no tasks.
+func fuzzSerial(seed uint64, arg int64) int64 {
+	sum, c := fuzzNode(seed, arg)
+	for k := int64(1); k <= c; k++ {
+		sum += fuzzSerial(seed, arg*4+k)
+	}
+	return sum
+}
+
+// FuzzSpawnTree mirrors the core scheduler's fuzz target on the
+// Chase-Lev deque: random seed-derived spawn trees with irregular
+// fan-out, a tiny DequeSize to cross the overflow-degradation path,
+// and the serial walk as the oracle.
+func FuzzSpawnTree(f *testing.F) {
+	f.Add(uint64(1))
+	f.Add(uint64(0x5eed))
+	rng := chaos.NewRNG(42)
+	for i := 0; i < 6; i++ {
+		f.Add(rng.Next())
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		prev := runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+		var tree *TaskDef1
+		tree = Define1("fuzztree", func(w *Worker, arg int64) int64 {
+			sum, c := fuzzNode(seed, arg)
+			for k := int64(1); k <= c; k++ {
+				tree.Spawn(w, arg*4+k)
+			}
+			for k := int64(0); k < c; k++ {
+				sum += tree.Join(w)
+			}
+			return sum
+		})
+		want := fuzzSerial(seed, 1)
+		p := NewPool(Options{Workers: 2, DequeSize: 4})
+		got := p.Run(func(w *Worker) int64 { return tree.Call(w, 1) })
+		st := p.Stats()
+		p.Close()
+		if got != want {
+			t.Fatalf("seed %d: spawn tree sum = %d, want %d (stats %+v)", seed, got, want, st)
+		}
+	})
+}

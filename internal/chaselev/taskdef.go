@@ -19,14 +19,19 @@ func Define1(name string, fn func(*Worker, int64) int64) *TaskDef1 {
 	return d
 }
 
-// Spawn allocates a task (free list) and pushes it on w's deque.
+// Spawn allocates a task (free list) and pushes it on w's deque. When
+// the deque is full the spawn degrades to inline serial execution (the
+// child runs now, the join reads its stored result) unless
+// Options.StrictOverflow is set.
 func (d *TaskDef1) Spawn(w *Worker, a0 int64) {
 	t := w.alloc()
 	t.a0 = a0
 	t.fn = d.wrap
 	t.stolenBy.Store(0)
 	t.done.Store(false)
-	w.push(t)
+	if !w.push(t) {
+		w.elide(t)
+	}
 }
 
 // Call invokes the task function directly.
@@ -65,7 +70,9 @@ func (d *TaskDef2) Spawn(w *Worker, a0, a1 int64) {
 	t.fn = d.wrap
 	t.stolenBy.Store(0)
 	t.done.Store(false)
-	w.push(t)
+	if !w.push(t) {
+		w.elide(t)
+	}
 }
 
 // Call invokes the task function directly.
@@ -105,7 +112,9 @@ func (d *TaskDefC1[C]) Spawn(w *Worker, c *C, a0 int64) {
 	t.fn = d.wrap
 	t.stolenBy.Store(0)
 	t.done.Store(false)
-	w.push(t)
+	if !w.push(t) {
+		w.elide(t)
+	}
 }
 
 // Call invokes the task function directly.
@@ -145,7 +154,9 @@ func (d *TaskDefC2[C]) Spawn(w *Worker, c *C, a0, a1 int64) {
 	t.fn = d.wrap
 	t.stolenBy.Store(0)
 	t.done.Store(false)
-	w.push(t)
+	if !w.push(t) {
+		w.elide(t)
+	}
 }
 
 // Call invokes the task function directly.
@@ -185,7 +196,9 @@ func (d *TaskDefC3[C]) Spawn(w *Worker, c *C, a0, a1, a2 int64) {
 	t.fn = d.wrap
 	t.stolenBy.Store(0)
 	t.done.Store(false)
-	w.push(t)
+	if !w.push(t) {
+		w.elide(t)
+	}
 }
 
 // Call invokes the task function directly.

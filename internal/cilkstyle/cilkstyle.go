@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gowool/internal/chaos"
 	"gowool/internal/trace"
 )
 
@@ -87,6 +88,11 @@ type Worker struct {
 	// once at pool construction and never written again.
 	trc *trace.Ring
 
+	// chs is this worker's chaos agent, or nil when fault injection is
+	// disabled; set once in NewPool, consulted only by the goroutine
+	// driving this worker.
+	chs *chaos.Agent
+
 	_ [64]byte // pad: end of the immutable group
 
 	// deque holds ready continuations; the owner pushes and pops at
@@ -129,6 +135,11 @@ func (w *Worker) DequeLen() int {
 type Options struct {
 	// Workers is the worker count; default GOMAXPROCS.
 	Workers int
+	// DequeSize is the initial capacity of each worker's
+	// ready-continuation deque. The deque grows on demand — steal-parent
+	// holds at most one continuation per spawn nest, so there is no
+	// overflow to degrade — making this a pre-allocation hint only.
+	DequeSize int
 	// MaxIdleSleep caps idle back-off sleeping; default 200µs.
 	MaxIdleSleep time.Duration
 	// Trace, when non-nil, records scheduler events into per-worker
@@ -137,6 +148,10 @@ type Options struct {
 	// worker entered its sleep phase). The tracer must have at least
 	// Workers rings.
 	Trace *trace.Tracer
+	// Chaos attaches a woolchaos fault injector perturbing the locked
+	// steal protocol (PointLockAcquire, PointDequePop,
+	// PointParkDecision). nil disables injection at zero cost.
+	Chaos *chaos.Injector
 }
 
 func (o Options) defaults() Options {
@@ -183,6 +198,9 @@ func NewPool(opts Options) *Pool {
 	if opts.Trace != nil && opts.Trace.Workers() < opts.Workers {
 		panic("cilkstyle: Options.Trace has fewer rings than workers")
 	}
+	if opts.Chaos != nil && opts.Chaos.Workers() < opts.Workers {
+		panic("cilkstyle: Options.Chaos has fewer agents than workers")
+	}
 	p := &Pool{opts: opts}
 	p.workers = make([]*Worker, opts.Workers)
 	for i := range p.workers {
@@ -191,8 +209,14 @@ func NewPool(opts Options) *Pool {
 			idx:  i,
 			rng:  uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
 		}
+		if opts.DequeSize > 0 {
+			p.workers[i].deque = make([]Step, 0, opts.DequeSize)
+		}
 		if opts.Trace != nil {
 			p.workers[i].trc = opts.Trace.Ring(i)
+		}
+		if opts.Chaos != nil {
+			p.workers[i].chs = opts.Chaos.Agent(i)
 		}
 	}
 	p.wg.Add(opts.Workers - 1)
@@ -378,6 +402,11 @@ func (w *Worker) push(s Step) {
 
 // popBottom takes the youngest ready continuation, or nil.
 func (w *Worker) popBottom() Step {
+	if w.chs != nil {
+		// Delay/yield only, before the lock: give thieves a wider
+		// window to race for the continuation.
+		w.chs.Point(chaos.PointDequePop)
+	}
 	w.mu.Lock()
 	n := len(w.deque)
 	if n == 0 {
@@ -400,6 +429,10 @@ func (w *Worker) trySteal(victim *Worker) bool {
 		return false
 	}
 	w.stealAttempts.Add(1)
+	if w.chs != nil && w.chs.Point(chaos.PointLockAcquire) {
+		// Fail-one-attempt is safe before the lock: nothing is claimed.
+		return false
+	}
 	victim.mu.Lock()
 	if len(victim.deque) == 0 {
 		victim.mu.Unlock()
@@ -476,6 +509,11 @@ func (w *Worker) idleLoop() {
 		case fails < 1024 || w.pool.opts.MaxIdleSleep <= 0:
 			runtime.Gosched()
 		default:
+			if w.chs != nil {
+				// No park/unpark protocol to force here; the sleep-phase
+				// decision only gets delay/yield faults.
+				w.chs.Point(chaos.PointParkDecision)
+			}
 			// Closest analogue of PARK in this backend: the spin phase
 			// gives way to sleeping (there is no parking engine here).
 			if fails == 1024 && w.trc != nil {

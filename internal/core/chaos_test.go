@@ -1,0 +1,78 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"gowool/internal/chaos"
+)
+
+// TestChaosOverheadDisabled pins the zero-cost claim for the disabled
+// chaos path, mirroring TestTraceOverheadDisabled: with Options.Chaos
+// unset every worker's agent pointer is nil, every hook site in
+// joinAcquire/trySteal/leapfrog/publishMore/idleLoop is gated on a
+// plain `chs != nil` check, and the chaos package's state is
+// unreachable — no allocations and no added atomics on the spawn/join
+// fast path. Any future hook that bypasses the nil gate or allocates
+// per decision shows up here.
+func TestChaosOverheadDisabled(t *testing.T) {
+	p := NewPool(Options{Workers: 2})
+	defer p.Close()
+	for i, w := range p.workers {
+		if w.chs != nil {
+			t.Fatalf("worker %d has a chaos agent on an uninjected pool", i)
+		}
+	}
+	noop := Define1("noop", func(w *Worker, x int64) int64 { return x })
+	p.Run(func(w *Worker) int64 {
+		if avg := testing.AllocsPerRun(200, func() {
+			noop.Spawn(w, 1)
+			noop.Join(w)
+		}); avg != 0 {
+			t.Errorf("spawn/join pair allocates %v objects with chaos disabled, want 0", avg)
+		}
+		return 0
+	})
+}
+
+// TestChaosFibAllProfiles runs a steal-heavy fib under every built-in
+// chaos profile and checks serial agreement plus that the injector
+// actually visited (and perturbed) protocol points. The failure output
+// carries the replay seed.
+func TestChaosFibAllProfiles(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	fib := fibDef()
+	want := serialFib(18)
+	for _, prof := range chaos.Profiles() {
+		for _, private := range []bool{false, true} {
+			const seed = 12345
+			in := chaos.NewInjector(4, prof, seed)
+			p := NewPool(Options{Workers: 4, PrivateTasks: private, Chaos: in})
+			got := p.Run(func(w *Worker) int64 { return fib.Call(w, 18) })
+			p.Close()
+			if got != want {
+				t.Fatalf("profile %s seed %d private=%v: fib(18) = %d, want %d (replay with this seed)",
+					prof.Name, seed, private, got, want)
+			}
+			visits := in.Counts()
+			total := uint64(0)
+			for _, c := range visits {
+				total += c
+			}
+			if total == 0 {
+				t.Fatalf("profile %s seed %d: no chaos points visited on a steal-heavy run", prof.Name, seed)
+			}
+		}
+	}
+}
+
+// TestChaosInjectorSizeValidated mirrors the trace-ring validation.
+func TestChaosInjectorSizeValidated(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for an undersized injector")
+		}
+	}()
+	NewPool(Options{Workers: 4, Chaos: chaos.NewInjector(2, chaos.Profiles()[0], 1)})
+}

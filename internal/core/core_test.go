@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -276,12 +277,16 @@ func TestJoinAny(t *testing.T) {
 }
 
 func TestStackOverflowPanics(t *testing.T) {
-	p := NewPool(Options{Workers: 1, StackSize: 8})
+	p := NewPool(Options{Workers: 1, StackSize: 8, StrictOverflow: true})
 	defer p.Close()
 	noop := Define1("noop", func(w *Worker, x int64) int64 { return x })
 	defer func() {
-		if r := recover(); r == nil {
-			t.Fatal("expected panic on task stack overflow")
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic on task stack overflow with StrictOverflow")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "task pool overflow") {
+			t.Fatalf("unexpected overflow panic: %v", r)
 		}
 	}()
 	p.Run(func(w *Worker) int64 {

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/bits"
+	"runtime"
+	"testing"
+
+	"gowool/internal/chaos"
+)
+
+// fuzzTreeDepth bounds the spawn trees FuzzSpawnTree generates. Each
+// level consumes two bits of the node's path code, so the code stays
+// well inside an int64.
+const fuzzTreeDepth = 9
+
+// fuzzNode derives one tree node from (seed, path code): its value and
+// how many children it has. The shape is a pure function of the seed,
+// so the serial walk and the parallel run agree without sharing state.
+func fuzzNode(seed uint64, arg int64) (value int64, children int64) {
+	draw := chaos.Mix(seed, uint64(arg))
+	value = int64(draw % 1000)
+	depth := (bits.Len64(uint64(arg)) - 1) / 2
+	if depth >= fuzzTreeDepth {
+		return value, 0
+	}
+	return value, int64(draw % 3)
+}
+
+// fuzzSerial is the reference walk: plain recursion, no tasks.
+func fuzzSerial(seed uint64, arg int64) int64 {
+	sum, c := fuzzNode(seed, arg)
+	for k := int64(1); k <= c; k++ {
+		sum += fuzzSerial(seed, arg*4+k)
+	}
+	return sum
+}
+
+// FuzzSpawnTree feeds random seeds through a seed-derived spawn tree
+// with an irregular fan-out (0–2 children per node) and checks the
+// pool against the serial walk. The tiny StackSize forces the run
+// through the overflow-degradation path as well as the steal protocol.
+func FuzzSpawnTree(f *testing.F) {
+	f.Add(uint64(1))
+	f.Add(uint64(0x5eed))
+	rng := chaos.NewRNG(42)
+	for i := 0; i < 6; i++ {
+		f.Add(rng.Next())
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		prev := runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+		var tree *TaskDef1
+		tree = Define1("fuzztree", func(w *Worker, arg int64) int64 {
+			sum, c := fuzzNode(seed, arg)
+			for k := int64(1); k <= c; k++ {
+				tree.Spawn(w, arg*4+k)
+			}
+			for k := int64(0); k < c; k++ {
+				sum += tree.Join(w)
+			}
+			return sum
+		})
+		want := fuzzSerial(seed, 1)
+		p := NewPool(Options{Workers: 2, StackSize: 4})
+		got := p.Run(func(w *Worker) int64 { return tree.Call(w, 1) })
+		st := p.Stats()
+		p.Close()
+		if got != want {
+			t.Fatalf("seed %d: spawn tree sum = %d, want %d (stats %+v)", seed, got, want, st)
+		}
+	})
+}

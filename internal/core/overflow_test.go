@@ -1,0 +1,109 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+// deepDefs builds the depth-stress shape: deep(d) spawns a leaf, holds
+// it open across the recursive call to deep(d-1), and joins on the way
+// back up — so d live descriptors coexist at the deepest point.
+func deepDefs() *TaskDef1 {
+	leaf := Define1("leaf", func(w *Worker, x int64) int64 { return x })
+	var deep *TaskDef1
+	deep = Define1("deep", func(w *Worker, d int64) int64 {
+		if d == 0 {
+			return 0
+		}
+		leaf.Spawn(w, d)
+		sub := deep.Call(w, d-1)
+		return sub + leaf.Join(w)
+	})
+	return deep
+}
+
+// TestOverflowDegradesToInline is the acceptance shape: a StackSize-4
+// pool completes a depth-1000 spawn tree correctly, with the spawns
+// beyond capacity executed inline and counted.
+func TestOverflowDegradesToInline(t *testing.T) {
+	deep := deepDefs()
+	const depth = 1000
+	const want = depth * (depth + 1) / 2
+	for _, workers := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(4)
+		p := NewPool(Options{Workers: workers, StackSize: 4})
+		got := p.Run(func(w *Worker) int64 { return deep.Call(w, depth) })
+		st := p.Stats()
+		p.Close()
+		runtime.GOMAXPROCS(prev)
+		if got != want {
+			t.Fatalf("workers=%d: depth-%d spawn tree = %d, want %d", workers, depth, got, want)
+		}
+		if st.OverflowInlined == 0 {
+			t.Fatalf("workers=%d: OverflowInlined = 0 on a depth-%d tree with StackSize 4", workers, depth)
+		}
+	}
+}
+
+// TestOverflowJoinOrder checks the LIFO replay of overflow-inlined
+// results: spawns past capacity record their results in order, and the
+// matching joins read them back youngest-first before the stack joins.
+func TestOverflowJoinOrder(t *testing.T) {
+	p := NewPool(Options{Workers: 1, StackSize: 8})
+	defer p.Close()
+	noop := Define1("noop", func(w *Worker, x int64) int64 { return x })
+	var joined []int64
+	p.Run(func(w *Worker) int64 {
+		for i := int64(0); i < 100; i++ {
+			noop.Spawn(w, i)
+		}
+		for i := 0; i < 100; i++ {
+			joined = append(joined, noop.Join(w))
+		}
+		return 0
+	})
+	var sum int64
+	for _, v := range joined {
+		sum += v
+	}
+	if sum != 99*100/2 {
+		t.Fatalf("joined sum = %d, want %d (join order: %v...)", sum, 99*100/2, joined[:8])
+	}
+	// Strict LIFO: the first joins replay the overflow-inlined results,
+	// youngest first.
+	if joined[0] != 99 || joined[1] != 98 {
+		t.Fatalf("first joins = %v, want the youngest overflow-inlined results 99, 98", joined[:2])
+	}
+	st := p.Stats()
+	if st.OverflowInlined == 0 {
+		t.Fatalf("OverflowInlined = 0 after 100 spawns into a StackSize-8 pool")
+	}
+	if st.Spawns+st.OverflowInlined != 100 {
+		t.Fatalf("Spawns (%d) + OverflowInlined (%d) != 100", st.Spawns, st.OverflowInlined)
+	}
+	if st.Joins() != st.Spawns {
+		t.Fatalf("Joins (%d) != Spawns (%d): overflow-inlined joins must not count", st.Joins(), st.Spawns)
+	}
+}
+
+// TestOverflowFibUnderSteals runs fib on a tiny stack with thieves
+// active: degradation must compose with concurrent stealing (an
+// overflow-inlined child may itself spawn tasks that get stolen).
+func TestOverflowFibUnderSteals(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	fib := fibDef()
+	want := serialFib(20)
+	for _, private := range []bool{false, true} {
+		p := NewPool(Options{Workers: 4, StackSize: 4, PrivateTasks: private})
+		got := p.Run(func(w *Worker) int64 { return fib.Call(w, 20) })
+		st := p.Stats()
+		p.Close()
+		if got != want {
+			t.Fatalf("private=%v: fib(20) on StackSize 4 = %d, want %d", private, got, want)
+		}
+		if st.OverflowInlined == 0 {
+			t.Fatalf("private=%v: OverflowInlined = 0 for fib(20) on StackSize 4", private)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gowool/internal/chaos"
 	"gowool/internal/trace"
 )
 
@@ -20,8 +21,16 @@ type Options struct {
 
 	// StackSize is the per-worker task-pool capacity in descriptors.
 	// The direct task stack is a fixed array (no indirections, strict
-	// stack discipline); exceeding it panics. Default 8192.
+	// stack discipline). A spawn that finds it full degrades to inline
+	// serial execution (Stats.OverflowInlined counts them) unless
+	// StrictOverflow is set. Default 8192.
 	StackSize int
+
+	// StrictOverflow makes a task-stack overflow panic (the pre-
+	// degradation behaviour) instead of inlining the overflowing spawn.
+	// Useful in tests and benchmarks where silent serialization would
+	// mask a capacity bug.
+	StrictOverflow bool
 
 	// PrivateTasks enables the private-task optimization with the
 	// trip-wire publication scheme (paper Section III-B). When false,
@@ -115,6 +124,26 @@ type Options struct {
 	// ring pointer is nil and every emission site is a plain nil check
 	// — no atomics (TestTraceOverheadDisabled).
 	Trace *trace.Tracer
+
+	// Chaos attaches a fault-injection injector: every worker consults
+	// its per-worker agent at the named protocol points (internal/chaos,
+	// DESIGN.md §12), deterministically stretching or failing the
+	// windows the steal protocol must survive. The injector must have
+	// at least Workers agents. nil (the default) disables injection
+	// with zero fast-path cost, exactly like Trace: the worker's agent
+	// pointer is nil and every hook is a plain nil check
+	// (TestChaosOverheadDisabled). Never enable on production pools.
+	Chaos *chaos.Injector
+
+	// Watchdog, when positive, arms a stuck-run detector: a background
+	// goroutine that trips when some worker has been continuously
+	// blocked in a join for at least this interval while the pool made
+	// no progress (no steals, no completions, no publications) and no
+	// worker was executing stolen work. On a trip the blocked workers
+	// panic with a *WatchdogError carrying a diagnostic bundle, so a
+	// protocol bug or a lost-wakeup hang fails the Run loudly instead
+	// of spinning forever. Zero (the default) disables it.
+	Watchdog time.Duration
 }
 
 // ParkMode selects the idle-worker parking behaviour (Options.Parking).
@@ -230,6 +259,19 @@ type Pool struct {
 	panicVal  any
 	panicked  atomic.Bool
 
+	// progress is the watchdog's heartbeat: bumped on slow-path
+	// milestones (steal commits, stolen-task completions, trip-wire
+	// publications). Deliberately never touched on the spawn/join fast
+	// path — quiescence of this counter plus a blocked worker is what
+	// the watchdog inspects.
+	progress atomic.Int64
+
+	// wdErr is the tripped watchdog's verdict; blocked wait loops poll
+	// it (watchdogPoll) and panic with it, failing the Run.
+	wdErr  atomic.Pointer[WatchdogError]
+	wdStop chan struct{}
+	wdDone chan struct{}
+
 	startup time.Duration
 }
 
@@ -247,6 +289,10 @@ func NewPool(opts Options) *Pool {
 	if opts.Trace != nil && opts.Trace.Workers() < opts.Workers {
 		panic(fmt.Sprintf("core: Options.Trace has %d rings for %d workers; create it with trace.New(Workers, capacity)",
 			opts.Trace.Workers(), opts.Workers))
+	}
+	if opts.Chaos != nil && opts.Chaos.Workers() < opts.Workers {
+		panic(fmt.Sprintf("core: Options.Chaos has %d agents for %d workers; create it with chaos.NewInjector(Workers, profile, seed)",
+			opts.Chaos.Workers(), opts.Workers))
 	}
 	t0 := time.Now()
 	p := &Pool{opts: opts}
@@ -266,6 +312,9 @@ func NewPool(opts Options) *Pool {
 		w.prof.on = opts.Profile
 		if opts.Trace != nil {
 			w.trc = opts.Trace.Ring(i)
+		}
+		if opts.Chaos != nil {
+			w.chs = opts.Chaos.Agent(i)
 		}
 		if opts.PrivateTasks {
 			w.pubShadow = int64(opts.InitialPublic)
@@ -290,6 +339,11 @@ func NewPool(opts Options) *Pool {
 			}
 			w.idleLoop()
 		}(w)
+	}
+	if opts.Watchdog > 0 {
+		p.wdStop = make(chan struct{})
+		p.wdDone = make(chan struct{})
+		go p.watchdogLoop(opts.Watchdog)
 	}
 	p.startup = time.Since(t0)
 	return p
@@ -349,8 +403,8 @@ func (p *Pool) Run(root func(*Worker) int64) int64 {
 	} else {
 		res = root(w)
 	}
-	if w.top != int(w.bot.Load()) {
-		panic(fmt.Sprintf("core: root returned with %d unjoined tasks on worker 0", w.Depth()))
+	if w.top != int(w.bot.Load()) || len(w.ovf) != 0 {
+		panic(fmt.Sprintf("core: root returned with %d unjoined tasks on worker 0 (%d overflow-inlined)", w.Depth(), len(w.ovf)))
 	}
 	if p.panicked.Load() {
 		panic(p.panicVal)
@@ -372,6 +426,10 @@ func (p *Pool) recordPanic(r any) {
 func (p *Pool) Close() {
 	if p.shutdown.Swap(true) {
 		return
+	}
+	if p.wdStop != nil {
+		close(p.wdStop)
+		<-p.wdDone
 	}
 	if p.idle != nil {
 		p.idle.wakeAll()
@@ -497,6 +555,7 @@ type Stats struct {
 	RetainedSteals      int64 // successful steals from the retained victim (StealRetain hits)
 	Parks               int64 // times a worker parked on the idle engine
 	Wakes               int64 // targeted wakes this worker issued to parked peers
+	OverflowInlined     int64 // spawns degraded to inline execution on task-stack overflow
 }
 
 func (s *Stats) add(o *Stats) {
@@ -513,6 +572,7 @@ func (s *Stats) add(o *Stats) {
 	s.RetainedSteals += o.RetainedSteals
 	s.Parks += o.Parks
 	s.Wakes += o.Wakes
+	s.OverflowInlined += o.OverflowInlined
 }
 
 // Joins returns the total number of joins.

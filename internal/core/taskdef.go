@@ -35,9 +35,15 @@ func Define1(name string, fn func(*Worker, int64) int64) *TaskDef1 {
 func (d *TaskDef1) Name() string { return d.name }
 
 // Spawn pushes a task on w's pool, making it available for stealing
-// (or, in the private region, deferring that synchronization).
+// (or, in the private region, deferring that synchronization). When the
+// pool is full the spawn degrades to an inline call executed here (the
+// serial elision; see Options.StrictOverflow for the panicking mode).
 func (d *TaskDef1) Spawn(w *Worker, a0 int64) {
 	t := w.push()
+	if t == nil {
+		w.noteOverflowInlined(d.fn(w, a0))
+		return
+	}
 	t.a0 = a0
 	t.fn = d.wrap
 	w.spawn(t)
@@ -79,9 +85,13 @@ func Define2(name string, fn func(*Worker, int64, int64) int64) *TaskDef2 {
 // Name returns the definition's diagnostic name.
 func (d *TaskDef2) Name() string { return d.name }
 
-// Spawn pushes a task on w's pool.
+// Spawn pushes a task on w's pool (inline on overflow, see TaskDef1).
 func (d *TaskDef2) Spawn(w *Worker, a0, a1 int64) {
 	t := w.push()
+	if t == nil {
+		w.noteOverflowInlined(d.fn(w, a0, a1))
+		return
+	}
 	t.a0, t.a1 = a0, a1
 	t.fn = d.wrap
 	w.spawn(t)
@@ -120,9 +130,13 @@ func Define3(name string, fn func(*Worker, int64, int64, int64) int64) *TaskDef3
 // Name returns the definition's diagnostic name.
 func (d *TaskDef3) Name() string { return d.name }
 
-// Spawn pushes a task on w's pool.
+// Spawn pushes a task on w's pool (inline on overflow, see TaskDef1).
 func (d *TaskDef3) Spawn(w *Worker, a0, a1, a2 int64) {
 	t := w.push()
+	if t == nil {
+		w.noteOverflowInlined(d.fn(w, a0, a1, a2))
+		return
+	}
 	t.a0, t.a1, t.a2 = a0, a1, a2
 	t.fn = d.wrap
 	w.spawn(t)
@@ -161,9 +175,13 @@ func Define4(name string, fn func(*Worker, int64, int64, int64, int64) int64) *T
 // Name returns the definition's diagnostic name.
 func (d *TaskDef4) Name() string { return d.name }
 
-// Spawn pushes a task on w's pool.
+// Spawn pushes a task on w's pool (inline on overflow, see TaskDef1).
 func (d *TaskDef4) Spawn(w *Worker, a0, a1, a2, a3 int64) {
 	t := w.push()
+	if t == nil {
+		w.noteOverflowInlined(d.fn(w, a0, a1, a2, a3))
+		return
+	}
 	t.a0, t.a1, t.a2, t.a3 = a0, a1, a2, a3
 	t.fn = d.wrap
 	w.spawn(t)
@@ -206,9 +224,13 @@ func DefineC1[C any](name string, fn func(*Worker, *C, int64) int64) *TaskDefC1[
 // Name returns the definition's diagnostic name.
 func (d *TaskDefC1[C]) Name() string { return d.name }
 
-// Spawn pushes a task on w's pool.
+// Spawn pushes a task on w's pool (inline on overflow, see TaskDef1).
 func (d *TaskDefC1[C]) Spawn(w *Worker, c *C, a0 int64) {
 	t := w.push()
+	if t == nil {
+		w.noteOverflowInlined(d.fn(w, c, a0))
+		return
+	}
 	t.ctx = c
 	t.a0 = a0
 	t.fn = d.wrap
@@ -249,9 +271,13 @@ func DefineC2[C any](name string, fn func(*Worker, *C, int64, int64) int64) *Tas
 // Name returns the definition's diagnostic name.
 func (d *TaskDefC2[C]) Name() string { return d.name }
 
-// Spawn pushes a task on w's pool.
+// Spawn pushes a task on w's pool (inline on overflow, see TaskDef1).
 func (d *TaskDefC2[C]) Spawn(w *Worker, c *C, a0, a1 int64) {
 	t := w.push()
+	if t == nil {
+		w.noteOverflowInlined(d.fn(w, c, a0, a1))
+		return
+	}
 	t.ctx = c
 	t.a0, t.a1 = a0, a1
 	t.fn = d.wrap
@@ -292,9 +318,13 @@ func DefineC3[C any](name string, fn func(*Worker, *C, int64, int64, int64) int6
 // Name returns the definition's diagnostic name.
 func (d *TaskDefC3[C]) Name() string { return d.name }
 
-// Spawn pushes a task on w's pool.
+// Spawn pushes a task on w's pool (inline on overflow, see TaskDef1).
 func (d *TaskDefC3[C]) Spawn(w *Worker, c *C, a0, a1, a2 int64) {
 	t := w.push()
+	if t == nil {
+		w.noteOverflowInlined(d.fn(w, c, a0, a1, a2))
+		return
+	}
 	t.ctx = c
 	t.a0, t.a1, t.a2 = a0, a1, a2
 	t.fn = d.wrap

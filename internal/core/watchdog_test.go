@@ -1,0 +1,109 @@
+package core
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWatchdogTripsOnStuckJoin forges the hang the watchdog exists
+// for: a task whose state claims it was stolen by a thief that will
+// never complete it. The join leapfrogs forever; the watchdog must
+// detect the flat progress heartbeat plus the blocked worker, dump a
+// bundle, and fail the Run with a *WatchdogError instead of hanging.
+func TestWatchdogTripsOnStuckJoin(t *testing.T) {
+	p := NewPool(Options{Workers: 1, Watchdog: 25 * time.Millisecond})
+	defer p.Close()
+	noop := Define1("noop", func(w *Worker, x int64) int64 { return x })
+	var we *WatchdogError
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("Run returned instead of failing on a stuck join")
+			}
+			e, ok := r.(*WatchdogError)
+			if !ok {
+				t.Fatalf("stuck Run panicked with %T (%v), want *WatchdogError", r, r)
+			}
+			we = e
+		}()
+		p.Run(func(w *Worker) int64 {
+			noop.Spawn(w, 7)
+			// Forge a thief that claimed the task and died: STOLEN(0)
+			// with bot untouched. The join must leapfrog forever.
+			w.tasks[0].state.Swap(stolenState(0))
+			return noop.Join(w)
+		})
+	}()
+	if we.Interval != 25*time.Millisecond {
+		t.Fatalf("WatchdogError.Interval = %v", we.Interval)
+	}
+	for _, want := range []string{"blocked", "worker 0", "progress="} {
+		if !strings.Contains(we.Error(), want) {
+			t.Fatalf("diagnostic bundle missing %q:\n%s", want, we.Error())
+		}
+	}
+	// The trip rides the panic machinery: the pool must be poisoned.
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil || !strings.Contains(r.(string), "poisoned") {
+				t.Fatalf("post-trip Run: got %v, want pool-poisoned panic", r)
+			}
+		}()
+		p.Run(func(w *Worker) int64 { return 0 })
+	}()
+}
+
+// TestWatchdogIgnoresLongInlineRoot is the false-positive guard: a
+// single legitimately long-running task — longer than the interval,
+// with every counter quiescent and no worker blocked — must not trip.
+func TestWatchdogIgnoresLongInlineRoot(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	p := NewPool(Options{Workers: 2, Watchdog: 20 * time.Millisecond})
+	defer p.Close()
+	got := p.Run(func(w *Worker) int64 {
+		time.Sleep(150 * time.Millisecond) // quiescent-but-legal
+		return 42
+	})
+	if got != 42 {
+		t.Fatalf("Run = %d, want 42", got)
+	}
+	if e := p.wdErr.Load(); e != nil {
+		t.Fatalf("watchdog tripped on a legal long-running root:\n%s", e.Error())
+	}
+}
+
+// TestWatchdogIgnoresLongStolenTask: the harder false-positive shape —
+// the owner IS blocked (leapfrogging the thief) for far longer than
+// the interval, but the thief is executing the stolen task the whole
+// time. The executing-worker check must hold the watchdog off.
+func TestWatchdogIgnoresLongStolenTask(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	p := NewPool(Options{Workers: 2, Watchdog: 25 * time.Millisecond})
+	defer p.Close()
+	slow := Define1("slow", func(w *Worker, x int64) int64 {
+		time.Sleep(200 * time.Millisecond)
+		return x
+	})
+	got := p.Run(func(w *Worker) int64 {
+		slow.Spawn(w, 7)
+		// Wait until the thief has actually taken it, so the join below
+		// becomes a long leapfrog wait rather than an inline call.
+		deadline := time.Now().Add(2 * time.Second)
+		for p.workers[1].steals.Load() == 0 && time.Now().Before(deadline) {
+			runtime.Gosched()
+		}
+		return slow.Join(w)
+	})
+	if got != 7 {
+		t.Fatalf("Run = %d, want 7", got)
+	}
+	if e := p.wdErr.Load(); e != nil {
+		t.Fatalf("watchdog tripped on a long-running stolen task:\n%s", e.Error())
+	}
+}

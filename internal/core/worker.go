@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gowool/internal/chaos"
+	"gowool/internal/overflow"
 	"gowool/internal/trace"
 )
 
@@ -43,9 +45,17 @@ type Worker struct {
 	// the entire disabled-path cost (TestTraceOverheadDisabled).
 	trc *trace.Ring
 
+	// chs is this worker's chaos fault-injection agent, or nil when
+	// injection is disabled (Options.Chaos). Same discipline and same
+	// disabled-path cost as trc: set once in NewPool, consulted only by
+	// this worker's driving goroutine, nil-checked at every hook site
+	// (TestChaosOverheadDisabled).
+	chs *chaos.Agent
+
 	// tasks is the direct task stack: descriptors stored inline, strict
-	// stack discipline. Fixed capacity (Options.StackSize); overflow is
-	// a programming error reported by panic, like native stack overflow.
+	// stack discipline. Fixed capacity (Options.StackSize); an
+	// overflowing spawn degrades to inline serial execution (see ovf),
+	// or panics under Options.StrictOverflow.
 	tasks []Task
 
 	_ [64]byte // pad: end of the immutable group
@@ -99,6 +109,23 @@ type Worker struct {
 	// woolvet:owner
 	spanProf *SpanProfiler
 
+	// ovf holds the results of overflow-inlined spawns (graceful
+	// degradation: a spawn finding the stack full runs the child inline
+	// and records its result here instead of panicking). Strict LIFO,
+	// like the stack it extends. Invariant: ovf is non-empty only while
+	// top == len(tasks) — an entry is created only when the stack is
+	// full, and popping the stack again first requires joining the
+	// entry — so joinAcquire's head check is just len(ovf) > 0.
+	// woolvet:owner
+	ovf []int64
+
+	// ovfTask is the scratch descriptor joinAcquire hands back for an
+	// overflow-inlined join: the TaskDef Join paths read only t.res
+	// from a non-inline join, so a single owner-private carrier
+	// suffices (it never enters the stack and is never thief-visible).
+	// woolvet:owner
+	ovfTask Task
+
 	_ [64]byte // pad: end of the owner-private group
 
 	// bot indexes the bottom-most live task, the next steal candidate.
@@ -143,6 +170,20 @@ type Worker struct {
 	parks atomic.Int64
 	// woolvet:atomic
 	wakes atomic.Int64
+
+	// blockedSince is the wall-clock UnixNano at which this worker
+	// entered a blocked join (joinSlow slow path / leapfrog), or 0 when
+	// not blocked. Cleared while the worker executes acquired work.
+	// Written by the owner path, read by the pool watchdog.
+	// woolvet:atomic
+	blockedSince atomic.Int64
+
+	// execing is nonzero while this worker executes a stolen task
+	// (runStolen). The watchdog treats an executing, non-blocked worker
+	// as evidence of progress even when every counter is quiescent — a
+	// legitimately long-running stolen leaf must not trip it.
+	// woolvet:atomic
+	execing atomic.Int64
 }
 
 // Index returns the worker's index within its pool. Thief indices
@@ -178,15 +219,29 @@ func (w *Worker) flushStealCounters(c *stealCounters) {
 
 // push readies the next descriptor for a spawn, handling the trip-wire
 // flag and pool overflow. It returns the descriptor; the caller fills
-// in arguments and publishes.
+// in arguments and publishes. On overflow it returns nil (the caller
+// degrades the spawn to inline execution, see noteOverflowInlined), or
+// panics under Options.StrictOverflow.
 func (w *Worker) push() *Task {
 	if w.morePublic.Load() {
 		w.publishMore()
 	}
 	if w.top == len(w.tasks) {
-		panic(fmt.Sprintf("core: task stack overflow on worker %d (capacity %d); raise Options.StackSize or reduce spawn depth", w.idx, len(w.tasks)))
+		if w.pool.opts.StrictOverflow {
+			panic(overflow.PanicMessage("core", w.idx, len(w.tasks)))
+		}
+		return nil
 	}
 	return &w.tasks[w.top]
+}
+
+// noteOverflowInlined records one overflow-degraded spawn: the caller
+// already executed the child inline (the serial elision — semantically
+// equivalent for fully-strict spawn/join programs) and hands us its
+// result to replay at the matching join. Owner only.
+func (w *Worker) noteOverflowInlined(res int64) {
+	w.ovf = append(w.ovf, res)
+	w.stats.OverflowInlined++
 }
 
 // spawn publishes the descriptor prepared by push. Public descriptors
@@ -230,6 +285,15 @@ func (w *Worker) spawn(t *Task) {
 // slow path already ran the task (or waited out its thief) and the
 // result is in the descriptor.
 func (w *Worker) joinAcquire() (*Task, bool) {
+	if n := len(w.ovf); n != 0 {
+		// The youngest outstanding spawn overflow-degraded: it already
+		// ran inline at the spawn point; replay its recorded result
+		// through the scratch descriptor (Join paths read only t.res on
+		// the non-inline path).
+		w.ovfTask.res = w.ovf[n-1]
+		w.ovf = w.ovf[:n-1]
+		return &w.ovfTask, false
+	}
 	t := &w.tasks[w.top-1]
 	if t.priv {
 		// Private fast path: the descriptor was never visible to
@@ -242,6 +306,9 @@ func (w *Worker) joinAcquire() (*Task, bool) {
 			w.spanProf.onInlineJoinStart()
 		}
 		return t, true
+	}
+	if w.chs != nil {
+		w.chs.Point(chaos.PointOwnerExchange)
 	}
 	s := t.state.Swap(stateEmpty)
 	if s == stateTask {
@@ -294,6 +361,11 @@ func (w *Worker) noteInlinedPublic() {
 // state stores visible to thieves that load the limit; parked workers
 // get a targeted wake since fresh public work just appeared.
 func (w *Worker) publishMore() {
+	if w.chs != nil {
+		// Starve the public region: thieves keep probing while the
+		// owner dawdles over the trip-wire answer.
+		w.chs.Point(chaos.PointTripwirePublish)
+	}
 	w.morePublic.Store(false)
 	w.inlineRun = 0
 	pl := w.pubShadow
@@ -312,6 +384,7 @@ func (w *Worker) publishMore() {
 	w.pubShadow = newPL
 	w.publicLimit.Store(newPL)
 	w.stats.Publications++
+	w.pool.progress.Add(1)
 	if w.trc != nil {
 		w.trc.Record(trace.KindPublish, pl, newPL)
 	}
@@ -334,6 +407,11 @@ func (w *Worker) publishMore() {
 // back down over the joined descriptor (the owner re-acquires implicit
 // ownership of bot, per the paper's protocol).
 func (w *Worker) joinSlow(t *Task, s uint64) {
+	// Watchdog stamp: blockedSince is nonzero exactly while this
+	// worker's innermost activity is a wait loop. Every exit path below
+	// clears it (runStolen clears/restores it around acquired work).
+	w.blockedSince.Store(time.Now().UnixNano())
+	spins := 0
 	for {
 		for s == stateEmpty {
 			// Transient thief window; it resolves in a handful of
@@ -341,6 +419,10 @@ func (w *Worker) joinSlow(t *Task, s uint64) {
 			// descheduled thief cannot livelock us on few cores.
 			runtime.Gosched()
 			s = t.state.Load()
+			spins++
+			if spins&0x3f == 0 {
+				w.pool.watchdogPoll()
+			}
 		}
 		if s != stateTask {
 			break
@@ -357,6 +439,7 @@ func (w *Worker) joinSlow(t *Task, s uint64) {
 			if w.spanProf != nil {
 				w.spanProf.onInlineJoinStart()
 			}
+			w.blockedSince.Store(0) // executing the claimed task, not waiting
 			fn := t.fn
 			fn(w, t)
 			if w.spanProf != nil {
@@ -375,6 +458,7 @@ func (w *Worker) joinSlow(t *Task, s uint64) {
 	} else {
 		w.stats.JoinsStolen++
 	}
+	w.blockedSince.Store(0)
 	w.bot.Add(-1)
 }
 
@@ -393,8 +477,13 @@ func (w *Worker) leapfrog(t *Task, thief int) {
 		if w.prof.on {
 			start = time.Now()
 		}
+		spins := 0
 		for t.state.Load() != stateDone {
 			runtime.Gosched()
+			spins++
+			if spins&0x3f == 0 {
+				w.pool.watchdogPoll()
+			}
 		}
 		if w.prof.on {
 			w.prof.lf.Add(int64(time.Since(start)))
@@ -406,6 +495,17 @@ func (w *Worker) leapfrog(t *Task, thief int) {
 	var tLF, tLA time.Duration
 	fails := 0
 	for t.state.Load() != stateDone {
+		if w.chs != nil && w.chs.Point(chaos.PointLeapfrogPick) {
+			// Injected miss: skip this steal attempt, as if the thief's
+			// pool looked empty.
+			fails++
+			if fails&0x3f == 0 {
+				w.flushStealCounters(&sc)
+				w.pool.watchdogPoll()
+				runtime.Gosched()
+			}
+			continue
+		}
 		var start time.Time
 		if w.prof.on {
 			start = time.Now()
@@ -427,6 +527,7 @@ func (w *Worker) leapfrog(t *Task, thief int) {
 			fails++
 			if fails&0x3f == 0 {
 				w.flushStealCounters(&sc)
+				w.pool.watchdogPoll()
 				runtime.Gosched()
 			} else if runtime.GOMAXPROCS(0) == 1 {
 				runtime.Gosched()
@@ -474,8 +575,18 @@ func (w *Worker) trySteal(victim *Worker, leap bool, sc *stealCounters) bool {
 	if s1 != stateTask {
 		return false
 	}
+	if w.chs != nil && w.chs.Point(chaos.PointThiefCAS) {
+		// Injected CAS loss (and the delay above stretches the
+		// read-state→CAS window the ABA guard exists for).
+		return false
+	}
 	if !t.state.CompareAndSwap(s1, stateEmpty) {
 		return false
+	}
+	if w.chs != nil {
+		// Stretch the transient-EMPTY window between the CAS and the
+		// ABA re-check that the joining owner must spin through.
+		w.chs.Point(chaos.PointBotBackoff)
 	}
 	if victim.bot.Load() != b {
 		// ABA guard: the descriptor was joined and re-spawned while we
@@ -495,10 +606,15 @@ func (w *Worker) trySteal(victim *Worker, leap bool, sc *stealCounters) bool {
 			w.idle.wakeOne(w)
 		}
 	}
+	if w.chs != nil {
+		// Hold the descriptor in its claimed-but-uncommitted state.
+		w.chs.Point(chaos.PointStealCommit)
+	}
 	//woolvet:allow atomicfield -- STOLEN commit: we hold the claim won by the CAS above
 	t.state.Store(stolenState(w.idx))
 	victim.bot.Store(b + 1)
 	w.steals.Add(1)
+	w.pool.progress.Add(1)
 	if w.trc != nil {
 		k := trace.KindSteal
 		if leap {
@@ -513,6 +629,7 @@ func (w *Worker) trySteal(victim *Worker, leap bool, sc *stealCounters) bool {
 	}
 	//woolvet:allow atomicfield -- DONE commit: the thief owns the descriptor from CAS until this store
 	t.state.Store(stateDone)
+	w.pool.progress.Add(1)
 	return true
 }
 
@@ -520,7 +637,20 @@ func (w *Worker) trySteal(victim *Worker, leap bool, sc *stealCounters) bool {
 // a panic in user code into a pool-wide abort so the joining owner is
 // not left spinning on a task that will never reach DONE.
 func (w *Worker) runStolen(t *Task, leap bool) {
+	// Watchdog bookkeeping: while the stolen task runs this worker is
+	// executing, not waiting — clear a leapfrogging caller's blocked
+	// stamp for the duration (a long-running stolen leaf must read as
+	// progress, not as a stuck join).
+	w.execing.Add(1)
+	prevBlocked := w.blockedSince.Load()
+	if prevBlocked != 0 {
+		w.blockedSince.Store(0)
+	}
 	defer func() {
+		if prevBlocked != 0 {
+			w.blockedSince.Store(time.Now().UnixNano())
+		}
+		w.execing.Add(-1)
 		if r := recover(); r != nil {
 			w.pool.recordPanic(r)
 			// DONE is stored by trySteal after we return; recover so
@@ -718,6 +848,16 @@ func (w *Worker) idleLoop() {
 		fails++
 		if fails&0x3f == 0 {
 			w.flushStealCounters(&sc)
+		}
+		if w.chs != nil && w.idle != nil && w.chs.Force(chaos.PointParkDecision) {
+			// Park-flapping: park far before the back-off ladder would,
+			// forcing every unit of work to win a wake race. Safe at any
+			// time — park's announce/recheck protocol covers it.
+			w.flushStealCounters(&sc)
+			w.idle.park(w)
+			fails = 0
+			slept = 0
+			continue
 		}
 		switch {
 		case fails < 64:

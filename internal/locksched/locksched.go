@@ -31,6 +31,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gowool/internal/chaos"
+	"gowool/internal/overflow"
 	"gowool/internal/trace"
 )
 
@@ -89,6 +91,10 @@ type Stats struct {
 	StealAttempts int64
 	LockFailures  int64 // TryLock failures (trylock strategy only)
 	LeapSteals    int64
+
+	// OverflowInlined counts spawns that found the pool full and
+	// degraded to inline serial execution (not counted in Spawns).
+	OverflowInlined int64
 }
 
 func (s *Stats) add(o *Stats) {
@@ -99,6 +105,7 @@ func (s *Stats) add(o *Stats) {
 	s.StealAttempts += o.StealAttempts
 	s.LockFailures += o.LockFailures
 	s.LeapSteals += o.LeapSteals
+	s.OverflowInlined += o.OverflowInlined
 }
 
 // Worker is one lock-based worker. The fields are split into
@@ -115,6 +122,11 @@ type Worker struct {
 	// disabled; set once in NewPool, recorded into only by the
 	// goroutine driving this worker.
 	trc *trace.Ring
+
+	// chs is this worker's chaos agent, or nil when fault injection is
+	// disabled; set once in NewPool, consulted only by the goroutine
+	// driving this worker.
+	chs *chaos.Agent
 
 	_ [64]byte // pad: end of the immutable group
 
@@ -139,6 +151,19 @@ type Worker struct {
 	// woolvet:cacheline group=owner
 	// woolvet:owner
 	rng uint64
+
+	// ovf holds the results of overflow-inlined spawns, youngest last.
+	// Invariant: non-empty only while top == capacity (entries are
+	// created only when the pool is full, popping the stack first joins
+	// these entries, and steals advance bot — never top), so joinAcquire
+	// only needs a length check at its head.
+	// woolvet:owner
+	ovf []int64
+
+	// ovfTask is the scratch descriptor an overflow-inlined join
+	// returns; only res is meaningful on the non-inline join path.
+	// woolvet:owner
+	ovfTask Task
 
 	// stats holds owner-path counters; the thief-path counters are
 	// atomics because idle workers keep attempting steals with no
@@ -184,6 +209,15 @@ type Options struct {
 	// (victim, stolen bot index) and PARK (idle sleep-phase entry)
 	// events. nil disables tracing at zero cost (plain nil check).
 	Trace *trace.Tracer
+	// Chaos attaches a woolchaos fault injector perturbing the lock
+	// protocol (PointLockAcquire, PointOwnerExchange,
+	// PointLeapfrogPick, PointParkDecision). nil disables injection at
+	// zero cost.
+	Chaos *chaos.Injector
+	// StrictOverflow restores the pre-degradation behaviour: a spawn
+	// that finds the pool full panics instead of executing the child
+	// inline and counting it in Stats.OverflowInlined.
+	StrictOverflow bool
 }
 
 func (o Options) defaults() Options {
@@ -226,6 +260,9 @@ func NewPool(opts Options) *Pool {
 	if opts.Trace != nil && opts.Trace.Workers() < opts.Workers {
 		panic(fmt.Sprintf("locksched: Options.Trace has %d rings for %d workers", opts.Trace.Workers(), opts.Workers))
 	}
+	if opts.Chaos != nil && opts.Chaos.Workers() < opts.Workers {
+		panic(fmt.Sprintf("locksched: Options.Chaos has %d agents for %d workers", opts.Chaos.Workers(), opts.Workers))
+	}
 	p := &Pool{opts: opts}
 	p.workers = make([]*Worker, opts.Workers)
 	for i := range p.workers {
@@ -237,6 +274,9 @@ func NewPool(opts Options) *Pool {
 		}
 		if opts.Trace != nil {
 			w.trc = opts.Trace.Ring(i)
+		}
+		if opts.Chaos != nil {
+			w.chs = opts.Chaos.Agent(i)
 		}
 		p.workers[i] = w
 	}
@@ -258,6 +298,8 @@ func (p *Pool) Workers() int { return len(p.workers) }
 // a panic in root itself poisons the pool on the way out. A poisoned
 // pool rejects later Run calls with a distinct message; Close stays
 // safe.
+//
+//woolvet:allow ownerprivate -- the calling goroutine IS worker 0's owner for the duration of Run
 func (p *Pool) Run(root func(*Worker) int64) int64 {
 	if p.shutdown.Load() {
 		panic("locksched: Run on closed Pool")
@@ -277,7 +319,7 @@ func (p *Pool) Run(root func(*Worker) int64) int64 {
 	}()
 	w := p.workers[0]
 	res := root(w)
-	if w.top.Load() != w.bot.Load() {
+	if w.top.Load() != w.bot.Load() || len(w.ovf) != 0 {
 		panic("locksched: root returned with unjoined tasks")
 	}
 	if p.panicked.Load() {
@@ -329,13 +371,26 @@ func (p *Pool) ResetStats() {
 	}
 }
 
-// push readies the next descriptor for a spawn.
+// push readies the next descriptor for a spawn. Returns nil when the
+// pool is full and the caller must degrade the spawn to inline serial
+// execution (noteOverflowInlined); under StrictOverflow a full pool
+// panics instead.
 func (w *Worker) push() *Task {
 	top := w.top.Load()
 	if top == int64(len(w.tasks)) {
-		panic(fmt.Sprintf("locksched: task stack overflow on worker %d (capacity %d)", w.idx, len(w.tasks)))
+		if w.pool.opts.StrictOverflow {
+			panic(overflow.PanicMessage("locksched", w.idx, len(w.tasks)))
+		}
+		return nil
 	}
 	return &w.tasks[top]
+}
+
+// noteOverflowInlined records the result of an overflow-elided spawn;
+// the matching join replays it LIFO via the head check in joinAcquire.
+func (w *Worker) noteOverflowInlined(res int64) {
+	w.ovf = append(w.ovf, res)
+	w.stats.OverflowInlined++
 }
 
 // spawn publishes the descriptor: the atomic bump of top is the release
@@ -352,6 +407,18 @@ func (w *Worker) spawn(t *Task) {
 // is still present and is inlined; otherwise it was stolen and the
 // owner leapfrogs off the recorded thief until done.
 func (w *Worker) joinAcquire() (*Task, bool) {
+	if n := len(w.ovf); n != 0 {
+		// Overflow-elided spawns replay LIFO before anything on the
+		// stack (they are strictly younger — the pool was full when
+		// they ran). Only res is read on the non-inline join path.
+		w.ovfTask.res = w.ovf[n-1]
+		w.ovf = w.ovf[:n-1]
+		return &w.ovfTask, false
+	}
+	if w.chs != nil {
+		// Delay/yield only: the owner's locked exchange must complete.
+		w.chs.Point(chaos.PointOwnerExchange)
+	}
 	w.lock.Lock()
 	top := w.top.Load() - 1
 	t := &w.tasks[top]
@@ -373,6 +440,13 @@ func (w *Worker) joinAcquire() (*Task, bool) {
 	victim := w.pool.workers[thief]
 	fails := 0
 	for !t.done.Load() {
+		if w.chs != nil && w.chs.Point(chaos.PointLeapfrogPick) {
+			fails++
+			if fails&0x3f == 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
 		if w.trySteal(victim) {
 			w.stats.LeapSteals++
 			fails = 0
@@ -400,6 +474,10 @@ func (w *Worker) trySteal(victim *Worker) bool {
 		return false
 	}
 	w.stealAttempts.Add(1)
+	if w.chs != nil && w.chs.Point(chaos.PointLockAcquire) {
+		// Fail-one-attempt is safe before the lock: nothing is claimed.
+		return false
+	}
 	strat := w.pool.opts.Strategy
 
 	if strat != StealBase {
@@ -504,6 +582,11 @@ func (w *Worker) idleLoop() {
 		case fails < 1024 || w.pool.opts.MaxIdleSleep <= 0:
 			runtime.Gosched()
 		default:
+			if w.chs != nil {
+				// No park/unpark protocol to force here; the sleep-phase
+				// decision only gets delay/yield faults.
+				w.chs.Point(chaos.PointParkDecision)
+			}
 			if fails == 1024 && w.trc != nil {
 				// No parking engine here; entering the sleep phase is
 				// this backend's closest PARK analogue.

@@ -19,9 +19,15 @@ func Define1(name string, fn func(*Worker, int64) int64) *TaskDef1 {
 	return d
 }
 
-// Spawn pushes a task on w's pool.
+// Spawn pushes a task on w's pool. When the pool is full the spawn
+// degrades to inline serial execution (the child runs now, the join
+// replays its result) unless Options.StrictOverflow is set.
 func (d *TaskDef1) Spawn(w *Worker, a0 int64) {
 	t := w.push()
+	if t == nil {
+		w.noteOverflowInlined(d.fn(w, a0))
+		return
+	}
 	t.a0 = a0
 	t.fn = d.wrap
 	w.spawn(t)
@@ -53,9 +59,13 @@ func Define2(name string, fn func(*Worker, int64, int64) int64) *TaskDef2 {
 	return d
 }
 
-// Spawn pushes a task on w's pool.
+// Spawn pushes a task on w's pool (inline on overflow, see TaskDef1).
 func (d *TaskDef2) Spawn(w *Worker, a0, a1 int64) {
 	t := w.push()
+	if t == nil {
+		w.noteOverflowInlined(d.fn(w, a0, a1))
+		return
+	}
 	t.a0, t.a1 = a0, a1
 	t.fn = d.wrap
 	w.spawn(t)
@@ -87,9 +97,13 @@ func DefineC1[C any](name string, fn func(*Worker, *C, int64) int64) *TaskDefC1[
 	return d
 }
 
-// Spawn pushes a task on w's pool.
+// Spawn pushes a task on w's pool (inline on overflow, see TaskDef1).
 func (d *TaskDefC1[C]) Spawn(w *Worker, c *C, a0 int64) {
 	t := w.push()
+	if t == nil {
+		w.noteOverflowInlined(d.fn(w, c, a0))
+		return
+	}
 	t.ctx = c
 	t.a0 = a0
 	t.fn = d.wrap
@@ -122,9 +136,13 @@ func DefineC2[C any](name string, fn func(*Worker, *C, int64, int64) int64) *Tas
 	return d
 }
 
-// Spawn pushes a task on w's pool.
+// Spawn pushes a task on w's pool (inline on overflow, see TaskDef1).
 func (d *TaskDefC2[C]) Spawn(w *Worker, c *C, a0, a1 int64) {
 	t := w.push()
+	if t == nil {
+		w.noteOverflowInlined(d.fn(w, c, a0, a1))
+		return
+	}
 	t.ctx = c
 	t.a0, t.a1 = a0, a1
 	t.fn = d.wrap
@@ -157,9 +175,13 @@ func DefineC3[C any](name string, fn func(*Worker, *C, int64, int64, int64) int6
 	return d
 }
 
-// Spawn pushes a task on w's pool.
+// Spawn pushes a task on w's pool (inline on overflow, see TaskDef1).
 func (d *TaskDefC3[C]) Spawn(w *Worker, c *C, a0, a1, a2 int64) {
 	t := w.push()
+	if t == nil {
+		w.noteOverflowInlined(d.fn(w, c, a0, a1, a2))
+		return
+	}
 	t.ctx = c
 	t.a0, t.a1, t.a2 = a0, a1, a2
 	t.fn = d.wrap

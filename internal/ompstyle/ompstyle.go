@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gowool/internal/chaos"
 	"gowool/internal/trace"
 )
 
@@ -62,6 +63,10 @@ type Pool struct {
 	// rings holds one trace ring per team member (nil when tracing is
 	// off). Set once at construction, read-only afterwards.
 	rings []*trace.Ring
+	// agents holds one chaos agent per team member (nil when fault
+	// injection is off). Set once at construction, read-only afterwards;
+	// each agent is consulted only by its member's goroutine.
+	agents []*chaos.Agent
 
 	// woolvet:cacheline group=queue
 	mu    sync.Mutex
@@ -111,10 +116,23 @@ func (p *Pool) ring(wi int) *trace.Ring {
 	return p.rings[wi]
 }
 
+// agent returns team member wi's chaos agent, or nil when injection is
+// off.
+func (p *Pool) agent(wi int) *chaos.Agent {
+	if p.agents == nil {
+		return nil
+	}
+	return p.agents[wi]
+}
+
 // Options configures a Pool.
 type Options struct {
 	// Workers is the team size; default GOMAXPROCS.
 	Workers int
+	// QueueSize is the initial capacity of the central task queue. The
+	// queue grows on demand — there is no overflow to degrade — making
+	// this a pre-allocation hint only.
+	QueueSize int
 	// MaxIdleSleep caps idle back-off sleeping; default 200µs.
 	MaxIdleSleep time.Duration
 	// Trace, when non-nil, records scheduler events into per-member
@@ -123,6 +141,10 @@ type Options struct {
 	// member entered its sleep phase). The tracer must have at least
 	// Workers rings.
 	Trace *trace.Tracer
+	// Chaos attaches a woolchaos fault injector perturbing the central
+	// queue protocol (PointQueueTake, PointParkDecision). nil disables
+	// injection at zero cost.
+	Chaos *chaos.Injector
 }
 
 func (o Options) defaults() Options {
@@ -141,11 +163,23 @@ func NewPool(opts Options) *Pool {
 	if opts.Trace != nil && opts.Trace.Workers() < opts.Workers {
 		panic("ompstyle: Options.Trace has fewer rings than workers")
 	}
+	if opts.Chaos != nil && opts.Chaos.Workers() < opts.Workers {
+		panic("ompstyle: Options.Chaos has fewer agents than workers")
+	}
 	p := &Pool{opts: opts}
+	if opts.QueueSize > 0 {
+		p.queue = make([]*Task, 0, opts.QueueSize)
+	}
 	if opts.Trace != nil {
 		p.rings = make([]*trace.Ring, opts.Workers)
 		for i := range p.rings {
 			p.rings[i] = opts.Trace.Ring(i)
+		}
+	}
+	if opts.Chaos != nil {
+		p.agents = make([]*chaos.Agent, opts.Workers)
+		for i := range p.agents {
+			p.agents[i] = opts.Chaos.Agent(i)
 		}
 	}
 	p.wg.Add(opts.Workers - 1)
@@ -291,6 +325,11 @@ func (tc *Context) Taskwait() {
 	p := tc.pool
 	fails := 0
 	for tc.cur.children.Load() > 0 {
+		if a := p.agent(tc.wi); a != nil && a.Point(chaos.PointQueueTake) {
+			// Fail-one-attempt: treat the queue as momentarily empty.
+			fails++
+			continue
+		}
 		if t := p.tryPop(); t != nil {
 			if r := p.ring(tc.wi); r != nil {
 				r.Record(trace.KindSteal, -1, 0)
@@ -376,6 +415,11 @@ func (tc *Context) spawnChunk(lo, hi int64, body func(i int64)) {
 func (p *Pool) workerLoop(wi int) {
 	fails := 0
 	for !p.shutdown.Load() && !p.panicked.Load() {
+		if a := p.agent(wi); a != nil && a.Point(chaos.PointQueueTake) {
+			// Fail-one-attempt: treat the queue as momentarily empty.
+			fails++
+			continue
+		}
 		if t := p.tryPop(); t != nil {
 			if r := p.ring(wi); r != nil {
 				r.Record(trace.KindSteal, -1, 0)
@@ -393,6 +437,11 @@ func (p *Pool) workerLoop(wi int) {
 		case fails < 1024 || p.opts.MaxIdleSleep <= 0:
 			runtime.Gosched()
 		default:
+			if a := p.agent(wi); a != nil {
+				// No park/unpark protocol to force here; the sleep-phase
+				// decision only gets delay/yield faults.
+				a.Point(chaos.PointParkDecision)
+			}
 			// Closest analogue of PARK in this backend: the spin phase
 			// gives way to sleeping (there is no parking engine here).
 			if fails == 1024 {

@@ -1,0 +1,27 @@
+// Package overflow centralizes the task-pool overflow policy shared by
+// the bounded-pool schedulers (core, chaselev, locksched, sim).
+//
+// The policy has exactly two arms, chosen by the scheduler's
+// StrictOverflow option:
+//
+//   - degrade (default): the overflowing spawn is executed inline at
+//     the spawn point — the serial elision, semantically equivalent for
+//     fully-strict spawn/join programs — and an OverflowInlined counter
+//     is bumped. The program completes with reduced parallelism instead
+//     of dying at an input-dependent depth.
+//   - strict: the scheduler panics with the message built here, so
+//     capacity bugs in tests and benchmarks fail loudly instead of
+//     silently serializing.
+//
+// Keeping the message in one place guarantees every backend names the
+// same two escape hatches.
+package overflow
+
+import "fmt"
+
+// PanicMessage is the unified strict-mode overflow panic text.
+func PanicMessage(sched string, worker, capacity int) string {
+	return fmt.Sprintf(
+		"%s: task pool overflow on worker %d (capacity %d); raise the pool capacity (StackSize/DequeSize), or unset StrictOverflow to degrade overflowing spawns to inline serial execution",
+		sched, worker, capacity)
+}

@@ -1,0 +1,18 @@
+package overflow
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPanicMessage(t *testing.T) {
+	msg := PanicMessage("core", 3, 8192)
+	for _, want := range []string{
+		"core:", "task pool overflow", "worker 3", "capacity 8192",
+		"StrictOverflow",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("PanicMessage missing %q:\n%s", want, msg)
+		}
+	}
+}

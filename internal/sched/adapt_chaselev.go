@@ -21,15 +21,18 @@ func (chaselevSched) Caps() Caps {
 		Stats:      true,
 		TaskDefs:   true,
 		Trace:      true,
+		Chaos:      true,
 	}
 }
 
 func (chaselevSched) NewPool(o Options) Pool {
 	return &chaselevPool{p: chaselev.NewPool(chaselev.Options{
-		Workers:      o.Workers,
-		DequeSize:    o.StackSize,
-		MaxIdleSleep: o.MaxIdleSleep,
-		Trace:        o.Trace,
+		Workers:        o.Workers,
+		DequeSize:      o.StackSize,
+		StrictOverflow: o.StrictOverflow,
+		MaxIdleSleep:   o.MaxIdleSleep,
+		Trace:          o.Trace,
+		Chaos:          o.Chaos,
 	})}
 }
 
@@ -50,8 +53,9 @@ func (cp *chaselevPool) Stats() Stats {
 		StealAttempts: s.StealAttempts,
 		Backoffs:      s.Backoffs,
 		Extra: map[string]int64{
-			"wait_steals": s.WaitSteals,
-			"allocs":      s.Allocs,
+			"wait_steals":      s.WaitSteals,
+			"allocs":           s.Allocs,
+			"overflow_inlined": s.OverflowInlined,
 		},
 	}
 }

@@ -23,14 +23,17 @@ func (cilkSched) Caps() Caps {
 		Steal: "lock on the victim's continuation deque; steal parent (the continuation), oldest first",
 		Stats: true,
 		Trace: true,
+		Chaos: true,
 	}
 }
 
 func (cilkSched) NewPool(o Options) Pool {
 	return &cilkPool{p: cilkstyle.NewPool(cilkstyle.Options{
 		Workers:      o.Workers,
+		DequeSize:    o.StackSize,
 		MaxIdleSleep: o.MaxIdleSleep,
 		Trace:        o.Trace,
+		Chaos:        o.Chaos,
 	})}
 }
 

@@ -22,16 +22,21 @@ func (woolSched) Caps() Caps {
 		Stats:        true,
 		TaskDefs:     true,
 		Trace:        true,
+		Chaos:        true,
+		Watchdog:     true,
 	}
 }
 
 func (woolSched) NewPool(o Options) Pool {
 	return &woolPool{p: core.NewPool(core.Options{
-		Workers:      o.Workers,
-		StackSize:    o.StackSize,
-		PrivateTasks: o.PrivateTasks,
-		MaxIdleSleep: o.MaxIdleSleep,
-		Trace:        o.Trace,
+		Workers:        o.Workers,
+		StackSize:      o.StackSize,
+		StrictOverflow: o.StrictOverflow,
+		PrivateTasks:   o.PrivateTasks,
+		MaxIdleSleep:   o.MaxIdleSleep,
+		Trace:          o.Trace,
+		Chaos:          o.Chaos,
+		Watchdog:       o.Watchdog,
 	})}
 }
 
@@ -60,6 +65,7 @@ func (wp *woolPool) Stats() Stats {
 			"retained_steals":       s.RetainedSteals,
 			"parks":                 s.Parks,
 			"wakes":                 s.Wakes,
+			"overflow_inlined":      s.OverflowInlined,
 		},
 	}
 }

@@ -14,7 +14,10 @@ func init() { register(gonativeSched{}, 5) }
 // adapter synthesizes a Pool so registry-driven tools treat it
 // uniformly. RunRec throttles with ForkBounded — the manual
 // granularity control Go programs need and the paper's scheduler
-// exists to remove.
+// exists to remove. Options.StackSize, StrictOverflow, Chaos and
+// Watchdog are ignored: the Go runtime owns the task pool, so there is
+// no capacity to bound, no protocol point to perturb, and no scheduler
+// heartbeat to watch (Caps.Chaos and Caps.Watchdog are false).
 type gonativeSched struct{}
 
 func (gonativeSched) Name() string { return "gonative" }

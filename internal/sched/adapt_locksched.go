@@ -22,15 +22,18 @@ func (lockSched) Caps() Caps {
 		Stats:      true,
 		TaskDefs:   true,
 		Trace:      true,
+		Chaos:      true,
 	}
 }
 
 func (lockSched) NewPool(o Options) Pool {
 	return &lockPool{p: locksched.NewPool(locksched.Options{
-		Workers:      o.Workers,
-		StackSize:    o.StackSize,
-		MaxIdleSleep: o.MaxIdleSleep,
-		Trace:        o.Trace,
+		Workers:        o.Workers,
+		StackSize:      o.StackSize,
+		StrictOverflow: o.StrictOverflow,
+		MaxIdleSleep:   o.MaxIdleSleep,
+		Trace:          o.Trace,
+		Chaos:          o.Chaos,
 	})}
 }
 
@@ -51,8 +54,9 @@ func (lp *lockPool) Stats() Stats {
 		StealAttempts: s.StealAttempts,
 		Backoffs:      s.LockFailures,
 		Extra: map[string]int64{
-			"lock_failures": s.LockFailures,
-			"leap_steals":   s.LeapSteals,
+			"lock_failures":    s.LockFailures,
+			"leap_steals":      s.LeapSteals,
+			"overflow_inlined": s.OverflowInlined,
 		},
 	}
 }

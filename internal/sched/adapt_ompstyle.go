@@ -23,14 +23,17 @@ func (ompSched) Caps() Caps {
 		WorkSharing: true,
 		Stats:       true,
 		Trace:       true,
+		Chaos:       true,
 	}
 }
 
 func (ompSched) NewPool(o Options) Pool {
 	return &ompPool{p: ompstyle.NewPool(ompstyle.Options{
 		Workers:      o.Workers,
+		QueueSize:    o.StackSize,
 		MaxIdleSleep: o.MaxIdleSleep,
 		Trace:        o.Trace,
+		Chaos:        o.Chaos,
 	})}
 }
 

@@ -27,6 +27,7 @@ import (
 	"sort"
 	"time"
 
+	"gowool/internal/chaos"
 	"gowool/internal/trace"
 )
 
@@ -40,8 +41,16 @@ type Options struct {
 	Workers int
 	// StackSize is the per-worker task-pool capacity, where the
 	// backend has a fixed-capacity pool (core, locksched: descriptor
-	// stack; chaselev: deque slots). 0 means the backend default.
+	// stack; chaselev: deque slots), and the initial pool capacity on
+	// backends with growable pools (cilk: continuation deque; omp:
+	// central queue). gonative has no pool and ignores it. 0 means the
+	// backend default.
 	StackSize int
+	// StrictOverflow makes a spawn that finds a fixed-capacity pool
+	// full panic instead of degrading to inline serial execution
+	// (core, chaselev, locksched). Backends without a fixed-capacity
+	// pool ignore it.
+	StrictOverflow bool
 	// PrivateTasks enables the private-task optimization on backends
 	// that implement it (the direct task stack only).
 	PrivateTasks bool
@@ -55,6 +64,19 @@ type Options struct {
 	// Backends without the capability ignore it. nil disables tracing
 	// at zero fast-path cost.
 	Trace *trace.Tracer
+	// Chaos attaches a woolchaos fault injector on backends with
+	// Caps.Chaos: protocol points are perturbed (delays, yields,
+	// failed attempts) under a seeded deterministic PRNG. The injector
+	// must have at least Workers agents. Backends without the
+	// capability ignore it. nil disables injection at zero fast-path
+	// cost.
+	Chaos *chaos.Injector
+	// Watchdog arms the stuck-run watchdog on backends with
+	// Caps.Watchdog: a Run making no scheduler progress for this long
+	// while a worker sits blocked fails with a diagnostic bundle
+	// instead of hanging. 0 disables it. Backends without the
+	// capability ignore it.
+	Watchdog time.Duration
 }
 
 // Caps declares what a registered scheduler can do, so registry-driven
@@ -84,6 +106,11 @@ type Caps struct {
 	// Trace is true when Options.Trace routes scheduler events into
 	// the tracer's rings (at minimum STEAL and PARK).
 	Trace bool
+	// Chaos is true when Options.Chaos injects faults at the backend's
+	// protocol points.
+	Chaos bool
+	// Watchdog is true when Options.Watchdog arms stuck-run detection.
+	Watchdog bool
 }
 
 // Pool is a running scheduler instance behind the normalized surface.

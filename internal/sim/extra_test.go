@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 
 	"gowool/internal/costmodel"
@@ -128,10 +129,16 @@ func TestUnjoinedRootPanics(t *testing.T) {
 	Run(Config{Procs: 1, Kind: KindDirectStack, Costs: costmodel.Wool()}, leak, Args{A0: 1})
 }
 
+// TestStackOverflowPanics covers the StrictOverflow arm of the shared
+// degrade-or-panic policy; TestStackOverflowDegrades covers the default.
 func TestStackOverflowPanics(t *testing.T) {
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatal("expected panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "task pool overflow") {
+			t.Fatalf("overflow panic = %v, want the unified task-pool-overflow message", r)
 		}
 	}()
 	leafDef := &Def{Name: "noop"}
@@ -146,7 +153,38 @@ func TestStackOverflowPanics(t *testing.T) {
 		}
 		return 0
 	}
-	Run(Config{Procs: 1, Kind: KindDirectStack, Costs: costmodel.Wool(), StackSize: 8}, deep, Args{})
+	Run(Config{Procs: 1, Kind: KindDirectStack, Costs: costmodel.Wool(), StackSize: 8, StrictOverflow: true}, deep, Args{})
+}
+
+// TestStackOverflowDegrades: without StrictOverflow the same workload
+// completes, spawns past capacity run inline with their results
+// replayed LIFO by the matching joins, and the elisions are counted.
+func TestStackOverflowDegrades(t *testing.T) {
+	leafDef := &Def{Name: "val"}
+	leafDef.F = func(w *W, a Args) int64 { return a.A0 }
+	deep := &Def{Name: "deep"}
+	deep.F = func(w *W, a Args) int64 {
+		for i := int64(0); i < 100; i++ {
+			leafDef.Spawn(w, Args{A0: i})
+		}
+		var sum int64
+		for i := 0; i < 100; i++ {
+			sum += w.Join()
+		}
+		return sum
+	}
+	for _, kind := range []Kind{KindDirectStack, KindDeque, KindLock, KindCentral} {
+		res := Run(Config{Procs: 1, Kind: kind, Costs: costmodel.Wool(), StackSize: 8}, deep, Args{})
+		if want := int64(99 * 100 / 2); res.Value != want {
+			t.Fatalf("kind %v: sum = %d, want %d", kind, res.Value, want)
+		}
+		if res.Total.OverflowInlined == 0 {
+			t.Fatalf("kind %v: OverflowInlined = 0 after 100 spawns into a StackSize-8 pool", kind)
+		}
+		if res.Total.Spawns != res.Total.Joins() {
+			t.Fatalf("kind %v: spawns (%d) != joins (%d) with elision active", kind, res.Total.Spawns, res.Total.Joins())
+		}
+	}
 }
 
 func TestFig6CategoriesSum(t *testing.T) {

@@ -1,6 +1,6 @@
 package sim
 
-import "fmt"
+import "gowool/internal/overflow"
 
 // This file is the simulated scheduling protocol: spawn, join, steal,
 // trip-wire publication and lock modelling. All state is plain data
@@ -11,10 +11,21 @@ func (w *W) spawn(def *Def, a Args) {
 	if w.morePublic {
 		w.publishMore()
 	}
-	if w.top == len(w.tasks) {
-		panic(fmt.Sprintf("sim: task stack overflow on worker %d (capacity %d)", w.p.ID(), len(w.tasks)))
-	}
 	c := &w.m.cfg.Costs
+	if w.top == len(w.tasks) {
+		if w.m.cfg.StrictOverflow {
+			panic(overflow.PanicMessage("sim", w.p.ID(), len(w.tasks)))
+		}
+		// Degrade to inline serial execution (serial elision): charge
+		// the private-spawn cost, run the child now, and stash the
+		// result for the matching Join to replay LIFO. Not counted in
+		// Spawns — the replaying join is not counted either.
+		w.chargeApp(c.SpawnPrivate)
+		w.p.Step(c.SpawnPrivate)
+		w.ovf = append(w.ovf, def.F(w, a))
+		w.St.OverflowInlined++
+		return
+	}
 	t := &w.tasks[w.top]
 	t.fn, t.args = def, a
 	t.thief = 0
@@ -55,6 +66,18 @@ func (w *W) spawn(def *Def, a Args) {
 // result: inline it when still present, otherwise wait out the thief
 // under the kind's policy.
 func (w *W) Join() int64 {
+	if n := len(w.ovf); n != 0 {
+		// Overflow-elided spawn: replay its stored result, strictly
+		// younger than anything on the stack. Charged like a private
+		// join; not counted in the join counters (its spawn was not
+		// counted in Spawns).
+		c := &w.m.cfg.Costs
+		res := w.ovf[n-1]
+		w.ovf = w.ovf[:n-1]
+		w.chargeApp(c.JoinPrivate)
+		w.p.Step(c.JoinPrivate)
+		return res
+	}
 	// Note: top == bot does NOT mean "no matching spawn" — when the
 	// youngest task was stolen, bot has already passed its slot while
 	// top still reserves it. Only top == 0 is a true imbalance.

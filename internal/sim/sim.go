@@ -104,7 +104,13 @@ type Config struct {
 	PrivatizeRun  int // default 16
 
 	// StackSize is the per-worker task pool capacity; default 65536.
+	// A spawn that finds the pool full degrades to inline serial
+	// execution (counted in Stats.OverflowInlined) unless
+	// StrictOverflow is set.
 	StackSize int
+	// StrictOverflow restores the pre-degradation behaviour: a spawn
+	// that finds the pool full panics.
+	StrictOverflow bool
 
 	// Seed drives victim selection; same seed ⇒ identical run.
 	Seed uint64
@@ -212,6 +218,10 @@ type Stats struct {
 	Publications int64
 	LockWaits    int64 // cycles lost waiting for locks are in ST/LF; this counts events
 
+	// OverflowInlined counts spawns that found the pool full and
+	// degraded to inline serial execution (not counted in Spawns).
+	OverflowInlined int64
+
 	// Figure 6 categories, in cycles: stealing (ST), leapfrogging
 	// search (LF), application+overhead acquired normally (NA) or by
 	// leapfrogging (LA).
@@ -228,6 +238,7 @@ func (s *Stats) add(o *Stats) {
 	s.LeapSteals += o.LeapSteals
 	s.Publications += o.Publications
 	s.LockWaits += o.LockWaits
+	s.OverflowInlined += o.OverflowInlined
 	s.ST += o.ST
 	s.LF += o.LF
 	s.NA += o.NA
@@ -253,6 +264,12 @@ type W struct {
 
 	rng  uint64
 	mode int
+
+	// ovf holds the results of overflow-inlined spawns, youngest last.
+	// Non-empty only while top == StackSize (entries are created only
+	// when the pool is full, and joins drain them before touching the
+	// stack), so Join only needs a length check at its head.
+	ovf []int64
 
 	St Stats
 }
@@ -353,7 +370,7 @@ func (m *Machine) run(root *Def, args Args) Result {
 				m.span.begin()
 			}
 			m.result = root.F(w, args)
-			if w.top != w.bot {
+			if w.top != w.bot || len(w.ovf) != 0 {
 				panic("sim: root returned with unjoined tasks")
 			}
 			m.makespan = p.Now()
