@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint bench ci all trace-smoke fuzz-smoke chaos
+.PHONY: build test race lint bench registry-bench perfgate generate ci all trace-smoke fuzz-smoke chaos
 
 all: build test lint
 
@@ -29,6 +29,29 @@ lint:
 # trajectory; commit the refreshed BENCH_core.json with perf PRs.
 bench:
 	$(GO) run ./cmd/woolbench -corejson BENCH_core.json
+
+# The registry benchmark suite: generic vs woolgen-generated spawn/join
+# ladder, steal latency, and fib(28) on every registered backend.
+# Refresh and commit BENCH_registry.json when a perf PR moves the
+# gated keys (the gate block inside the file defines what's enforced).
+registry-bench:
+	$(GO) run ./cmd/woolbench -registryjson BENCH_registry.json
+
+# The perf-regression gate: re-measure the gated keys and fail on >5%
+# regression against the committed BENCH_registry.json, on a ceiling
+# breach (generated private pair ≤ 15ns), or on the generated path
+# falling behind the generic path it specializes. On noisy shared
+# runners widen with WOOL_PERFGATE_TOLERANCE=0.15 or skip with
+# WOOL_PERFGATE_SKIP=1.
+perfgate:
+	$(GO) run ./cmd/woolbench -perfgate BENCH_registry.json
+
+# Regenerate the woolgen outputs (*_gen.go) from their go:generate
+# declarations. The drift test (internal/gen TestCommittedOutputsAreFresh)
+# and woolvet's provenance pass fail if committed outputs go stale or
+# get hand-edited.
+generate:
+	$(GO) generate ./...
 
 # End-to-end check of the wooltrace pipeline (DESIGN.md §11): export a
 # Chrome trace from a real run, validate it against the trace_event

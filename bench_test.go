@@ -22,6 +22,7 @@ import (
 	"gowool"
 	"gowool/internal/chaselev"
 	"gowool/internal/experiments"
+	"gowool/internal/gen/ports"
 	"gowool/internal/locksched"
 	"gowool/internal/ompstyle"
 	"gowool/internal/sched"
@@ -68,6 +69,26 @@ func BenchmarkFig6(b *testing.B) { runExperiment(b, "fig6") }
 
 // --- Table II micro benchmarks: ns per spawn+join pair, per rung. ---
 
+// spawnJoinDepth places the measured pair past the InitialPublic
+// prefix on private-task pools: the first descriptors of a run are
+// public even with PrivateTasks on, so a depth-0 loop measures the
+// public-slot path, not the private plain-stores path.
+const spawnJoinDepth = 4
+
+// atDepth runs f with depth outstanding noop descriptors on the task
+// stack (spawned and joined outside the timer).
+func atDepth(b *testing.B, w *gowool.Worker, noop *gowool.TaskDef1, f func()) {
+	for i := 0; i < spawnJoinDepth; i++ {
+		noop.Spawn(w, 0)
+	}
+	b.ResetTimer()
+	f()
+	b.StopTimer()
+	for i := 0; i < spawnJoinDepth; i++ {
+		noop.Join(w)
+	}
+}
+
 // BenchmarkSpawnJoin/private is the paper's 3-cycle row: private
 // descriptors, no atomics on the join path.
 func BenchmarkSpawnJoin(b *testing.B) {
@@ -75,6 +96,52 @@ func BenchmarkSpawnJoin(b *testing.B) {
 		p := gowool.NewPool(gowool.Options{Workers: 1, PrivateTasks: true})
 		defer p.Close()
 		noop := gowool.Define1("noop", func(w *gowool.Worker, x int64) int64 { return x })
+		b.ReportAllocs()
+		p.Run(func(w *gowool.Worker) int64 {
+			atDepth(b, w, noop, func() {
+				for i := 0; i < b.N; i++ {
+					noop.Spawn(w, 1)
+					noop.Join(w)
+				}
+			})
+			return 0
+		})
+	})
+	b.Run("generated-private", func(b *testing.B) {
+		p := gowool.NewPool(gowool.Options{Workers: 1, PrivateTasks: true})
+		defer p.Close()
+		noop := gowool.Define1("noop", func(w *gowool.Worker, x int64) int64 { return x })
+		b.ReportAllocs()
+		p.Run(func(w *gowool.Worker) int64 {
+			atDepth(b, w, noop, func() {
+				for i := 0; i < b.N; i++ {
+					ports.SpawnNoop(w, 1)
+					ports.JoinNoop(w)
+				}
+			})
+			return 0
+		})
+	})
+	b.Run("generated-batch", func(b *testing.B) {
+		p := gowool.NewPool(gowool.Options{Workers: 1, PrivateTasks: true})
+		defer p.Close()
+		noop := gowool.Define1("noop", func(w *gowool.Worker, x int64) int64 { return x })
+		b.ReportAllocs()
+		p.Run(func(w *gowool.Worker) int64 {
+			atDepth(b, w, noop, func() {
+				for i := 0; i < b.N; i++ {
+					ports.SpawnNoopN(w, 0, 16)
+					ports.JoinNoopN(w, 16)
+				}
+			})
+			return 0
+		})
+	})
+	b.Run("public", func(b *testing.B) {
+		p := gowool.NewPool(gowool.Options{Workers: 1})
+		defer p.Close()
+		noop := gowool.Define1("noop", func(w *gowool.Worker, x int64) int64 { return x })
+		b.ReportAllocs()
 		b.ResetTimer()
 		p.Run(func(w *gowool.Worker) int64 {
 			for i := 0; i < b.N; i++ {
@@ -84,15 +151,15 @@ func BenchmarkSpawnJoin(b *testing.B) {
 			return 0
 		})
 	})
-	b.Run("public", func(b *testing.B) {
+	b.Run("generated-public", func(b *testing.B) {
 		p := gowool.NewPool(gowool.Options{Workers: 1})
 		defer p.Close()
-		noop := gowool.Define1("noop", func(w *gowool.Worker, x int64) int64 { return x })
+		b.ReportAllocs()
 		b.ResetTimer()
 		p.Run(func(w *gowool.Worker) int64 {
 			for i := 0; i < b.N; i++ {
-				noop.Spawn(w, 1)
-				noop.Join(w)
+				ports.SpawnNoop(w, 1)
+				ports.JoinNoop(w)
 			}
 			return 0
 		})
@@ -152,17 +219,21 @@ func BenchmarkSpawnJoin(b *testing.B) {
 
 // BenchmarkSpawnJoinPrivate is the tracked fast-path guard: one
 // private spawn+join pair (plain loads and stores only — with the
-// owner-side publicLimit shadow, zero atomic operations).
+// owner-side publicLimit shadow, zero atomic operations), measured
+// past the InitialPublic prefix and reporting allocations (the gate:
+// 0 allocs/op).
 func BenchmarkSpawnJoinPrivate(b *testing.B) {
 	p := gowool.NewPool(gowool.Options{Workers: 1, PrivateTasks: true})
 	defer p.Close()
 	noop := gowool.Define1("noop", func(w *gowool.Worker, x int64) int64 { return x })
-	b.ResetTimer()
+	b.ReportAllocs()
 	p.Run(func(w *gowool.Worker) int64 {
-		for i := 0; i < b.N; i++ {
-			noop.Spawn(w, 1)
-			noop.Join(w)
-		}
+		atDepth(b, w, noop, func() {
+			for i := 0; i < b.N; i++ {
+				noop.Spawn(w, 1)
+				noop.Join(w)
+			}
+		})
 		return 0
 	})
 }
@@ -173,6 +244,7 @@ func BenchmarkSpawnJoinPublic(b *testing.B) {
 	p := gowool.NewPool(gowool.Options{Workers: 1})
 	defer p.Close()
 	noop := gowool.Define1("noop", func(w *gowool.Worker, x int64) int64 { return x })
+	b.ReportAllocs()
 	b.ResetTimer()
 	p.Run(func(w *gowool.Worker) int64 {
 		for i := 0; i < b.N; i++ {

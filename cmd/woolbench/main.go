@@ -7,6 +7,8 @@
 //	woolbench [-scale quick|full] [experiment ...]
 //	woolbench -list
 //	woolbench -corejson BENCH_core.json
+//	woolbench -registryjson BENCH_registry.json
+//	woolbench -perfgate BENCH_registry.json
 //
 // With no experiment arguments every experiment runs in order. The
 // multi-processor experiments run on the deterministic virtual-time
@@ -28,6 +30,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	coreJSON := flag.String("corejson", "", "run the native core fast-path/idle-engine benchmarks and write machine-readable results to FILE")
 	benchTrace := flag.String("trace", "", "with -corejson: record one extra untimed fib repetition on a traced pool and write the Chrome trace to FILE")
+	registryJSON := flag.String("registryjson", "", "run the registry benchmarks (generic vs generated ladder, steal latency, fib(28) per backend) and write machine-readable results to FILE")
+	perfgate := flag.String("perfgate", "", "re-measure the gated benchmark keys and fail on regression against the committed baseline FILE")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: woolbench [-scale quick|full] [experiment ...]\n\nexperiments:\n")
 		for _, e := range experiments.All() {
@@ -45,6 +49,22 @@ func main() {
 
 	if *coreJSON != "" {
 		if err := runCoreBench(*coreJSON, *benchTrace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *registryJSON != "" {
+		if err := runRegistryBench(*registryJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *perfgate != "" {
+		if err := runPerfGate(*perfgate); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,362 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gowool/internal/core"
+	"gowool/internal/gen/ports"
+	"gowool/internal/sched"
+	"gowool/internal/workloads/fibw"
+)
+
+// registryBenchReport is the machine-readable snapshot written by
+// -registryjson and read back by -perfgate. The Gate block makes the
+// file self-describing: it names the keys the CI perf gate re-measures
+// and the regression tolerance they are held to, so tightening or
+// widening the gate is a change to the committed baseline, not to the
+// harness.
+type registryBenchReport struct {
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	NumCPU     int                `json:"num_cpu"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+	Gate       perfGate           `json:"gate"`
+	Notes      map[string]string  `json:"notes"`
+}
+
+// perfGate is the committed contract the CI perf gate enforces.
+type perfGate struct {
+	// Keys are the benchmark keys re-measured and compared against the
+	// committed baseline values.
+	Keys []string `json:"keys"`
+	// Tolerance is the allowed relative regression per key (0.05 =
+	// fail when a key is more than 5% slower than the baseline).
+	// WOOL_PERFGATE_TOLERANCE overrides it for noisy runners.
+	Tolerance float64 `json:"tolerance"`
+	// Ceilings are absolute bounds in the key's own unit, enforced on
+	// the freshly measured value regardless of the baseline — the
+	// repo's acceptance criteria, machine-independent only in so far
+	// as the bound was chosen with headroom.
+	Ceilings map[string]float64 `json:"ceilings,omitempty"`
+	// MaxGeneratedOverGeneric bounds the machine-independent ratio
+	// spawn_join_generated_private_ns / spawn_join_generic_private_ns:
+	// the monomorphic path must never fall behind the generic path it
+	// specializes (1.10 leaves room for timer noise).
+	MaxGeneratedOverGeneric float64 `json:"max_generated_over_generic"`
+}
+
+const (
+	// ladderDepth places the measured spawn/join pair past the public
+	// prefix (InitialPublic descriptors) on private-task pools, so the
+	// private keys measure the true plain-stores path rather than the
+	// public-slot path that depth 0 lands on.
+	ladderDepth = 4
+	// batchWindow is the SpawnNoopN/JoinNoopN window size for the
+	// batch key; the per-pair cost divides the window's bookkeeping
+	// across its tasks.
+	batchWindow = 16
+)
+
+// ladder runs one spawn/join micro benchmark on a single-worker pool:
+// pair is invoked b.N times at ladderDepth (private pools) or depth 0
+// (public pools), and the result is ns per pair. Returns the best of
+// three runs — the scheduler has no slow warm-up, so min is the
+// noise-robust estimator.
+func ladder(private bool, pairs int, pair func(w *core.Worker)) float64 {
+	p := core.NewPool(core.Options{Workers: 1, PrivateTasks: private})
+	defer p.Close()
+	depth := 0
+	if private {
+		depth = ladderDepth
+	}
+	best := 0.0
+	for rep := 0; rep < 3; rep++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			p.Run(func(w *core.Worker) int64 {
+				for i := 0; i < depth; i++ {
+					ports.SpawnNoop(w, 0)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pair(w)
+				}
+				b.StopTimer()
+				for i := 0; i < depth; i++ {
+					ports.JoinNoop(w)
+				}
+				return 0
+			})
+		})
+		ns := float64(r.T.Nanoseconds()) / float64(r.N) / float64(pairs)
+		if rep == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// genericNoop is the generic-path rung's task definition.
+var genericNoop = core.Define1("noop", func(w *core.Worker, x int64) int64 { return x })
+
+func measureLadderKey(key string) (float64, bool) {
+	switch key {
+	case "spawn_join_generic_private_ns":
+		return ladder(true, 1, func(w *core.Worker) {
+			genericNoop.Spawn(w, 1)
+			genericNoop.Join(w)
+		}), true
+	case "spawn_join_generated_private_ns":
+		return ladder(true, 1, func(w *core.Worker) {
+			ports.SpawnNoop(w, 1)
+			ports.JoinNoop(w)
+		}), true
+	case "spawn_join_generic_public_ns":
+		return ladder(false, 1, func(w *core.Worker) {
+			genericNoop.Spawn(w, 1)
+			genericNoop.Join(w)
+		}), true
+	case "spawn_join_generated_public_ns":
+		return ladder(false, 1, func(w *core.Worker) {
+			ports.SpawnNoop(w, 1)
+			ports.JoinNoop(w)
+		}), true
+	case "spawn_join_generated_batch_ns":
+		return ladder(true, batchWindow, func(w *core.Worker) {
+			ports.SpawnNoopN(w, 0, batchWindow)
+			ports.JoinNoopN(w, batchWindow)
+		}), true
+	}
+	return 0, false
+}
+
+// stealLatencyUs measures publication-to-execution latency on a
+// two-worker pool: the owner publishes one task, then yields until the
+// thief's execution of its body stamps a timestamp. The number
+// includes wake-from-idle cost — it is the latency a real victim's
+// first stolen task pays. Rounds that hit the deadline (a pathologically
+// descheduled thief) are dropped; ok is false if every round did.
+func stealLatencyUs() (float64, bool) {
+	p := core.NewPool(core.Options{Workers: 2, MaxIdleSleep: 50 * time.Microsecond})
+	defer p.Close()
+	var stamp atomic.Int64
+	probe := core.Define1("stealprobe", func(w *core.Worker, x int64) int64 {
+		stamp.Store(time.Now().UnixNano())
+		return 0
+	})
+	const rounds = 50
+	var total int64
+	var n int
+	p.Run(func(w *core.Worker) int64 {
+		for round := 0; round < rounds+1; round++ {
+			stamp.Store(0)
+			t0 := time.Now().UnixNano()
+			probe.Spawn(w, 0)
+			deadline := t0 + (2 * time.Second).Nanoseconds()
+			for stamp.Load() == 0 && time.Now().UnixNano() < deadline {
+				runtime.Gosched()
+			}
+			if ts := stamp.Load(); ts != 0 && round > 0 { // round 0 warms the pool
+				total += ts - t0
+				n++
+			}
+			probe.Join(w)
+		}
+		return 0
+	})
+	if n == 0 {
+		return 0, false
+	}
+	return float64(total) / float64(n) / float64(time.Microsecond), true
+}
+
+// fibBackendMs times fib(28) once-per-run on a registered backend and
+// returns the best wall time in ms over reps, checking the result
+// against the serial reference.
+func fibBackendMs(s sched.Scheduler, reps int) (float64, error) {
+	pool := s.NewPool(sched.Options{Workers: 4, PrivateTasks: true})
+	defer pool.Close()
+	job := fibw.Job(28, 1)
+	want := fibw.Serial(28)
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		got := pool.RunRec(job)
+		d := time.Since(t0)
+		if got != want {
+			return 0, fmt.Errorf("%s: fib(28) = %d, want %d", s.Name(), got, want)
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return float64(best) / float64(time.Millisecond), nil
+}
+
+// gateKeys is the set the perf gate re-measures: the single-worker
+// spawn/join ladder — tight, repeatable numbers. The wall-clock fib
+// and steal-latency keys are recorded for trend reading but not gated;
+// on shared runners they swing far beyond any useful tolerance.
+var gateKeys = []string{
+	"spawn_join_generic_private_ns",
+	"spawn_join_generated_private_ns",
+	"spawn_join_generic_public_ns",
+	"spawn_join_generated_public_ns",
+	"spawn_join_generated_batch_ns",
+}
+
+// runRegistryBench produces BENCH_registry.json: the generic-vs-
+// generated ladder, steal latency, and fib(28) wall time on every
+// registered backend.
+func runRegistryBench(path string) error {
+	gmp := runtime.GOMAXPROCS(0)
+	if gmp < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(gmp)
+	}
+	rep := registryBenchReport{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]float64{},
+		Gate: perfGate{
+			Keys:                    gateKeys,
+			Tolerance:               0.05,
+			Ceilings:                map[string]float64{"spawn_join_generated_private_ns": 15},
+			MaxGeneratedOverGeneric: 1.10,
+		},
+		Notes: map[string]string{
+			"spawn_join":    fmt.Sprintf("ns per spawn+join pair, single worker, best of 3; private keys measured at depth %d (past the InitialPublic prefix), batch key per pair over windows of %d", ladderDepth, batchWindow),
+			"steal_latency": "µs from publishing a task to the thief executing it, 2 workers, includes wake-from-idle",
+			"fib28":         "best-of-2 wall ms, fib(28) via the registry's RunRec, 4 workers",
+			"gate":          "make perfgate re-measures gate.keys and fails on >tolerance regression vs this file; override with WOOL_PERFGATE_TOLERANCE=0.15 on noisy runners or skip with WOOL_PERFGATE_SKIP=1",
+		},
+	}
+
+	fmt.Println("registry: spawn/join ladder (generic vs generated)")
+	for _, key := range gateKeys {
+		v, _ := measureLadderKey(key)
+		rep.Benchmarks[key] = v
+		fmt.Printf("  %-36s %8.2f\n", key, v)
+	}
+
+	fmt.Println("registry: steal latency")
+	if us, ok := stealLatencyUs(); ok {
+		rep.Benchmarks["steal_latency_us"] = us
+		fmt.Printf("  %-36s %8.2f\n", "steal_latency_us", us)
+	} else {
+		fmt.Println("  steal_latency_us: no round completed; omitted")
+	}
+
+	fmt.Println("registry: fib(28) per backend")
+	for _, s := range sched.All() {
+		ms, err := fibBackendMs(s, 2)
+		if err != nil {
+			return err
+		}
+		key := "fib28_" + s.Name() + "_ms"
+		rep.Benchmarks[key] = ms
+		fmt.Printf("  %-36s %8.1f\n", key, ms)
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// runPerfGate re-measures the baseline's gate keys and fails on
+// regression: relative vs the committed value, absolute vs the
+// ceilings, and the generated/generic ratio bound.
+func runPerfGate(path string) error {
+	if os.Getenv("WOOL_PERFGATE_SKIP") == "1" {
+		fmt.Println("perfgate: skipped (WOOL_PERFGATE_SKIP=1)")
+		return nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("perfgate: reading baseline: %w", err)
+	}
+	var base registryBenchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("perfgate: parsing baseline %s: %w", path, err)
+	}
+	tol := base.Gate.Tolerance
+	if s := os.Getenv("WOOL_PERFGATE_TOLERANCE"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("perfgate: bad WOOL_PERFGATE_TOLERANCE %q: %w", s, err)
+		}
+		tol = v
+	}
+
+	gmp := runtime.GOMAXPROCS(0)
+	if gmp < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(gmp)
+	}
+
+	measured := map[string]float64{}
+	var failures []string
+	keys := append([]string(nil), base.Gate.Keys...)
+	sort.Strings(keys)
+	fmt.Printf("perfgate: baseline %s, tolerance %.0f%%\n", path, tol*100)
+	for _, key := range keys {
+		now, ok := measureLadderKey(key)
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: gated key has no measurement procedure in this binary", key))
+			continue
+		}
+		measured[key] = now
+		was, ok := base.Benchmarks[key]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: gated key missing from baseline benchmarks", key))
+			continue
+		}
+		delta := (now - was) / was
+		status := "ok"
+		if now > was*(1+tol) {
+			status = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %.2f → %.2f ns (%+.1f%%, tolerance %.0f%%)", key, was, now, delta*100, tol*100))
+		} else if now < was*(1-tol) {
+			status = "improved — consider refreshing the baseline"
+		}
+		fmt.Printf("  %-36s %8.2f → %8.2f  (%+6.1f%%)  %s\n", key, was, now, delta*100, status)
+		if ceil, ok := base.Gate.Ceilings[key]; ok && now > ceil {
+			failures = append(failures, fmt.Sprintf("%s: %.2f ns exceeds the absolute ceiling %.2f ns", key, now, ceil))
+		}
+	}
+	if r := base.Gate.MaxGeneratedOverGeneric; r > 0 {
+		gen, okG := measured["spawn_join_generated_private_ns"]
+		gn, okN := measured["spawn_join_generic_private_ns"]
+		if okG && okN && gen > gn*r {
+			failures = append(failures, fmt.Sprintf("generated private pair (%.2f ns) is more than %.2fx the generic pair (%.2f ns)", gen, r, gn))
+		}
+	}
+	if len(failures) > 0 {
+		fmt.Println("perfgate: FAIL")
+		for _, f := range failures {
+			fmt.Println("  " + f)
+		}
+		return fmt.Errorf("perfgate: %d check(s) failed (WOOL_PERFGATE_TOLERANCE / WOOL_PERFGATE_SKIP=1 override for noisy runners)", len(failures))
+	}
+	fmt.Println("perfgate: ok")
+	return nil
+}

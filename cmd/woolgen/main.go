@@ -1,0 +1,39 @@
+// Command woolgen emits monomorphic spawn/join/steal-handler code for
+// declared task signatures (DESIGN.md §13). It is meant to be driven
+// by go:generate directives in the declaring package:
+//
+//	//go:generate go run gowool/cmd/woolgen -pkg fibw -out fib_gen.go -task Fib:1
+//
+// For each -task Name:args[:ctx=TYPE][:batch] the output provides
+// Spawn<Name>, Join<Name> and Call<Name> (plus the Spawn<Name>N /
+// Join<Name>N batch pair with :batch) around a user body function
+// <name>Body defined in the same package. The output carries a
+// provenance header checked by the woolvet generated pass, and the
+// internal/gen drift tests fail when a committed output goes stale —
+// regenerate with `go generate ./...`.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"gowool/internal/gen"
+)
+
+func main() {
+	f, out, err := gen.FromArgs(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	src, err := gen.Generate(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, src, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("woolgen: wrote %s (%d task signatures)\n", out, len(f.Sigs))
+}

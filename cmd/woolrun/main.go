@@ -114,6 +114,9 @@ func capsTokens(c sched.Caps) string {
 	if c.TaskDefs {
 		t = append(t, "taskdefs")
 	}
+	if c.GeneratedPorts {
+		t = append(t, "generated-ports")
+	}
 	if c.Trace {
 		t = append(t, "trace")
 	}

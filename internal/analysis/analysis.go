@@ -81,6 +81,7 @@ func All() []*Analyzer {
 		OwnerPrivate,
 		LayoutGuard,
 		SpawnJoin,
+		Generated,
 	}
 }
 

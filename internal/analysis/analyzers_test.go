@@ -27,6 +27,10 @@ func TestSpawnJoin(t *testing.T) {
 	analysistest.Run(t, "spawnjoin", analysis.SpawnJoin)
 }
 
+func TestGenerated(t *testing.T) {
+	analysistest.Run(t, "generated", analysis.Generated)
+}
+
 func TestByName(t *testing.T) {
 	as, err := analysis.ByName([]string{"atomicfield", "spawnjoin"})
 	if err != nil {

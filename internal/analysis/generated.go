@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"os"
+	"strings"
+
+	"gowool/internal/gen"
+)
+
+// Generated enforces woolgen output provenance: a file carrying the
+// "//woolvet:generated sha256:" header must hash to its recorded
+// value, so hand-edits to generated code are flagged at lint time
+// instead of being silently overwritten by the next `go generate`. The
+// complementary direction — a committed output going stale after a
+// generator change — is covered by the internal/gen drift tests, which
+// regenerate from the declared signatures and byte-compare.
+//
+// Files named *_gen.go must carry the header: an unsealed file with
+// the generated-output naming convention is either hand-written code
+// masquerading as output or output produced outside woolgen, and both
+// defeat the provenance check.
+var Generated = &Analyzer{
+	Name: "generated",
+	Doc:  "woolgen provenance headers verify: generated files are unedited and *_gen.go files are sealed",
+	Run:  runGenerated,
+}
+
+func runGenerated(pass *Pass) {
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		name := tf.Name()
+		src, err := os.ReadFile(name)
+		if err != nil {
+			// Sources not backed by readable files (in-memory loads)
+			// have nothing to verify.
+			continue
+		}
+		found, verr := gen.Verify(src)
+		switch {
+		case verr != nil:
+			pass.Report(f.Name.Pos(),
+				"generated file was hand-edited: %v; revert the edit or regenerate with `go generate` (changes belong in the generator or the hand-written bodies)", verr)
+		case !found && strings.HasSuffix(name, "_gen.go"):
+			pass.Report(f.Name.Pos(),
+				"file follows the *_gen.go generated-output convention but carries no %sprovenance header; emit it through woolgen or rename it", gen.MarkerPrefix)
+		}
+	}
+}

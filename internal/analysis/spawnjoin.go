@@ -13,9 +13,12 @@ import (
 // unjoined tasks only at the root, while an interior leak silently
 // corrupts top/bot bookkeeping.
 //
-// The analyzer recognizes the codebase's call shapes by method name:
+// The analyzer recognizes the codebase's call shapes by name — method
+// calls (d.Spawn*, the TaskDef idiom) and package-scope calls
+// (Spawn*, the woolgen-generated idiom) alike:
 //
-//   - d.Spawn*(...) as a statement increments the outstanding count
+//   - d.Spawn*(...) or Spawn*(...) as a statement increments the
+//     outstanding count
 //     (continuation-style spawns, whose result is returned — the
 //     cilkstyle Step idiom — manage their joins through Sync steps and
 //     are exempt);
@@ -282,11 +285,20 @@ func (s *sjScanner) countNode(n ast.Node, p *pending, statementSpawns bool) {
 		case *ast.FuncLit:
 			return false
 		case *ast.CallExpr:
-			sel, ok := c.Fun.(*ast.SelectorExpr)
-			if !ok {
+			// Method calls (d.Spawn(...), the TaskDef idiom) and free
+			// functions (SpawnFib(...), the woolgen-generated idiom)
+			// both count: generated ports put the spawn/join surface in
+			// package scope, so workload bodies calling them must keep
+			// the same balance discipline.
+			var name string
+			switch fun := c.Fun.(type) {
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			case *ast.Ident:
+				name = fun.Name
+			default:
 				return true
 			}
-			name := sel.Sel.Name
 			switch {
 			case isBarrierName(name):
 				p.n = 0

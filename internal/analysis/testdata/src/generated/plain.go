@@ -1,0 +1,7 @@
+// Package generated is the analysistest fixture for the generated
+// pass: provenance hashes must verify on sealed files, *_gen.go files
+// must be sealed, and ordinary hand-written files (this one) are left
+// alone.
+package generated
+
+func plain() int { return ok() + edited() + unsealed() }

@@ -1,0 +1,6 @@
+package generated // want `carries no //woolvet:generated`
+
+// A file following the *_gen.go output convention without a
+// provenance header: flagged, because an unsealed "generated" file
+// defeats the hand-edit check.
+func unsealed() int { return 3 }

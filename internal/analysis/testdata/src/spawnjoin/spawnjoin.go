@@ -110,3 +110,46 @@ func capturePerIteration(d *def, w *wkr, n int64) {
 	}
 	w.Sync()
 }
+
+// Package-scope spawn/join functions are the woolgen-generated idiom:
+// the same balance discipline applies to free-function calls. The
+// functions themselves are forwarding shims (Spawn*/Join* names) and
+// are skipped as analysis units.
+func SpawnTree(w *wkr, n int64)  {}
+func JoinTree(w *wkr) int64      { return 0 }
+func SpawnTreeN(w *wkr, n int64) {}
+func JoinTreeN(w *wkr, n int64) int64 {
+	var sum int64
+	for ; n > 0; n-- {
+		sum += JoinTree(w)
+	}
+	return sum
+}
+
+func freeBalanced(w *wkr, n int64) int64 {
+	if n < 2 {
+		return n
+	}
+	SpawnTree(w, n-2)
+	a := freeBalanced(w, n-1)
+	b := JoinTree(w)
+	return a + b
+}
+
+func freeLeaks(w *wkr, n int64) {
+	SpawnTree(w, n)
+} // want `freeLeaks returns with 1 unjoined spawned task` `freeLeaks spawns tasks but contains no Join or Sync`
+
+func freeEarlyReturn(w *wkr, n int64) int64 {
+	SpawnTree(w, n)
+	if n > 10 {
+		return 0 // want `freeEarlyReturn returns with 1 unjoined spawned task`
+	}
+	return JoinTree(w)
+}
+
+// the generated batch pair: one SpawnN matched by one JoinN.
+func freeBatch(w *wkr, n int64) int64 {
+	SpawnTreeN(w, n)
+	return JoinTreeN(w, n)
+}

@@ -310,6 +310,7 @@ func NewPool(opts Options) *Pool {
 			lastVictim: -1,
 		}
 		w.prof.on = opts.Profile
+		w.genFast = opts.Trace == nil && !opts.Span
 		if opts.Trace != nil {
 			w.trc = opts.Trace.Ring(i)
 		}

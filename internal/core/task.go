@@ -74,7 +74,7 @@ type TaskFunc func(w *Worker, t *Task)
 //   - fn, a0..a3, ctx: written by the owner before the state store that
 //     publishes the task; read by a thief only after a successful CAS on
 //     state (acquire), or by the owner itself.
-//   - res, rctx: written by whoever ran the task; read by the owner after
+//   - res: written by whoever ran the task; read by the owner after
 //     it has observed completion through state.
 //   - priv: owner-only. Thieves never touch it, which is what makes the
 //     private-task fast path race-free without atomics (Section III-B).
@@ -96,8 +96,7 @@ type Task struct {
 	a0, a1, a2, a3 int64
 	ctx            any
 
-	res  int64
-	rctx any
+	res int64
 
 	priv bool
 
@@ -106,5 +105,78 @@ type Task struct {
 	// descriptors do not false-share while owner and thief work on
 	// neighbouring stack slots. Checked by TestTaskSize and by the
 	// layoutguard pass (woolvet:cacheline size=128 above).
-	_ [39]byte
+	_ [55]byte
 }
+
+// The accessors below are the argument-storage surface for woolgen's
+// monomorphic generated code (DESIGN.md §13), which lives outside this
+// package and therefore cannot touch the unexported descriptor fields.
+// Each is a leaf small enough for the inliner, so a generated spawn
+// flattens to plain stores into the descriptor — the same instruction
+// sequence the TaskDef* methods produce inside the package.
+
+// Set1 stores the wrapper and one int64 argument.
+func (t *Task) Set1(fn TaskFunc, a0 int64) {
+	t.fn = fn
+	t.a0 = a0
+}
+
+// Set2 stores the wrapper and two int64 arguments.
+func (t *Task) Set2(fn TaskFunc, a0, a1 int64) {
+	t.fn = fn
+	t.a0 = a0
+	t.a1 = a1
+}
+
+// Set3 stores the wrapper and three int64 arguments.
+func (t *Task) Set3(fn TaskFunc, a0, a1, a2 int64) {
+	t.fn = fn
+	t.a0 = a0
+	t.a1 = a1
+	t.a2 = a2
+}
+
+// SetC1 stores the wrapper, a context pointer and one int64 argument.
+// Storing a pointer in the interface slot does not allocate.
+func (t *Task) SetC1(fn TaskFunc, ctx any, a0 int64) {
+	t.fn = fn
+	t.ctx = ctx
+	t.a0 = a0
+}
+
+// SetC2 stores the wrapper, a context pointer and two int64 arguments.
+func (t *Task) SetC2(fn TaskFunc, ctx any, a0, a1 int64) {
+	t.fn = fn
+	t.ctx = ctx
+	t.a0 = a0
+	t.a1 = a1
+}
+
+// SetC3 stores the wrapper, a context pointer and three int64
+// arguments.
+func (t *Task) SetC3(fn TaskFunc, ctx any, a0, a1, a2 int64) {
+	t.fn = fn
+	t.ctx = ctx
+	t.a0 = a0
+	t.a1 = a1
+	t.a2 = a2
+}
+
+// Arg0 returns the first int64 argument.
+func (t *Task) Arg0() int64 { return t.a0 }
+
+// Arg1 returns the second int64 argument.
+func (t *Task) Arg1() int64 { return t.a1 }
+
+// Arg2 returns the third int64 argument.
+func (t *Task) Arg2() int64 { return t.a2 }
+
+// Ctx returns the stored context value.
+func (t *Task) Ctx() any { return t.ctx }
+
+// Res returns the task's result (valid once the owner has observed
+// completion through the join protocol).
+func (t *Task) Res() int64 { return t.res }
+
+// SetRes stores the task's result (wrapper use).
+func (t *Task) SetRes(r int64) { t.res = r }

@@ -93,6 +93,14 @@ type Worker struct {
 	// woolvet:owner
 	retainMisses int
 
+	// genFast gates the monomorphic fast-path API (fastapi.go): true
+	// only when no per-event hook can fire on the private spawn/join
+	// path — tracing and span profiling disabled — so woolgen-generated
+	// code may bypass the generic TaskDef* slow paths. Set once in
+	// NewPool.
+	// woolvet:owner
+	genFast bool
+
 	// stats holds the owner-path counters (spawns, joins, ...): plain
 	// fields written only by the goroutine driving this worker, and
 	// ordered before any Stats() read through the joins that drain the

@@ -22,11 +22,12 @@ import (
 	"gowool/internal/workloads/ssf"
 )
 
-// TestRegistry checks the registry surface itself: all six native
-// schedulers present, in presentation order, each with a name, blurb
-// and steal description.
+// TestRegistry checks the registry surface itself: all seven native
+// schedulers present (the direct task stack twice — generic and
+// woolgen-generated ports), in presentation order, each with a name,
+// blurb and steal description.
 func TestRegistry(t *testing.T) {
-	want := []string{"wool", "chaselev", "locksched", "cilk", "omp", "gonative"}
+	want := []string{"wool", "woolgen", "chaselev", "locksched", "cilk", "omp", "gonative"}
 	got := sched.Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

@@ -103,6 +103,10 @@ type Caps struct {
 	// constructors and Pool.Native returns its concrete pool, so
 	// irregular workloads (cholesky) can be instantiated generically.
 	TaskDefs bool
+	// GeneratedPorts is true when RunRec/RunRange route through
+	// woolgen-generated monomorphic ports (internal/gen/ports) instead
+	// of the generic task-port layer in port.go.
+	GeneratedPorts bool
 	// Trace is true when Options.Trace routes scheduler events into
 	// the tracer's rings (at minimum STEAL and PARK).
 	Trace bool

@@ -28,6 +28,23 @@ func Tasks(n int64) int64 {
 	return 1 + Tasks(n-1) + Tasks(n-2)
 }
 
+//go:generate go run gowool/cmd/woolgen -pkg fibw -out fib_gen.go -task Fib:1
+
+// fibBody is fib behind the woolgen-generated monomorphic port
+// (fib_gen.go): SpawnFib/JoinFib flatten to plain descriptor stores
+// and a direct call back into this function on the private fast path,
+// where NewWool's TaskDef1 pays the generic method-call frames. Run it
+// with CallFib(w, n).
+func fibBody(w *core.Worker, n int64) int64 {
+	if n < 2 {
+		return n
+	}
+	SpawnFib(w, n-2)
+	a := fibBody(w, n-1)
+	b := JoinFib(w)
+	return a + b
+}
+
 // NewWool builds the direct-task-stack fib (paper Figure 2).
 func NewWool() *core.TaskDef1 {
 	var fib *core.TaskDef1

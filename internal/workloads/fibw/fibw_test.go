@@ -69,3 +69,19 @@ func TestSimGranularity(t *testing.T) {
 		t.Errorf("G_T = %.1f cycles/task, want ≈ 13–25", gt)
 	}
 }
+
+// TestGeneratedPortAgrees runs the woolgen-generated fib port
+// (fib_gen.go) on a steal-heavy pool and checks it against Serial.
+func TestGeneratedPortAgrees(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	p := core.NewPool(core.Options{Workers: 4, PrivateTasks: true,
+		InitialPublic: 1, TripDistance: 1, PublishAmount: 1})
+	defer p.Close()
+	want := Serial(25)
+	for rep := 0; rep < 5; rep++ {
+		if got := p.Run(func(w *core.Worker) int64 { return CallFib(w, 25) }); got != want {
+			t.Fatalf("rep %d: CallFib(25) = %d, want %d", rep, got, want)
+		}
+	}
+}
