@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint bench registry-bench perfgate generate ci all trace-smoke fuzz-smoke chaos
+.PHONY: build test race lint bench registry-bench perfgate generate ci all trace-smoke fuzz-smoke chaos stealsweep stealsweep-smoke
 
 all: build test lint
 
@@ -52,6 +52,28 @@ perfgate:
 # get hand-edited.
 generate:
 	$(GO) generate ./...
+
+# The steal-policy sweep (DESIGN.md §14): every policy × amount ×
+# workload on every backend advertising steal policies, with the steal
+# matrix extracted from the run's trace, plus the same policy grid on
+# the simulator's sharded 64-processor topology. Refresh and commit
+# BENCH_steal.json when the policy layer or the topology model changes.
+stealsweep:
+	$(GO) run ./cmd/woolbench -scale full -stealsweep BENCH_steal.json
+
+# CI smoke of the same sweep at quick scale: the grid must complete,
+# cover all four policies and both amounts, and the localized policy
+# must concentrate steals inside its neighborhood (local_frac 1 at 4
+# workers with neighborhood 2, where random leaves the neighborhood).
+STEALSWEEP_JSON ?= /tmp/woolsteal-smoke.json
+stealsweep-smoke:
+	$(GO) run ./cmd/woolbench -scale quick -stealsweep $(STEALSWEEP_JSON)
+	grep -q '"policy": "random"' $(STEALSWEEP_JSON)
+	grep -q '"policy": "last-victim"' $(STEALSWEEP_JSON)
+	grep -q '"policy": "sequential"' $(STEALSWEEP_JSON)
+	grep -q '"policy": "localized"' $(STEALSWEEP_JSON)
+	grep -q '"amount": "half"' $(STEALSWEEP_JSON)
+	grep -q '"kind": "direct-stack"' $(STEALSWEEP_JSON)
 
 # End-to-end check of the wooltrace pipeline (DESIGN.md §11): export a
 # Chrome trace from a real run, validate it against the trace_event

@@ -9,6 +9,7 @@
 //	woolbench -corejson BENCH_core.json
 //	woolbench -registryjson BENCH_registry.json
 //	woolbench -perfgate BENCH_registry.json
+//	woolbench [-scale quick|full] -stealsweep BENCH_steal.json
 //
 // With no experiment arguments every experiment runs in order. The
 // multi-processor experiments run on the deterministic virtual-time
@@ -32,6 +33,7 @@ func main() {
 	benchTrace := flag.String("trace", "", "with -corejson: record one extra untimed fib repetition on a traced pool and write the Chrome trace to FILE")
 	registryJSON := flag.String("registryjson", "", "run the registry benchmarks (generic vs generated ladder, steal latency, fib(28) per backend) and write machine-readable results to FILE")
 	perfgate := flag.String("perfgate", "", "re-measure the gated benchmark keys and fail on regression against the committed baseline FILE")
+	stealsweep := flag.String("stealsweep", "", "run the steal-policy sweep (policy × amount × backend × workload natively, plus the sharded-topology simulator grid) and write machine-readable results to FILE; honours -scale")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: woolbench [-scale quick|full] [experiment ...]\n\nexperiments:\n")
 		for _, e := range experiments.All() {
@@ -75,6 +77,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *stealsweep != "" {
+		if err := runStealSweep(*stealsweep, scale == experiments.Full); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	ids := flag.Args()

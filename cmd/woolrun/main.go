@@ -13,6 +13,8 @@
 //	woolrun -workload cholesky -n 500 -nz 2000 -stats
 //	woolrun -sim -workload fib -n 24 -workers 8
 //	woolrun -workload fib -n 30 -workers 4 -trace out.json -stealmatrix
+//	woolrun -workload fib -n 28 -workers 8 -stealpolicy localized -stealmatrix
+//	woolrun -workload fib -n 28 -sched chaselev -stealpolicy last-victim -stealamount half
 //	woolrun -checktrace out.json
 //	woolrun -workload fib -n 25 -workers 4 -chaos cas-starve -chaosseed 7
 //	woolrun -workload fib -n 30 -workers 4 -watchdog 5s
@@ -33,6 +35,7 @@ import (
 	"gowool/internal/locksched"
 	"gowool/internal/sched"
 	"gowool/internal/sim"
+	"gowool/internal/steal"
 	"gowool/internal/trace"
 	"gowool/internal/workloads/cholesky"
 	"gowool/internal/workloads/fibw"
@@ -55,6 +58,9 @@ var (
 	reps      = flag.Int64("reps", 1, "repetitions (serialized parallel regions)")
 	stats     = flag.Bool("stats", false, "print scheduler statistics")
 
+	stealPolicy = flag.String("stealpolicy", "", "victim-selection policy: random | last-victim | sequential | localized (schedulers advertising steal policies; default: the backend's historical random)")
+	stealAmount = flag.String("stealamount", "", "tasks per steal: one | half (schedulers advertising steal amounts)")
+
 	traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (schedulers with the trace capability)")
 	stealMat   = flag.Bool("stealmatrix", false, "print the worker×worker steal matrix after the run (leapfrog steals marked *)")
 	checkTrace = flag.String("checktrace", "", "validate a Chrome trace JSON file produced by -trace, then exit")
@@ -64,6 +70,18 @@ var (
 	chaosSeed = flag.Uint64("chaosseed", 1, "seed for -chaos; the same profile and seed replay the same injection sequence")
 	watchdog  = flag.Duration("watchdog", 0, "fail the run if no scheduler progress for this long (schedulers with the watchdog capability)")
 )
+
+// stealConfig builds the victim-policy config from the -stealpolicy /
+// -stealamount flags, rejecting unknown names up front (pool
+// construction would panic on them later).
+func stealConfig() steal.Config {
+	cfg := steal.Config{Policy: *stealPolicy, Amount: *stealAmount}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	return cfg
+}
 
 func main() {
 	flag.Parse()
@@ -90,6 +108,10 @@ func listSchedulers() {
 		fmt.Printf("%-10s %s\n", s.Name(), capsTokens(s.Caps()))
 		fmt.Printf("%-10s %s\n", "", s.Blurb())
 		fmt.Printf("%-10s steal: %s\n", "", s.Caps().Steal)
+		if pols := s.Caps().StealPolicies; len(pols) > 0 {
+			fmt.Printf("%-10s policies: %s | amounts: %s\n", "",
+				strings.Join(pols, " "), strings.Join(s.Caps().StealAmounts, " "))
+		}
 	}
 }
 
@@ -154,6 +176,7 @@ func runSim() {
 	res := sim.Run(sim.Config{
 		Procs: *workers, Kind: sim.KindDirectStack,
 		Costs: costmodel.Wool(), PrivateTasks: *private,
+		Steal: stealConfig(),
 	}, def, args)
 	fmt.Printf("result=%d makespan=%d cycles (%.3f ms at 2.5GHz)\n",
 		res.Value, res.Makespan, float64(res.Makespan)/costmodel.CyclesPerNS/1e6)
@@ -211,9 +234,18 @@ func runNative() {
 		fmt.Fprintf(os.Stderr, "scheduler %s does not support the watchdog\n", s.Name())
 		os.Exit(2)
 	}
+	stl := stealConfig()
+	if *stealPolicy != "" && len(s.Caps().StealPolicies) == 0 {
+		fmt.Fprintf(os.Stderr, "scheduler %s has no policy-driven victim selection\n", s.Name())
+		os.Exit(2)
+	}
+	if *stealAmount != "" && len(s.Caps().StealAmounts) == 0 {
+		fmt.Fprintf(os.Stderr, "scheduler %s has no configurable steal amount\n", s.Name())
+		os.Exit(2)
+	}
 	p := s.NewPool(sched.Options{
 		Workers: *workers, PrivateTasks: *private, Trace: tr,
-		Chaos: inj, Watchdog: *watchdog,
+		Chaos: inj, Watchdog: *watchdog, Steal: stl,
 	})
 	defer p.Close()
 

@@ -25,6 +25,7 @@ import (
 
 	"gowool/internal/chaos"
 	"gowool/internal/overflow"
+	"gowool/internal/steal"
 	"gowool/internal/trace"
 )
 
@@ -167,8 +168,13 @@ type Worker struct {
 	// woolvet:owner
 	free *Task // free list of task structures, owner-only
 
+	// pol is the victim-selection policy (internal/steal), replacing
+	// the per-backend xorshift copy; probe is the read-only stealable
+	// probe handed to it, built once in NewPool. Both owner-private.
 	// woolvet:owner
-	rng uint64
+	pol steal.Policy
+	// woolvet:owner
+	probe func(int) bool
 
 	// stats holds owner-path counters; the thief-path counters are
 	// atomics because idle workers keep attempting steals with no
@@ -211,6 +217,13 @@ type Options struct {
 	// that finds the deque full panics instead of executing the child
 	// inline and counting it in Stats.OverflowInlined.
 	StrictOverflow bool
+	// Steal selects the victim policy and the steal amount
+	// (internal/steal). The zero value is the historical behaviour:
+	// uniform random victims, one task per steal. Amount "half" makes
+	// a successful thief drain up to half of the victim's visible
+	// tasks in a burst of top-CAS claims (Hendler & Shavit) and run
+	// them oldest-first.
+	Steal steal.Config
 }
 
 func (o Options) defaults() Options {
@@ -228,16 +241,18 @@ func (o Options) defaults() Options {
 	if o.MaxIdleSleep == 0 {
 		o.MaxIdleSleep = 200 * time.Microsecond
 	}
+	o.Steal = o.Steal.Defaults()
 	return o
 }
 
 // Pool is a deque-scheduler instance.
 type Pool struct {
-	opts     Options
-	workers  []*Worker
-	shutdown atomic.Bool
-	running  atomic.Bool
-	wg       sync.WaitGroup
+	opts      Options
+	workers   []*Worker
+	stealHalf bool // Options.Steal.Amount == "half": batch extraction on
+	shutdown  atomic.Bool
+	running   atomic.Bool
+	wg        sync.WaitGroup
 
 	// Abort state: the first panic from a stolen task (or the root)
 	// poisons the pool; Run re-raises it and later Runs fail fast.
@@ -261,7 +276,7 @@ func NewPool(opts Options) *Pool {
 	if opts.Chaos != nil && opts.Chaos.Workers() < opts.Workers {
 		panic(fmt.Sprintf("chaselev: Options.Chaos has %d agents for %d workers", opts.Chaos.Workers(), opts.Workers))
 	}
-	p := &Pool{opts: opts}
+	p := &Pool{opts: opts, stealHalf: opts.Steal.Amount == steal.AmountHalf}
 	p.workers = make([]*Worker, opts.Workers)
 	for i := range p.workers {
 		w := &Worker{
@@ -269,7 +284,11 @@ func NewPool(opts Options) *Pool {
 			idx:  i,
 			buf:  make([]atomic.Pointer[Task], opts.DequeSize),
 			mask: int64(opts.DequeSize - 1),
-			rng:  uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+			pol:  steal.New(opts.Steal, i, opts.Workers),
+		}
+		w.probe = func(v int) bool {
+			vw := p.workers[v]
+			return vw.top.Load() < vw.bottom.Load()
 		}
 		if opts.Trace != nil {
 			w.trc = opts.Trace.Ring(i)
@@ -482,9 +501,69 @@ func (w *Worker) trySteal(victim *Worker, countWait bool) bool {
 	if w.trc != nil {
 		w.trc.Record(trace.KindSteal, int64(victim.idx), t)
 	}
+	if w.pool.stealHalf {
+		// The whole half leaves the victim's deque in one burst before
+		// anything runs; tasks then execute oldest-first (batch[i]
+		// were claimed after task, so task runs first). The burst must
+		// be a local: a stolen task's blocked join re-enters trySteal
+		// on this worker mid-drain.
+		var batch [stealBatchMax]*Task
+		n := w.stealBatch(victim, b-t, countWait, &batch)
+		w.runStolen(task)
+		task.done.Store(true)
+		for i := 0; i < n; i++ {
+			w.runStolen(batch[i])
+			batch[i].done.Store(true)
+		}
+		return true
+	}
 	w.runStolen(task)
 	task.done.Store(true)
 	return true
+}
+
+// stealBatchMax caps a steal-half burst: enough to drain a deep victim
+// in a few steals without one thief convoying a huge backlog behind a
+// single running task.
+const stealBatchMax = 15
+
+// stealBatch extends a successful steal to Hendler & Shavit's
+// steal-half: after the first claim, keep CAS-claiming the victim's
+// oldest task until we hold half of what was visible at the first
+// probe (avail), someone else interferes, or the burst cap is hit.
+// Claimed tasks are stamped stolenBy immediately — a blocked joiner
+// leapfrogs to this thief and helps with our own deque while its task
+// waits its turn (the same convoy semantics as locksched's StealHalf).
+//
+// woolvet:thief
+func (w *Worker) stealBatch(victim *Worker, avail int64, countWait bool, out *[stealBatchMax]*Task) int {
+	want := (avail+1)/2 - 1 // beyond the task already claimed
+	n := 0
+	for int64(n) < want && n < len(out) {
+		t := victim.top.Load()
+		b := victim.bottom.Load()
+		if t >= b {
+			break
+		}
+		task := victim.buf[t&victim.mask].Load()
+		if task == nil {
+			break
+		}
+		if !victim.top.CompareAndSwap(t, t+1) {
+			break
+		}
+		task.stolenBy.Store(int32(w.idx) + 1)
+		w.steals.Add(1)
+		if countWait {
+			w.stats.WaitSteals++
+		}
+		if w.trc != nil {
+			w.trc.Record(trace.KindSteal, int64(victim.idx), t)
+		}
+		out[n] = task
+		n++
+	}
+	return n
 }
 
 // runStolen executes a stolen task, converting a panic in user code
@@ -535,7 +614,9 @@ func (w *Worker) joinAcquire() (*Task, bool) {
 		switch w.pool.opts.Wait {
 		case WaitSteal:
 			if w.chs == nil || !w.chs.Point(chaos.PointLeapfrogPick) {
-				progressed = w.trySteal(w.pool.workers[w.nextVictim()], true)
+				v := w.pol.Choose(w.probe)
+				progressed = w.trySteal(w.pool.workers[v], true)
+				w.pol.Observe(v, progressed)
 			}
 		case WaitLeapfrog:
 			if thief := expected.stolenBy.Load(); thief != 0 {
@@ -558,24 +639,6 @@ func (w *Worker) joinAcquire() (*Task, bool) {
 	return expected, false
 }
 
-// nextVictim picks a random victim index != w.idx.
-func (w *Worker) nextVictim() int {
-	if len(w.pool.workers) == 1 {
-		return w.idx
-	}
-	x := w.rng
-	x ^= x << 13
-	x ^= x >> 7
-	x ^= x << 17
-	w.rng = x
-	n := len(w.pool.workers) - 1
-	v := int(x % uint64(n))
-	if v >= w.idx {
-		v++
-	}
-	return v
-}
-
 // idleLoop steals until shutdown — or until the pool is poisoned by a
 // task panic, after which the abandoned tree's tasks must not keep
 // executing in the background (a claimed task always finishes; the
@@ -585,10 +648,13 @@ func (w *Worker) nextVictim() int {
 func (w *Worker) idleLoop() {
 	fails := 0
 	for !w.pool.shutdown.Load() && !w.pool.panicked.Load() {
-		if w.trySteal(w.pool.workers[w.nextVictim()], false) {
+		v := w.pol.Choose(w.probe)
+		if w.trySteal(w.pool.workers[v], false) {
+			w.pol.Observe(v, true)
 			fails = 0
 			continue
 		}
+		w.pol.Observe(v, false)
 		fails++
 		switch {
 		case fails < 64:

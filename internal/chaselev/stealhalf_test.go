@@ -1,0 +1,101 @@
+package chaselev
+
+import (
+	"testing"
+
+	"gowool/internal/steal"
+)
+
+// stoppedHalfPool builds a steal-half pool whose idle loops have
+// exited, so the deque and trySteal can be driven by hand.
+func stoppedHalfPool(t *testing.T, workers int) *Pool {
+	t.Helper()
+	p := NewPool(Options{Workers: workers, Steal: steal.Config{Amount: steal.AmountHalf}})
+	p.Close()
+	return p
+}
+
+// TestStealHalfBatchExtraction pins the batch semantics: one successful
+// trySteal against a victim with n visible tasks claims and runs
+// ceil(n/2) of them, oldest first, leaving the rest for the owner.
+func TestStealHalfBatchExtraction(t *testing.T) {
+	p := stoppedHalfPool(t, 2)
+	victim, thief := p.workers[0], p.workers[1]
+
+	const n = 8
+	var order []int64
+	for i := 0; i < n; i++ {
+		task := victim.alloc()
+		task.a0 = int64(i)
+		task.fn = func(w *Worker, t *Task) { order = append(order, t.a0) }
+		if !victim.push(task) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if !thief.trySteal(victim, false) {
+		t.Fatal("trySteal failed against a full deque")
+	}
+	// avail=8 → take (8+1)/2 = 4 tasks, oldest first: 0,1,2,3.
+	if len(order) != n/2 {
+		t.Fatalf("one steal-half ran %d tasks, want %d (order %v)", len(order), n/2, order)
+	}
+	for i, got := range order {
+		if got != int64(i) {
+			t.Fatalf("batch ran out of order: %v", order)
+		}
+	}
+	if left := victim.bottom.Load() - victim.top.Load(); left != n/2 {
+		t.Fatalf("victim left with %d tasks, want %d", left, n/2)
+	}
+	if s := thief.steals.Load(); s != n/2 {
+		t.Fatalf("steals counter %d, want %d (one per claimed task)", s, n/2)
+	}
+}
+
+// TestStealHalfSingleTask: a victim with one task behaves exactly like
+// amount=one — no over-claiming.
+func TestStealHalfSingleTask(t *testing.T) {
+	p := stoppedHalfPool(t, 2)
+	victim, thief := p.workers[0], p.workers[1]
+	ran := 0
+	task := victim.alloc()
+	task.fn = func(w *Worker, t *Task) { ran++ }
+	victim.push(task)
+	if !thief.trySteal(victim, false) {
+		t.Fatal("trySteal failed")
+	}
+	if ran != 1 {
+		t.Fatalf("ran %d tasks, want 1", ran)
+	}
+	if left := victim.bottom.Load() - victim.top.Load(); left != 0 {
+		t.Fatalf("victim left with %d tasks", left)
+	}
+}
+
+// TestStealHalfEndToEnd runs a real workload under steal-half and every
+// victim policy: serial agreement across repetitions.
+func TestStealHalfEndToEnd(t *testing.T) {
+	for _, pol := range steal.Policies() {
+		var fib *TaskDef1
+		fib = Define1("fib-half-"+pol, func(w *Worker, n int64) int64 {
+			if n < 2 {
+				return n
+			}
+			fib.Spawn(w, n-2)
+			a := fib.Call(w, n-1)
+			b := fib.Join(w)
+			return a + b
+		})
+		p := NewPool(Options{
+			Workers: 4,
+			Steal:   steal.Config{Policy: pol, Amount: steal.AmountHalf, Neighborhood: 2},
+		})
+		for rep := 0; rep < 3; rep++ {
+			if got := p.Run(func(w *Worker) int64 { return fib.Call(w, 20) }); got != 6765 {
+				p.Close()
+				t.Fatalf("policy %s rep %d: fib(20) = %d, want 6765", pol, rep, got)
+			}
+		}
+		p.Close()
+	}
+}

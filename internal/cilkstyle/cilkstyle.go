@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"gowool/internal/chaos"
+	"gowool/internal/steal"
 	"gowool/internal/trace"
 )
 
@@ -104,9 +105,13 @@ type Worker struct {
 
 	_ [64]byte // pad: end of the protocol group
 
+	// pol is the victim-selection policy (internal/steal), replacing
+	// the per-backend xorshift copy. No stealable probe is passed to
+	// it: the deque is mutex-guarded, so an unlocked length peek would
+	// be a data race — failures feed back through Observe instead.
 	// woolvet:cacheline group=owner
 	// woolvet:owner
-	rng uint64
+	pol steal.Policy
 
 	// woolvet:owner
 	stats Stats
@@ -152,6 +157,11 @@ type Options struct {
 	// steal protocol (PointLockAcquire, PointDequePop,
 	// PointParkDecision). nil disables injection at zero cost.
 	Chaos *chaos.Injector
+	// Steal selects the victim policy (internal/steal); the zero value
+	// is the historical uniform-random choice. Steal-parent holds at
+	// most one continuation per spawn nest, so Amount "half" has
+	// nothing extra to take and is ignored.
+	Steal steal.Config
 }
 
 func (o Options) defaults() Options {
@@ -161,6 +171,7 @@ func (o Options) defaults() Options {
 	if o.MaxIdleSleep == 0 {
 		o.MaxIdleSleep = 200 * time.Microsecond
 	}
+	o.Steal = o.Steal.Defaults()
 	return o
 }
 
@@ -207,7 +218,7 @@ func NewPool(opts Options) *Pool {
 		p.workers[i] = &Worker{
 			pool: p,
 			idx:  i,
-			rng:  uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+			pol:  steal.New(opts.Steal, i, opts.Workers),
 		}
 		if opts.DequeSize > 0 {
 			p.workers[i].deque = make([]Step, 0, opts.DequeSize)
@@ -275,10 +286,13 @@ func (p *Pool) Run(root *Frame, first Step) {
 			fails = 0
 			continue
 		}
-		if w.trySteal(p.workers[w.nextVictim()]) {
+		v := w.chooseVictim()
+		if w.trySteal(p.workers[v]) {
+			w.observeSteal(v, true)
 			fails = 0
 			continue
 		}
+		w.observeSteal(v, false)
 		fails++
 		if fails&0xf == 0 || runtime.GOMAXPROCS(0) == 1 {
 			runtime.Gosched()
@@ -465,23 +479,13 @@ func (w *Worker) runStolen(s Step) {
 	w.runSteps(s)
 }
 
-// nextVictim picks a random victim index != w.idx.
-func (w *Worker) nextVictim() int {
-	if len(w.pool.workers) == 1 {
-		return w.idx
-	}
-	x := w.rng
-	x ^= x << 13
-	x ^= x >> 7
-	x ^= x << 17
-	w.rng = x
-	n := len(w.pool.workers) - 1
-	v := int(x % uint64(n))
-	if v >= w.idx {
-		v++
-	}
-	return v
-}
+// chooseVictim asks the worker's steal policy for the next target; no
+// stealable probe is available (the deque is mutex-guarded), so the
+// outcome feeds back through observeSteal instead.
+func (w *Worker) chooseVictim() int { return w.pol.Choose(nil) }
+
+// observeSteal reports a steal attempt's outcome to the policy.
+func (w *Worker) observeSteal(v int, ok bool) { w.pol.Observe(v, ok) }
 
 // woolvet:thief
 func (w *Worker) idleLoop() {
@@ -496,10 +500,13 @@ func (w *Worker) idleLoop() {
 			fails = 0
 			continue
 		}
-		if w.trySteal(w.pool.workers[w.nextVictim()]) {
+		v := w.chooseVictim()
+		if w.trySteal(w.pool.workers[v]) {
+			w.observeSteal(v, true)
 			fails = 0
 			continue
 		}
+		w.observeSteal(v, false)
 		fails++
 		switch {
 		case fails < 64:

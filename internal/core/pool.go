@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gowool/internal/chaos"
+	"gowool/internal/steal"
 	"gowool/internal/trace"
 )
 
@@ -83,6 +84,18 @@ type Options struct {
 	// 0 means the default of 1; negative disables retention (every
 	// attempt picks a fresh random victim, the paper's policy).
 	StealRetain int
+
+	// Steal selects the victim-selection policy layer (internal/steal):
+	// Policy is one of steal.Policies() plus the per-policy parameters
+	// (retention budget, sampling width, localized neighborhood/spill).
+	// The zero value reproduces the pre-policy behaviour bit for bit —
+	// last-victim retention over uniform random, parameterized by the
+	// legacy StealSampling/StealRetain fields above (which Defaults
+	// folds into this struct; explicit Steal fields win). Steal.Amount
+	// is accepted for registry uniformity but the direct task stack
+	// only supports taking one task per steal: the descriptor CAS
+	// claims exactly one bottom task.
+	Steal steal.Config
 
 	// Parking controls whether fully idle workers park on the pool's
 	// idle engine once the back-off ladder is exhausted, dropping a
@@ -225,6 +238,24 @@ func (o Options) Defaults() Options {
 	if o.StealRetain == 0 {
 		o.StealRetain = 1
 	}
+	// Fold the legacy knobs into the policy config: unset Steal fields
+	// inherit StealRetain/StealSampling, and an unset policy name
+	// resolves to the historical behaviour (last-victim retention, or
+	// plain random when retention is disabled).
+	if o.Steal.Policy == "" {
+		if o.StealRetain > 0 {
+			o.Steal.Policy = steal.LastVictim
+		} else {
+			o.Steal.Policy = steal.Random
+		}
+	}
+	if o.Steal.Retain == 0 {
+		o.Steal.Retain = o.StealRetain
+	}
+	if o.Steal.Sampling == 0 {
+		o.Steal.Sampling = o.StealSampling
+	}
+	o.Steal = o.Steal.Defaults()
 	if o.MaxIdleSleep == 0 {
 		o.MaxIdleSleep = 200 * time.Microsecond
 	}
@@ -302,13 +333,13 @@ func NewPool(opts Options) *Pool {
 	p.workers = make([]*Worker, opts.Workers)
 	for i := range p.workers {
 		w := &Worker{
-			pool:       p,
-			idx:        i,
-			idle:       p.idle,
-			tasks:      make([]Task, opts.StackSize),
-			rng:        uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
-			lastVictim: -1,
+			pool:  p,
+			idx:   i,
+			idle:  p.idle,
+			tasks: make([]Task, opts.StackSize),
+			pol:   steal.New(opts.Steal, i, opts.Workers),
 		}
+		w.probe = func(v int) bool { return stealableAt(p.workers[v]) }
 		w.prof.on = opts.Profile
 		w.genFast = opts.Trace == nil && !opts.Span
 		if opts.Trace != nil {

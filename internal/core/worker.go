@@ -8,6 +8,7 @@ import (
 
 	"gowool/internal/chaos"
 	"gowool/internal/overflow"
+	"gowool/internal/steal"
 	"gowool/internal/trace"
 )
 
@@ -21,7 +22,7 @@ import (
 // cacheline group annotations below):
 //   - immutable after construction (pool, idx, idle, tasks backing
 //     array): read by everyone, written by nobody after NewPool;
-//   - owner-private (top, pubShadow, rng, victim retention, counters,
+//   - owner-private (top, pubShadow, steal policy, counters,
 //     profiling state): plain access only, touched exclusively by the
 //     goroutine driving this worker;
 //   - thief-shared protocol words (bot, publicLimit, morePublic):
@@ -81,17 +82,19 @@ type Worker struct {
 	// woolvet:owner
 	inlineRun int
 
+	// pol is the victim-selection policy (internal/steal): the xorshift
+	// stream, retention slot / scan cursor / neighborhood state that
+	// used to live inline here as rng/lastVictim/retainMisses. Seeded
+	// deterministically per worker in NewPool (Options.Steal);
+	// owner-private like the fields it replaced.
 	// woolvet:owner
-	rng uint64
+	pol steal.Policy
 
-	// lastVictim is the retained steal target: after a successful steal
-	// the thief goes straight back to the same victim (Options.
-	// StealRetain), dropping it after StealRetain consecutive probes
-	// that find nothing. -1 when empty or retention is disabled.
+	// probe is the read-only stealable probe handed to pol.Choose,
+	// built once in NewPool (a per-attempt closure would allocate on
+	// the idle path).
 	// woolvet:owner
-	lastVictim int
-	// woolvet:owner
-	retainMisses int
+	probe func(int) bool
 
 	// genFast gates the monomorphic fast-path API (fastapi.go): true
 	// only when no per-event hook can fire on the private spawn/join
@@ -682,24 +685,6 @@ func (w *Worker) runStolen(t *Task, leap bool) {
 	}
 }
 
-// nextVictim picks a random victim index != w.idx (xorshift64).
-func (w *Worker) nextVictim() int {
-	if len(w.pool.workers) == 1 {
-		return w.idx // degenerate single-worker pool; caller's steal fails
-	}
-	x := w.rng
-	x ^= x << 13
-	x ^= x >> 7
-	x ^= x << 17
-	w.rng = x
-	n := len(w.pool.workers) - 1
-	v := int(x % uint64(n))
-	if v >= w.idx {
-		v++
-	}
-	return v
-}
-
 // stealableAt reports whether v's bottom descriptor currently looks
 // stealable (read-only probe; the state can of course change between
 // the probe and a steal attempt).
@@ -709,87 +694,13 @@ func stealableAt(v *Worker) bool {
 		v.tasks[b].state.Load() == stateTask
 }
 
-// maxSampling caps Options.StealSampling's distinct-victim bookkeeping.
-const maxSampling = 8
-
-// distinctVictims fills out with up to k pairwise-distinct victim
-// indices (never w.idx) and returns how many it produced. With fewer
-// than k possible victims it enumerates them all; otherwise it
-// rejection-samples from the xorshift stream with a bounded number of
-// redraws, so a StealSampling > 1 probe never wastes slots re-probing
-// the same victim (the all-probes-fail case previously could return a
-// duplicate set).
-func (w *Worker) distinctVictims(k int, out []int) int {
-	n := len(w.pool.workers) - 1
-	if n <= 0 {
-		return 0
-	}
-	if k > len(out) {
-		k = len(out)
-	}
-	if k >= n {
-		j := 0
-		for i := range w.pool.workers {
-			if i != w.idx && j < len(out) {
-				out[j] = i
-				j++
-			}
-		}
-		return j
-	}
-	cnt := 0
-	for tries := 0; cnt < k && tries < 4*k+8; tries++ {
-		idx := w.nextVictim()
-		dup := false
-		for j := 0; j < cnt; j++ {
-			if out[j] == idx {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			out[cnt] = idx
-			cnt++
-		}
-	}
-	return cnt
-}
-
-// chooseVictim picks a steal target. The retained last-successful
-// victim (Options.StealRetain) is probed first: steals cluster in time
-// and space, so a victim that just yielded a task very often has more.
-// Otherwise, with StealSampling > 1 it probes up to k distinct
-// candidates read-only and returns the first whose bot descriptor
-// looks stealable, falling back to the last candidate.
+// chooseVictim asks the worker's steal policy for the next target. The
+// legacy retention (Options.StealRetain) and sampling (Options.
+// StealSampling) behaviours now live behind the policy interface — the
+// default last-victim policy reproduces them bit for bit (see
+// internal/steal and the compat test in stealpolicy_compat_test.go).
 func (w *Worker) chooseVictim() *Worker {
-	if lv := w.lastVictim; lv >= 0 {
-		v := w.pool.workers[lv]
-		if stealableAt(v) {
-			return v
-		}
-		w.retainMisses++
-		if w.retainMisses >= w.pool.opts.StealRetain {
-			w.lastVictim = -1
-			w.retainMisses = 0
-		}
-	}
-	k := w.pool.opts.StealSampling
-	if k == 1 {
-		return w.pool.workers[w.nextVictim()]
-	}
-	var buf [maxSampling]int
-	n := w.distinctVictims(k, buf[:])
-	if n == 0 {
-		return w.pool.workers[w.nextVictim()]
-	}
-	var v *Worker
-	for i := 0; i < n; i++ {
-		v = w.pool.workers[buf[i]]
-		if stealableAt(v) {
-			return v
-		}
-	}
-	return v
+	return w.pool.workers[w.pol.Choose(w.probe)]
 }
 
 // stSamplePeriod: when profiling, idleLoop measures only every 64th
@@ -834,13 +745,8 @@ func (w *Worker) idleLoop() {
 			w.prof.st.Add(stSamplePeriod * int64(time.Since(start)))
 		}
 		if ok {
-			if w.pool.opts.StealRetain > 0 {
-				if w.lastVictim == v.idx {
-					w.retainedSteals.Add(1)
-				} else {
-					w.lastVictim = v.idx
-				}
-				w.retainMisses = 0
+			if w.pol.Observe(v.idx, true) {
+				w.retainedSteals.Add(1)
 			}
 			// Wake propagation: we are about to go busy on the stolen
 			// task; if the victim still has visible work and workers
@@ -853,6 +759,7 @@ func (w *Worker) idleLoop() {
 			slept = 0
 			continue
 		}
+		w.pol.Observe(v.idx, false)
 		fails++
 		if fails&0x3f == 0 {
 			w.flushStealCounters(&sc)

@@ -175,6 +175,20 @@ func OpenMP() Profile {
 // paper's machines run at 2.1–2.6 GHz; we use 2.5 GHz.
 const CyclesPerNS = 2.5
 
+// Sharded-topology per-hop penalties (sim.Topology defaults). The
+// paper's 8-core Opteron is two 4-core sockets; published NUMA
+// microbenchmarks on that generation put a remote-node cache-to-cache
+// line transfer at roughly 1.5–2× the local latency (~100–130 extra
+// cycles per line). A failed probe touches one remote line (the
+// victim's bot/top indices): +120 cycles per hop. A successful steal
+// moves the task descriptor and dirties the victim's indices — several
+// line transfers plus the write-back, about half a local StealWork:
+// +700 cycles per hop.
+const (
+	RemoteProbePenalty uint64 = 120
+	RemoteStealPenalty uint64 = 700
+)
+
 // Profiles returns the four systems of the paper's comparison in
 // presentation order.
 func Profiles() []Profile {

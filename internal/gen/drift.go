@@ -73,6 +73,56 @@ func splitArgs(line string) []string {
 	return strings.Fields(line)
 }
 
+// DiscoverDirs walks root and returns every directory (relative to
+// root) whose hand-written sources carry a woolgen go:generate
+// directive — the drift gate's subjects. New generating packages are
+// picked up automatically; nothing maintains a directory list.
+func DiscoverDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			if name := info.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_gen.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		// Line-anchored, exactly like VerifyDir: directive mentions in
+		// doc comments (cmd/woolgen, this file) are not subjects.
+		directive := false
+		for _, line := range strings.Split(string(src), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), generatePrefix) {
+				directive = true
+				break
+			}
+		}
+		if !directive {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if !seen[dir] {
+			seen[dir] = true
+			rel, err := filepath.Rel(root, dir)
+			if err != nil {
+				return err
+			}
+			dirs = append(dirs, rel)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
 // VerifyDir finds every woolgen go:generate directive in dir's
 // hand-written sources, regenerates each declared output in memory and
 // byte-compares it with the committed file. A non-nil error means the

@@ -110,14 +110,34 @@ func TestSealVerifyRoundTrip(t *testing.T) {
 // go:generate directive in the repository's generating packages must
 // reproduce its committed output byte-for-byte. A failure means the
 // generator (or a declaration) changed without `go generate ./...`.
+// Generating packages are discovered by walking the module, so a new
+// directive joins the gate without touching this test; the known four
+// are asserted present so discovery rot fails loudly.
 func TestCommittedOutputsAreFresh(t *testing.T) {
-	for _, dir := range []string{"ports", "../workloads/fibw"} {
-		n, err := VerifyDir(dir)
+	const root = "../.." // internal/gen → module root
+	dirs, err := DiscoverDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, dir := range dirs {
+		found[dir] = true
+		n, err := VerifyDir(root + "/" + dir)
 		if err != nil {
 			t.Errorf("%s: %v", dir, err)
 		}
 		if n == 0 {
 			t.Errorf("%s: no woolgen go:generate directives found; the drift gate lost its subject", dir)
+		}
+	}
+	for _, want := range []string{
+		"internal/gen/ports",
+		"internal/workloads/fibw",
+		"internal/workloads/mm",
+		"internal/workloads/ssf",
+	} {
+		if !found[want] {
+			t.Errorf("discovery missed known generating package %s (have %v)", want, dirs)
 		}
 	}
 }

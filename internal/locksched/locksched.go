@@ -33,6 +33,7 @@ import (
 
 	"gowool/internal/chaos"
 	"gowool/internal/overflow"
+	"gowool/internal/steal"
 	"gowool/internal/trace"
 )
 
@@ -148,9 +149,15 @@ type Worker struct {
 
 	_ [64]byte // pad: end of the protocol group
 
+	// pol is the victim-selection policy (internal/steal), replacing
+	// the per-backend xorshift copy; probe is the read-only stealable
+	// probe handed to it (a lock-free bot/top peek — staleness at worst
+	// wastes one choice, like the peek strategies). Both owner-private.
 	// woolvet:cacheline group=owner
 	// woolvet:owner
-	rng uint64
+	pol steal.Policy
+	// woolvet:owner
+	probe func(int) bool
 
 	// ovf holds the results of overflow-inlined spawns, youngest last.
 	// Invariant: non-empty only while top == capacity (entries are
@@ -218,6 +225,12 @@ type Options struct {
 	// that finds the pool full panics instead of executing the child
 	// inline and counting it in Stats.OverflowInlined.
 	StrictOverflow bool
+	// Steal selects the victim policy and steal amount
+	// (internal/steal). The zero value is the historical behaviour:
+	// uniform random victims, one task per steal. Amount "half" is the
+	// same batch extraction as the legacy StealHalf flag — defaults
+	// fold the two together (either switch enables both views).
+	Steal steal.Config
 }
 
 func (o Options) defaults() Options {
@@ -230,6 +243,12 @@ func (o Options) defaults() Options {
 	if o.MaxIdleSleep == 0 {
 		o.MaxIdleSleep = 200 * time.Microsecond
 	}
+	if o.Steal.Amount == steal.AmountHalf {
+		o.StealHalf = true
+	} else if o.StealHalf && o.Steal.Amount == "" {
+		o.Steal.Amount = steal.AmountHalf
+	}
+	o.Steal = o.Steal.Defaults()
 	return o
 }
 
@@ -270,7 +289,11 @@ func NewPool(opts Options) *Pool {
 			pool:  p,
 			idx:   i,
 			tasks: make([]Task, opts.StackSize),
-			rng:   uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+			pol:   steal.New(opts.Steal, i, opts.Workers),
+		}
+		w.probe = func(v int) bool {
+			vw := p.workers[v]
+			return vw.bot.Load() < vw.top.Load()
 		}
 		if opts.Trace != nil {
 			w.trc = opts.Trace.Ring(i)
@@ -542,24 +565,6 @@ func (w *Worker) runStolen(t *Task) {
 	fn(w, t)
 }
 
-// nextVictim picks a random victim index != w.idx.
-func (w *Worker) nextVictim() int {
-	if len(w.pool.workers) == 1 {
-		return w.idx
-	}
-	x := w.rng
-	x ^= x << 13
-	x ^= x >> 7
-	x ^= x << 17
-	w.rng = x
-	n := len(w.pool.workers) - 1
-	v := int(x % uint64(n))
-	if v >= w.idx {
-		v++
-	}
-	return v
-}
-
 // idleLoop steals until shutdown — or until the pool is poisoned by a
 // task panic, after which the abandoned tree's tasks must not keep
 // executing in the background (claimed tasks always finish; the exit
@@ -569,10 +574,13 @@ func (w *Worker) nextVictim() int {
 func (w *Worker) idleLoop() {
 	fails := 0
 	for !w.pool.shutdown.Load() && !w.pool.panicked.Load() {
-		if w.trySteal(w.pool.workers[w.nextVictim()]) {
+		v := w.pol.Choose(w.probe)
+		if w.trySteal(w.pool.workers[v]) {
+			w.pol.Observe(v, true)
 			fails = 0
 			continue
 		}
+		w.pol.Observe(v, false)
 		fails++
 		switch {
 		case fails < 64:

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"gowool/internal/chaselev"
+	"gowool/internal/steal"
 )
 
 func init() { register(chaselevSched{}, 1) }
@@ -22,6 +23,10 @@ func (chaselevSched) Caps() Caps {
 		TaskDefs:   true,
 		Trace:      true,
 		Chaos:      true,
+		// The index-synchronized deque supports batch extraction: a
+		// thief can CAS-claim a run of top entries (steal-half).
+		StealPolicies: steal.Policies(),
+		StealAmounts:  steal.Amounts(),
 	}
 }
 
@@ -33,6 +38,7 @@ func (chaselevSched) NewPool(o Options) Pool {
 		MaxIdleSleep:   o.MaxIdleSleep,
 		Trace:          o.Trace,
 		Chaos:          o.Chaos,
+		Steal:          o.Steal,
 	})}
 }
 

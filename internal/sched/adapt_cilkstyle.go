@@ -2,6 +2,7 @@ package sched
 
 import (
 	"gowool/internal/cilkstyle"
+	"gowool/internal/steal"
 )
 
 func init() { register(cilkSched{}, 3) }
@@ -24,6 +25,10 @@ func (cilkSched) Caps() Caps {
 		Stats: true,
 		Trace: true,
 		Chaos: true,
+		// Steal-parent holds at most one ready continuation per nesting
+		// level, so there is no batch to take: amount is always one.
+		StealPolicies: steal.Policies(),
+		StealAmounts:  []string{steal.AmountOne},
 	}
 }
 
@@ -34,6 +39,7 @@ func (cilkSched) NewPool(o Options) Pool {
 		MaxIdleSleep: o.MaxIdleSleep,
 		Trace:        o.Trace,
 		Chaos:        o.Chaos,
+		Steal:        o.Steal,
 	})}
 }
 

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"gowool/internal/core"
+	"gowool/internal/steal"
 )
 
 func init() { register(woolSched{}, 0) }
@@ -24,6 +25,10 @@ func (woolSched) Caps() Caps {
 		Trace:        true,
 		Chaos:        true,
 		Watchdog:     true,
+		// The direct task stack takes one task per steal: descriptors
+		// live in the victim's stack and are claimed individually.
+		StealPolicies: steal.Policies(),
+		StealAmounts:  []string{steal.AmountOne},
 	}
 }
 
@@ -37,6 +42,7 @@ func (woolSched) NewPool(o Options) Pool {
 		Trace:          o.Trace,
 		Chaos:          o.Chaos,
 		Watchdog:       o.Watchdog,
+		Steal:          o.Steal,
 	})}
 }
 

@@ -27,6 +27,7 @@ func (gonativeSched) Blurb() string {
 func (gonativeSched) Caps() Caps {
 	return Caps{
 		Steal: "the Go runtime's own scheduler; no explicit task pool",
+		// No StealPolicies: victim selection belongs to the Go runtime.
 	}
 }
 

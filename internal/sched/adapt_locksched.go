@@ -2,6 +2,7 @@ package sched
 
 import (
 	"gowool/internal/locksched"
+	"gowool/internal/steal"
 )
 
 func init() { register(lockSched{}, 2) }
@@ -23,6 +24,10 @@ func (lockSched) Caps() Caps {
 		TaskDefs:   true,
 		Trace:      true,
 		Chaos:      true,
+		// The victim's lock covers the whole pool, so a thief can take
+		// half the stealable run in one critical section (steal-half).
+		StealPolicies: steal.Policies(),
+		StealAmounts:  steal.Amounts(),
 	}
 }
 
@@ -34,6 +39,7 @@ func (lockSched) NewPool(o Options) Pool {
 		MaxIdleSleep:   o.MaxIdleSleep,
 		Trace:          o.Trace,
 		Chaos:          o.Chaos,
+		Steal:          o.Steal,
 	})}
 }
 

@@ -24,6 +24,7 @@ func (ompSched) Caps() Caps {
 		Stats:       true,
 		Trace:       true,
 		Chaos:       true,
+		// No StealPolicies: a central queue has no victims to select.
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"gowool/internal/chaos"
+	"gowool/internal/steal"
 	"gowool/internal/trace"
 )
 
@@ -77,6 +78,12 @@ type Options struct {
 	// instead of hanging. 0 disables it. Backends without the
 	// capability ignore it.
 	Watchdog time.Duration
+	// Steal selects the victim policy and steal amount
+	// (internal/steal) on backends that advertise them
+	// (Caps.StealPolicies / Caps.StealAmounts). The zero value is each
+	// backend's historical default — uniform-random victims, one task
+	// per steal. Backends without the capability ignore it.
+	Steal steal.Config
 }
 
 // Caps declares what a registered scheduler can do, so registry-driven
@@ -115,6 +122,14 @@ type Caps struct {
 	Chaos bool
 	// Watchdog is true when Options.Watchdog arms stuck-run detection.
 	Watchdog bool
+	// StealPolicies lists the Options.Steal.Policy names the backend's
+	// victim selection honours (empty: no policy-driven victim
+	// selection — central queues, no-steal baselines).
+	StealPolicies []string
+	// StealAmounts lists the Options.Steal.Amount names the backend
+	// honours; backends whose pools support batch extraction include
+	// steal.AmountHalf.
+	StealAmounts []string
 }
 
 // Pool is a running scheduler instance behind the normalized surface.

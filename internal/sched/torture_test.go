@@ -9,6 +9,7 @@ import (
 
 	"gowool/internal/chaos"
 	"gowool/internal/sched"
+	"gowool/internal/steal"
 	"gowool/internal/workloads/fibw"
 )
 
@@ -24,14 +25,16 @@ var chaosSweep = flag.Duration("chaos.sweep", 0, "time box for the chaos seed sw
 const tortureWorkers = 4
 
 // runTorture drives one scheduler through the serial-agreement and
-// exactly-once workloads under one chaos profile and seed. Every
-// failure message carries the profile and seed, which replay the run
-// byte-for-byte.
-func runTorture(t *testing.T, s sched.Scheduler, prof chaos.Profile, seed uint64) {
+// exactly-once workloads under one chaos profile, seed, and steal
+// config. Every failure message carries the profile, steal policy and
+// seed, which replay the run byte-for-byte.
+func runTorture(t *testing.T, s sched.Scheduler, prof chaos.Profile, seed uint64, stl steal.Config) {
 	t.Helper()
+	polName := stl.Defaults().Policy
 	opts := sched.Options{
 		Workers: tortureWorkers,
 		Chaos:   chaos.NewInjector(tortureWorkers, prof, seed),
+		Steal:   stl,
 	}
 	if s.Caps().Watchdog {
 		// Generous relative to the profiles' delays: a hang becomes a
@@ -47,8 +50,8 @@ func runTorture(t *testing.T, s sched.Scheduler, prof chaos.Profile, seed uint64
 	got := p.RunRec(j)
 	p.Close()
 	if want := fibw.Serial(16); got != want {
-		t.Fatalf("%s profile=%s seed=%d: fib(16) = %d, want %d (replay with this profile and seed)",
-			s.Name(), prof.Name, seed, got, want)
+		t.Fatalf("%s profile=%s policy=%s seed=%d: fib(16) = %d, want %d (replay with this profile, policy and seed)",
+			s.Name(), prof.Name, polName, seed, got, want)
 	}
 
 	// Exactly-once: chaos must never duplicate or drop a leaf.
@@ -70,8 +73,8 @@ func runTorture(t *testing.T, s sched.Scheduler, prof chaos.Profile, seed uint64
 	got = p.RunRec(rec)
 	p.Close()
 	if want := int64(1 << height); got != want || leaves.Load() != want {
-		t.Fatalf("%s profile=%s seed=%d: tree sum=%d leaves=%d, want %d (replay with this profile and seed)",
-			s.Name(), prof.Name, seed+1, got, leaves.Load(), want)
+		t.Fatalf("%s profile=%s policy=%s seed=%d: tree sum=%d leaves=%d, want %d (replay with this profile, policy and seed)",
+			s.Name(), prof.Name, polName, seed+1, got, leaves.Load(), want)
 	}
 }
 
@@ -91,8 +94,40 @@ func TestChaosTorture(t *testing.T) {
 		t.Run(s.Name(), func(t *testing.T) {
 			for _, prof := range profiles {
 				t.Run(prof.Name, func(t *testing.T) {
-					runTorture(t, s, prof, 0x5eed)
+					runTorture(t, s, prof, 0x5eed, steal.Config{})
 				})
+			}
+		})
+	}
+}
+
+// TestStealPolicyTorture runs the torture workloads (serial agreement
+// and exactly-once) over every advertised steal policy × amount on
+// every backend that advertises policies, rotating the chaos profiles
+// so each policy meets a different perturbation. Localized runs with a
+// 2-worker neighborhood so it doesn't degenerate to random at the
+// 4-worker torture size.
+func TestStealPolicyTorture(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	profiles := chaos.Profiles()
+	for _, s := range sched.All() {
+		caps := s.Caps()
+		if len(caps.StealPolicies) == 0 {
+			continue
+		}
+		t.Run(s.Name(), func(t *testing.T) {
+			run := 0
+			for _, pol := range caps.StealPolicies {
+				for _, amt := range caps.StealAmounts {
+					prof := profiles[run%len(profiles)]
+					run++
+					t.Run(pol+"/"+amt, func(t *testing.T) {
+						runTorture(t, s, prof, 0x57ea1, steal.Config{
+							Policy: pol, Amount: amt, Neighborhood: 2,
+						})
+					})
+				}
 			}
 		})
 	}
@@ -135,7 +170,7 @@ func TestChaosSeedSweep(t *testing.T) {
 				continue
 			}
 			t.Logf("sweep round %d: scheduler=%s profile=%s seed=%d", round, s.Name(), prof.Name, seed)
-			runTorture(t, s, prof, seed)
+			runTorture(t, s, prof, seed, steal.Config{})
 		}
 	}
 }

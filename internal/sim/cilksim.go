@@ -1,6 +1,9 @@
 package sim
 
-import "gowool/internal/vtime"
+import (
+	"gowool/internal/steal"
+	"gowool/internal/vtime"
+)
 
 // Steal-parent (continuation-stealing) execution on the virtual-time
 // machine: the true Cilk execution order, complementing the cost-level
@@ -44,7 +47,8 @@ type CW struct {
 	deque     []CStep
 	lockUntil uint64
 	lastSteal uint64
-	rng       uint64
+	idx       int
+	pol       steal.Policy
 	maxDeque  int
 
 	St Stats
@@ -89,7 +93,7 @@ func RunCilkSim(cfg Config, build func(w *CW) CStep) CResult {
 	vm := vtime.NewMachine(cfg.Procs)
 	m.ws = make([]*CW, cfg.Procs)
 	for i := range m.ws {
-		m.ws[i] = &CW{m: m, rng: cfg.Seed + uint64(i)*0x2545f4914f6cdd1d + 1}
+		m.ws[i] = &CW{m: m, idx: i, pol: steal.New(cfg.Steal, i, cfg.Procs)}
 	}
 	vm.Run(func(p *vtime.Proc) {
 		w := m.ws[p.ID()]
@@ -104,7 +108,10 @@ func RunCilkSim(cfg Config, build func(w *CW) CStep) CResult {
 				backoff = 16
 				continue
 			}
-			if w.trySteal(w.nextVictim()) {
+			v := w.nextVictim()
+			ok := w.trySteal(v)
+			w.pol.Observe(v.idx, ok)
+			if ok {
 				backoff = 16
 				continue
 			}
@@ -210,8 +217,19 @@ func (w *CW) popBottom() CStep {
 	return s
 }
 
+// chargeProbeC charges a failed probe of victim with the topology's
+// per-hop penalty (same model as the steal-child protocol).
+func (w *CW) chargeProbeC(victim *CW) {
+	topo := &w.m.cfg.Topology
+	cost := w.m.cfg.Costs.StealProbe +
+		topo.ProbePenalty*topo.hops(w.idx, victim.idx, len(w.m.ws))
+	w.St.ST += cost
+	w.p.Step(cost)
+}
+
 // trySteal takes the oldest continuation from victim and runs its
-// chain, with the steal-child protocol's coherence model.
+// chain, with the steal-child protocol's coherence and topology
+// models.
 func (w *CW) trySteal(victim *CW) bool {
 	if victim == w {
 		return false
@@ -219,14 +237,12 @@ func (w *CW) trySteal(victim *CW) bool {
 	c := &w.m.cfg.Costs
 	w.St.Attempts++
 	if len(victim.deque) == 0 {
-		w.St.ST += c.StealProbe
-		w.p.Step(c.StealProbe)
+		w.chargeProbeC(victim)
 		return false
 	}
 	w.lockTicketC(&victim.lockUntil, c.LockAcquire+c.LockHold)
 	if len(victim.deque) == 0 {
-		w.St.ST += c.StealProbe
-		w.p.Step(c.StealProbe)
+		w.chargeProbeC(victim)
 		return false
 	}
 	s := victim.deque[0]
@@ -234,7 +250,8 @@ func (w *CW) trySteal(victim *CW) bool {
 	victim.deque[len(victim.deque)-1] = nil
 	victim.deque = victim.deque[:len(victim.deque)-1]
 
-	cost := c.StealWork
+	topo := &w.m.cfg.Topology
+	cost := c.StealWork + topo.StealPenalty*topo.hops(w.idx, victim.idx, len(w.m.ws))
 	now := w.p.Now()
 	if now-victim.lastSteal < 2*c.StealWork {
 		cost += c.StealWork / 2
@@ -265,21 +282,8 @@ func (w *CW) lockTicketC(l *uint64, occupy uint64) {
 	w.p.WaitUntil(grant)
 }
 
-// nextVictim picks a deterministic pseudo-random victim != self.
+// nextVictim asks the worker's policy for the next victim (nil probe:
+// probe cycles are charged explicitly in trySteal).
 func (w *CW) nextVictim() *CW {
-	n := len(w.m.ws)
-	if n == 1 {
-		return w
-	}
-	x := w.rng
-	x ^= x << 13
-	x ^= x >> 7
-	x ^= x << 17
-	w.rng = x
-	self := w.p.ID()
-	v := int(x % uint64(n-1))
-	if v >= self {
-		v++
-	}
-	return w.m.ws[v]
+	return w.m.ws[w.pol.Choose(nil)]
 }

@@ -134,7 +134,9 @@ func (w *W) Join() int64 {
 		var ok bool
 		if w.m.cfg.Kind == KindDeque {
 			// TBB-like: unrestricted stealing while blocked.
-			ok = w.trySteal(w.nextVictim(), modeLA)
+			v := w.nextVictim()
+			ok = w.trySteal(v, modeLA)
+			w.pol.Observe(v.idx, ok)
 		} else {
 			// Wool and the lock ladder: leapfrog off the thief.
 			ok = w.trySteal(thief, modeLA)
@@ -225,6 +227,20 @@ func (w *W) publishMore() {
 	w.p.Step(w.m.cfg.Costs.SpawnPublic) // publication is a handful of stores
 }
 
+// chargeProbe charges a failed probe of victim: the profile's
+// StealProbe plus the topology's per-hop penalty (reading a remote
+// shard's indices misses to another node's cache). victim == nil is
+// the central queue — no victim distance.
+func (w *W) chargeProbe(victim *W) {
+	cost := w.m.cfg.Costs.StealProbe
+	if victim != nil {
+		t := &w.m.cfg.Topology
+		cost += t.ProbePenalty * t.hops(w.idx, victim.idx, len(w.m.ws))
+	}
+	w.St.ST += cost
+	w.p.Step(cost)
+}
+
 // trySteal attempts one steal from victim under the machine's kind,
 // running the stolen task to completion on w in the given mode.
 // Returns whether a task was stolen and executed.
@@ -232,7 +248,6 @@ func (w *W) trySteal(victim *W, mode int) bool {
 	if victim == w {
 		return false
 	}
-	c := &w.m.cfg.Costs
 	w.St.Attempts++
 
 	switch w.m.cfg.Kind {
@@ -244,8 +259,7 @@ func (w *W) trySteal(victim *W, mode int) bool {
 			w.mode = prev
 			return true
 		}
-		w.St.ST += c.StealProbe
-		w.p.Step(c.StealProbe)
+		w.chargeProbe(nil)
 		return false
 
 	case KindLock:
@@ -253,14 +267,12 @@ func (w *W) trySteal(victim *W, mode int) bool {
 
 	default: // KindDirectStack, KindDeque
 		if victim.bot >= victim.top || victim.bot >= victim.publicLimit {
-			w.St.ST += c.StealProbe
-			w.p.Step(c.StealProbe)
+			w.chargeProbe(victim)
 			return false
 		}
 		t := &victim.tasks[victim.bot]
 		if t.state != sTask {
-			w.St.ST += c.StealProbe
-			w.p.Step(c.StealProbe)
+			w.chargeProbe(victim)
 			return false
 		}
 		w.claim(t, victim)
@@ -304,15 +316,13 @@ func (w *W) tryStealLocked(victim *W, mode int) bool {
 	case LockPeek, LockTryLock:
 		// Peek at the indices without the lock first.
 		if !stealable() {
-			w.St.ST += c.StealProbe
-			w.p.Step(c.StealProbe)
+			w.chargeProbe(victim)
 			return false
 		}
 		if w.m.cfg.LockStrategy == LockTryLock && w.p.Now() < victim.lockUntil {
 			// Contended: abort rather than wait.
 			w.St.LockWaits++
-			w.St.ST += c.StealProbe
-			w.p.Step(c.StealProbe)
+			w.chargeProbe(victim)
 			return false
 		}
 	case LockBase:
@@ -328,8 +338,7 @@ func (w *W) tryStealLocked(victim *W, mode int) bool {
 	w.lockTicket(&victim.lockUntil, c.LockAcquire+c.LockHold)
 
 	if !stealable() {
-		w.St.ST += c.StealProbe
-		w.p.Step(c.StealProbe)
+		w.chargeProbe(victim)
 		return false
 	}
 	t := &victim.tasks[victim.bot]
@@ -346,6 +355,7 @@ func (w *W) tryStealLocked(victim *W, mode int) bool {
 func (w *W) claim(t *STask, victim *W) {
 	t.state = sStolen
 	t.thief = int32(w.p.ID())
+	w.stealsFrom[victim.idx]++
 	victim.bot++
 	// Trip wire: a steal at or past the wire asks the owner to publish.
 	cfg := &w.m.cfg
@@ -355,11 +365,18 @@ func (w *W) claim(t *STask, victim *W) {
 	}
 }
 
-// runSteal pays the steal cost (with the coherence model) and executes
-// the stolen task.
+// runSteal pays the steal cost (with the coherence and topology
+// models) and executes the stolen task.
 func (w *W) runSteal(t *STask, victim *W) {
 	c := &w.m.cfg.Costs
 	cost := c.StealWork
+	if victim != nil && w.m.cfg.Kind != KindCentral {
+		// Topology: the descriptor's cache lines cross the interconnect
+		// (central-queue tasks live on the shared queue, not with the
+		// probed victim).
+		topo := &w.m.cfg.Topology
+		cost += topo.StealPenalty * topo.hops(w.idx, victim.idx, len(w.m.ws))
+	}
 	now := w.p.Now()
 	// Coherence model: a victim whose pool was robbed moments ago (or
 	// a machine with steal traffic in flight) serves the descriptor

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"gowool/internal/costmodel"
+	"gowool/internal/steal"
 	"gowool/internal/vtime"
 )
 
@@ -115,6 +116,17 @@ type Config struct {
 	// Seed drives victim selection; same seed ⇒ identical run.
 	Seed uint64
 
+	// Steal selects the victim policy (internal/steal). The zero value
+	// is the uniform-random policy with RNG streams derived from Seed —
+	// bit-identical to the pre-policy simulator. Steal.Seed, when left
+	// zero, inherits Seed. Steal.Amount is accepted for sweep-grid
+	// uniformity but the simulated protocols take one task per steal.
+	Steal steal.Config
+
+	// Topology is the sharded-machine model; the zero value is a flat
+	// machine (no distance penalties).
+	Topology Topology
+
 	// IdleBackoffCap bounds the exponential back-off (in cycles) of
 	// idle and blocked workers between failed steal probes. The
 	// paper's dedicated machine polls continuously; small caps model
@@ -151,6 +163,19 @@ func (c Config) defaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 0x9e3779b97f4a7c15
 	}
+	if c.Steal.Seed == 0 {
+		// WorkerSeed(Seed, i) then reproduces the pre-policy per-worker
+		// streams Seed + i*0x2545f4914f6cdd1d + 1 bit for bit.
+		c.Steal.Seed = c.Seed
+	}
+	if c.Topology.Shards > 1 {
+		if c.Topology.ProbePenalty == 0 {
+			c.Topology.ProbePenalty = costmodel.RemoteProbePenalty
+		}
+		if c.Topology.StealPenalty == 0 {
+			c.Topology.StealPenalty = costmodel.RemoteStealPenalty
+		}
+	}
 	if c.SpanOverhead == 0 {
 		c.SpanOverhead = 2000
 	}
@@ -158,6 +183,36 @@ func (c Config) defaults() Config {
 		c.IdleBackoffCap = 1024
 	}
 	return c
+}
+
+// Topology models a sharded machine — NUMA nodes or sockets — by
+// making steal traffic pay for distance. The Procs workers are split
+// into Shards contiguous shards (worker i lands in shard i*Shards/P),
+// and every cross-shard probe or steal costs extra cycles per shard
+// hop on a linear interconnect: a failed probe pays ProbePenalty×hops
+// on top of the profile's StealProbe (reading a remote worker's
+// indices misses to another node's cache), and a successful steal pays
+// StealPenalty×hops on top of StealWork (the descriptor's cache lines
+// cross the interconnect). The zero value is a flat machine. When
+// Shards > 1 and a penalty is zero, the calibrated costmodel defaults
+// (RemoteProbePenalty, RemoteStealPenalty) apply.
+type Topology struct {
+	Shards       int
+	ProbePenalty uint64 // extra cycles per shard hop, failed probe
+	StealPenalty uint64 // extra cycles per shard hop, successful steal
+}
+
+// hops returns the interconnect distance between workers a and b of an
+// n-worker machine: the shard-index difference, 0 on a flat machine.
+func (t Topology) hops(a, b, n int) uint64 {
+	if t.Shards <= 1 || n <= 0 {
+		return 0
+	}
+	sa, sb := a*t.Shards/n, b*t.Shards/n
+	if sa >= sb {
+		return uint64(sa - sb)
+	}
+	return uint64(sb - sa)
 }
 
 // Args are a task's arguments: four integer slots and a context
@@ -262,8 +317,13 @@ type W struct {
 	lockUntil uint64 // victim-lock model (KindLock, Cilk-style costs)
 	lastSteal uint64 // time of the last successful steal from this worker (coherence model)
 
-	rng  uint64
+	idx  int
+	pol  steal.Policy
 	mode int
+
+	// stealsFrom[v] counts successful claims from victim v — the
+	// thief's row of the run's steal matrix.
+	stealsFrom []int64
 
 	// ovf holds the results of overflow-inlined spawns, youngest last.
 	// Non-empty only while top == StackSize (entries are created only
@@ -323,6 +383,10 @@ type Result struct {
 	Total    Stats    // aggregated counters
 	Workers  []Stats  // per-worker counters
 
+	// StealsFrom[thief][victim] counts successful claims — the steal
+	// matrix (central-queue pops have no victim and are not counted).
+	StealsFrom [][]int64
+
 	// Span data (TrackSpan runs): total work, critical path in the
 	// abstract (O=0) and realistic (O=SpanOverhead) models.
 	Work, Span0, SpanO uint64
@@ -335,9 +399,11 @@ func NewMachine(cfg Config) *Machine {
 	m.ws = make([]*W, cfg.Procs)
 	for i := range m.ws {
 		w := &W{
-			m:     m,
-			tasks: make([]STask, cfg.StackSize),
-			rng:   cfg.Seed + uint64(i)*0x2545f4914f6cdd1d + 1,
+			m:          m,
+			idx:        i,
+			tasks:      make([]STask, cfg.StackSize),
+			pol:        steal.New(cfg.Steal, i, cfg.Procs),
+			stealsFrom: make([]int64, cfg.Procs),
 		}
 		if cfg.PrivateTasks && cfg.Kind == KindDirectStack {
 			w.publicLimit = cfg.InitialPublic
@@ -383,14 +449,16 @@ func (m *Machine) run(root *Def, args Args) Result {
 		w.idleLoop()
 	})
 	res := Result{
-		Value:    m.result,
-		Makespan: m.makespan,
-		Times:    times,
-		Workers:  make([]Stats, len(m.ws)),
+		Value:      m.result,
+		Makespan:   m.makespan,
+		Times:      times,
+		Workers:    make([]Stats, len(m.ws)),
+		StealsFrom: make([][]int64, len(m.ws)),
 	}
 	for i, w := range m.ws {
 		res.Workers[i] = w.St
 		res.Total.add(&w.St)
+		res.StealsFrom[i] = w.stealsFrom
 	}
 	if m.span != nil {
 		res.Work = m.span.work
@@ -400,23 +468,11 @@ func (m *Machine) run(root *Def, args Args) Result {
 	return res
 }
 
-// nextVictim picks a deterministic pseudo-random victim != self.
+// nextVictim asks the worker's policy for the next victim. The probe
+// is nil: the simulator charges probe cycles explicitly in trySteal,
+// so policies run on Observe feedback alone.
 func (w *W) nextVictim() *W {
-	n := len(w.m.ws)
-	if n == 1 {
-		return w
-	}
-	x := w.rng
-	x ^= x << 13
-	x ^= x >> 7
-	x ^= x << 17
-	w.rng = x
-	self := w.p.ID()
-	v := int(x % uint64(n-1))
-	if v >= self {
-		v++
-	}
-	return w.m.ws[v]
+	return w.m.ws[w.pol.Choose(nil)]
 }
 
 // idleLoop steals until the root completes.
@@ -424,7 +480,10 @@ func (w *W) idleLoop() {
 	cap := w.m.cfg.IdleBackoffCap
 	backoff := uint64(16)
 	for !w.m.vm.Stopped() {
-		if w.trySteal(w.nextVictim(), modeNA) {
+		v := w.nextVictim()
+		ok := w.trySteal(v, modeNA)
+		w.pol.Observe(v.idx, ok)
+		if ok {
 			backoff = 16
 			continue
 		}

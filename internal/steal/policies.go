@@ -1,0 +1,228 @@
+package steal
+
+// randomPolicy is uniform victim selection with optional distinct-k
+// sampling — the pre-refactor nextVictim / distinctVictims / sampling
+// path of core, reproduced bit for bit, and the base the other
+// policies fall back to. All fields are owner-private per-worker state.
+type randomPolicy struct {
+	// woolvet:owner
+	rng RNG
+	// woolvet:owner
+	self int
+	// woolvet:owner
+	n int
+	// woolvet:owner
+	k int
+	// woolvet:owner
+	buf [MaxSampling]int
+}
+
+func (p *randomPolicy) Name() string { return Random }
+
+// pick is the legacy nextVictim: one xorshift step, uniform over the
+// n-1 non-self indices. With one worker it returns self and the
+// caller's steal attempt fails on the victim==self check.
+func (p *randomPolicy) pick() int {
+	if p.n <= 1 {
+		return p.self
+	}
+	x := p.rng.Next()
+	v := int(x % uint64(p.n-1))
+	if v >= p.self {
+		v++
+	}
+	return v
+}
+
+// distinct fills out with up to k pairwise-distinct victim indices —
+// the legacy core distinctVictims, byte for byte: enumerate everyone
+// when k covers the pool, otherwise rejection-sample with a bounded
+// try budget so a streak of duplicates degrades to fewer candidates
+// instead of spinning.
+func (p *randomPolicy) distinct(k int, out []int) int {
+	n := p.n - 1 // candidate victims (everyone but self)
+	if n <= 0 {
+		return 0
+	}
+	if k > len(out) {
+		k = len(out)
+	}
+	if k >= n {
+		j := 0
+		for i := 0; i < p.n; i++ {
+			if i != p.self && j < len(out) {
+				out[j] = i
+				j++
+			}
+		}
+		return j
+	}
+	cnt := 0
+	for tries := 0; cnt < k && tries < 4*k+8; tries++ {
+		idx := p.pick()
+		dup := false
+		for j := 0; j < cnt; j++ {
+			if out[j] == idx {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out[cnt] = idx
+			cnt++
+		}
+	}
+	return cnt
+}
+
+func (p *randomPolicy) Choose(stealable func(int) bool) int {
+	if p.k <= 1 || stealable == nil {
+		return p.pick()
+	}
+	cnt := p.distinct(p.k, p.buf[:])
+	if cnt == 0 {
+		return p.pick()
+	}
+	// Probe the candidates read-only and commit to the first that
+	// looks stealable; when all look empty, fall through to the last
+	// candidate anyway — the probe is only a hint and the CAS protocol
+	// rechecks (legacy chooseVictim's fallback).
+	v := -1
+	for i := 0; i < cnt; i++ {
+		v = p.buf[i]
+		if stealable(v) {
+			return v
+		}
+	}
+	return v
+}
+
+func (p *randomPolicy) Observe(int, bool) bool { return false }
+
+// lastVictimPolicy layers last-successful-victim retention over
+// randomPolicy — the pre-refactor Options.StealRetain logic from
+// core's chooseVictim/idleLoop, bit for bit. The probed flag keeps the
+// miss accounting identical to the legacy split: with a probe, misses
+// are counted at Choose time (a failed CAS after a positive probe is a
+// race, not a miss); without one (the simulator), misses are counted
+// from Observe.
+type lastVictimPolicy struct {
+	randomPolicy
+	// woolvet:owner
+	retain int
+	// woolvet:owner
+	last int
+	// woolvet:owner
+	misses int
+	// woolvet:owner
+	probed bool
+}
+
+func (p *lastVictimPolicy) Name() string { return LastVictim }
+
+func (p *lastVictimPolicy) Choose(stealable func(int) bool) int {
+	p.probed = stealable != nil
+	if lv := p.last; lv >= 0 && stealable != nil {
+		if stealable(lv) {
+			return lv
+		}
+		p.misses++
+		if p.misses >= p.retain {
+			p.last = -1
+			p.misses = 0
+		}
+	}
+	return p.randomPolicy.Choose(stealable)
+}
+
+func (p *lastVictimPolicy) Observe(v int, ok bool) (retained bool) {
+	if ok {
+		if p.last == v {
+			retained = true
+		} else {
+			p.last = v
+		}
+		p.misses = 0
+		return retained
+	}
+	if !p.probed && p.last >= 0 && v == p.last {
+		p.misses++
+		if p.misses >= p.retain {
+			p.last = -1
+			p.misses = 0
+		}
+	}
+	return false
+}
+
+// sequentialPolicy scans victims round-robin from the thief's right
+// neighbour: fully deterministic, no RNG. A successful steal keeps the
+// cursor on the yielding victim (a busy victim is robbed until dry, so
+// steals cluster); a failure advances it past the victim just tried.
+type sequentialPolicy struct {
+	// woolvet:owner
+	self int
+	// woolvet:owner
+	n int
+	// woolvet:owner
+	cur int
+}
+
+func (p *sequentialPolicy) Name() string { return Sequential }
+
+func (p *sequentialPolicy) Choose(func(int) bool) int { return p.cur }
+
+func (p *sequentialPolicy) Observe(v int, ok bool) bool {
+	if ok || p.n <= 1 {
+		return false
+	}
+	c := (v + 1) % p.n
+	if c == p.self {
+		c = (c + 1) % p.n
+	}
+	p.cur = c
+	return false
+}
+
+// localizedPolicy steals from the h ring-nearest workers (offsets
+// alternating +1, -1, +2, -2, ... around the worker ring), spilling to
+// a uniformly random victim with fixed probability per attempt —
+// localized work stealing with spill-out (arXiv:1804.04773). One RNG
+// draw decides both the spill (high 32 bits against a fixed-point
+// threshold) and the neighbour index (low 32 bits).
+type localizedPolicy struct {
+	randomPolicy
+	// woolvet:owner
+	h int
+	// woolvet:owner
+	spill uint64
+}
+
+func (p *localizedPolicy) Name() string { return Localized }
+
+func (p *localizedPolicy) Choose(stealable func(int) bool) int {
+	if p.n <= 1 {
+		return p.self
+	}
+	if p.h >= p.n-1 {
+		// Neighborhood covers the whole ring: identical to random.
+		return p.randomPolicy.Choose(stealable)
+	}
+	x := p.rng.Next()
+	if x>>32 < p.spill {
+		return p.pick() // spill out: uniform over everyone
+	}
+	j := int(uint32(x)) % p.h
+	d := j/2 + 1
+	v := p.self
+	if j&1 == 0 {
+		v += d
+	} else {
+		v -= d
+	}
+	v %= p.n
+	if v < 0 {
+		v += p.n
+	}
+	return v
+}

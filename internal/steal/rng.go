@@ -1,0 +1,32 @@
+package steal
+
+// RNG is the xorshift64 victim generator every backend used to carry a
+// private copy of (Marsaglia, "Xorshift RNGs"). One step per victim
+// pick, no allocation, and a deterministic stream per seed — which is
+// why chaos replays and the whitebox probe-order tests can pin exact
+// victim sequences.
+type RNG struct {
+	// woolvet:owner
+	x uint64
+}
+
+// NewRNG returns an RNG seeded with seed. xorshift has a single fixed
+// point at zero, so a zero seed is replaced with a nonzero constant;
+// the legacy per-worker seed schedules never produce zero.
+func NewRNG(seed uint64) RNG {
+	if seed == 0 {
+		seed = 0x2545f4914f6cdd1d
+	}
+	return RNG{x: seed}
+}
+
+// Next advances the stream one step and returns the new state — the
+// exact update order of the pre-refactor nextVictim copies.
+func (r *RNG) Next() uint64 {
+	x := r.x
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.x = x
+	return x
+}

@@ -1,0 +1,273 @@
+// Package steal is the composable victim-selection policy layer shared
+// by every work-stealing backend in this repository and by the
+// virtual-time simulator.
+//
+// Before this package each backend carried its own copy of the same
+// xorshift64 victim generator, and the retention (last-victim) and
+// sampling refinements lived inline in core's chooseVictim. Following
+// "Configurable Strategies for Work-stealing" (arXiv:1305.6474), victim
+// order decomposes into an independent strategy object: a Policy holds
+// per-worker, owner-private state (an RNG stream, a retention slot, a
+// scan cursor, a neighborhood), seeded deterministically per worker
+// like the chaos agents, and the thief loop asks it which worker to rob
+// next. "On the Efficiency of Localized Work Stealing"
+// (arXiv:1804.04773) supplies the localized policy: steal from a ring
+// neighborhood of nearby workers, spilling to a uniformly random remote
+// victim with small probability.
+//
+// The steal *amount* (one task vs half the victim's pool, Hendler &
+// Shavit's steal-half) is a second independent axis; it is carried in
+// Config.Amount and honoured by the backends whose pools support batch
+// extraction (chaselev, locksched).
+//
+// Concurrency contract: a Policy is owner-private state of exactly one
+// worker — only the goroutine driving that worker may call its methods
+// (the woolvet ownerprivate pass checks the backends' policy fields).
+// The stealable probe passed to Choose may read other workers' protocol
+// atomics, but the policy itself never shares state.
+package steal
+
+import "fmt"
+
+// Policy names (Config.Policy). Policies() lists them in presentation
+// order.
+const (
+	// Random is uniform victim selection over the other workers — the
+	// paper's policy — with optional distinct-k sampling
+	// (Config.Sampling): probe up to k pairwise-distinct candidates
+	// read-only and take the first that looks stealable.
+	Random = "random"
+	// LastVictim wraps Random with last-successful-victim retention
+	// (the pre-refactor Options.StealRetain): after a successful steal
+	// return to the same victim first, dropping it after Config.Retain
+	// consecutive probes that find nothing.
+	LastVictim = "last-victim"
+	// Sequential scans the workers round-robin from the thief's right
+	// neighbour: fully deterministic, no RNG. A successful steal keeps
+	// the cursor on the yielding victim (steals cluster); a failure
+	// advances it.
+	Sequential = "sequential"
+	// Localized steals from a ring neighborhood of the
+	// Config.Neighborhood nearest workers, spilling to a uniformly
+	// random remote victim with probability Config.Spill
+	// (arXiv:1804.04773).
+	Localized = "localized"
+)
+
+// Steal amounts (Config.Amount).
+const (
+	// AmountOne takes a single task per successful steal (the default
+	// and the paper's policy).
+	AmountOne = "one"
+	// AmountHalf takes up to half of the victim's queued tasks in one
+	// claim (Hendler & Shavit's steal-half) on backends whose pools
+	// support batch extraction; others ignore it.
+	AmountHalf = "half"
+)
+
+// Policies returns the victim-policy names in presentation order.
+func Policies() []string {
+	return []string{Random, LastVictim, Sequential, Localized}
+}
+
+// Amounts returns the steal-amount names.
+func Amounts() []string { return []string{AmountOne, AmountHalf} }
+
+// MaxSampling caps Config.Sampling's distinct-victim bookkeeping (the
+// pre-refactor core.maxSampling).
+const MaxSampling = 8
+
+// Config selects and parameterizes a victim policy. The zero value is
+// usable: it resolves to the uniform-random policy with no sampling,
+// taking one task per steal — every backend's historical default.
+type Config struct {
+	// Policy is one of Policies(); "" means Random.
+	Policy string
+
+	// Retain is the LastVictim miss budget: the retained victim is
+	// dropped after this many consecutive probes that find nothing.
+	// 0 means the default of 1; negative disables retention outright
+	// (the policy degenerates to Random).
+	Retain int
+
+	// Sampling makes Random (and the LastVictim fallback) probe up to
+	// this many pairwise-distinct candidates per attempt and take the
+	// first that looks stealable. 0 or 1 means no sampling; capped at
+	// MaxSampling. Only consulted when the backend supplies a
+	// stealable probe.
+	Sampling int
+
+	// Neighborhood is the Localized ring-neighborhood size: the number
+	// of nearest workers (alternating right/left on the worker ring)
+	// eligible for a local steal. 0 means the default of 4; values
+	// >= workers-1 degenerate to Random.
+	Neighborhood int
+
+	// Spill is the Localized spill-out probability: each attempt
+	// escapes the neighborhood to a uniformly random victim with this
+	// probability. 0 means the default of 0.05; negative means never
+	// spill.
+	Spill float64
+
+	// Amount is AmountOne or AmountHalf; "" means AmountOne. Honoured
+	// by backends whose pools support batch extraction (see
+	// sched.Caps.StealAmounts).
+	Amount string
+
+	// Seed, when nonzero, derives the per-worker RNG streams from a
+	// run seed (the simulator's convention, matching its pre-refactor
+	// streams bit for bit). Zero uses the native backends'
+	// golden-ratio per-worker schedule — also bit-identical to the
+	// rng each backend seeded before this package existed.
+	Seed uint64
+}
+
+// Defaults returns c with every unset field replaced by its default.
+func (c Config) Defaults() Config {
+	if c.Policy == "" {
+		c.Policy = Random
+	}
+	if c.Retain == 0 {
+		c.Retain = 1
+	}
+	if c.Sampling <= 0 {
+		c.Sampling = 1
+	}
+	if c.Sampling > MaxSampling {
+		c.Sampling = MaxSampling
+	}
+	if c.Neighborhood <= 0 {
+		c.Neighborhood = 4
+	}
+	if c.Spill == 0 {
+		c.Spill = 0.05
+	}
+	if c.Amount == "" {
+		c.Amount = AmountOne
+	}
+	return c
+}
+
+// Validate reports whether c names a known policy and amount. Call it
+// on the pre-Defaults value or after; both accept "".
+func (c Config) Validate() error {
+	switch c.Policy {
+	case "", Random, LastVictim, Sequential, Localized:
+	default:
+		return fmt.Errorf("unknown steal policy %q (have %v)", c.Policy, Policies())
+	}
+	switch c.Amount {
+	case "", AmountOne, AmountHalf:
+	default:
+		return fmt.Errorf("unknown steal amount %q (have %v)", c.Amount, Amounts())
+	}
+	if c.Spill > 1 {
+		return fmt.Errorf("steal spill probability %v > 1", c.Spill)
+	}
+	return nil
+}
+
+// Policy is one worker's victim-selection strategy. All methods are
+// owner-private: only the goroutine driving the owning worker may call
+// them.
+type Policy interface {
+	// Name returns the policy name (one of Policies()).
+	Name() string
+
+	// Choose returns the index of the next victim to rob. It never
+	// returns the owning worker's index unless the pool has a single
+	// worker (in which case the caller's steal attempt fails on the
+	// victim==self check, exactly like the pre-refactor nextVictim).
+	//
+	// stealable, when non-nil, is a read-only probe of a candidate's
+	// pool (e.g. core's stealableAt): the retention check and the
+	// sampling pass use it to skip victims that look empty. nil (the
+	// simulator, lock-guarded pools) disables probing; failures are
+	// then accounted through Observe instead.
+	Choose(stealable func(int) bool) int
+
+	// Observe feeds back the outcome of the steal attempt at victim v.
+	// retained reports a repeat success at the retained victim (the
+	// LastVictim hit counter; core surfaces it as
+	// Stats.RetainedSteals). Call it after every policy-chosen attempt;
+	// leapfrog steals (fixed thief, not policy-chosen) are not
+	// observed.
+	Observe(v int, ok bool) (retained bool)
+}
+
+// WorkerSeed returns the per-worker RNG seed for a run seed: the
+// native backends' golden-ratio schedule when seed is zero, or the
+// simulator's splitmix offsets from the run seed otherwise. Both
+// reproduce the streams the respective callers seeded before this
+// package existed.
+func WorkerSeed(seed uint64, self int) uint64 {
+	if seed == 0 {
+		return uint64(self)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	}
+	return seed + uint64(self)*0x2545f4914f6cdd1d + 1
+}
+
+// New builds the policy cfg names for worker self of a workers-sized
+// pool, seeded deterministically (WorkerSeed). It panics on an invalid
+// config — policy construction happens at pool construction, where the
+// other option validations panic too.
+func New(cfg Config, self, workers int) Policy {
+	if err := cfg.Validate(); err != nil {
+		panic("steal: " + err.Error())
+	}
+	if workers <= 0 || self < 0 || self >= workers {
+		panic(fmt.Sprintf("steal: worker %d of %d out of range", self, workers))
+	}
+	retainDisabled := cfg.Retain < 0
+	cfg = cfg.Defaults()
+	base := randomPolicy{
+		rng:  NewRNG(WorkerSeed(cfg.Seed, self)),
+		self: self,
+		n:    workers,
+		k:    cfg.Sampling,
+	}
+	switch cfg.Policy {
+	case Random:
+		return &base
+	case LastVictim:
+		if retainDisabled {
+			return &base
+		}
+		return &lastVictimPolicy{randomPolicy: base, retain: cfg.Retain, last: -1}
+	case Sequential:
+		cur := self
+		if workers > 1 {
+			cur = (self + 1) % workers
+		}
+		return &sequentialPolicy{self: self, n: workers, cur: cur}
+	case Localized:
+		h := cfg.Neighborhood
+		if h > workers-1 {
+			h = workers - 1
+		}
+		spill := cfg.Spill
+		if spill < 0 {
+			spill = 0
+		}
+		return &localizedPolicy{
+			randomPolicy: base,
+			h:            h,
+			spill:        uint64(spill * float64(1<<32)),
+		}
+	}
+	panic("steal: unreachable policy " + cfg.Policy)
+}
+
+// RingDistance returns the distance between workers a and b on the
+// n-ring — the victim-distance metric of the Localized policy, the
+// simulator's sharded topology, and the steal-matrix locality reports.
+func RingDistance(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if alt := n - d; alt < d {
+		d = alt
+	}
+	return d
+}

@@ -56,6 +56,24 @@ func Serial(m *Matrices) {
 	}
 }
 
+//go:generate go run gowool/cmd/woolgen -pkg mm -out mm_gen.go -task Rows:2:ctx=*Matrices
+
+// rowsBody is the row-range recursion behind the woolgen-generated
+// monomorphic port (mm_gen.go): SpawnRows/JoinRows flatten to plain
+// descriptor stores and direct calls back into this function on the
+// private fast path. Run it with CallRows(w, m, 0, m.N).
+func rowsBody(w *core.Worker, m *Matrices, lo, hi int64) int64 {
+	if hi-lo == 1 {
+		m.Row(lo)
+		return 1
+	}
+	mid := (lo + hi) / 2
+	SpawnRows(w, m, mid, hi)
+	a := rowsBody(w, m, lo, mid)
+	b := JoinRows(w)
+	return a + b
+}
+
 // NewWool builds the row-range task: split [A0, A1) until single rows.
 // This is how Wool's loop constructs expand into balanced task trees.
 func NewWool() *core.TaskDefC2[Matrices] {

@@ -1,0 +1,28 @@
+package mm
+
+import (
+	"runtime"
+	"testing"
+
+	"gowool/internal/core"
+)
+
+// TestGeneratedPortMatchesSerial runs the multiply through the
+// woolgen-generated monomorphic port (SpawnRows/JoinRows/CallRows) and
+// checks the result element-wise against the reference.
+func TestGeneratedPortMatchesSerial(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	m := New(33)
+	want := referenceMultiply(m)
+
+	p := core.NewPool(core.Options{Workers: 4, PrivateTasks: true})
+	defer p.Close()
+	rows := p.Run(func(w *core.Worker) int64 { return CallRows(w, m, 0, m.N) })
+	if rows != m.N {
+		t.Fatalf("generated port did %d rows, want %d", rows, m.N)
+	}
+	if d := maxDiff(m.C, want); d > 1e-9 {
+		t.Errorf("generated port result off by %g", d)
+	}
+}

@@ -75,6 +75,27 @@ type Work struct {
 	Out []int64
 }
 
+//go:generate go run gowool/cmd/woolgen -pkg ssf -out ssf_gen.go -task Scan:2:ctx=*Work
+
+// scanBody is the position-range recursion behind the woolgen-generated
+// monomorphic port (ssf_gen.go): SpawnScan/JoinScan flatten to plain
+// descriptor stores and direct calls back into this function on the
+// private fast path. Run it with CallScan(w, wk, 0, int64(len(wk.S))).
+func scanBody(w *core.Worker, wk *Work, lo, hi int64) int64 {
+	if hi-lo == 1 {
+		best, _ := Position(wk.S, lo)
+		if wk.Out != nil {
+			wk.Out[lo] = best
+		}
+		return best
+	}
+	mid := (lo + hi) / 2
+	SpawnScan(w, wk, mid, hi)
+	a := scanBody(w, wk, lo, mid)
+	b := JoinScan(w)
+	return a + b
+}
+
 // NewWool builds the position-range task tree (Wool loop style).
 func NewWool() *core.TaskDefC2[Work] {
 	var span *core.TaskDefC2[Work]

@@ -1,0 +1,34 @@
+package ssf
+
+import (
+	"runtime"
+	"testing"
+
+	"gowool/internal/core"
+)
+
+// TestGeneratedPortMatchesSerial runs the scan through the
+// woolgen-generated monomorphic port (SpawnScan/JoinScan/CallScan) and
+// checks checksum and per-position output against the serial
+// reference.
+func TestGeneratedPortMatchesSerial(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	s := FibString(11)
+	want := Serial(s, nil)
+
+	wk := &Work{S: s, Out: make([]int64, len(s))}
+	p := core.NewPool(core.Options{Workers: 4, PrivateTasks: true})
+	defer p.Close()
+	got := p.Run(func(w *core.Worker) int64 { return CallScan(w, wk, 0, int64(len(wk.S))) })
+	if got != want {
+		t.Errorf("generated port checksum = %d, want %d", got, want)
+	}
+	serialOut := make([]int64, len(s))
+	Serial(s, serialOut)
+	for i := range serialOut {
+		if wk.Out[i] != serialOut[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, wk.Out[i], serialOut[i])
+		}
+	}
+}
