@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint bench registry-bench perfgate generate ci all trace-smoke fuzz-smoke chaos stealsweep stealsweep-smoke
+.PHONY: build test race lint lint-fast lint-perfbudget bench registry-bench perfgate generate ci all trace-smoke fuzz-smoke chaos stealsweep stealsweep-smoke
 
 all: build test lint
 
@@ -21,9 +21,23 @@ race:
 
 # woolvet enforces the direct-task-stack protocol invariants
 # (atomic-only fields, owner-private fields, cache-line layout,
-# spawn/join balance) over the whole module. See DESIGN.md §10.
+# spawn/join balance, publication ordering, the compiler perf budget,
+# and the stale-suppression audit) over the whole module. See
+# DESIGN.md §10 and §15.
 lint:
 	$(GO) run ./cmd/woolvet ./...
+
+# The fast passes only — everything except perfbudget, which shells
+# out to `go build -gcflags=-m` per package and wants a warm build
+# cache (CI runs the two halves as separate steps for readable
+# timings; see .github/workflows/ci.yml).
+lint-fast:
+	$(GO) run ./cmd/woolvet -only atomicfield,ownerprivate,layoutguard,spawnjoin,generated,publication ./...
+
+# The compiler-budget pass alone, dumping the raw -gcflags=-m logs it
+# parsed into woolvet-mlogs/ (the CI failure artifact).
+lint-perfbudget:
+	$(GO) run ./cmd/woolvet -only perfbudget -mlog woolvet-mlogs ./...
 
 # Machine-readable fast-path/idle-engine numbers for the perf
 # trajectory; commit the refreshed BENCH_core.json with perf PRs.

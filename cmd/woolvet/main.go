@@ -2,33 +2,52 @@
 // over the repository: compile-time enforcement of the direct-task-
 // stack protocol invariants — atomic access discipline on the shared
 // protocol words, owner-privacy of the task-stack indices, the padded
-// cache-line layout, and spawn/join balance in workload code. See
-// DESIGN.md §10 for the invariants and the annotation vocabulary.
+// cache-line layout, spawn/join balance in workload code, the
+// publication-ordering dataflow rules, and the compiler perf budget
+// (inlining and escape). See DESIGN.md §10 and §15 for the invariants
+// and the annotation vocabulary.
 //
 // Usage:
 //
 //	go run ./cmd/woolvet ./...          # lint the whole module (CI)
 //	go run ./cmd/woolvet ./internal/core
 //	go run ./cmd/woolvet -only atomicfield,layoutguard ./...
+//	go run ./cmd/woolvet -github ./...  # GitHub Actions annotations
+//	go run ./cmd/woolvet -json ./...    # machine-readable findings
+//	go run ./cmd/woolvet -mlog out/ ./...  # dump raw -gcflags=-m logs
 //	go run ./cmd/woolvet -list
 //
 // Exit status: 0 clean, 1 findings reported, 2 usage or load error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"gowool/internal/analysis"
 )
 
+// finding is the -json output record for one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	listFlag := flag.Bool("list", false, "list the analyzers and exit")
 	onlyFlag := flag.String("only", "", "comma-separated subset of analyzers to run")
+	jsonFlag := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	ghFlag := flag.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
+	mlogFlag := flag.String("mlog", "", "directory to write the raw -gcflags=-m compiler logs into")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: woolvet [-list] [-only a,b] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: woolvet [-list] [-only a,b] [-json] [-github] [-mlog dir] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -38,6 +57,10 @@ func main() {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *jsonFlag && *ghFlag {
+		fmt.Fprintln(os.Stderr, "woolvet: -json and -github are mutually exclusive")
+		os.Exit(2)
 	}
 
 	analyzers := analysis.All()
@@ -71,14 +94,79 @@ func main() {
 		os.Exit(2)
 	}
 
-	found := false
+	var findings []finding
 	for _, pkg := range pkgs {
 		for _, d := range analysis.RunAnalyzers(pkg, analyzers) {
-			found = true
-			fmt.Printf("%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			pos := pkg.Fset.Position(d.Pos)
+			findings = append(findings, finding{
+				File:     relPath(wd, pos.Filename),
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
 		}
 	}
-	if found {
+
+	if *mlogFlag != "" {
+		if err := writeMLogs(*mlogFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "woolvet:", err)
+			os.Exit(2)
+		}
+	}
+
+	switch {
+	case *jsonFlag:
+		// Emit [] rather than null on a clean run so consumers can
+		// always range over the result.
+		if findings == nil {
+			findings = []finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "woolvet:", err)
+			os.Exit(2)
+		}
+	case *ghFlag:
+		for _, f := range findings {
+			// GitHub Actions workflow-command format; %0A would encode
+			// newlines, but diagnostics are single-line.
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=woolvet/%s::%s\n",
+				f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	default:
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
 		os.Exit(1)
 	}
+}
+
+// relPath makes filenames repo-relative so GitHub annotations attach
+// to the right file regardless of the runner's checkout directory.
+func relPath(wd, name string) string {
+	if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return name
+}
+
+// writeMLogs dumps the raw compiler -m output captured by the
+// perfbudget pass, one file per analyzed package, for the CI failure
+// artifact.
+func writeMLogs(dir string) error {
+	logs := analysis.CompilerLogs()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for pkgDir, raw := range logs {
+		name := strings.ReplaceAll(strings.Trim(filepath.ToSlash(pkgDir), "/"), "/", "_") + ".m.log"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(raw), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }

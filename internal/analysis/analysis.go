@@ -53,7 +53,44 @@ type Pass struct {
 	// passes.
 	Ann *Annotations
 
+	// Ldr is the loader that produced the package, when available.
+	// Flow-sensitive passes use it to see annotations on declarations
+	// in other packages of the module (generated code calls into the
+	// annotated core API).
+	Ldr *Loader
+
+	// Dir is the package's source directory (perfbudget shells out to
+	// the compiler there). Empty for synthetic packages.
+	Dir string
+
 	diags *[]Diagnostic
+}
+
+// AnnotationsFor returns the annotation index of the package that
+// declares obj: the current package's own index, or — via the loader —
+// that of another module package. Nil when the annotations cannot be
+// resolved (standard library, no loader).
+func (p *Pass) AnnotationsFor(obj types.Object) *Annotations {
+	if obj == nil || obj.Pkg() == nil || obj.Pkg() == p.Pkg {
+		return p.Ann
+	}
+	if p.Ldr == nil {
+		return nil
+	}
+	if sub := p.Ldr.PackageFor(obj); sub != nil {
+		return sub.Annotations()
+	}
+	return nil
+}
+
+// FuncDirsFor returns the woolvet directives on fn's declaration,
+// wherever in the module it lives.
+func (p *Pass) FuncDirsFor(fn *types.Func) []Directive {
+	a := p.AnnotationsFor(fn)
+	if a == nil {
+		return nil
+	}
+	return a.FuncDirs[fn]
 }
 
 // Report records a finding. Findings at positions covered by a
@@ -82,6 +119,8 @@ func All() []*Analyzer {
 		LayoutGuard,
 		SpawnJoin,
 		Generated,
+		Publication,
+		PerfBudget,
 	}
 }
 
@@ -109,7 +148,7 @@ func ByName(names []string) ([]*Analyzer, error) {
 // comment sits on its line or the line above, or when the enclosing
 // function's doc comment carries the allow (see Annotations).
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	ann := ScanAnnotations(pkg.Fset, pkg.Files, pkg.Info)
+	ann := pkg.Annotations()
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -120,6 +159,8 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Info:     pkg.Info,
 			Sizes:    pkg.Sizes,
 			Ann:      ann,
+			Ldr:      pkg.loader,
+			Dir:      pkg.Dir,
 			diags:    &diags,
 		}
 		a.Run(pass)
@@ -129,6 +170,21 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		if !ann.Allowed(d.Analyzer, pkg.Fset, d.Pos) {
 			kept = append(kept, d)
 		}
+	}
+	// Stale-suppression audit: an allow directive that suppressed
+	// nothing is itself a finding — dead allows hide future
+	// regressions at their site. Only meaningful when every analyzer
+	// the directive names actually ran.
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, e := range ann.StaleAllows(ran) {
+		kept = append(kept, Diagnostic{
+			Pos:      e.pos,
+			Analyzer: "allowaudit",
+			Message:  fmt.Sprintf("stale suppression: no %s diagnostic is suppressed here; delete the allow", e.analyzer),
+		})
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		if kept[i].Pos != kept[j].Pos {

@@ -87,7 +87,17 @@ func collectWants(t *testing.T, pkg *analysis.Package) map[string][]*want {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				// Block-comment wants (/* want `...` */) let a fixture
+				// attach an expectation to a line whose trailing line
+				// comment is already taken by a directive under test,
+				// e.g. a deliberately stale //woolvet:allow.
+				text := c.Text
+				if body, ok := strings.CutPrefix(text, "/*"); ok {
+					text = strings.TrimSuffix(body, "*/")
+				} else {
+					text = strings.TrimPrefix(text, "//")
+				}
+				text = strings.TrimSpace(text)
 				rest, ok := strings.CutPrefix(text, "want ")
 				if !ok {
 					continue

@@ -31,6 +31,18 @@ func TestGenerated(t *testing.T) {
 	analysistest.Run(t, "generated", analysis.Generated)
 }
 
+func TestPublication(t *testing.T) {
+	analysistest.Run(t, "publication", analysis.Publication)
+}
+
+// TestPerfBudget is the acceptance proof that the compiler-budget lint
+// demonstrably fails when an annotated function de-inlines (pinned,
+// tooBig) or lets a value escape (escapes, boxed): those fixtures
+// carry want comments quoting the compiler's own reasons.
+func TestPerfBudget(t *testing.T) {
+	analysistest.Run(t, "perfbudget", analysis.PerfBudget)
+}
+
 func TestByName(t *testing.T) {
 	as, err := analysis.ByName([]string{"atomicfield", "spawnjoin"})
 	if err != nil {

@@ -36,10 +36,42 @@ import (
 //	    flags owner-state methods invoked on non-self workers anywhere
 //	    reachable from these roots.
 //
+//	// woolvet:published-by <word>
+//	    on a struct field: the field is published to other workers by
+//	    the sibling field <word> (or, when no such sibling exists, by
+//	    the abstract protocol word <word>, whose release/acquire points
+//	    are the annotated functions below). The publication pass
+//	    enforces that writes happen-before the release of <word> and
+//	    reads happen-after its acquire.
+//
+//	// woolvet:release <word>
+//	    on a function declaration: calling this function performs the
+//	    release store of <word> for the task/struct it is passed.
+//
+//	// woolvet:acquire <word>
+//	    on a function declaration: this function (or its return value)
+//	    hands back data only after the acquire load of <word>.
+//
+//	// woolvet:publish-write <word>
+//	    on a function declaration: the function writes published-by-
+//	    <word> fields of its argument and then releases <word> itself
+//	    (e.g. a stolen-task runner storing the result before done).
+//
+//	// woolvet:inline
+//	    on a function declaration: the gc compiler must report
+//	    "can inline" for it (perfbudget, via go build -gcflags=-m).
+//
+//	// woolvet:noescape
+//	    on a function declaration: no value in its body may escape to
+//	    the heap (perfbudget rejects "escapes to heap"/"moved to heap"
+//	    diagnostics inside the function span).
+//
 //	//woolvet:allow <analyzer> [analyzer...] -- <reason>
 //	    on the flagged line, the line above it, or a function's doc
 //	    comment: suppress the named analyzers there. The reason after
-//	    "--" is mandatory by convention (reviewed, not parsed).
+//	    "--" is mandatory by convention (reviewed, not parsed). Allows
+//	    that stop suppressing anything are themselves reported by the
+//	    stale-suppression audit.
 
 // Directive is one parsed woolvet comment.
 type Directive struct {
@@ -92,17 +124,90 @@ type Annotations struct {
 	// ThiefRoots are functions annotated woolvet:thief.
 	ThiefRoots map[*types.Func]bool
 
-	// allowLine maps file name -> line -> analyzers allowed there.
-	allowLine map[string]map[int][]string
+	// FuncDirs maps a function object to the directives in its doc
+	// comment (thief, release, acquire, publish-write, inline,
+	// noescape — everything except allow, which is positional).
+	FuncDirs map[*types.Func][]Directive
+
+	// allowLine maps file name -> line -> allow entries active there.
+	allowLine map[string]map[int][]*allowEntry
 
 	// allowRange holds function-body spans whose doc comment carries
 	// an allow.
 	allowRange []allowSpan
 }
 
+// allowEntry is one (directive, analyzer) suppression. used flips when
+// the entry actually suppresses a diagnostic, feeding the stale-
+// suppression audit.
+type allowEntry struct {
+	analyzer string
+	pos      token.Pos
+	used     bool
+}
+
 type allowSpan struct {
-	analyzers  []string
+	entries    []*allowEntry
 	start, end token.Pos
+}
+
+// FuncDirective returns the first directive with the given verb in
+// fn's doc comment, if any.
+func (a *Annotations) FuncDirective(fn *types.Func, verb string) (Directive, bool) {
+	for _, d := range a.FuncDirs[fn] {
+		if d.Verb == verb {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// StaleAllows returns the positions and analyzer names of allow
+// directives that suppressed nothing, restricted to analyzers in ran
+// (an allow for a pass that was not part of this run is not stale,
+// merely untested). Call after all analyzers have reported.
+func (a *Annotations) StaleAllows(ran map[string]bool) []*allowEntry {
+	// One source directive can be indexed twice — the file-wide scan
+	// records a line entry and scanFuncDoc records a range entry at
+	// the same position — and a diagnostic may mark only one of them
+	// used. Aggregate used-ness by (pos, analyzer) so a directive is
+	// stale only when none of its entries suppressed anything.
+	type key struct {
+		pos  token.Pos
+		name string
+	}
+	used := map[key]bool{}
+	first := map[key]*allowEntry{}
+	var order []key
+	visit := func(e *allowEntry) {
+		k := key{e.pos, e.analyzer}
+		if e.used {
+			used[k] = true
+		}
+		if _, ok := first[k]; !ok {
+			first[k] = e
+			order = append(order, k)
+		}
+	}
+	for _, lines := range a.allowLine {
+		for _, entries := range lines {
+			for _, e := range entries {
+				visit(e)
+			}
+		}
+	}
+	for _, s := range a.allowRange {
+		for _, e := range s.entries {
+			visit(e)
+		}
+	}
+	var stale []*allowEntry
+	for _, k := range order {
+		if !used[k] && ran[k.name] {
+			stale = append(stale, first[k])
+		}
+	}
+	return stale
 }
 
 // FieldDirective returns the first directive with the given verb on
@@ -117,28 +222,32 @@ func (a *Annotations) FieldDirective(f *types.Var, verb string) (Directive, bool
 }
 
 // Allowed reports whether analyzer findings at pos are suppressed by
-// an allow directive.
+// an allow directive, and marks the matching directive as used for
+// the stale-suppression audit.
 func (a *Annotations) Allowed(analyzer string, fset *token.FileSet, pos token.Pos) bool {
+	hit := false
 	p := fset.Position(pos)
 	if lines, ok := a.allowLine[p.Filename]; ok {
 		for _, l := range [2]int{p.Line, p.Line - 1} {
-			for _, name := range lines[l] {
-				if name == analyzer {
-					return true
+			for _, e := range lines[l] {
+				if e.analyzer == analyzer {
+					e.used = true
+					hit = true
 				}
 			}
 		}
 	}
 	for _, s := range a.allowRange {
 		if pos >= s.start && pos <= s.end {
-			for _, name := range s.analyzers {
-				if name == analyzer {
-					return true
+			for _, e := range s.entries {
+				if e.analyzer == analyzer {
+					e.used = true
+					hit = true
 				}
 			}
 		}
 	}
-	return false
+	return hit
 }
 
 // ScanAnnotations builds the annotation index for a package.
@@ -147,7 +256,8 @@ func ScanAnnotations(fset *token.FileSet, files []*ast.File, info *types.Info) *
 		Fields:     map[*types.Var][]Directive{},
 		StructSize: map[*types.TypeName]int64{},
 		ThiefRoots: map[*types.Func]bool{},
-		allowLine:  map[string]map[int][]string{},
+		FuncDirs:   map[*types.Func][]Directive{},
+		allowLine:  map[string]map[int][]*allowEntry{},
 	}
 	for _, f := range files {
 		// Line-level allows, from every comment in the file.
@@ -159,9 +269,12 @@ func ScanAnnotations(fset *token.FileSet, files []*ast.File, info *types.Info) *
 				}
 				p := fset.Position(c.Pos())
 				if ann.allowLine[p.Filename] == nil {
-					ann.allowLine[p.Filename] = map[int][]string{}
+					ann.allowLine[p.Filename] = map[int][]*allowEntry{}
 				}
-				ann.allowLine[p.Filename][p.Line] = append(ann.allowLine[p.Filename][p.Line], d.Args...)
+				for _, name := range d.Args {
+					ann.allowLine[p.Filename][p.Line] = append(ann.allowLine[p.Filename][p.Line],
+						&allowEntry{analyzer: name, pos: c.Pos()})
+				}
 			}
 		}
 		for _, decl := range f.Decls {
@@ -191,17 +304,25 @@ func scanFuncDoc(ann *Annotations, info *types.Info, fd *ast.FuncDecl) {
 		if !ok {
 			continue
 		}
-		switch d.Verb {
-		case "thief":
-			if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
-				ann.ThiefRoots[obj] = true
+		if d.Verb == "allow" {
+			var entries []*allowEntry
+			for _, name := range d.Args {
+				entries = append(entries, &allowEntry{analyzer: name, pos: c.Pos()})
 			}
-		case "allow":
 			ann.allowRange = append(ann.allowRange, allowSpan{
-				analyzers: d.Args,
-				start:     fd.Pos(),
-				end:       fd.End(),
+				entries: entries,
+				start:   fd.Pos(),
+				end:     fd.End(),
 			})
+			continue
+		}
+		obj, ok := info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		ann.FuncDirs[obj] = append(ann.FuncDirs[obj], d)
+		if d.Verb == "thief" {
+			ann.ThiefRoots[obj] = true
 		}
 	}
 }

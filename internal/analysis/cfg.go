@@ -1,0 +1,478 @@
+package analysis
+
+// A small statement-level control-flow graph with a dominance layer,
+// built from go/ast alone (no external deps — woolvet's design
+// constraint, DESIGN.md §10). The publication pass uses it to decide
+// "happens on every path before" (dominance) and "can happen after"
+// (reachability) questions about release/acquire protocol points.
+//
+// Granularity: one node per simple statement, plus dedicated nodes
+// for the evaluated parts of compound statements (an if's condition,
+// a switch's tag, a range's header). Each node carries the syntax
+// whose expressions execute at that program point in Exprs; walking a
+// node's Exprs never descends into a nested statement, so op
+// collection cannot attribute a branch body to its condition node.
+//
+// Deliberate simplifications, all conservative for a linter:
+//   - defer and go statements get nodes but contribute no Exprs: their
+//     payloads run at function exit / concurrently, not at the
+//     statement's program point.
+//   - panic(...) terminates the path (edge to Exit only).
+//   - unreachable code is not checked (passes skip nodes Reaches()
+//     cannot see from Entry).
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFGNode is one program point.
+type CFGNode struct {
+	Stmt  ast.Stmt   // originating statement (nil for Entry/Exit)
+	Exprs []ast.Node // syntax evaluated at this point (never nested stmts)
+
+	Succs []*CFGNode
+	Preds []*CFGNode
+
+	index int      // dense id
+	rpo   int      // reverse-postorder number; -1 if unreachable
+	idom  *CFGNode // immediate dominator; nil if unreachable
+}
+
+// Pos returns a position for diagnostics.
+func (n *CFGNode) Pos() token.Pos {
+	if n.Stmt != nil {
+		return n.Stmt.Pos()
+	}
+	if len(n.Exprs) > 0 {
+		return n.Exprs[0].Pos()
+	}
+	return token.NoPos
+}
+
+// CFG is the graph for one function body.
+type CFG struct {
+	Entry *CFGNode
+	Exit  *CFGNode
+	Nodes []*CFGNode // includes Entry and Exit
+}
+
+// BuildCFG builds the graph for a function body. A nil body (external
+// declaration) yields a graph with only Entry -> Exit.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		g:      &CFG{},
+		labels: map[string]*CFGNode{},
+	}
+	b.g.Entry = b.newNode(nil)
+	b.g.Exit = b.newNode(nil)
+	if body != nil {
+		exits := b.stmtList(body.List, []*CFGNode{b.g.Entry})
+		b.connect(exits, b.g.Exit)
+	} else {
+		b.connect([]*CFGNode{b.g.Entry}, b.g.Exit)
+	}
+	for _, pg := range b.gotos {
+		if target, ok := b.labels[pg.label]; ok {
+			b.connect([]*CFGNode{pg.node}, target)
+		} else {
+			// Unresolvable goto in syntactically valid code cannot
+			// happen after type-checking; degrade to exit.
+			b.connect([]*CFGNode{pg.node}, b.g.Exit)
+		}
+	}
+	b.g.computeDominance()
+	return b.g
+}
+
+// Dominates reports whether every path from Entry to b passes through
+// a. Reflexive. False when either node is unreachable.
+func (g *CFG) Dominates(a, b *CFGNode) bool {
+	if a.rpo < 0 || b.rpo < 0 {
+		return false
+	}
+	for n := b; ; n = n.idom {
+		if n == a {
+			return true
+		}
+		if n == g.Entry {
+			return false
+		}
+	}
+}
+
+// Reaches reports whether a path (possibly empty) leads from a to b.
+func (g *CFG) Reaches(a, b *CFGNode) bool {
+	if a == b {
+		return true
+	}
+	seen := make([]bool, len(g.Nodes))
+	stack := []*CFGNode{a}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range n.Succs {
+			if s == b {
+				return true
+			}
+			if !seen[s.index] {
+				seen[s.index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// Reachable reports whether n is reachable from Entry.
+func (g *CFG) Reachable(n *CFGNode) bool { return n.rpo >= 0 }
+
+// computeDominance runs the Cooper–Harvey–Kennedy iterative idom
+// algorithm over the reverse postorder of the reachable subgraph.
+func (g *CFG) computeDominance() {
+	for _, n := range g.Nodes {
+		n.rpo = -1
+	}
+	var order []*CFGNode
+	var dfs func(n *CFGNode)
+	visited := make([]bool, len(g.Nodes))
+	dfs = func(n *CFGNode) {
+		visited[n.index] = true
+		for _, s := range n.Succs {
+			if !visited[s.index] {
+				dfs(s)
+			}
+		}
+		order = append(order, n)
+	}
+	dfs(g.Entry)
+	// order is postorder; number in reverse.
+	for i, j := 0, len(order)-1; j >= 0; i, j = i+1, j-1 {
+		order[j].rpo = i
+	}
+	rpo := make([]*CFGNode, len(order))
+	for _, n := range order {
+		rpo[n.rpo] = n
+	}
+	g.Entry.idom = g.Entry
+	intersect := func(a, b *CFGNode) *CFGNode {
+		for a != b {
+			for a.rpo > b.rpo {
+				a = a.idom
+			}
+			for b.rpo > a.rpo {
+				b = b.idom
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range rpo[1:] {
+			var newIdom *CFGNode
+			for _, p := range n.Preds {
+				if p.rpo < 0 || p.idom == nil {
+					continue // unreachable or unprocessed pred
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && n.idom != newIdom {
+				n.idom = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+type pendingGoto struct {
+	node  *CFGNode
+	label string
+}
+
+// loopCtx is one enclosing breakable/continuable construct.
+type loopCtx struct {
+	label     string
+	breakTo   *[]*CFGNode // collector for break exits
+	continueT *CFGNode    // nil for switch/select (not continuable)
+}
+
+type cfgBuilder struct {
+	g      *CFG
+	labels map[string]*CFGNode
+	gotos  []pendingGoto
+	loops  []loopCtx
+	// curLabel is the label of a LabeledStmt whose direct statement is
+	// about to be processed, consumed by the loop/switch constructors.
+	curLabel string
+	// fallTarget is the head node of the next case clause while a
+	// case body is being processed.
+	fallTarget *CFGNode
+}
+
+func (b *cfgBuilder) newNode(stmt ast.Stmt, exprs ...ast.Node) *CFGNode {
+	n := &CFGNode{Stmt: stmt, index: len(b.g.Nodes)}
+	for _, e := range exprs {
+		if e != nil {
+			n.Exprs = append(n.Exprs, e)
+		}
+	}
+	b.g.Nodes = append(b.g.Nodes, n)
+	return n
+}
+
+func (b *cfgBuilder) connect(from []*CFGNode, to *CFGNode) {
+	for _, f := range from {
+		f.Succs = append(f.Succs, to)
+		to.Preds = append(to.Preds, f)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt, preds []*CFGNode) []*CFGNode {
+	for _, s := range list {
+		preds = b.stmt(s, preds)
+	}
+	return preds
+}
+
+// takeLabel consumes the pending label for a labeled loop/switch.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.curLabel
+	b.curLabel = ""
+	return l
+}
+
+// findLoop locates the break/continue target context for a branch
+// statement, by label when present.
+func (b *cfgBuilder) findLoop(label string, needContinue bool) *loopCtx {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		lc := &b.loops[i]
+		if needContinue && lc.continueT == nil {
+			continue
+		}
+		if label == "" || lc.label == label {
+			return lc
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, preds []*CFGNode) []*CFGNode {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(s.List, preds)
+
+	case *ast.EmptyStmt:
+		return preds
+
+	case *ast.LabeledStmt:
+		n := b.newNode(s)
+		b.connect(preds, n)
+		b.labels[s.Label.Name] = n
+		b.curLabel = s.Label.Name
+		out := b.stmt(s.Stmt, []*CFGNode{n})
+		b.curLabel = ""
+		return out
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			preds = b.stmt(s.Init, preds)
+		}
+		cond := b.newNode(s, s.Cond)
+		b.connect(preds, cond)
+		thenExits := b.stmt(s.Body, []*CFGNode{cond})
+		if s.Else != nil {
+			elseExits := b.stmt(s.Else, []*CFGNode{cond})
+			return append(thenExits, elseExits...)
+		}
+		return append(thenExits, cond)
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			preds = b.stmt(s.Init, preds)
+		}
+		cond := b.newNode(s, s.Cond)
+		b.connect(preds, cond)
+		var post *CFGNode
+		if s.Post != nil {
+			post = b.newNode(s.Post, s.Post)
+		}
+		continueT := cond
+		if post != nil {
+			continueT = post
+		}
+		var breaks []*CFGNode
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: &breaks, continueT: continueT})
+		bodyExits := b.stmt(s.Body, []*CFGNode{cond})
+		b.loops = b.loops[:len(b.loops)-1]
+		if post != nil {
+			b.connect(bodyExits, post)
+			b.connect([]*CFGNode{post}, cond)
+		} else {
+			b.connect(bodyExits, cond)
+		}
+		out := breaks
+		if s.Cond != nil {
+			out = append(out, cond)
+		}
+		return out
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newNode(s, s.X, s.Key, s.Value)
+		b.connect(preds, head)
+		var breaks []*CFGNode
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: &breaks, continueT: head})
+		bodyExits := b.stmt(s.Body, []*CFGNode{head})
+		b.loops = b.loops[:len(b.loops)-1]
+		b.connect(bodyExits, head)
+		return append(breaks, head)
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			preds = b.stmt(s.Init, preds)
+		}
+		tag := b.newNode(s, s.Tag)
+		b.connect(preds, tag)
+		return b.caseClauses(s.Body.List, tag, label)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			preds = b.stmt(s.Init, preds)
+		}
+		head := b.newNode(s, s.Assign)
+		b.connect(preds, head)
+		return b.caseClauses(s.Body.List, head, label)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.newNode(s)
+		b.connect(preds, head)
+		var breaks, exits []*CFGNode
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: &breaks})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			clausePreds := []*CFGNode{head}
+			if cc.Comm != nil {
+				clausePreds = b.stmt(cc.Comm, clausePreds)
+			}
+			exits = append(exits, b.stmtList(cc.Body, clausePreds)...)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever.
+			return breaks
+		}
+		return append(exits, breaks...)
+
+	case *ast.ReturnStmt:
+		n := b.newNode(s, s)
+		b.connect(preds, n)
+		b.connect([]*CFGNode{n}, b.g.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		n := b.newNode(s)
+		b.connect(preds, n)
+		switch s.Tok {
+		case token.BREAK:
+			if lc := b.findLoop(labelName(s.Label), false); lc != nil {
+				*lc.breakTo = append(*lc.breakTo, n)
+			}
+		case token.CONTINUE:
+			if lc := b.findLoop(labelName(s.Label), true); lc != nil {
+				b.connect([]*CFGNode{n}, lc.continueT)
+			}
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{node: n, label: labelName(s.Label)})
+		case token.FALLTHROUGH:
+			if b.fallTarget != nil {
+				b.connect([]*CFGNode{n}, b.fallTarget)
+			}
+		}
+		return nil
+
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Program point exists but the payload does not run here; no
+		// Exprs, so op collection skips the call.
+		n := b.newNode(s)
+		b.connect(preds, n)
+		return []*CFGNode{n}
+
+	case *ast.ExprStmt:
+		n := b.newNode(s, s)
+		b.connect(preds, n)
+		if isPanicCall(s.X) {
+			b.connect([]*CFGNode{n}, b.g.Exit)
+			return nil
+		}
+		return []*CFGNode{n}
+
+	default:
+		// Simple statements: assignments, inc/dec, send, decl.
+		n := b.newNode(s, s)
+		b.connect(preds, n)
+		return []*CFGNode{n}
+	}
+}
+
+// caseClauses wires the shared switch/type-switch clause structure:
+// every clause head is a successor of the dispatch node; a missing
+// default means the dispatch node itself can exit the switch.
+func (b *cfgBuilder) caseClauses(clauses []ast.Stmt, dispatch *CFGNode, label string) []*CFGNode {
+	var breaks, exits []*CFGNode
+	b.loops = append(b.loops, loopCtx{label: label, breakTo: &breaks})
+	heads := make([]*CFGNode, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		exprs := make([]ast.Node, len(cc.List))
+		for j, e := range cc.List {
+			exprs[j] = e
+		}
+		heads[i] = b.newNode(cc, exprs...)
+		b.connect([]*CFGNode{dispatch}, heads[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	savedFall := b.fallTarget
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if i+1 < len(clauses) {
+			b.fallTarget = heads[i+1]
+		} else {
+			b.fallTarget = nil
+		}
+		exits = append(exits, b.stmtList(cc.Body, []*CFGNode{heads[i]})...)
+	}
+	b.fallTarget = savedFall
+	b.loops = b.loops[:len(b.loops)-1]
+	if !hasDefault {
+		exits = append(exits, dispatch)
+	}
+	return append(exits, breaks...)
+}
+
+func labelName(l *ast.Ident) string {
+	if l == nil {
+		return ""
+	}
+	return l.Name
+}
+
+// isPanicCall reports whether e is a direct call of the builtin panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic" && id.Obj == nil
+}

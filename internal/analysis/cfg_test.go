@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src as a function body and returns its CFG plus a
+// lookup from statement source text (first line, trimmed) to node.
+func parseBody(t *testing.T, body string) (*CFG, func(src string) *CFGNode) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", "package x\nfunc f(a, b int) int {\n"+body+"\n}", 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	g := BuildCFG(fd.Body)
+	find := func(src string) *CFGNode {
+		for _, n := range g.Nodes {
+			if n.Stmt == nil {
+				continue
+			}
+			start := fset.Position(n.Stmt.Pos()).Offset
+			end := fset.Position(n.Stmt.End()).Offset
+			full := "package x\nfunc f(a, b int) int {\n" + body + "\n}"
+			text := full[start:end]
+			if line, _, _ := strings.Cut(text, "\n"); strings.TrimSpace(line) == src || strings.TrimSpace(text) == src {
+				return n
+			}
+		}
+		t.Fatalf("no CFG node for %q", src)
+		return nil
+	}
+	return g, find
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g, find := parseBody(t, "a = 1\nb = 2\nreturn a + b")
+	n1, n2, n3 := find("a = 1"), find("b = 2"), find("return a + b")
+	for _, tc := range []struct {
+		a, b *CFGNode
+		dom  bool
+	}{
+		{n1, n2, true}, {n2, n3, true}, {n1, n3, true},
+		{n2, n1, false}, {n3, n1, false},
+	} {
+		if got := g.Dominates(tc.a, tc.b); got != tc.dom {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", tc.a.Pos(), tc.b.Pos(), got, tc.dom)
+		}
+	}
+	if !g.Reaches(n1, n3) || g.Reaches(n3, n1) {
+		t.Errorf("straight-line reachability wrong")
+	}
+}
+
+func TestCFGBranch(t *testing.T) {
+	g, find := parseBody(t, "if a > 0 {\na = 1\n} else {\nb = 2\n}\nreturn a")
+	thenN, elseN, ret := find("a = 1"), find("b = 2"), find("return a")
+	if g.Dominates(thenN, ret) {
+		t.Errorf("then-branch must not dominate the join")
+	}
+	if g.Dominates(elseN, ret) {
+		t.Errorf("else-branch must not dominate the join")
+	}
+	if g.Reaches(thenN, elseN) {
+		t.Errorf("sibling branches must not reach each other")
+	}
+	if !g.Reaches(thenN, ret) || !g.Reaches(elseN, ret) {
+		t.Errorf("both branches must reach the join")
+	}
+}
+
+func TestCFGIfWithoutElse(t *testing.T) {
+	g, find := parseBody(t, "a = 1\nif a > 0 {\nb = 2\n}\nreturn b")
+	pre, inner, ret := find("a = 1"), find("b = 2"), find("return b")
+	if !g.Dominates(pre, ret) {
+		t.Errorf("statement before if must dominate statement after")
+	}
+	if g.Dominates(inner, ret) {
+		t.Errorf("guarded statement must not dominate the continuation")
+	}
+}
+
+func TestCFGLoop(t *testing.T) {
+	g, find := parseBody(t, "for i := 0; i < a; i++ {\nb = i\n}\nreturn b")
+	body, ret := find("b = i"), find("return b")
+	if g.Dominates(body, ret) {
+		t.Errorf("loop body must not dominate the continuation (zero-trip)")
+	}
+	if !g.Reaches(body, body) {
+		t.Errorf("loop body must reach itself via the back edge")
+	}
+	if !g.Reaches(body, ret) {
+		t.Errorf("loop body must reach the continuation")
+	}
+}
+
+func TestCFGBreakContinue(t *testing.T) {
+	g, find := parseBody(t, `for {
+if a > 0 {
+break
+}
+if b > 0 {
+continue
+}
+a = 9
+}
+return a`)
+	after, inside := find("return a"), find("a = 9")
+	if !g.Reaches(inside, after) {
+		t.Errorf("loop interior must reach post-break continuation")
+	}
+	if g.Dominates(inside, after) {
+		t.Errorf("statement after conditional break/continue must not dominate the exit")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g, find := parseBody(t, `switch a {
+case 1:
+a = 10
+fallthrough
+case 2:
+b = 20
+default:
+b = 30
+}
+return b`)
+	c1, c2, ret := find("a = 10"), find("b = 20"), find("return b")
+	if !g.Reaches(c1, c2) {
+		t.Errorf("fallthrough must connect case bodies")
+	}
+	if g.Dominates(c2, ret) {
+		t.Errorf("one case body must not dominate the switch continuation")
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	g, find := parseBody(t, "if a > 0 {\npanic(\"boom\")\n}\nreturn a")
+	pan, ret := find(`panic("boom")`), find("return a")
+	if g.Reaches(pan, ret) {
+		t.Errorf("panic must not flow to the following statement")
+	}
+}
+
+func TestCFGReturnEndsPath(t *testing.T) {
+	g, find := parseBody(t, "if a > 0 {\nreturn a\n}\nb = 1\nreturn b")
+	early, later := find("return a"), find("b = 1")
+	if g.Reaches(early, later) {
+		t.Errorf("early return must not reach following statements")
+	}
+}
+
+func TestCFGDeferHasNoExprs(t *testing.T) {
+	g, _ := parseBody(t, "defer func() { b = 1 }()\nreturn a")
+	for _, n := range g.Nodes {
+		if _, ok := n.Stmt.(*ast.DeferStmt); ok {
+			if len(n.Exprs) != 0 {
+				t.Errorf("defer node must carry no Exprs, got %d", len(n.Exprs))
+			}
+			return
+		}
+	}
+	t.Fatalf("no defer node found")
+}
+
+func TestCFGGoto(t *testing.T) {
+	g, find := parseBody(t, "a = 1\ngoto done\nb = 2\ndone:\nreturn a")
+	start, skipped, ret := find("a = 1"), find("b = 2"), find("return a")
+	if !g.Reaches(start, ret) {
+		t.Errorf("goto must connect to its label")
+	}
+	if g.Reachable(skipped) {
+		t.Errorf("statement after unconditional goto must be unreachable")
+	}
+}

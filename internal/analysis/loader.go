@@ -24,6 +24,36 @@ type Package struct {
 	Types *types.Package
 	Info  *types.Info
 	Sizes types.Sizes
+
+	loader *Loader      // back-pointer for cross-package annotation lookup
+	ann    *Annotations // lazily built by Annotations()
+}
+
+// Annotations returns the woolvet annotations scanned from this
+// package's sources, building them on first use. Passes use this (via
+// Pass.FuncDirs) to see directives on functions declared in other
+// packages of the same module, e.g. generated code calling into an
+// annotated core API.
+func (p *Package) Annotations() *Annotations {
+	if p.ann == nil {
+		p.ann = ScanAnnotations(p.Fset, p.Files, p.Info)
+	}
+	return p.ann
+}
+
+// PackageFor returns the already-loaded module package that declares
+// obj, or nil if obj belongs to the standard library or to a package
+// this loader has not seen.
+func (l *Loader) PackageFor(obj types.Object) *Package {
+	if l == nil || obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	for _, p := range l.pkgs {
+		if p.Types == obj.Pkg() {
+			return p
+		}
+	}
+	return nil
 }
 
 // Loader loads and type-checks packages of the enclosing module using
@@ -38,6 +68,7 @@ type Loader struct {
 
 	std     types.Importer
 	sizes   types.Sizes
+	ctx     build.Context
 	pkgs    map[string]*Package
 	loading map[string]bool
 }
@@ -57,12 +88,22 @@ func NewLoader(startDir string) (*Loader, error) {
 				return nil, fmt.Errorf("no module path in %s/go.mod", dir)
 			}
 			fset := token.NewFileSet()
+			// Pin the build context to the host platform instead of
+			// taking build.Default as-is: build.Default reads GOOS and
+			// GOARCH from the environment, so a stray GOOS=windows
+			// would silently drop files guarded by //go:build unix
+			// while Sizes stayed pinned to the host — the analyzers
+			// would then vet a file set no real build uses.
+			ctx := build.Default
+			ctx.GOOS = runtime.GOOS
+			ctx.GOARCH = runtime.GOARCH
 			return &Loader{
 				Fset:    fset,
 				ModRoot: dir,
 				ModPath: modPath,
 				std:     importer.ForCompiler(fset, "source", nil),
 				sizes:   types.SizesFor("gc", runtime.GOARCH),
+				ctx:     ctx,
 				pkgs:    map[string]*Package{},
 				loading: map[string]bool{},
 			}, nil
@@ -170,7 +211,7 @@ func (l *Loader) load(dir, path string) (*Package, error) {
 	l.loading[path] = true
 	defer func() { l.loading[path] = false }()
 
-	bp, err := build.ImportDir(dir, 0)
+	bp, err := l.ctx.ImportDir(dir, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -198,13 +239,14 @@ func (l *Loader) load(dir, path string) (*Package, error) {
 		return nil, fmt.Errorf("type-checking %s: %w", path, err)
 	}
 	pkg := &Package{
-		Path:  path,
-		Dir:   dir,
-		Fset:  l.Fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
-		Sizes: l.sizes,
+		Path:   path,
+		Dir:    dir,
+		Fset:   l.Fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		Sizes:  l.sizes,
+		loader: l,
 	}
 	l.pkgs[path] = pkg
 	return pkg, nil

@@ -1,0 +1,822 @@
+package analysis
+
+// The publication pass checks the release/acquire protocol that makes
+// the direct task stack safe without locks (paper §III-A): every
+// word the owner writes into a task must be written at a program
+// point that happens-before the release store of the publication word
+// (Task.state, a deque's bottom, a frame's mutex), and the thief may
+// read those words only after the corresponding acquire. The race
+// detector cannot see these orderings — the protocol is deliberately
+// racy-by-convention — so woolvet checks them structurally over the
+// CFG/dominance layer in cfg.go.
+//
+// Protocol model. A *publication word* guards a set of *published
+// fields* (tagged "//woolvet:published-by <word>"). The word's kind
+// follows the type of the same-struct sibling field named <word>:
+//
+//	sync/atomic.*   Store = release · Load = acquire-load ·
+//	                Swap, CompareAndSwap = acquire-claim
+//	sync.Mutex(,RW) Lock/RLock/TryLock = claim · Unlock/RUnlock =
+//	                end of critical section ("release" of protection)
+//	sync.Once       Do = claim at entry + release at return; a func
+//	                literal passed directly to Do is folded into the
+//	                call, so its writes sit between the two
+//	(no sibling)    a label-only word: protocol points come solely
+//	                from annotated functions (release/acquire/
+//	                publish-write directives)
+//
+// Rules, per (base expression, word) pair within one function:
+//
+//	W-dom   (atomic/label/once) a write to a published field must
+//	        dominate every release it can reach — otherwise some path
+//	        publishes the base with the write missing.
+//	W-pub   (all kinds) forward may-analysis: release sets
+//	        "published", acquire-claim clears it; a write (for
+//	        mutexes: any access) at a may-published point races with
+//	        a concurrent claimant.
+//	R-acq   (atomic/label/once) in a function that performs at least
+//	        one acquire for the base, every read of a published field
+//	        must be dominated by an acquire. Functions with no
+//	        acquire are owner-context and exempt: their ordering
+//	        obligations live in their callers.
+//	M-dom   (mutex) in a function that touches the word's mutex,
+//	        every access to a guarded field must be dominated by a
+//	        Lock.
+//
+// All checks are per-function and syntactic about aliasing: two
+// occurrences of the same identifier (object identity) or the same
+// selector path are the same base, anything else is distinct.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+var Publication = &Analyzer{
+	Name: "publication",
+	Doc:  "published fields must be written before release and read after acquire of their publication word",
+	Run:  runPublication,
+}
+
+type pubKind int
+
+const (
+	kindAtomic pubKind = iota // also label-only words and sync.Once
+	kindMutex
+	kindOnce
+)
+
+type opKind int
+
+const (
+	opRead opKind = iota
+	opWrite
+	opRelease  // publication: atomic Store, mutex Unlock, Once.Do return
+	opAcqClaim // atomic Swap/CAS, mutex Lock, Once.Do entry, woolvet:acquire call
+	opAcqLoad  // atomic Load: orders reads, does not re-privatize
+)
+
+// pubOp is one protocol-relevant operation at a program point.
+type pubOp struct {
+	kind    opKind
+	node    *CFGNode
+	pos     token.Pos // report position
+	sortPos token.Pos // intra-node ordering (releases sort at call end)
+	field   string    // field or description, for messages
+	base    string    // canonical base key
+	baseStr string    // human-readable base, for messages
+	word    string
+	wkind   pubKind
+}
+
+// wordInfo describes one publication word of a struct.
+type wordInfo struct {
+	sibling *types.Var // nil for label-only words
+	kind    pubKind
+}
+
+// pubStruct is the publication protocol of one struct type.
+type pubStruct struct {
+	words     map[string]wordInfo
+	published map[*types.Var]string // field -> word
+}
+
+type pubContext struct {
+	pass   *Pass
+	infos  map[*types.TypeName]*pubStruct
+	pubOf  map[*types.Var]string   // published field var -> word
+	wordOf map[*types.Var]wordInfo // word sibling var -> info
+	wordNm map[*types.Var]string   // word sibling var -> word name
+	folded map[*ast.FuncLit]bool   // func lits folded into Once.Do calls
+}
+
+func runPublication(pass *Pass) {
+	cx := &pubContext{
+		pass:   pass,
+		infos:  map[*types.TypeName]*pubStruct{},
+		pubOf:  map[*types.Var]string{},
+		wordOf: map[*types.Var]wordInfo{},
+		wordNm: map[*types.Var]string{},
+		folded: map[*ast.FuncLit]bool{},
+	}
+	// Index the local package's annotated structs so selections on
+	// their fields classify in O(1).
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		cx.infoFor(tn)
+	}
+	// Pre-scan for func literals passed directly to Once.Do on a
+	// publication word: their bodies execute at the Do call.
+	walkStack(pass.Files, func(n ast.Node, _ []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f, _, method := cx.wordMethod(call); f != nil && method == "Do" {
+			if len(call.Args) == 1 {
+				if fl, ok := call.Args[0].(*ast.FuncLit); ok {
+					cx.folded[fl] = true
+				}
+			}
+		}
+		return true
+	})
+	// Analyze every function body as an independent unit.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				cx.checkUnit(fd.Body)
+			}
+		}
+	}
+	walkStack(pass.Files, func(n ast.Node, _ []ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && !cx.folded[fl] {
+			cx.checkUnit(fl.Body)
+		}
+		return true
+	})
+}
+
+// infoFor builds (once) the publication protocol of a named type,
+// resolving annotations cross-package through the loader.
+func (cx *pubContext) infoFor(tn *types.TypeName) *pubStruct {
+	if ps, ok := cx.infos[tn]; ok {
+		return ps
+	}
+	cx.infos[tn] = nil // cut recursion
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	ann := cx.pass.AnnotationsFor(tn)
+	if ann == nil {
+		return nil
+	}
+	ps := &pubStruct{words: map[string]wordInfo{}, published: map[*types.Var]string{}}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if d, ok := ann.FieldDirective(f, "published-by"); ok && len(d.Args) == 1 {
+			ps.published[f] = d.Args[0]
+			if _, ok := ps.words[d.Args[0]]; !ok {
+				ps.words[d.Args[0]] = wordInfo{kind: kindAtomic}
+			}
+		}
+	}
+	if len(ps.published) == 0 {
+		return nil
+	}
+	// Resolve sibling fields and their kinds.
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if wi, ok := ps.words[f.Name()]; ok {
+			wi.sibling = f
+			wi.kind = kindOfType(f.Type())
+			ps.words[f.Name()] = wi
+		}
+	}
+	cx.infos[tn] = ps
+	// Register field-level lookups (only reachable for same-package
+	// selections in practice — the protocol fields are unexported).
+	for f, w := range ps.published {
+		cx.pubOf[f] = w
+	}
+	for w, wi := range ps.words {
+		if wi.sibling != nil {
+			cx.wordOf[wi.sibling] = wi
+			cx.wordNm[wi.sibling] = w
+		}
+	}
+	return ps
+}
+
+// kindOfType classifies a publication word by its sibling's type.
+func kindOfType(t types.Type) pubKind {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return kindAtomic
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return kindAtomic
+	}
+	switch obj.Pkg().Path() {
+	case "sync/atomic":
+		return kindAtomic
+	case "sync":
+		switch obj.Name() {
+		case "Mutex", "RWMutex":
+			return kindMutex
+		case "Once":
+			return kindOnce
+		}
+	}
+	return kindAtomic
+}
+
+// wordKindFor resolves the kind and validity of word on the (deref'd)
+// type t: true when t is a struct that either declares a field named
+// word or carries published-by tags for it.
+func (cx *pubContext) wordKindFor(t types.Type, word string) (pubKind, bool) {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return 0, false
+	}
+	if ps := cx.infoFor(named.Obj()); ps != nil {
+		if wi, ok := ps.words[word]; ok {
+			return wi.kind, true
+		}
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return 0, false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == word {
+			return kindOfType(f.Type()), true
+		}
+	}
+	return 0, false
+}
+
+// checkUnit analyzes one function body.
+func (cx *pubContext) checkUnit(body *ast.BlockStmt) {
+	g := BuildCFG(body)
+	col := &opCollector{cx: cx, g: g}
+	for _, n := range g.Nodes {
+		if !g.Reachable(n) {
+			continue
+		}
+		col.node = n
+		for _, root := range n.Exprs {
+			col.walk(root, false)
+		}
+	}
+	if len(col.ops) == 0 {
+		return
+	}
+	// Group by (base, word).
+	groups := map[string][]*pubOp{}
+	var keys []string
+	for i := range col.ops {
+		op := &col.ops[i]
+		k := op.base + "\x00" + op.word
+		if groups[k] == nil {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], op)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		cx.checkGroup(g, groups[k])
+	}
+}
+
+func partition(ops []*pubOp, kinds ...opKind) []*pubOp {
+	var out []*pubOp
+	for _, op := range ops {
+		for _, k := range kinds {
+			if op.kind == k {
+				out = append(out, op)
+			}
+		}
+	}
+	return out
+}
+
+// orderedBefore reports whether a executes before b when both sit in
+// the same CFG node (intra-statement ordering by position; releases
+// carry their call's End so nested argument work sorts before them).
+func orderedBefore(a, b *pubOp) bool { return a.sortPos < b.sortPos }
+
+func (cx *pubContext) checkGroup(g *CFG, ops []*pubOp) {
+	pass := cx.pass
+	word := ops[0].word
+	kind := ops[0].wkind
+	releases := partition(ops, opRelease)
+	claims := partition(ops, opAcqClaim)
+	acquires := partition(ops, opAcqClaim, opAcqLoad)
+	writes := partition(ops, opWrite)
+	reads := partition(ops, opRead)
+
+	dominatedBy := func(op *pubOp, anchors []*pubOp) bool {
+		for _, a := range anchors {
+			if a.node == op.node {
+				if orderedBefore(a, op) {
+					return true
+				}
+				continue
+			}
+			if g.Dominates(a.node, op.node) {
+				return true
+			}
+		}
+		return false
+	}
+
+	if kind == kindMutex {
+		// M-dom: any access in a mutex-touching function must be
+		// dominated by a Lock.
+		if len(claims)+len(releases) > 0 {
+			for _, op := range append(append([]*pubOp{}, writes...), reads...) {
+				if !dominatedBy(op, claims) {
+					pass.Report(op.pos, "access to %s.%s is not dominated by a Lock of %s",
+						op.baseStr, op.field, word)
+				}
+			}
+		}
+	} else {
+		// W-dom: writes must dominate every release they can reach.
+		for _, w := range writes {
+			for _, r := range releases {
+				if w.node == r.node {
+					if !orderedBefore(w, r) {
+						pass.Report(w.pos, "write to %s.%s does not precede the release of %s in the same statement",
+							w.baseStr, w.field, word)
+					}
+					continue
+				}
+				if g.Reaches(w.node, r.node) && !g.Dominates(w.node, r.node) {
+					pass.Report(w.pos, "write to %s.%s does not dominate the release of %s at line %d (a path publishes the task without this write)",
+						w.baseStr, w.field, word, pass.Fset.Position(r.pos).Line)
+				}
+			}
+		}
+		// R-acq: reads in acquiring functions must follow an acquire.
+		if len(acquires) > 0 {
+			for _, r := range reads {
+				if !dominatedBy(r, acquires) {
+					pass.Report(r.pos, "read of %s.%s is not dominated by an acquire of %s",
+						r.baseStr, r.field, word)
+				}
+			}
+		}
+	}
+
+	// W-pub: may-published forward dataflow. Mutex kind flags reads
+	// too (the critical section has ended).
+	if len(releases) == 0 {
+		return
+	}
+	cx.checkPublished(g, ops, kind, word)
+}
+
+// checkPublished runs the forward may-analysis: after a release (or
+// Unlock) the base is visible to other workers until an acquire-claim
+// re-privatizes it; writes (and, under a mutex, reads) in the
+// published state race with concurrent claimants.
+func (cx *pubContext) checkPublished(g *CFG, ops []*pubOp, kind pubKind, word string) {
+	byNode := map[*CFGNode][]*pubOp{}
+	for _, op := range ops {
+		byNode[op.node] = append(byNode[op.node], op)
+	}
+	for _, list := range byNode {
+		sort.Slice(list, func(i, j int) bool { return orderedBefore(list[i], list[j]) })
+	}
+	transfer := func(n *CFGNode, in bool) bool {
+		state := in
+		for _, op := range byNode[n] {
+			switch op.kind {
+			case opRelease:
+				state = true
+			case opAcqClaim:
+				state = false
+			}
+		}
+		return state
+	}
+	in := make(map[*CFGNode]bool, len(g.Nodes))
+	out := make(map[*CFGNode]bool, len(g.Nodes))
+	visited := make(map[*CFGNode]bool, len(g.Nodes))
+	work := []*CFGNode{g.Entry}
+	queued := map[*CFGNode]bool{g.Entry: true}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		queued[n] = false
+		newIn := false
+		for _, p := range n.Preds {
+			newIn = newIn || out[p]
+		}
+		newOut := transfer(n, newIn)
+		if visited[n] && newIn == in[n] && newOut == out[n] {
+			continue
+		}
+		visited[n] = true
+		in[n], out[n] = newIn, newOut
+		for _, s := range n.Succs {
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	for n, list := range byNode {
+		state := in[n]
+		for _, op := range list {
+			switch op.kind {
+			case opRelease:
+				state = true
+			case opAcqClaim:
+				state = false
+			case opWrite:
+				if state {
+					if kind == kindMutex {
+						cx.pass.Report(op.pos, "write to %s.%s after %s.Unlock (outside the critical section)",
+							op.baseStr, op.field, word)
+					} else {
+						cx.pass.Report(op.pos, "write to %s.%s after the release of %s (a thief may already own the task)",
+							op.baseStr, op.field, word)
+					}
+				}
+			case opRead:
+				if state && kind == kindMutex {
+					cx.pass.Report(op.pos, "read of %s.%s after %s.Unlock (outside the critical section)",
+						op.baseStr, op.field, word)
+				}
+			}
+		}
+	}
+}
+
+// opCollector walks one CFG node's expressions, recording protocol
+// operations. It never descends into nested function literals (they
+// are separate units), except literals folded into a Once.Do call.
+type opCollector struct {
+	cx   *pubContext
+	g    *CFG
+	node *CFGNode
+	ops  []pubOp
+	// curAssign is the innermost single-RHS assignment, for binding
+	// the result of a woolvet:acquire call to its LHS.
+	curAssign *ast.AssignStmt
+}
+
+func (c *opCollector) add(op pubOp) {
+	op.node = c.node
+	c.ops = append(c.ops, op)
+}
+
+func (c *opCollector) walk(x ast.Node, write bool) {
+	switch x := x.(type) {
+	case nil:
+		return
+	case *ast.AssignStmt:
+		saved := c.curAssign
+		if len(x.Rhs) == 1 {
+			c.curAssign = x
+		}
+		for _, r := range x.Rhs {
+			c.walk(r, false)
+		}
+		c.curAssign = saved
+		for _, l := range x.Lhs {
+			c.walk(l, true)
+		}
+		return
+	case *ast.IncDecStmt:
+		c.walk(x.X, true)
+		return
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			// Taking the address of a published field aliases it;
+			// treat as a write (conservative).
+			c.walk(x.X, true)
+			return
+		}
+		c.walk(x.X, false)
+		return
+	case *ast.FuncLit:
+		return // separate unit (or folded explicitly below)
+	case *ast.CallExpr:
+		c.call(x)
+		return
+	case *ast.SelectorExpr:
+		c.selector(x, write)
+		return
+	case *ast.KeyValueExpr:
+		c.walk(x.Value, false)
+		return
+	}
+	for _, child := range childNodes(x) {
+		c.walk(child, false)
+	}
+}
+
+// selector records a read/write of a published field and recurses
+// into the base expression.
+func (c *opCollector) selector(sel *ast.SelectorExpr, write bool) {
+	if f, ok := c.fieldVar(sel); ok {
+		if word, ok := c.cx.pubOf[f]; ok {
+			kind := opRead
+			if write {
+				kind = opWrite
+			}
+			wkind := c.wordKindOf(sel.X, word)
+			c.add(pubOp{
+				kind:    kind,
+				pos:     sel.Sel.Pos(),
+				sortPos: sel.Sel.Pos(),
+				field:   f.Name(),
+				base:    c.baseKey(sel.X),
+				baseStr: exprString(sel.X),
+				word:    word,
+				wkind:   wkind,
+			})
+		}
+	}
+	c.walk(sel.X, false)
+}
+
+// wordKindOf resolves the kind of word for the struct behind base.
+func (c *opCollector) wordKindOf(base ast.Expr, word string) pubKind {
+	if t := c.cx.pass.Info.TypeOf(base); t != nil {
+		if k, ok := c.cx.wordKindFor(t, word); ok {
+			return k
+		}
+	}
+	return kindAtomic
+}
+
+// call classifies a call: a method on a publication word, a call of an
+// annotated function, or plain syntax to recurse into.
+func (c *opCollector) call(call *ast.CallExpr) {
+	if f, base, method := c.cx.wordMethod(call); f != nil {
+		c.wordOp(call, f, base, method)
+		for _, a := range call.Args {
+			if fl, ok := a.(*ast.FuncLit); ok && c.cx.folded[fl] {
+				// Once.Do fold: the body runs at this program point,
+				// between the claim (call start) and release (end).
+				c.walk(fl.Body, false)
+				continue
+			}
+			c.walk(a, false)
+		}
+		c.walk(baseExprOf(call), false)
+		return
+	}
+	if fn := calleeFunc(c.cx.pass.Info, call); fn != nil {
+		for _, d := range c.cx.pass.FuncDirsFor(fn) {
+			switch d.Verb {
+			case "release", "acquire", "publish-write":
+				if len(d.Args) == 1 {
+					c.annotatedCall(call, fn, d.Verb, d.Args[0])
+				}
+			}
+		}
+	}
+	c.walk(call.Fun, false)
+	for _, a := range call.Args {
+		c.walk(a, false)
+	}
+}
+
+// elementMethodOp handles atomic method calls on an *element* of a
+// published slice/array field (w.buf[i].Store(t)): Store writes the
+// published field, Load reads it.
+func (c *opCollector) wordOp(call *ast.CallExpr, f *types.Var, base ast.Expr, method string) {
+	// Published-field element access (the field itself is published,
+	// not a word): classify by method mutability.
+	if word, ok := c.cx.pubOf[f]; ok {
+		kind := opRead
+		if method == "Store" || method == "Swap" || method == "CompareAndSwap" {
+			kind = opWrite
+		}
+		c.add(pubOp{
+			kind:    kind,
+			pos:     call.Pos(),
+			sortPos: call.Pos(),
+			field:   f.Name(),
+			base:    c.baseKey(base),
+			baseStr: exprString(base),
+			word:    word,
+			wkind:   c.wordKindOf(base, word),
+		})
+		return
+	}
+	word, ok := c.cx.wordNm[f]
+	if !ok {
+		return
+	}
+	wi := c.cx.wordOf[f]
+	mk := func(kind opKind, sortPos token.Pos) {
+		c.add(pubOp{
+			kind:    kind,
+			pos:     call.Pos(),
+			sortPos: sortPos,
+			field:   f.Name() + "." + method,
+			base:    c.baseKey(base),
+			baseStr: exprString(base),
+			word:    word,
+			wkind:   wi.kind,
+		})
+	}
+	switch wi.kind {
+	case kindAtomic:
+		switch method {
+		case "Store":
+			mk(opRelease, call.End())
+		case "Load":
+			mk(opAcqLoad, call.Pos())
+		case "Swap", "CompareAndSwap":
+			mk(opAcqClaim, call.Pos())
+		}
+	case kindMutex:
+		switch method {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			mk(opAcqClaim, call.Pos())
+		case "Unlock", "RUnlock":
+			mk(opRelease, call.End())
+		}
+	case kindOnce:
+		if method == "Do" {
+			mk(opAcqClaim, call.Pos())
+			mk(opRelease, call.End())
+		}
+	}
+}
+
+// annotatedCall records the protocol ops implied by a directive on the
+// callee: each receiver/argument (and, for acquire, single-assign LHS)
+// whose type carries the word becomes a base.
+func (c *opCollector) annotatedCall(call *ast.CallExpr, fn *types.Func, verb, word string) {
+	var cands []ast.Expr
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		cands = append(cands, sel.X)
+	}
+	cands = append(cands, call.Args...)
+	emit := func(e ast.Expr, kind opKind, sortPos token.Pos) {
+		t := c.cx.pass.Info.TypeOf(e)
+		if t == nil {
+			return
+		}
+		wkind, ok := c.cx.wordKindFor(t, word)
+		if !ok {
+			return
+		}
+		c.add(pubOp{
+			kind:    kind,
+			pos:     call.Pos(),
+			sortPos: sortPos,
+			field:   "(" + fn.Name() + ")",
+			base:    c.baseKey(e),
+			baseStr: exprString(e),
+			word:    word,
+			wkind:   wkind,
+		})
+	}
+	for _, e := range cands {
+		switch verb {
+		case "release":
+			emit(e, opRelease, call.End())
+		case "acquire":
+			emit(e, opAcqClaim, call.Pos())
+		case "publish-write":
+			emit(e, opWrite, call.Pos())
+		}
+	}
+	// An acquire that returns the acquired value: t := w.JoinPrep().
+	if verb == "acquire" && c.curAssign != nil && stripParens(c.curAssign.Rhs[0]) == ast.Expr(call) {
+		for _, l := range c.curAssign.Lhs {
+			if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+				emit(id, opAcqClaim, call.End())
+			}
+		}
+	}
+}
+
+// fieldVar resolves the struct-field object a selector denotes, if
+// any, unwrapping indexing/parens/stars on the way: for
+// w.buf[i].Store the field is buf and the base is w.
+func (c *opCollector) fieldVar(sel *ast.SelectorExpr) (*types.Var, bool) {
+	if s, ok := c.cx.pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v, true
+		}
+	}
+	if v, ok := c.cx.pass.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v, true
+	}
+	return nil, false
+}
+
+// wordMethod recognizes a method call on a publication word or
+// published field: t.state.Store(v), w.buf[i].Load(), f.mu.Lock().
+// Returns the field, the base expression, and the method name.
+func (cx *pubContext) wordMethod(call *ast.CallExpr) (*types.Var, ast.Expr, string) {
+	fun, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, ""
+	}
+	inner := stripParens(fun.X)
+	for {
+		if idx, ok := inner.(*ast.IndexExpr); ok {
+			inner = stripParens(idx.X)
+			continue
+		}
+		if star, ok := inner.(*ast.StarExpr); ok {
+			inner = stripParens(star.X)
+			continue
+		}
+		break
+	}
+	sel, ok := inner.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, ""
+	}
+	var f *types.Var
+	if s, ok := cx.pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		f, _ = s.Obj().(*types.Var)
+	} else if v, ok := cx.pass.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		f = v
+	}
+	if f == nil {
+		return nil, nil, ""
+	}
+	if _, isWord := cx.wordNm[f]; !isWord {
+		if _, isPub := cx.pubOf[f]; !isPub {
+			return nil, nil, ""
+		}
+	}
+	return f, sel.X, fun.Sel.Name
+}
+
+// baseExprOf returns the receiver-chain base of a word-method call,
+// for recursing into index expressions etc.
+func baseExprOf(call *ast.CallExpr) ast.Expr {
+	if fun, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return fun.X
+	}
+	return nil
+}
+
+// baseKey builds the canonical identity of a base expression:
+// identifiers by object, selector/index chains structurally.
+func (c *opCollector) baseKey(e ast.Expr) string {
+	e = stripParens(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := c.cx.pass.Info.ObjectOf(e); obj != nil {
+			return fmt.Sprintf("obj:%p", obj)
+		}
+		return "ident:" + e.Name
+	case *ast.SelectorExpr:
+		return c.baseKey(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return c.baseKey(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.StarExpr:
+		return c.baseKey(e.X) + ".deref"
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return c.baseKey(e.X)
+		}
+	}
+	return fmt.Sprintf("expr@%d", e.Pos())
+}
+
+func stripParens(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

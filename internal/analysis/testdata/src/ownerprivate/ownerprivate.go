@@ -52,3 +52,14 @@ func stats(p *pool) int {
 	}
 	return total
 }
+
+// count touches no owner-private state, so its allow suppresses
+// nothing and the stale-suppression audit reports the directive
+// itself.
+func count(p *pool) int {
+	n := 0 /* want `stale suppression: no ownerprivate diagnostic is suppressed here; delete the allow` */ //woolvet:allow ownerprivate -- fixture: deliberately dead
+	for range p.workers {
+		n++
+	}
+	return n
+}

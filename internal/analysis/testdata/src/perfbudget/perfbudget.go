@@ -1,0 +1,71 @@
+// Package perfbudget is the analysistest fixture for the perfbudget
+// pass: woolvet:inline functions must actually inline and
+// woolvet:noescape functions must keep every value on the stack,
+// per the compiler's own -gcflags=-m decisions. The pinned and
+// escaping cases below are the proof that the pass fails when the
+// fast path regresses.
+package perfbudget
+
+type payload struct{ a, b, c, d int64 }
+
+// fastPath is inliner-sized; the annotation holds.
+//
+// woolvet:inline
+func fastPath(x int64) int64 { return x + 1 }
+
+// pinned is artificially de-inlined; perfbudget must quote the
+// compiler's reason.
+//
+// woolvet:inline
+//
+//go:noinline
+func pinned(x int64) int64 { return x + 1 } // want `woolvet:inline pinned does not inline: marked go:noinline`
+
+// tooBig exceeds the inliner budget the honest way.
+//
+// woolvet:inline
+func tooBig(p *payload) int64 { // want `woolvet:inline tooBig does not inline: function too complex`
+	s := int64(0)
+	s += p.a*3 + p.b*5 + p.c*7 + p.d*11
+	s ^= p.a<<1 | p.b<<2 | p.c<<3 | p.d<<4
+	s -= p.a/3 + p.b/5 + p.c/7 + p.d/11
+	s *= p.a%13 + p.b%17 + p.c%19 + p.d%23
+	s += p.a*p.b + p.c*p.d + p.a*p.c + p.b*p.d
+	s ^= p.a>>1 ^ p.b>>2 ^ p.c>>3 ^ p.d>>4
+	s -= p.a&p.b | p.c&p.d | p.a&p.d | p.b&p.c
+	s *= p.a + p.b + p.c + p.d + 1
+	s += s<<3 ^ s>>5 + s*29 - s/31
+	s ^= s<<7 | s>>9 ^ s*37 + s/41
+	return s
+}
+
+// staysOnStack allocates nothing.
+//
+// woolvet:noescape
+func staysOnStack() int64 {
+	v := payload{1, 2, 3, 4}
+	return v.a + v.d
+}
+
+// escapes leaks a local to the heap; perfbudget must flag the
+// compiler's moved-to-heap decision.
+//
+// woolvet:noescape
+func escapes() *payload {
+	v := payload{1, 2, 3, 4} // want `woolvet:noescape escapes: v escapes to heap`
+	return &v
+}
+
+var sink any
+
+// boxed forces an interface allocation.
+//
+// woolvet:noescape
+func boxed(x int64) {
+	v := payload{x, x, x, x} // want `woolvet:noescape boxed: v escapes to heap`
+	sink = &v
+}
+
+// Keep the unexported functions alive so the compiler records
+// decisions for them.
+var keep = []any{fastPath, pinned, tooBig, staysOnStack, escapes, boxed}

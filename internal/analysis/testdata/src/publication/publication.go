@@ -1,0 +1,214 @@
+// Package publication is the analysistest fixture for the publication
+// pass: fields tagged woolvet:published-by must be fully written
+// before the release of their publication word, read only after its
+// acquire, and never touched while the base is published.
+package publication
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// task mirrors the core Task protocol: argument words are published
+// to thieves by the state word (an atomic sibling field).
+type task struct {
+	// woolvet:published-by state
+	fn func()
+	// woolvet:published-by state
+	a0 int64
+	// woolvet:published-by state
+	res int64
+
+	state atomic.Uint64
+}
+
+// okPublish is the canonical owner-side ordering: all argument writes
+// dominate the release store.
+func okPublish(t *task, a int64) {
+	t.fn = func() {}
+	t.a0 = a
+	t.state.Store(1)
+}
+
+func writeAfterRelease(t *task, a int64) {
+	t.fn = func() {}
+	t.state.Store(1)
+	t.a0 = a // want `write to t.a0 after the release of state`
+}
+
+func conditionalWrite(t *task, a int64, c bool) {
+	t.fn = func() {}
+	if c {
+		t.a0 = a // want `write to t.a0 does not dominate the release of state at line \d+`
+	}
+	t.state.Store(1)
+}
+
+// goodThief claims via CAS before touching published words.
+func goodThief(t *task) int64 {
+	if t.state.CompareAndSwap(1, 2) {
+		return t.a0
+	}
+	return 0
+}
+
+func badThief(t *task) int64 {
+	r := t.a0 // want `read of t.a0 is not dominated by an acquire of state`
+	if t.state.CompareAndSwap(1, 2) {
+		return r + t.a0
+	}
+	return 0
+}
+
+// ownerRead has no acquire in scope: it is owner-context and its
+// ordering obligations live in its callers.
+func ownerRead(t *task) int64 { return t.a0 }
+
+// waitDone orders the result read after the acquire load.
+func waitDone(t *task) int64 {
+	for t.state.Load() != 3 {
+	}
+	return t.res
+}
+
+// reclaim re-privatizes the task before writing.
+func reclaim(t *task) {
+	if t.state.CompareAndSwap(1, 2) {
+		t.res = 9
+	}
+}
+
+// job carries a label-only publication word: "queue" names no sibling
+// field, so the protocol points are the annotated functions below.
+type job struct {
+	// woolvet:published-by queue
+	payload int64
+}
+
+// publish makes the job visible to other workers.
+//
+// woolvet:release queue
+func publish(j *job) {}
+
+// claim takes exclusive ownership of the job.
+//
+// woolvet:acquire queue
+func claim(j *job) {}
+
+// runJob writes the job's published fields on the thief side.
+//
+// woolvet:publish-write queue
+func runJob(j *job) {}
+
+func okLabel(j *job, v int64) {
+	j.payload = v
+	publish(j)
+}
+
+func badLabel(j *job, v int64) {
+	publish(j)
+	j.payload = v // want `write to j.payload after the release of queue`
+}
+
+func okSteal(j *job) {
+	claim(j)
+	runJob(j)
+	publish(j)
+}
+
+func stealWrongOrder(j *job, c bool) {
+	claim(j)
+	if c {
+		runJob(j) // want `write to j.\(runJob\) does not dominate the release of queue at line \d+`
+	}
+	publish(j)
+}
+
+func readBeforeClaim(j *job) int64 {
+	v := j.payload // want `read of j.payload is not dominated by an acquire of queue`
+	claim(j)
+	return v + j.payload
+}
+
+// take returns an acquired job: the result is private to the caller.
+//
+// woolvet:acquire queue
+func take() *job { return &job{} }
+
+func takeAndRead() int64 {
+	j := take()
+	return j.payload
+}
+
+// guarded exercises the mutex word kind: accesses must be dominated
+// by Lock and must not follow Unlock.
+type guarded struct {
+	mu sync.Mutex
+	// woolvet:published-by mu
+	items []int64
+}
+
+func okLocked(g *guarded, v int64) {
+	g.mu.Lock()
+	g.items = append(g.items, v)
+	g.mu.Unlock()
+}
+
+func writeAfterUnlock(g *guarded) {
+	g.mu.Lock()
+	g.mu.Unlock()
+	g.items = nil // want `write to g.items after mu.Unlock`
+}
+
+func readWithoutLock(g *guarded) int64 {
+	n := int64(len(g.items)) // want `access to g.items is not dominated by a Lock of mu`
+	g.mu.Lock()
+	n += g.items[0]
+	g.mu.Unlock()
+	return n
+}
+
+func readAfterUnlock(g *guarded) int64 {
+	g.mu.Lock()
+	n := g.items[0]
+	g.mu.Unlock()
+	return n + g.items[1] // want `read of g.items after mu.Unlock`
+}
+
+// box exercises the sync.Once word kind: a literal passed directly to
+// Do is folded between Do's claim and release.
+type box struct {
+	once sync.Once
+	// woolvet:published-by once
+	val int64
+}
+
+func okOnce(b *box, v int64) {
+	b.once.Do(func() { b.val = v })
+}
+
+func badOnce(b *box, v int64) {
+	b.once.Do(func() {})
+	b.val = v // want `write to b.val after the release of once`
+}
+
+// deque exercises element stores into a published buffer: the slot
+// write must dominate the bottom release (the Chase-Lev ordering).
+type deque struct {
+	// woolvet:published-by bottom
+	buf [8]atomic.Pointer[task]
+
+	bottom atomic.Int64
+}
+
+func push(d *deque, t *task) {
+	b := d.bottom.Load()
+	d.buf[b&7].Store(t)
+	d.bottom.Store(b + 1)
+}
+
+func pushWrongOrder(d *deque, t *task) {
+	b := d.bottom.Load()
+	d.bottom.Store(b + 1)
+	d.buf[b&7].Store(t) // want `write to d.buf after the release of bottom`
+}

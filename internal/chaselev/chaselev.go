@@ -35,10 +35,21 @@ type TaskFunc func(w *Worker, t *Task)
 // Task is a heap/free-list allocated task structure; the deque stores
 // only pointers to these, as in TBB and Cilk++ (paper Section III).
 type Task struct {
-	fn             TaskFunc
+	// The wrapper and arguments are published to thieves by the deque
+	// itself — the buf-slot store in push is what makes the pointer
+	// visible — so they carry the abstract word "deque": writes must
+	// dominate the push (release) and reads need alloc/joinAcquire
+	// (acquire) in scope. See DESIGN.md §15.
+	// woolvet:published-by deque
+	fn TaskFunc
+	// woolvet:published-by deque
 	a0, a1, a2, a3 int64
-	ctx            any
-	res            int64
+	// woolvet:published-by deque
+	ctx any
+	// res is written by whoever ran the task and read by the owner
+	// only after it has observed done (the sibling atomic flag).
+	// woolvet:published-by done
+	res int64
 
 	// stolenBy is the thief index + 1 (atomic; 0 = not stolen).
 	// woolvet:atomic
@@ -139,7 +150,10 @@ type Worker struct {
 
 	// buf holds size slots; live indices are [top, bottom), the owner
 	// pushes/pops at bottom, thieves CAS top. The slice header and
-	// mask are immutable after construction.
+	// mask are immutable after construction. A slot store must
+	// dominate the bottom release that makes it visible (the Chase-Lev
+	// publication ordering), enforced by the publication pass.
+	// woolvet:published-by bottom
 	buf  []atomic.Pointer[Task]
 	mask int64
 
@@ -386,7 +400,12 @@ func (p *Pool) ResetStats() {
 	}
 }
 
-// alloc takes a task structure from the free list (or the heap).
+// alloc takes a task structure from the free list (or the heap). The
+// returned descriptor is private to the caller until push publishes
+// it — an acquire of the deque word, which also re-privatizes a
+// recycled free-list task for the publication pass.
+//
+// woolvet:acquire deque
 func (w *Worker) alloc() *Task {
 	t := w.free
 	if t == nil {
@@ -413,6 +432,12 @@ func (w *Worker) release(t *Task) {
 // when the deque is full and the caller must degrade the spawn to
 // inline execution (elide); under StrictOverflow a full deque panics
 // instead.
+//
+// The buf-slot store is what makes t visible to thieves: every write
+// to t's published fields must already have happened — push is the
+// release of the deque word.
+//
+// woolvet:release deque
 func (w *Worker) push(t *Task) bool {
 	b := w.bottom.Load()
 	tp := w.top.Load()
@@ -583,7 +608,13 @@ func (w *Worker) runStolen(task *Task) {
 
 // joinAcquire resolves the youngest outstanding spawn of w: inline it
 // if it is still in the deque, otherwise wait out the thief under the
-// configured policy. Returns (task, inline).
+// configured policy. Returns (task, inline). Either way the returned
+// task is exclusively the caller's again — popBottom won the bottom
+// race or the done spin observed the thief's release — so this is the
+// acquire of both the deque word and the done flag.
+//
+// woolvet:acquire deque
+// woolvet:acquire done
 func (w *Worker) joinAcquire() (*Task, bool) {
 	if len(w.shadow) == 0 {
 		panic("chaselev: join without matching spawn")

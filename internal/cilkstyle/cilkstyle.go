@@ -52,12 +52,21 @@ type Step func(w *Worker) Step
 // state that survives across scheduling points. Embed it in a struct
 // carrying the function's variables (the cactus-stack frame).
 type Frame struct {
-	mu        sync.Mutex
-	pending   int  // outstanding spawned children
+	mu sync.Mutex
+	// The child-return protocol state is shared between the owner and
+	// every thief running one of the frame's children; all of it is
+	// guarded by mu (publication pass: accesses must be dominated by
+	// Lock and must not follow Unlock).
+	// woolvet:published-by mu
+	pending int // outstanding spawned children
+	// woolvet:published-by mu
 	suspended bool // parked at a Sync waiting for children
-	resume    Step // continuation to run when the last child returns
-	parent    *Frame
-	done      bool // set when the frame's function completed (root tracking)
+	// woolvet:published-by mu
+	resume Step // continuation to run when the last child returns
+	// parent is written once in NewChild, before the frame is shared.
+	parent *Frame
+	// woolvet:published-by mu
+	done bool // set when the frame's function completed (root tracking)
 }
 
 // Stats are the scheduler's event counters.
@@ -100,7 +109,8 @@ type Worker struct {
 	// the tail, thieves take from the head. A single lock protects it,
 	// matching the lock-based stealing the paper attributes to Cilk++.
 	// woolvet:cacheline group=protocol maxspan=64
-	mu    sync.Mutex
+	mu sync.Mutex
+	// woolvet:published-by mu
 	deque []Step
 
 	_ [64]byte // pad: end of the protocol group
@@ -202,8 +212,6 @@ func (p *Pool) recordPanic(r any) {
 }
 
 // NewPool creates the pool; worker 0 is driven by Run's caller.
-//
-//woolvet:allow ownerprivate -- construction: workers are unshared until the goroutines start
 func NewPool(opts Options) *Pool {
 	opts = opts.defaults()
 	if opts.Trace != nil && opts.Trace.Workers() < opts.Workers {

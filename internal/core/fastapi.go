@@ -25,6 +25,13 @@ package core
 // the public region, or tracing/profiling is active (genFast). The
 // caller fills the descriptor (Task.Set1 and friends) and commits with
 // SpawnCommitPrivate. Owner only.
+//
+// The returned descriptor is unclaimed and owner-writable: an acquire
+// of state in the publication pass's model, so generated code may
+// store arguments into it before the commit releases it.
+//
+// woolvet:inline
+// woolvet:acquire state
 func (w *Worker) SpawnPrepPrivate() *Task {
 	if !w.genFast || w.morePublic.Load() || w.top >= len(w.tasks) || int64(w.top) < w.pubShadow {
 		return nil
@@ -35,6 +42,15 @@ func (w *Worker) SpawnPrepPrivate() *Task {
 // SpawnCommitPrivate completes a fast-path spawn of the descriptor
 // returned by SpawnPrepPrivate: mark it private (owner-only flag — no
 // atomics; the paper's private spawn) and advance top. Owner only.
+//
+// After the commit the descriptor is live: the trip-wire publication
+// path may promote it to a stealable public task at any moment, so no
+// argument write may follow — a release of state in the publication
+// pass's model even though the private path itself performs no atomic
+// store.
+//
+// woolvet:inline
+// woolvet:release state
 func (w *Worker) SpawnCommitPrivate(t *Task) {
 	t.priv = true
 	w.top++
@@ -48,6 +64,9 @@ func (w *Worker) SpawnCommitPrivate(t *Task) {
 // tracing/profiling is active. On success the task is claimed (plain
 // flag flip, the paper's 3-cycle join) and the caller performs the
 // direct call into the task body. Owner only.
+//
+// woolvet:inline
+// woolvet:acquire state
 func (w *Worker) JoinPrepPrivate() *Task {
 	if !w.genFast || len(w.ovf) != 0 {
 		return nil
@@ -70,12 +89,17 @@ func (w *Worker) JoinPrepPrivate() *Task {
 // when the slow path already ran the task and the result is in the
 // descriptor (Task.Res). A true return must be followed by
 // InlineJoinEnd after the inline call completes.
+//
+// woolvet:inline
+// woolvet:acquire state
 func (w *Worker) JoinAcquire() (*Task, bool) { return w.joinAcquire() }
 
 // InlineJoinEnd closes the span-profiling window opened by an inline
 // JoinAcquire claim. Generated code calls it after the direct call
 // into the task body; it is free (one nil check) when profiling is
 // off.
+//
+// woolvet:inline
 func (w *Worker) InlineJoinEnd() {
 	if w.spanProf != nil {
 		w.spanProf.onInlineJoinEnd()
@@ -89,6 +113,9 @@ func (w *Worker) InlineJoinEnd() {
 // active. The caller fills descriptors [0, k) of the window (Task.Set1
 // and friends) and commits them with BatchCommitPrivate(k). Owner
 // only.
+//
+// woolvet:inline
+// woolvet:acquire state
 func (w *Worker) BatchPrepPrivate(n int) []Task {
 	if !w.genFast || w.morePublic.Load() || int64(w.top) < w.pubShadow {
 		return nil
@@ -107,6 +134,9 @@ func (w *Worker) BatchPrepPrivate(n int) []Task {
 // descriptors of the BatchPrepPrivate window private and advance top
 // over them. One bounds check and one stats bump amortize over the
 // whole batch. Owner only.
+//
+// woolvet:inline
+// woolvet:release state
 func (w *Worker) BatchCommitPrivate(k int) {
 	for j := 0; j < k; j++ {
 		w.tasks[w.top+j].priv = true

@@ -91,11 +91,21 @@ type Task struct {
 	// woolvet:atomic methods=Load,Swap,CompareAndSwap
 	state atomic.Uint64
 
+	// The argument words are published to thieves by the state word:
+	// every owner write below must dominate the release store of
+	// state, and a thief may read them only after its CAS claim
+	// (publication pass, DESIGN.md §15).
+	// woolvet:published-by state
 	fn TaskFunc
 
+	// woolvet:published-by state
 	a0, a1, a2, a3 int64
-	ctx            any
+	// woolvet:published-by state
+	ctx any
 
+	// res flows the other way: the thief writes it before its DONE
+	// release, the owner reads it after the acquire load of state.
+	// woolvet:published-by state
 	res int64
 
 	priv bool
@@ -116,12 +126,18 @@ type Task struct {
 // sequence the TaskDef* methods produce inside the package.
 
 // Set1 stores the wrapper and one int64 argument.
+//
+// woolvet:inline
+// woolvet:publish-write state
 func (t *Task) Set1(fn TaskFunc, a0 int64) {
 	t.fn = fn
 	t.a0 = a0
 }
 
 // Set2 stores the wrapper and two int64 arguments.
+//
+// woolvet:inline
+// woolvet:publish-write state
 func (t *Task) Set2(fn TaskFunc, a0, a1 int64) {
 	t.fn = fn
 	t.a0 = a0
@@ -129,6 +145,9 @@ func (t *Task) Set2(fn TaskFunc, a0, a1 int64) {
 }
 
 // Set3 stores the wrapper and three int64 arguments.
+//
+// woolvet:inline
+// woolvet:publish-write state
 func (t *Task) Set3(fn TaskFunc, a0, a1, a2 int64) {
 	t.fn = fn
 	t.a0 = a0
@@ -138,6 +157,9 @@ func (t *Task) Set3(fn TaskFunc, a0, a1, a2 int64) {
 
 // SetC1 stores the wrapper, a context pointer and one int64 argument.
 // Storing a pointer in the interface slot does not allocate.
+//
+// woolvet:inline
+// woolvet:publish-write state
 func (t *Task) SetC1(fn TaskFunc, ctx any, a0 int64) {
 	t.fn = fn
 	t.ctx = ctx
@@ -145,6 +167,9 @@ func (t *Task) SetC1(fn TaskFunc, ctx any, a0 int64) {
 }
 
 // SetC2 stores the wrapper, a context pointer and two int64 arguments.
+//
+// woolvet:inline
+// woolvet:publish-write state
 func (t *Task) SetC2(fn TaskFunc, ctx any, a0, a1 int64) {
 	t.fn = fn
 	t.ctx = ctx
@@ -154,6 +179,9 @@ func (t *Task) SetC2(fn TaskFunc, ctx any, a0, a1 int64) {
 
 // SetC3 stores the wrapper, a context pointer and three int64
 // arguments.
+//
+// woolvet:inline
+// woolvet:publish-write state
 func (t *Task) SetC3(fn TaskFunc, ctx any, a0, a1, a2 int64) {
 	t.fn = fn
 	t.ctx = ctx
@@ -163,20 +191,33 @@ func (t *Task) SetC3(fn TaskFunc, ctx any, a0, a1, a2 int64) {
 }
 
 // Arg0 returns the first int64 argument.
+//
+// woolvet:inline
 func (t *Task) Arg0() int64 { return t.a0 }
 
 // Arg1 returns the second int64 argument.
+//
+// woolvet:inline
 func (t *Task) Arg1() int64 { return t.a1 }
 
 // Arg2 returns the third int64 argument.
+//
+// woolvet:inline
 func (t *Task) Arg2() int64 { return t.a2 }
 
 // Ctx returns the stored context value.
+//
+// woolvet:inline
 func (t *Task) Ctx() any { return t.ctx }
 
 // Res returns the task's result (valid once the owner has observed
 // completion through the join protocol).
+//
+// woolvet:inline
 func (t *Task) Res() int64 { return t.res }
 
 // SetRes stores the task's result (wrapper use).
+//
+// woolvet:inline
+// woolvet:publish-write state
 func (t *Task) SetRes(r int64) { t.res = r }

@@ -228,6 +228,7 @@ func genSig(p func(string, ...any), s Sig) {
 	p("\n// Spawn%s spawns one %s task. The private fast path flattens to\n", name, name)
 	p("// plain stores into the descriptor; everything else routes through the\n")
 	p("// generic TaskDef path.\n")
+	p("//\n// woolvet:noescape\n")
 	p("func Spawn%s(w *core.Worker, %s%s) {\n", name, ctxParam, s.params())
 	p("\tif t := w.SpawnPrepPrivate(); t != nil {\n")
 	p("\t\tt.%s, %s)\n", set, s.argNames())
@@ -238,6 +239,7 @@ func genSig(p func(string, ...any), s Sig) {
 	p("\n// Join%s joins with the most recently spawned task. Both inline\n", name)
 	p("// paths call the body directly (statically); a stolen task's result is\n")
 	p("// read back from the descriptor.\n")
+	p("//\n// woolvet:noescape\n")
 	p("func Join%s(w *core.Worker) int64 {\n", name)
 	joinCall := fmt.Sprintf("%s(w, %s)", body, s.taskArgs())
 	if s.Ctx != "" {
@@ -250,6 +252,7 @@ func genSig(p func(string, ...any), s Sig) {
 
 	// Call.
 	p("\n// Call%s invokes the body directly, without creating a task.\n", name)
+	p("//\n// woolvet:inline\n")
 	p("func Call%s(w *core.Worker, %s%s) int64 { return %s(w, %s%s) }\n",
 		name, ctxParam, s.params(), body, ctxArg, s.argNames())
 
@@ -262,6 +265,7 @@ func genSig(p func(string, ...any), s Sig) {
 	p("// batches: each core.BatchPrepPrivate window pays the per-spawn\n")
 	p("// bookkeeping once, and any slot the fast path declines falls back to\n")
 	p("// the one-at-a-time spawn with its full generic semantics.\n")
+	p("//\n// woolvet:noescape\n")
 	p("func Spawn%sN(w *core.Worker, %sbase int64, n int) {\n", name, ctxParam)
 	p("\tfor n > 0 {\n")
 	p("\t\tb := w.BatchPrepPrivate(n)\n")
@@ -278,6 +282,7 @@ func genSig(p func(string, ...any), s Sig) {
 
 	p("\n// Join%sN joins the n most recently spawned %s tasks (LIFO) and\n", name, name)
 	p("// returns the sum of their results.\n")
+	p("//\n// woolvet:noescape\n")
 	p("func Join%sN(w *core.Worker, n int) int64 {\n", name)
 	p("\tvar sum int64\n\tfor ; n > 0; n-- {\n\t\tsum += Join%s(w)\n\t}\n\treturn sum\n}\n", name)
 }

@@ -107,8 +107,12 @@ func (fb *ForkBounded) Fork(f, g func() int64) (int64, int64) {
 // makes the read race-free.
 type panicBox struct {
 	once sync.Once
-	val  any
-	set  bool
+	// The captured panic is published by the Once: writes happen only
+	// inside the once.Do closure, reads only after the barrier.
+	// woolvet:published-by once
+	val any
+	// woolvet:published-by once
+	set bool
 }
 
 func (b *panicBox) capture(r any) {

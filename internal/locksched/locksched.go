@@ -69,10 +69,20 @@ type TaskFunc func(w *Worker, t *Task)
 // direct task stack, the indices alone cannot tell a joining owner when
 // its thief has finished.
 type Task struct {
-	fn             TaskFunc
+	// The wrapper and arguments are published to thieves by the
+	// owner's atomic bump of top in spawn — the abstract word "top"
+	// here: writes must dominate the spawn call and reads need
+	// push/joinAcquire in scope (publication pass, DESIGN.md §15).
+	// woolvet:published-by top
+	fn TaskFunc
+	// woolvet:published-by top
 	a0, a1, a2, a3 int64
-	ctx            any
-	res            int64
+	// woolvet:published-by top
+	ctx any
+	// res is written by the thief before its done release and read by
+	// the owner only after it has observed done.
+	// woolvet:published-by done
+	res int64
 
 	// stolenBy is the thief index + 1, written under the victim's
 	// lock; 0 means not stolen.
@@ -397,7 +407,10 @@ func (p *Pool) ResetStats() {
 // push readies the next descriptor for a spawn. Returns nil when the
 // pool is full and the caller must degrade the spawn to inline serial
 // execution (noteOverflowInlined); under StrictOverflow a full pool
-// panics instead.
+// panics instead. The returned slot is above top and therefore still
+// private to the owner — the acquire of the abstract top word.
+//
+// woolvet:acquire top
 func (w *Worker) push() *Task {
 	top := w.top.Load()
 	if top == int64(len(w.tasks)) {
@@ -417,7 +430,10 @@ func (w *Worker) noteOverflowInlined(res int64) {
 }
 
 // spawn publishes the descriptor: the atomic bump of top is the release
-// making the task visible to thieves. No lock, per the paper.
+// making the task visible to thieves. No lock, per the paper. Every
+// write to the descriptor's published fields must precede this call.
+//
+// woolvet:release top
 func (w *Worker) spawn(t *Task) {
 	t.stolenBy = 0
 	t.done.Store(false)
@@ -428,7 +444,12 @@ func (w *Worker) spawn(t *Task) {
 // joinAcquire pops the youngest task. The owner takes its own lock and
 // compares indices: if bot stayed at or below the popped slot the task
 // is still present and is inlined; otherwise it was stolen and the
-// owner leapfrogs off the recorded thief until done.
+// owner leapfrogs off the recorded thief until done. Either way the
+// returned descriptor is exclusively the caller's again — the locked
+// index exchange or the done spin — so this acquires both words.
+//
+// woolvet:acquire top
+// woolvet:acquire done
 func (w *Worker) joinAcquire() (*Task, bool) {
 	if n := len(w.ovf); n != 0 {
 		// Overflow-elided spawns replay LIFO before anything on the

@@ -69,7 +69,10 @@ type Pool struct {
 	agents []*chaos.Agent
 
 	// woolvet:cacheline group=queue
-	mu    sync.Mutex
+	mu sync.Mutex
+	// The central queue is the whole team's shared state; every access
+	// must hold mu (publication pass, mutex word).
+	// woolvet:published-by mu
 	queue []*Task
 
 	_ [64]byte // pad: end of the central-queue group

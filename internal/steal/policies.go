@@ -22,6 +22,9 @@ func (p *randomPolicy) Name() string { return Random }
 // pick is the legacy nextVictim: one xorshift step, uniform over the
 // n-1 non-self indices. With one worker it returns self and the
 // caller's steal attempt fails on the victim==self check.
+//
+// woolvet:inline
+// woolvet:noescape
 func (p *randomPolicy) pick() int {
 	if p.n <= 1 {
 		return p.self
@@ -75,6 +78,11 @@ func (p *randomPolicy) distinct(k int, out []int) int {
 	return cnt
 }
 
+// Choose sits on every steal attempt of every backend: it may not
+// allocate (the candidate buffer is the fixed-size buf array), though
+// the sampling loop is past the inlining budget.
+//
+// woolvet:noescape
 func (p *randomPolicy) Choose(stealable func(int) bool) int {
 	if p.k <= 1 || stealable == nil {
 		return p.pick()
@@ -97,6 +105,8 @@ func (p *randomPolicy) Choose(stealable func(int) bool) int {
 	return v
 }
 
+// woolvet:inline
+// woolvet:noescape
 func (p *randomPolicy) Observe(int, bool) bool { return false }
 
 // lastVictimPolicy layers last-successful-victim retention over
@@ -120,6 +130,7 @@ type lastVictimPolicy struct {
 
 func (p *lastVictimPolicy) Name() string { return LastVictim }
 
+// woolvet:noescape
 func (p *lastVictimPolicy) Choose(stealable func(int) bool) int {
 	p.probed = stealable != nil
 	if lv := p.last; lv >= 0 && stealable != nil {
@@ -135,6 +146,11 @@ func (p *lastVictimPolicy) Choose(stealable func(int) bool) int {
 	return p.randomPolicy.Choose(stealable)
 }
 
+// Observe runs after every steal attempt, hit or miss; it must both
+// inline and stay allocation-free.
+//
+// woolvet:inline
+// woolvet:noescape
 func (p *lastVictimPolicy) Observe(v int, ok bool) (retained bool) {
 	if ok {
 		if p.last == v {
@@ -170,8 +186,12 @@ type sequentialPolicy struct {
 
 func (p *sequentialPolicy) Name() string { return Sequential }
 
+// woolvet:inline
+// woolvet:noescape
 func (p *sequentialPolicy) Choose(func(int) bool) int { return p.cur }
 
+// woolvet:inline
+// woolvet:noescape
 func (p *sequentialPolicy) Observe(v int, ok bool) bool {
 	if ok || p.n <= 1 {
 		return false
@@ -200,6 +220,7 @@ type localizedPolicy struct {
 
 func (p *localizedPolicy) Name() string { return Localized }
 
+// woolvet:noescape
 func (p *localizedPolicy) Choose(stealable func(int) bool) int {
 	if p.n <= 1 {
 		return p.self

@@ -22,6 +22,9 @@ func NewRNG(seed uint64) RNG {
 
 // Next advances the stream one step and returns the new state — the
 // exact update order of the pre-refactor nextVictim copies.
+//
+// woolvet:inline
+// woolvet:noescape
 func (r *RNG) Next() uint64 {
 	x := r.x
 	x ^= x << 13
