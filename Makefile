@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint lint-fast lint-perfbudget bench registry-bench perfgate generate ci all trace-smoke fuzz-smoke chaos stealsweep stealsweep-smoke
+.PHONY: build test race lint lint-fast lint-perfbudget bench registry-bench perfgate generate ci all trace-smoke fuzz-smoke chaos stealsweep stealsweep-smoke serve-smoke
 
 all: build test lint
 
@@ -12,12 +12,14 @@ test:
 
 # Race-detect every scheduler backend that has a thief/victim protocol
 # (direct task stack, Chase-Lev deque, locked deque, cilk-style,
-# central queue) plus the simulator driving them and the registry's
-# chaos-profile conformance suite (internal/sched).
+# central queue) plus the simulator driving them, the registry's
+# chaos-profile conformance suite (internal/sched), and the serving
+# layer's concurrent-submission/mid-flight-cancellation suite.
 race:
 	$(GO) test -race -count=1 ./internal/core/... ./internal/chaselev/... \
 		./internal/locksched/... ./internal/cilkstyle/... \
-		./internal/ompstyle/... ./internal/sim/... ./internal/sched/...
+		./internal/ompstyle/... ./internal/sim/... ./internal/sched/... \
+		./internal/serve/...
 
 # woolvet enforces the direct-task-stack protocol invariants
 # (atomic-only fields, owner-private fields, cache-line layout,
@@ -89,6 +91,25 @@ stealsweep-smoke:
 	grep -q '"amount": "half"' $(STEALSWEEP_JSON)
 	grep -q '"kind": "direct-stack"' $(STEALSWEEP_JSON)
 
+# CI smoke of the woolserve benchmark (DESIGN.md §16) at quick scale:
+# the serving layer must complete the full request stream on both
+# direct-task-stack port layers, the report must carry the schema tag
+# and latency percentiles, and the mixed-cancellation cell must have
+# actually cancelled requests mid-flight (the abort/Reset path ran
+# inside the measured stream).
+SERVEBENCH_JSON ?= /tmp/woolserve-smoke.json
+serve-smoke:
+	$(GO) run ./cmd/woolbench -scale quick -serve $(SERVEBENCH_JSON)
+	grep -q '"schema": "wool-serve-bench/v1"' $(SERVEBENCH_JSON)
+	grep -q '"backend": "wool"' $(SERVEBENCH_JSON)
+	grep -q '"backend": "woolgen"' $(SERVEBENCH_JSON)
+	grep -q '"workload": "mixed-cancel"' $(SERVEBENCH_JSON)
+	grep -q '"lat_p50_us"' $(SERVEBENCH_JSON)
+	grep -q '"lat_p99_us"' $(SERVEBENCH_JSON)
+	grep -q '"req_per_s"' $(SERVEBENCH_JSON)
+	@grep -v '"cancelled": 0' $(SERVEBENCH_JSON) | grep -q '"cancelled"' \
+		|| { echo "serve-smoke: no cell cancelled any request mid-flight"; exit 1; }
+
 # End-to-end check of the wooltrace pipeline (DESIGN.md §11): export a
 # Chrome trace from a real run, validate it against the trace_event
 # schema with -checktrace, and require the load-balancing events (STEAL
@@ -136,4 +157,4 @@ ci:
 	$(GO) test -race -count=1 -short ./internal/core/... ./internal/chaselev/... \
 		./internal/locksched/... ./internal/cilkstyle/... \
 		./internal/ompstyle/... ./internal/sim/... \
-		./internal/sched/... ./internal/workloads/
+		./internal/sched/... ./internal/serve/... ./internal/workloads/

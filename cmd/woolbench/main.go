@@ -34,6 +34,7 @@ func main() {
 	registryJSON := flag.String("registryjson", "", "run the registry benchmarks (generic vs generated ladder, steal latency, fib(28) per backend) and write machine-readable results to FILE")
 	perfgate := flag.String("perfgate", "", "re-measure the gated benchmark keys and fail on regression against the committed baseline FILE")
 	stealsweep := flag.String("stealsweep", "", "run the steal-policy sweep (policy × amount × backend × workload natively, plus the sharded-topology simulator grid) and write machine-readable results to FILE; honours -scale")
+	serveBench := flag.String("serve", "", "run the woolserve request-serving benchmark (throughput and latency percentiles per backend, with a mid-flight-cancellation mix) and write machine-readable results to FILE; honours -scale")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: woolbench [-scale quick|full] [experiment ...]\n\nexperiments:\n")
 		for _, e := range experiments.All() {
@@ -81,6 +82,14 @@ func main() {
 
 	if *stealsweep != "" {
 		if err := runStealSweep(*stealsweep, scale == experiments.Full); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *serveBench != "" {
+		if err := runServeBench(*serveBench, scale == experiments.Full); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

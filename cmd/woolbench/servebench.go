@@ -1,0 +1,256 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"gowool/internal/sched"
+	"gowool/internal/serve"
+	"gowool/internal/workloads/fibw"
+	"gowool/internal/workloads/stress"
+)
+
+// The serving benchmark (woolbench -serve FILE) measures woolserve,
+// the concurrent request-serving layer (internal/serve, DESIGN.md
+// §16): closed-loop clients drive a request stream through a server on
+// the wool and woolgen backends, and the report carries throughput
+// (req/s) and the submit-to-finish latency percentiles per cell. The
+// mixed cell adds short-deadline requests, so the abort/Reset
+// cancellation path runs inside the measured stream rather than only
+// in tests.
+
+// serveBenchSchema versions the report shape for downstream readers
+// (make serve-smoke greps it).
+const serveBenchSchema = "wool-serve-bench/v1"
+
+// serveReport is the machine-readable output of -serve.
+type serveReport struct {
+	Schema     string            `json:"schema"`
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	NumCPU     int               `json:"num_cpu"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Scale      string            `json:"scale"`
+	Cells      []serveCell       `json:"cells"`
+	Notes      map[string]string `json:"notes"`
+}
+
+// serveCell is one backend × workload stream measurement.
+type serveCell struct {
+	Backend   string `json:"backend"`
+	Workload  string `json:"workload"`
+	Workers   int    `json:"workers"`
+	LaneWidth int    `json:"lane_width"`
+	Clients   int    `json:"clients"`
+	Requests  int    `json:"requests"`
+	Completed int    `json:"completed"`
+	Cancelled int    `json:"cancelled"`
+	// ReqPerS is completed+cancelled requests over the stream's
+	// wall-clock (a cancelled request still occupies its lane until
+	// the abort unwinds, so it belongs in the service rate).
+	ReqPerS float64 `json:"req_per_s"`
+	// Latency percentiles over the COMPLETED requests' submit-to-
+	// finish time (queueing included — this is a serving benchmark).
+	LatP50Us float64 `json:"lat_p50_us"`
+	LatP90Us float64 `json:"lat_p90_us"`
+	LatP99Us float64 `json:"lat_p99_us"`
+}
+
+// serveWorkload describes one request stream shape.
+type serveWorkload struct {
+	name string
+	// job returns the i-th request's job and, when the request should
+	// carry a deadline, a positive timeout.
+	job func(i int) (serve.Job, time.Duration)
+}
+
+// serveSpinJob is the mixed stream's slow request: a small task tree
+// whose leaves busy-spin, so a 1-2ms deadline can land mid-flight
+// (same probe shape as the serve torture suite). Completed value is
+// the leaf count.
+func serveSpinJob(depth int64, spin time.Duration) serve.Job {
+	return serve.Rec(sched.RecJob{
+		Name: "spin",
+		Root: depth,
+		Leaf: func(n int64) (int64, bool) {
+			if n > 0 {
+				return 0, false
+			}
+			end := time.Now().Add(spin)
+			for time.Now().Before(end) {
+			}
+			return 1, true
+		},
+		Split: func(n int64) (inline, spawned int64) { return n - 1, n - 1 },
+	})
+}
+
+func runServeBench(path string, full bool) error {
+	const (
+		workers   = 4
+		laneWidth = 1
+		clients   = 4
+	)
+	requests := 400
+	scale := "quick"
+	if full {
+		requests = 4000
+		scale = "full"
+	}
+	gmp := runtime.GOMAXPROCS(0)
+	if gmp < workers {
+		runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(gmp)
+	}
+
+	rep := serveReport{
+		Schema:     serveBenchSchema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      scale,
+		Notes: map[string]string{
+			"setup":  fmt.Sprintf("%d closed-loop clients over a %d-worker server (lane width %d); latency percentiles over completed requests, submit to finish", clients, workers, laneWidth),
+			"mixed":  "the mixed cell gives 1 in 4 requests a 1-2ms deadline over a slow spinning job, so mid-flight aborts and pool Resets happen inside the measured stream",
+			"intent": "throughput and tail latency of the serving layer per backend; req_per_s counts completed+cancelled (a cancelled request occupies its lane until the abort unwinds)",
+		},
+	}
+
+	workloads := []serveWorkload{
+		{name: "fib16", job: func(i int) (serve.Job, time.Duration) {
+			return serve.Rec(fibw.Job(16, 1)), 0
+		}},
+		{name: "stress", job: func(i int) (serve.Job, time.Duration) {
+			return serve.Rec(stress.Job(6, 100, 1)), 0
+		}},
+		{name: "mixed-cancel", job: func(i int) (serve.Job, time.Duration) {
+			if i%4 == 0 {
+				return serveSpinJob(4, 200*time.Microsecond), time.Duration(1+i%2) * time.Millisecond
+			}
+			return serve.Rec(fibw.Job(16, 1)), 0
+		}},
+	}
+
+	for _, backend := range []string{"wool", "woolgen"} {
+		for _, wl := range workloads {
+			cell, err := runServeCell(backend, wl, workers, laneWidth, clients, requests)
+			if err != nil {
+				return err
+			}
+			rep.Cells = append(rep.Cells, cell)
+			fmt.Printf("  %-8s %-13s %8.0f req/s  p50=%-8.1fus p90=%-8.1fus p99=%-8.1fus completed=%d cancelled=%d\n",
+				cell.Backend, cell.Workload, cell.ReqPerS, cell.LatP50Us, cell.LatP90Us, cell.LatP99Us,
+				cell.Completed, cell.Cancelled)
+		}
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// runServeCell drives one request stream and aggregates its outcomes.
+func runServeCell(backend string, wl serveWorkload, workers, laneWidth, clients, requests int) (serveCell, error) {
+	cell := serveCell{
+		Backend: backend, Workload: wl.name,
+		Workers: workers, LaneWidth: laneWidth,
+		Clients: clients, Requests: requests,
+	}
+	s, err := serve.New(serve.Options{
+		Backend:   backend,
+		Workers:   workers,
+		LaneWidth: laneWidth,
+	})
+	if err != nil {
+		return cell, err
+	}
+	defer s.Close()
+
+	type clientOut struct {
+		lats                 []time.Duration
+		completed, cancelled int
+		err                  error
+	}
+	results := make(chan clientOut, clients)
+	perClient := requests / clients
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		c := c
+		go func() {
+			var out clientOut
+			defer func() { results <- out }()
+			for i := 0; i < perClient; i++ {
+				job, timeout := wl.job(c*perClient + i)
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if timeout > 0 {
+					ctx, cancel = context.WithTimeout(ctx, timeout)
+				}
+				tk, err := s.Submit(ctx, "", job)
+				if err != nil {
+					if cancel != nil {
+						cancel()
+					}
+					out.err = fmt.Errorf("%s/%s: submit: %w", backend, wl.name, err)
+					return
+				}
+				_, werr := tk.Wait()
+				if cancel != nil {
+					cancel()
+				}
+				switch {
+				case werr == nil:
+					out.lats = append(out.lats, tk.Latency())
+					out.completed++
+				case errors.Is(werr, context.DeadlineExceeded) || errors.Is(werr, context.Canceled):
+					out.cancelled++
+				default:
+					out.err = fmt.Errorf("%s/%s: request failed: %w", backend, wl.name, werr)
+					return
+				}
+			}
+		}()
+	}
+	var lats []time.Duration
+	for c := 0; c < clients; c++ {
+		out := <-results
+		if out.err != nil {
+			return cell, out.err
+		}
+		lats = append(lats, out.lats...)
+		cell.Completed += out.completed
+		cell.Cancelled += out.cancelled
+	}
+	elapsed := time.Since(start)
+	cell.ReqPerS = float64(cell.Completed+cell.Cancelled) / elapsed.Seconds()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	cell.LatP50Us = pctUs(lats, 50)
+	cell.LatP90Us = pctUs(lats, 90)
+	cell.LatP99Us = pctUs(lats, 99)
+	return cell, nil
+}
+
+// pctUs reads the p-th percentile of sorted latencies in microseconds.
+func pctUs(sorted []time.Duration, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted) - 1) * p / 100
+	return float64(sorted[idx]) / float64(time.Microsecond)
+}

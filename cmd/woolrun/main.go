@@ -148,6 +148,9 @@ func capsTokens(c sched.Caps) string {
 	if c.Watchdog {
 		t = append(t, "watchdog")
 	}
+	if c.Serve {
+		t = append(t, "serve")
+	}
 	if len(t) == 0 {
 		return "-"
 	}
@@ -204,18 +207,10 @@ func runNative() {
 	}
 	var tr *trace.Tracer
 	if *traceOut != "" || *stealMat {
-		if !s.Caps().Trace {
-			fmt.Fprintf(os.Stderr, "scheduler %s does not support tracing\n", s.Name())
-			os.Exit(2)
-		}
 		tr = trace.New(*workers, 0)
 	}
 	var inj *chaos.Injector
 	if *chaosName != "" {
-		if !s.Caps().Chaos {
-			fmt.Fprintf(os.Stderr, "scheduler %s does not support chaos injection\n", s.Name())
-			os.Exit(2)
-		}
 		prof, ok := chaos.ProfileByName(*chaosName)
 		if !ok {
 			var names []string
@@ -230,23 +225,19 @@ func runNative() {
 		fmt.Printf("chaos: profile=%s seed=%d (replay with -chaos %s -chaosseed %d)\n",
 			prof.Name, *chaosSeed, prof.Name, *chaosSeed)
 	}
-	if *watchdog > 0 && !s.Caps().Watchdog {
-		fmt.Fprintf(os.Stderr, "scheduler %s does not support the watchdog\n", s.Name())
-		os.Exit(2)
-	}
-	stl := stealConfig()
-	if *stealPolicy != "" && len(s.Caps().StealPolicies) == 0 {
-		fmt.Fprintf(os.Stderr, "scheduler %s has no policy-driven victim selection\n", s.Name())
-		os.Exit(2)
-	}
-	if *stealAmount != "" && len(s.Caps().StealAmounts) == 0 {
-		fmt.Fprintf(os.Stderr, "scheduler %s has no configurable steal amount\n", s.Name())
-		os.Exit(2)
-	}
-	p := s.NewPool(sched.Options{
+	opts := sched.Options{
 		Workers: *workers, PrivateTasks: *private, Trace: tr,
-		Chaos: inj, Watchdog: *watchdog, Steal: stl,
-	})
+		Chaos: inj, Watchdog: *watchdog, Steal: stealConfig(),
+	}
+	// Fail fast on any flag the backend cannot honour — including an
+	// unsupported MEMBER of a non-empty capability list (for example
+	// -stealamount half on the direct task stack), which the old
+	// empty-list-only checks silently fell back to the default on.
+	if err := sched.CheckOptions(s.Caps(), opts); err != nil {
+		fmt.Fprintf(os.Stderr, "scheduler %s cannot run with these flags:\n%v\n", s.Name(), err)
+		os.Exit(2)
+	}
+	p := s.NewPool(opts)
 	defer p.Close()
 
 	t0 := time.Now()

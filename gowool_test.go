@@ -1,9 +1,13 @@
 package gowool_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"gowool"
 )
@@ -142,4 +146,128 @@ func ExampleFor() {
 	})
 	fmt.Println(squares)
 	// Output: [0 1 4 9 16 25 36 49]
+}
+
+// TestServerPublic exercises the woolserve surface through the public
+// package: concurrent submissions, a mid-flight cancellation that
+// kills only its own request, and the public abort/reset lifecycle on
+// a plain Pool.
+func TestServerPublic(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	fib := gowool.RecJob{
+		Name: "fib",
+		Root: 15,
+		Leaf: func(n int64) (int64, bool) {
+			if n < 2 {
+				return n, true
+			}
+			return 0, false
+		},
+		Split: func(n int64) (inline, spawned int64) { return n - 1, n - 2 },
+	}
+	const wantFib = 610 // fib(15)
+
+	s, err := gowool.NewServer(gowool.ServerOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var tks []*gowool.Ticket
+	for i := 0; i < 8; i++ {
+		tk, err := s.Submit(context.Background(), "", gowool.ServeRec(fib))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tks = append(tks, tk)
+	}
+	for _, tk := range tks {
+		if v, err := tk.Wait(); err != nil || v != wantFib {
+			t.Fatalf("fib(15): v=%d err=%v, want %d, nil", v, err, wantFib)
+		}
+	}
+
+	// Mid-flight cancellation: a spinning request dies with its
+	// context's error, the server keeps serving.
+	var gate, started atomic.Bool
+	spin := gowool.RecJob{
+		Name: "spin",
+		Root: 64,
+		Leaf: func(n int64) (int64, bool) {
+			if n < 0 {
+				started.Store(true)
+				for !gate.Load() {
+					runtime.Gosched()
+				}
+				return 1, true
+			}
+			if n == 0 {
+				return 1, true
+			}
+			return 0, false
+		},
+		Split: func(n int64) (inline, spawned int64) { return -1, n - 1 },
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	victim, err := s.Submit(ctx, "", gowool.ServeRec(spin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !started.Load() {
+		runtime.Gosched()
+	}
+	cancel()
+	time.Sleep(10 * time.Millisecond) // let the abort land mid-spin
+	gate.Store(true)
+	if _, werr := victim.Wait(); !errors.Is(werr, context.Canceled) {
+		t.Fatalf("cancelled request: err = %v, want context.Canceled", werr)
+	}
+	tk, err := s.Submit(context.Background(), "", gowool.ServeRec(fib))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := tk.Wait(); err != nil || v != wantFib {
+		t.Fatalf("post-cancel fib(15): v=%d err=%v, want %d, nil", v, err, wantFib)
+	}
+	if _, err := s.Submit(context.Background(), "ghost", gowool.ServeRec(fib)); !errors.Is(err, gowool.ErrUnknownTenant) {
+		t.Fatalf("unknown tenant: err = %v, want ErrUnknownTenant", err)
+	}
+
+	// The abort machinery is public on Pool itself.
+	p := gowool.NewPool(gowool.Options{Workers: 2})
+	defer p.Close()
+	probe := errors.New("probe")
+	res := make(chan any, 1)
+	var pgate, pstarted atomic.Bool
+	busy := gowool.Define1("busy", func(w *gowool.Worker, n int64) int64 {
+		pstarted.Store(true)
+		for !pgate.Load() {
+			runtime.Gosched()
+		}
+		return n
+	})
+	go func() {
+		defer func() { res <- recover() }()
+		p.Run(func(w *gowool.Worker) int64 { return busy.Call(w, 1) })
+	}()
+	for !pstarted.Load() {
+		runtime.Gosched()
+	}
+	if !p.Abort(probe) {
+		t.Fatal("Abort returned false on a running pool")
+	}
+	pgate.Store(true)
+	r := <-res
+	var ae *gowool.AbortError
+	if e, ok := r.(error); !ok || !errors.As(e, &ae) || !errors.Is(ae, probe) {
+		t.Fatalf("aborted Run panicked with %v, want *AbortError wrapping the probe", r)
+	}
+	if err := p.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	got := p.Run(func(w *gowool.Worker) int64 { return busy.Call(w, 7) })
+	if got != 7 {
+		t.Fatalf("post-Reset Run = %d, want 7", got)
+	}
 }

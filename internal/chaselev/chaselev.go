@@ -25,6 +25,7 @@ import (
 
 	"gowool/internal/chaos"
 	"gowool/internal/overflow"
+	"gowool/internal/poolerr"
 	"gowool/internal/steal"
 	"gowool/internal/trace"
 )
@@ -339,7 +340,7 @@ func (p *Pool) Run(root func(*Worker) int64) int64 {
 		panic(fmt.Sprintf("chaselev: pool poisoned by earlier task panic: %v", p.panicVal))
 	}
 	if !p.running.CompareAndSwap(false, true) {
-		panic("chaselev: concurrent Run calls")
+		panic(poolerr.ConcurrentRun("chaselev"))
 	}
 	defer p.running.Store(false)
 	defer func() {

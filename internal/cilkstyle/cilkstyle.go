@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"gowool/internal/chaos"
+	"gowool/internal/poolerr"
 	"gowool/internal/steal"
 	"gowool/internal/trace"
 )
@@ -265,7 +266,7 @@ func (p *Pool) Run(root *Frame, first Step) {
 		panic(fmt.Sprintf("cilkstyle: pool poisoned by earlier task panic: %v", p.panicVal))
 	}
 	if !p.running.CompareAndSwap(false, true) {
-		panic("cilkstyle: concurrent Run calls")
+		panic(poolerr.ConcurrentRun("cilkstyle"))
 	}
 	defer p.running.Store(false)
 	// A panic escaping a step run inline on worker 0 lands here: record

@@ -1,0 +1,250 @@
+package core
+
+// Request-scoped abort and pool revival (DESIGN.md §16).
+//
+// The poison machinery of DESIGN.md §11 is pool-wide and terminal: a
+// task panic poisons the pool, Run re-raises, and the only safe call
+// left is Close. That is the right contract for batch use, but a
+// serving layer (internal/serve) runs many independent requests
+// through one pool and needs the poison scoped to a request: cancel
+// THIS run, then return the pool to service. Three pieces deliver
+// that:
+//
+//   - Abort(reason) poisons the pool deliberately, with a
+//     *poolerr.AbortError carrying the reason. The existing abort
+//     checks unwind the in-flight Run exactly as a task panic would,
+//     so Run re-raises the AbortError and the caller can tell a
+//     cancellation from a genuine panic by type.
+//
+//   - Poisoned() observes the poison without Run's panic, so the
+//     serving layer can decide whether the pool needs revival.
+//
+//   - Reset() revives a poisoned pool: wait until every worker has
+//     quiesced (parked on the idle engine or on the poison gate),
+//     clear the abandoned task trees, and lift the poison. After a
+//     successful Reset the pool accepts Run again.
+//
+// Reviving requires that poisoned workers stay around: idleLoop
+// blocks poisoned workers on a gate (poisonPark) instead of exiting
+// their goroutines, and both Close and Reset open the gate — Close to
+// let them observe shutdown and exit, Reset to put them back to
+// stealing.
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"time"
+
+	"gowool/internal/poolerr"
+)
+
+// Abort poisons the pool with a *poolerr.AbortError so the in-flight
+// Run (if any) unwinds and re-raises it. It is safe to call from any
+// goroutine, concurrently with Run; the serving layer calls it from a
+// context-cancellation callback. It returns true when this call did
+// the poisoning, false when the pool was already poisoned (by a task
+// panic or an earlier Abort — first cause wins, matching recordPanic)
+// or already closed.
+//
+// Abort does not wait for the Run to unwind: the abort token is
+// observed at the next public join, stolen-task start, or (amortized)
+// generic join of each worker. Workers never initiate new steals once
+// poisoned, and a task already claimed by a steal still reaches DONE
+// (its body is skipped, see runStolen), so the unwind cannot strand a
+// joiner.
+func (p *Pool) Abort(reason error) bool {
+	if p.shutdown.Load() {
+		return false
+	}
+	p.poisonMu.Lock()
+	defer p.poisonMu.Unlock()
+	if p.panicked.Load() {
+		return false
+	}
+	p.panicVal = &poolerr.AbortError{Reason: reason}
+	p.panicked.Store(true)
+	return true
+}
+
+// Poisoned reports whether the pool is poisoned, and by what: the
+// original panic value of the task panic (or the *poolerr.AbortError
+// of an Abort) that poisoned it. Unlike Run's poisoned panic this is
+// a plain observation, usable by a serving layer deciding whether to
+// Reset.
+func (p *Pool) Poisoned() (cause any, poisoned bool) {
+	if !p.panicked.Load() {
+		return nil, false
+	}
+	return p.panicVal, true
+}
+
+// Reset revives a poisoned pool so it can serve the next request. It
+// returns nil immediately when the pool is not poisoned. Otherwise it
+// waits until every worker is quiescent — blocked on the poison gate
+// or parked on the idle engine; a worker still finishing a claimed
+// stolen task is waited out, so a task body that never returns blocks
+// Reset just as it would have blocked the join — then discards the
+// abandoned task trees (unjoined descriptors never run; the serial
+// state they computed into is the caller's to reconcile, which for
+// the serving layer is simply the failed request's), re-arms a
+// tripped watchdog, lifts the poison, and releases the gate.
+//
+// Reset must not race with Run: like Run it claims the running flag
+// and returns poolerr.ErrConcurrentRun (wrapped) when it loses.
+func (p *Pool) Reset() error {
+	if p.shutdown.Load() {
+		return errors.New("core: Reset on closed Pool")
+	}
+	if !p.running.CompareAndSwap(false, true) {
+		return poolerr.ConcurrentRun("core")
+	}
+	defer p.running.Store(false)
+	if !p.panicked.Load() {
+		return nil
+	}
+
+	// Quiescence: every worker but worker 0 (whose driving goroutine —
+	// the Run caller — already unwound, or is us) must be accounted for
+	// as poison-gate-blocked or idle-parked. Both states are claim-free
+	// and, while the poison holds, absorbing: a gate-blocked worker
+	// stays until the gate opens, and a parked worker that a stray wake
+	// releases re-enters the loop, sees the poison, and blocks on the
+	// gate. So polling until the counts add up is race-free even
+	// though the two counters are sampled separately.
+	need := len(p.workers) - 1
+	for spins := 0; ; spins++ {
+		p.poisonMu.Lock()
+		quiet := p.poisonWaiters
+		p.poisonMu.Unlock()
+		if p.idle != nil {
+			quiet += int(p.idle.parked.Load())
+		}
+		if quiet >= need {
+			break
+		}
+		if p.shutdown.Load() {
+			return errors.New("core: pool closed during Reset")
+		}
+		if spins < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+
+	for _, w := range p.workers {
+		w.resetAfterPoison()
+	}
+
+	// A tripped watchdog's loop has exited (it returns after storing
+	// its verdict); re-arm it for the revived pool.
+	if p.wdErr.Load() != nil && p.wdStop != nil {
+		<-p.wdDone // the old loop has fully stopped
+		p.wdStop = make(chan struct{})
+		p.wdDone = make(chan struct{})
+		go p.watchdogLoop(p.opts.Watchdog)
+	}
+	p.wdErr.Store(nil)
+
+	// Lift the poison and open the gate in one critical section: a
+	// worker past the loop's poison check either registered on the gate
+	// before we took poisonMu (and wakes when we close it) or enters
+	// poisonPark after we release it, re-checks panicked, and declines
+	// to block. Holding poisonMu here also serializes against a
+	// concurrent Abort or recordPanic, which would otherwise interleave
+	// its first-cause write with this clear.
+	p.poisonMu.Lock()
+	p.panicVal = nil
+	p.panicked.Store(false)
+	if p.poisonGate != nil {
+		close(p.poisonGate)
+		p.poisonGate = nil
+	}
+	p.poisonMu.Unlock()
+	return nil
+}
+
+// poisonPark blocks the calling worker's goroutine while the pool is
+// poisoned. It double-checks the poison and the shutdown flag under
+// poisonMu, so a wake-up cannot be lost against Close or Reset (both
+// close the gate under the same mutex, after their own flag writes).
+func (p *Pool) poisonPark() {
+	p.poisonMu.Lock()
+	if p.shutdown.Load() || !p.panicked.Load() {
+		p.poisonMu.Unlock()
+		return
+	}
+	if p.poisonGate == nil {
+		p.poisonGate = make(chan struct{})
+	}
+	gate := p.poisonGate
+	p.poisonWaiters++
+	p.poisonMu.Unlock()
+	<-gate
+	p.poisonMu.Lock()
+	p.poisonWaiters--
+	p.poisonMu.Unlock()
+}
+
+// abortCheckPeriod is how many generic joins an owner performs between
+// loads of the pool's poison flag (see Worker.pollAbort). Small enough
+// that a poisoned single-worker request unwinds within microseconds,
+// large enough that the amortized cost on the gated join ladder is one
+// plain decrement per pair.
+const abortCheckPeriod = 32
+
+// pollAbort is the owner-path abort check, called from joinAcquire:
+// every abortCheckPeriod-th generic join loads the poison flag and, if
+// set, re-raises the poisoning value so the request's task tree
+// unwinds (Run's recover then re-raises it to the caller; a thief's
+// runStolen recover contains it). The amortization keeps the check
+// out of the perf-gated join ladder's measured cost; the fast
+// generated private path (fastapi.go) deliberately has no check at
+// all — serving layers that want prompt cancellation run their lanes
+// with all-public descriptors (Options.PrivateTasks=false), where
+// every join routes through here.
+func (w *Worker) pollAbort() {
+	w.abortTick--
+	if w.abortTick > 0 {
+		return
+	}
+	w.abortTick = abortCheckPeriod
+	if w.pool.panicked.Load() {
+		// Re-raise the original poisoning value (not a copy): Run's
+		// recover path calls recordPanic, which is a no-op for a
+		// poisoned pool, and re-panics the same value, preserving the
+		// first-cause contract of DESIGN.md §11.
+		panic(w.pool.panicVal)
+	}
+}
+
+// resetAfterPoison discards this worker's share of the abandoned task
+// tree and returns its scheduling state to the post-NewPool values.
+// Called only from Pool.Reset, with every worker quiescent, so the
+// owner-private fields and the descriptor states are unshared.
+//
+//woolvet:allow publication -- Reset-time clears: the loop's back edge puts iteration i+1's fn/ctx writes "after" iteration i's state store, but no thief is live to acquire any descriptor here
+func (w *Worker) resetAfterPoison() {
+	for i := 0; i < w.top; i++ {
+		t := &w.tasks[i]
+		t.priv = false
+		t.fn = nil
+		t.ctx = nil // drop the abandoned tree's references for the GC
+		//woolvet:allow atomicfield -- Reset-time clear: no thief is live to observe the store
+		t.state.Store(stateEmpty)
+	}
+	w.top = 0
+	w.bot.Store(0)
+	w.ovf = w.ovf[:0]
+	w.inlineRun = 0
+	w.abortTick = 0
+	w.morePublic.Store(false)
+	if w.pool.opts.PrivateTasks {
+		w.pubShadow = int64(w.pool.opts.InitialPublic)
+	} else {
+		w.pubShadow = math.MaxInt64
+	}
+	w.publicLimit.Store(w.pubShadow)
+	w.blockedSince.Store(0)
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"gowool/internal/poolerr"
+)
+
+// spinUntilAborted builds a root that spawns/joins forever: each
+// iteration is one public spawn + call + join, so the only way out is
+// the abort token observed at a generic join. Returns the task so the
+// test keeps it alive.
+func spinUntilAborted(p *Pool) func(*Worker) int64 {
+	leaf := Define1("abort-leaf", func(w *Worker, x int64) int64 { return x })
+	return func(w *Worker) int64 {
+		var acc int64
+		for {
+			leaf.Spawn(w, 1)
+			acc += leaf.Call(w, 2)
+			acc += leaf.Join(w)
+		}
+	}
+}
+
+// TestAbortUnwindsRun: Abort from another goroutine must unwind an
+// in-flight Run with the *poolerr.AbortError carrying the reason, and
+// Reset must then return the pool to service.
+func TestAbortUnwindsRun(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	p := NewPool(Options{Workers: 2})
+	defer p.Close()
+
+	reason := errors.New("request deadline exceeded")
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		p.Abort(reason)
+	}()
+	r := mustPanic(t, "aborted Run", func() {
+		p.Run(spinUntilAborted(p))
+	})
+	ae, ok := r.(*poolerr.AbortError)
+	if !ok {
+		t.Fatalf("aborted Run panicked with %T (%v), want *poolerr.AbortError", r, r)
+	}
+	if !errors.Is(ae, reason) {
+		t.Fatalf("AbortError unwraps to %v, want %v", ae.Reason, reason)
+	}
+	if _, poisoned := p.Poisoned(); !poisoned {
+		t.Fatal("pool not poisoned after Abort unwound the Run")
+	}
+	if err := p.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if _, poisoned := p.Poisoned(); poisoned {
+		t.Fatal("pool still poisoned after Reset")
+	}
+
+	fib := fibDef()
+	got := p.Run(func(w *Worker) int64 { return fib.Call(w, 20) })
+	if want := serialFib(20); got != want {
+		t.Fatalf("post-Reset fib(20) = %d, want %d", got, want)
+	}
+}
+
+// TestResetRevivesPanickedPool: a genuine task panic poisons the pool;
+// Reset must discard the abandoned tree and revive it, repeatedly.
+func TestResetRevivesPanickedPool(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	p := NewPool(Options{Workers: 4})
+	defer p.Close()
+
+	var boom *TaskDef1
+	boom = Define1("reset-boom", func(w *Worker, depth int64) int64 {
+		if depth == 0 {
+			panic("reset boom")
+		}
+		boom.Spawn(w, depth-1)
+		boom.Call(w, depth-1)
+		boom.Join(w)
+		return 0
+	})
+	fib := fibDef()
+	want := serialFib(18)
+	for round := 0; round < 3; round++ {
+		r := mustPanic(t, "panicking Run", func() {
+			p.Run(func(w *Worker) int64 { return boom.Call(w, 8) })
+		})
+		if fmt.Sprint(r) != "reset boom" {
+			t.Fatalf("round %d: Run re-raised %v, want reset boom", round, r)
+		}
+		if cause, poisoned := p.Poisoned(); !poisoned || fmt.Sprint(cause) != "reset boom" {
+			t.Fatalf("round %d: Poisoned() = %v, %v", round, cause, poisoned)
+		}
+		if err := p.Reset(); err != nil {
+			t.Fatalf("round %d: Reset: %v", round, err)
+		}
+		if got := p.Run(func(w *Worker) int64 { return fib.Call(w, 18) }); got != want {
+			t.Fatalf("round %d: post-Reset fib(18) = %d, want %d", round, got, want)
+		}
+	}
+}
+
+// TestResetNotPoisonedIsNoop: Reset on a healthy pool returns nil and
+// leaves it usable.
+func TestResetNotPoisonedIsNoop(t *testing.T) {
+	p := NewPool(Options{Workers: 2})
+	defer p.Close()
+	if err := p.Reset(); err != nil {
+		t.Fatalf("Reset on healthy pool: %v", err)
+	}
+	fib := fibDef()
+	if got, want := p.Run(func(w *Worker) int64 { return fib.Call(w, 15) }), serialFib(15); got != want {
+		t.Fatalf("fib(15) = %d, want %d", got, want)
+	}
+}
+
+// TestClosePoisonedPoolWithParking is the satellite regression for the
+// poison→park leak: with Parking enabled, a pool poisoned by a task
+// panic has its idle workers blocked on the poison gate (or parked on
+// the idle engine); Close must release all of them and return. Run
+// under -race in CI.
+func TestClosePoisonedPoolWithParking(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	p := NewPool(Options{Workers: 4, Parking: ParkOn, MaxIdleSleep: 50 * time.Microsecond})
+
+	var boom *TaskDef1
+	boom = Define1("park-boom", func(w *Worker, depth int64) int64 {
+		if depth == 0 {
+			panic("park boom")
+		}
+		boom.Spawn(w, depth-1)
+		boom.Call(w, depth-1)
+		boom.Join(w)
+		return 0
+	})
+	mustPanic(t, "poisoning Run", func() {
+		p.Run(func(w *Worker) int64 { return boom.Call(w, 10) })
+	})
+
+	// Give the idle workers time to reach the poison gate (or the idle
+	// engine's park), so Close exercises the release of both.
+	time.Sleep(20 * time.Millisecond)
+
+	done := make(chan struct{})
+	go func() {
+		p.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung on a poisoned pool with Parking enabled (poison→park leak)")
+	}
+}
+
+// TestConcurrentRunTypedError: the concurrent-Run guard must panic
+// with the shared sentinel so callers can recognize it across
+// backends.
+func TestConcurrentRunTypedError(t *testing.T) {
+	p := NewPool(Options{Workers: 2})
+	defer p.Close()
+	inFirst := make(chan struct{})
+	release := make(chan struct{})
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		p.Run(func(w *Worker) int64 {
+			close(inFirst)
+			<-release
+			return 0
+		})
+	}()
+	<-inFirst
+	r := mustPanic(t, "second Run", func() {
+		p.Run(func(w *Worker) int64 { return 0 })
+	})
+	close(release)
+	<-firstDone
+	err, ok := r.(error)
+	if !ok || !errors.Is(err, poolerr.ErrConcurrentRun) {
+		t.Fatalf("second Run panicked with %T (%v), want an error wrapping poolerr.ErrConcurrentRun", r, r)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gowool/internal/chaos"
+	"gowool/internal/poolerr"
 	"gowool/internal/steal"
 	"gowool/internal/trace"
 )
@@ -286,9 +287,25 @@ type Pool struct {
 	running  atomic.Bool
 	wg       sync.WaitGroup
 
-	panicOnce sync.Once
-	panicVal  any
-	panicked  atomic.Bool
+	// panicVal/panicked record the first poisoning cause (task panic or
+	// Abort). Writes are first-cause-wins under poisonMu — a mutex, not
+	// a sync.Once, because Reset must be able to clear the record for
+	// the next request without racing a concurrent Abort's Do (abort.go).
+	// Readers load panicked (atomic) and, when set, read panicVal: the
+	// Store after the panicVal write orders the pair.
+	panicVal any
+	panicked atomic.Bool
+
+	// Poison parking (abort.go): instead of exiting their goroutines, a
+	// poisoned pool's idle workers block on poisonGate so Reset can
+	// revive them for the next request (the serving layer's per-request
+	// abort, DESIGN.md §16). poisonWaiters counts workers blocked on
+	// the gate; together with the idle engine's parked count it is the
+	// quiescence signal Reset waits on. All three fields are guarded by
+	// poisonMu; the gate channel is replaced per poison episode.
+	poisonMu      sync.Mutex
+	poisonWaiters int
+	poisonGate    chan struct{}
 
 	// progress is the watchdog's heartbeat: bumped on slow-path
 	// milestones (steal commits, stolen-task completions, trip-wire
@@ -410,7 +427,7 @@ func (p *Pool) Run(root func(*Worker) int64) int64 {
 		panic(fmt.Sprintf("core: pool poisoned by earlier task panic: %v", p.panicVal))
 	}
 	if !p.running.CompareAndSwap(false, true) {
-		panic("core: concurrent Run calls on the same Pool")
+		panic(poolerr.ConcurrentRun("core"))
 	}
 	defer p.running.Store(false)
 	// A panic escaping root (or the unjoined-tasks check below) leaves
@@ -447,14 +464,19 @@ func (p *Pool) Run(root func(*Worker) int64) int64 {
 // recordPanic stores the first panic raised by a task, poisoning the
 // pool; Run re-raises it (and refuses subsequent calls, see Run).
 func (p *Pool) recordPanic(r any) {
-	p.panicOnce.Do(func() {
+	p.poisonMu.Lock()
+	if !p.panicked.Load() {
 		p.panicVal = r
 		p.panicked.Store(true)
-	})
+	}
+	p.poisonMu.Unlock()
 }
 
 // Close stops the idle workers and waits for them to exit. The pool
-// must be quiescent (no Run in flight).
+// must be quiescent (no Run in flight). Closing a poisoned pool works:
+// workers waiting out the poison on the gate (poisonPark) and workers
+// parked on the idle engine are both released after the shutdown flag
+// is set, so they observe it and exit.
 func (p *Pool) Close() {
 	if p.shutdown.Swap(true) {
 		return
@@ -463,6 +485,15 @@ func (p *Pool) Close() {
 		close(p.wdStop)
 		<-p.wdDone
 	}
+	// Release poison-parked workers. Ordering: shutdown is already set,
+	// so a worker that reaches poisonPark after this drain sees it under
+	// poisonMu and returns without waiting (no lost wake-up).
+	p.poisonMu.Lock()
+	if p.poisonGate != nil {
+		close(p.poisonGate)
+		p.poisonGate = nil
+	}
+	p.poisonMu.Unlock()
 	if p.idle != nil {
 		p.idle.wakeAll()
 	}

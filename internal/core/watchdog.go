@@ -55,7 +55,11 @@ func (p *Pool) watchdogPoll() {
 // snapshot is race-clean; the optional trace section reuses the
 // documented-racy live Snapshot/StealMatrix accessors.
 func (p *Pool) watchdogLoop(interval time.Duration) {
-	defer close(p.wdDone)
+	// Capture the channels: Reset re-arms a tripped watchdog by
+	// replacing wdStop/wdDone with fresh channels, and this (exited)
+	// loop's deferred close must hit its own generation's channel.
+	stop, done := p.wdStop, p.wdDone
+	defer close(done)
 	tick := interval / 4
 	if tick < time.Millisecond {
 		tick = time.Millisecond
@@ -66,7 +70,7 @@ func (p *Pool) watchdogLoop(interval time.Duration) {
 	var quietSince time.Time
 	for {
 		select {
-		case <-p.wdStop:
+		case <-stop:
 			return
 		case <-ticker.C:
 		}

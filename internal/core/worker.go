@@ -82,6 +82,13 @@ type Worker struct {
 	// woolvet:owner
 	inlineRun int
 
+	// abortTick is the owner's countdown to the next poison check
+	// (pollAbort, abort.go): the request-scoped abort token is loaded
+	// only every abortCheckPeriod-th generic join, keeping the check
+	// off the perf-gated join ladder's measured cost.
+	// woolvet:owner
+	abortTick int
+
 	// pol is the victim-selection policy (internal/steal): the xorshift
 	// stream, retention slot / scan cursor / neighborhood state that
 	// used to live inline here as rng/lastVictim/retainMisses. Seeded
@@ -296,6 +303,7 @@ func (w *Worker) spawn(t *Task) {
 // slow path already ran the task (or waited out its thief) and the
 // result is in the descriptor.
 func (w *Worker) joinAcquire() (*Task, bool) {
+	w.pollAbort()
 	if n := len(w.ovf); n != 0 {
 		// The youngest outstanding spawn overflow-degraded: it already
 		// ran inline at the spawn point; replay its recorded result
@@ -669,6 +677,14 @@ func (w *Worker) runStolen(t *Task, leap bool) {
 			// re-raised on the Run goroutine.
 		}
 	}()
+	// Abort check: once the pool is poisoned the result of this task is
+	// unobservable (the joining owner unwinds instead of reading it),
+	// so skip the body. The caller still stores DONE, which is what
+	// keeps a leapfrogging joiner from spinning forever on this
+	// descriptor while the abort propagates.
+	if w.pool.panicked.Load() {
+		return
+	}
 	var start time.Time
 	if w.prof.on {
 		start = time.Now()
@@ -717,11 +733,14 @@ const stSamplePeriod = 64
 // A negative MaxIdleSleep keeps pure spinning+yield, matching the
 // paper's dedicated-machine setup.
 //
-// The loop also exits when the pool is poisoned by a task panic: the
-// abandoned tree's stealable descriptors must not keep executing in
-// the background after Run has re-raised (see Pool.Run). A task
-// already claimed by a steal always finishes (runStolen recovers and
-// trySteal commits DONE), so exiting between attempts never strands a
+// When the pool is poisoned (task panic or request abort) the loop
+// stops stealing — the abandoned tree's descriptors must not keep
+// executing in the background after Run has re-raised (see Pool.Run) —
+// but instead of exiting it blocks on the pool's poison gate
+// (poisonPark, abort.go), so Reset can revive the pool for the next
+// request; Close opens the same gate for exit. A task already claimed
+// by a steal always finishes (runStolen recovers and skips the body,
+// trySteal commits DONE), so parking between attempts never strands a
 // leapfrogging joiner.
 //
 // woolvet:thief
@@ -729,7 +748,14 @@ func (w *Worker) idleLoop() {
 	var sc stealCounters
 	fails := 0
 	var slept time.Duration
-	for !w.pool.shutdown.Load() && !w.pool.panicked.Load() {
+	for !w.pool.shutdown.Load() {
+		if w.pool.panicked.Load() {
+			w.flushStealCounters(&sc)
+			w.pool.poisonPark()
+			fails = 0
+			slept = 0
+			continue
+		}
 		v := w.chooseVictim()
 		var start time.Time
 		sampled := false

@@ -33,6 +33,7 @@ import (
 
 	"gowool/internal/chaos"
 	"gowool/internal/overflow"
+	"gowool/internal/poolerr"
 	"gowool/internal/steal"
 	"gowool/internal/trace"
 )
@@ -341,7 +342,7 @@ func (p *Pool) Run(root func(*Worker) int64) int64 {
 		panic(fmt.Sprintf("locksched: pool poisoned by earlier task panic: %v", p.panicVal))
 	}
 	if !p.running.CompareAndSwap(false, true) {
-		panic("locksched: concurrent Run calls")
+		panic(poolerr.ConcurrentRun("locksched"))
 	}
 	defer p.running.Store(false)
 	defer func() {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"gowool/internal/chaos"
+	"gowool/internal/poolerr"
 	"gowool/internal/trace"
 )
 
@@ -210,7 +211,7 @@ func (p *Pool) Run(master func(*Context) int64) int64 {
 		panic(fmt.Sprintf("ompstyle: pool poisoned by earlier task panic: %v", p.panicVal))
 	}
 	if !p.running.CompareAndSwap(false, true) {
-		panic("ompstyle: concurrent Run calls")
+		panic(poolerr.ConcurrentRun("ompstyle"))
 	}
 	defer p.running.Store(false)
 	// A panic escaping the master function itself lands here: record

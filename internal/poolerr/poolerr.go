@@ -1,0 +1,62 @@
+// Package poolerr holds the error values shared by every pool backend's
+// lifecycle surface, so callers (and the cross-backend conformance
+// suite) can recognize a lifecycle failure without matching on
+// backend-specific message strings.
+//
+// The backends deliberately keep their Run signature result-only (a
+// spawn/join runtime returns the root's value, not an error), so
+// lifecycle violations surface as panics — but the panic *values* are
+// errors built here, and errors.Is/errors.As see through the
+// per-backend prefix:
+//
+//	defer func() {
+//		if r := recover(); r != nil {
+//			if err, ok := r.(error); ok && errors.Is(err, poolerr.ErrConcurrentRun) { ... }
+//		}
+//	}()
+package poolerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrConcurrentRun is the sentinel wrapped by the panic every pooled
+// backend raises when Run is called while another Run is in flight on
+// the same pool. The root-join protocol assumes a single root: worker 0
+// is driven by the calling goroutine, so two overlapping Runs would
+// interleave two task trees on one stack and corrupt the join order.
+// Backends detect the overlap with a CAS on a running flag and panic
+// with ConcurrentRun(name) instead.
+var ErrConcurrentRun = errors.New("concurrent Run on the same pool")
+
+// ConcurrentRun builds the panic value for a concurrent-Run violation
+// on the named backend. errors.Is(v, ErrConcurrentRun) holds.
+func ConcurrentRun(backend string) error {
+	return fmt.Errorf("%s: %w", backend, ErrConcurrentRun)
+}
+
+// AbortError is the panic value a request-scoped abort injects into a
+// running root (DESIGN.md §16): Pool.Abort(reason) poisons the pool
+// with an *AbortError, the protocol's abort checks re-raise it on the
+// workers, and Run re-raises it to the caller, which unwraps Reason —
+// typically a context error — to classify the outcome. It is a
+// distinct type so serving layers can tell a deliberate cancellation
+// from a genuine task panic.
+type AbortError struct {
+	// Reason is what the aborter passed to Abort — for the serving
+	// layer, the request context's ctx.Err().
+	Reason error
+}
+
+// Error describes the abort.
+func (e *AbortError) Error() string {
+	if e.Reason == nil {
+		return "run aborted"
+	}
+	return "run aborted: " + e.Reason.Error()
+}
+
+// Unwrap exposes the abort reason to errors.Is/errors.As (so a caller
+// sees context.Canceled through the wrapper).
+func (e *AbortError) Unwrap() error { return e.Reason }

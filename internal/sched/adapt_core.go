@@ -29,6 +29,10 @@ func (woolSched) Caps() Caps {
 		// live in the victim's stack and are claimed individually.
 		StealPolicies: steal.Policies(),
 		StealAmounts:  []string{steal.AmountOne},
+		// *core.Pool implements Abort/Poisoned/Reset, so the serving
+		// layer can cancel requests mid-flight (woolgen inherits this
+		// Caps copy and with it the flag).
+		Serve: true,
 	}
 }
 

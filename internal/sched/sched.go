@@ -130,6 +130,25 @@ type Caps struct {
 	// honours; backends whose pools support batch extraction include
 	// steal.AmountHalf.
 	StealAmounts []string
+	// Serve is true when Pool.Native implements Abortable, so the
+	// serving layer (internal/serve) can cancel an in-flight request
+	// by aborting the pool and then Reset it back into service.
+	// Backends without it are still servable — the serving layer falls
+	// back to replacing a poisoned pool — but cannot interrupt a
+	// running request before it completes.
+	Serve bool
+}
+
+// Abortable is the native-pool contract behind Caps.Serve: the
+// request-scoped abort machinery of internal/core (DESIGN.md §16).
+// Abort poisons the pool so an in-flight Run unwinds with a
+// *poolerr.AbortError carrying reason; Poisoned observes the poison
+// without Run's panic; Reset waits out the unwind, discards the
+// abandoned task trees and returns the pool to service.
+type Abortable interface {
+	Abort(reason error) bool
+	Poisoned() (cause any, poisoned bool)
+	Reset() error
 }
 
 // Pool is a running scheduler instance behind the normalized surface.

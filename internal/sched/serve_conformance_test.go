@@ -1,0 +1,232 @@
+package sched_test
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gowool/internal/poolerr"
+	"gowool/internal/sched"
+	"gowool/internal/steal"
+	"gowool/internal/workloads/fibw"
+)
+
+// gateRec is a recursion whose inline branch spins on gate at every
+// level: it keeps a Run provably in flight (started) until the test
+// releases it, then unwinds through a ladder of joins. Completed value
+// is depth+1.
+func gateRec(started, gate *atomic.Bool, depth int64) sched.RecJob {
+	return sched.RecJob{
+		Name: "gate",
+		Root: depth,
+		Leaf: func(n int64) (int64, bool) {
+			if n < 0 {
+				if started != nil {
+					started.Store(true)
+				}
+				for !gate.Load() {
+					runtime.Gosched()
+				}
+				return 1, true
+			}
+			if n == 0 {
+				return 1, true
+			}
+			return 0, false
+		},
+		Split: func(n int64) (inline, spawned int64) { return -1, n - 1 },
+	}
+}
+
+// TestConcurrentRunTypedError checks the concurrent-Run guard is the
+// same typed error on every pooled backend: a Run overlapping another
+// panics with an error wrapping poolerr.ErrConcurrentRun, so callers
+// (the serving layer above all) can recognize the condition with
+// errors.Is instead of matching five backend-specific panic strings.
+// gonative has no single-root pool — overlapping Runs are inherently
+// safe there, which the test verifies instead of skipping.
+func TestConcurrentRunTypedError(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, s := range sched.All() {
+		t.Run(s.Name(), func(t *testing.T) {
+			p := s.NewPool(sched.Options{Workers: 2})
+			defer p.Close()
+			if p.Native() == nil {
+				var wg sync.WaitGroup
+				want := fibw.Serial(12)
+				for i := 0; i < 4; i++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if got := p.RunRec(fibw.Job(12, 1)); got != want {
+							t.Errorf("concurrent fib(12) = %d, want %d", got, want)
+						}
+					}()
+				}
+				wg.Wait()
+				return
+			}
+
+			var started, gate atomic.Bool
+			done := make(chan int64, 1)
+			go func() { done <- p.RunRec(gateRec(&started, &gate, 8)) }()
+			for !started.Load() {
+				runtime.Gosched()
+			}
+			err := func() (err error) {
+				defer func() {
+					r := recover()
+					if r == nil {
+						return
+					}
+					e, ok := r.(error)
+					if !ok {
+						t.Errorf("overlapping Run panicked with %T (%v), want an error wrapping poolerr.ErrConcurrentRun", r, r)
+						return
+					}
+					err = e
+				}()
+				p.RunRec(fibw.Job(5, 1))
+				return nil
+			}()
+			if !errors.Is(err, poolerr.ErrConcurrentRun) {
+				t.Fatalf("overlapping Run: err = %v, want errors.Is(..., poolerr.ErrConcurrentRun)", err)
+			}
+			gate.Store(true)
+			if v := <-done; v != 9 {
+				t.Fatalf("gated Run = %d, want 9", v)
+			}
+		})
+	}
+}
+
+// TestAbortableConformance checks Caps.Serve tells the truth on every
+// backend: when set, Pool.Native implements sched.Abortable and the
+// full abort lifecycle works (Abort lands mid-Run as a
+// *poolerr.AbortError carrying the reason, Poisoned observes it, Reset
+// returns the same pool to correct service); when clear, Native must
+// not quietly implement the interface (the capability would be
+// understated).
+func TestAbortableConformance(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	servable := 0
+	for _, s := range sched.All() {
+		caps := s.Caps()
+		t.Run(s.Name(), func(t *testing.T) {
+			p := s.NewPool(sched.Options{Workers: 2})
+			defer p.Close()
+			ab, ok := p.Native().(sched.Abortable)
+			if !caps.Serve {
+				if ok {
+					t.Fatal("Native implements Abortable but Caps.Serve is false")
+				}
+				return
+			}
+			if !ok {
+				t.Fatal("Caps.Serve set but Native does not implement sched.Abortable")
+			}
+			servable++
+
+			probe := errors.New("abort probe")
+			var started, gate atomic.Bool
+			res := make(chan any, 1)
+			go func() {
+				defer func() { res <- recover() }()
+				p.RunRec(gateRec(&started, &gate, 256))
+			}()
+			for !started.Load() {
+				runtime.Gosched()
+			}
+			if !ab.Abort(probe) {
+				t.Fatal("Abort returned false on a healthy running pool")
+			}
+			if ab.Abort(errors.New("second")) {
+				t.Fatal("second Abort on a poisoned pool returned true")
+			}
+			gate.Store(true)
+			r := <-res
+			ae, isAbort := r.(*poolerr.AbortError)
+			if !isAbort {
+				t.Fatalf("aborted Run panicked with %T (%v), want *poolerr.AbortError", r, r)
+			}
+			if !errors.Is(ae, probe) {
+				t.Fatalf("AbortError does not unwrap to the Abort reason: %v", ae)
+			}
+			if _, poisoned := ab.Poisoned(); !poisoned {
+				t.Fatal("Poisoned() = false after an abort")
+			}
+			if err := ab.Reset(); err != nil {
+				t.Fatalf("Reset: %v", err)
+			}
+			if _, poisoned := ab.Poisoned(); poisoned {
+				t.Fatal("still poisoned after Reset")
+			}
+			want := fibw.Serial(16)
+			if got := p.RunRec(fibw.Job(16, 1)); got != want {
+				t.Fatalf("post-Reset fib(16) = %d, want %d", got, want)
+			}
+		})
+	}
+	if servable < 2 {
+		t.Errorf("%d backends advertise Caps.Serve, want at least 2 (wool, woolgen)", servable)
+	}
+}
+
+// TestCheckOptions pins the fail-fast option validation: a request for
+// an unsupported capability — including an unsupported MEMBER of a
+// non-empty list, the case the CLIs' old empty-list-only checks let
+// fall through silently — is reported before pool construction.
+func TestCheckOptions(t *testing.T) {
+	wool, _ := sched.Lookup("wool")
+	gon, _ := sched.Lookup("gonative")
+	wcaps, gcaps := wool.Caps(), gon.Caps()
+	if len(gcaps.StealPolicies) != 0 {
+		t.Fatal("test premise: gonative advertises no steal policies")
+	}
+
+	ok := sched.Options{
+		Workers:      2,
+		PrivateTasks: true,
+		Watchdog:     time.Second,
+		Steal:        steal.Config{Policy: wcaps.StealPolicies[0], Amount: steal.AmountOne},
+	}
+	if err := sched.CheckOptions(wcaps, ok); err != nil {
+		t.Fatalf("supported options rejected: %v", err)
+	}
+	if err := sched.CheckOptions(wcaps, sched.Options{}); err != nil {
+		t.Fatalf("zero options rejected: %v", err)
+	}
+
+	// Membership, not just list presence: wool advertises steal
+	// policies and amounts, but not THESE values.
+	err := sched.CheckOptions(wcaps, sched.Options{Steal: steal.Config{Policy: "bogus"}})
+	if err == nil || !strings.Contains(err.Error(), "Steal.Policy") {
+		t.Fatalf("unsupported policy member: err = %v", err)
+	}
+	err = sched.CheckOptions(wcaps, sched.Options{Steal: steal.Config{Amount: steal.AmountHalf}})
+	if err == nil || !strings.Contains(err.Error(), "Steal.Amount") {
+		t.Fatalf("unsupported amount member: err = %v", err)
+	}
+
+	// Capability-less backend: every knob is a violation, and they are
+	// all reported at once (errors.Join).
+	err = sched.CheckOptions(gcaps, sched.Options{
+		PrivateTasks: true,
+		Watchdog:     time.Second,
+		Steal:        steal.Config{Policy: wcaps.StealPolicies[0]},
+	})
+	if err == nil {
+		t.Fatal("gonative accepted private tasks + watchdog + steal policy")
+	}
+	for _, wantSub := range []string{"PrivateTasks", "Watchdog", "Steal.Policy"} {
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("joined error missing %s: %v", wantSub, err)
+		}
+	}
+}

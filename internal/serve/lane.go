@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"gowool/internal/poolerr"
+	"gowool/internal/sched"
+)
+
+// lane is one worker team slot: a small pool of LaneWidth workers and
+// the goroutine that drains requests into it one at a time. The lane
+// serializes Run calls onto its pool — concurrency across requests
+// comes from the number of lanes.
+type lane struct {
+	srv  *Server
+	idx  int
+	tn   *tenant // home team
+	opts sched.Options
+	pool sched.Pool
+	// ab is the pool's request-scoped abort surface, nil when the
+	// backend lacks Caps.Serve (then a poisoned pool is replaced
+	// instead of Reset).
+	ab sched.Abortable
+}
+
+// loop drains requests until the server closes, then closes the pool.
+func (l *lane) loop() {
+	defer l.srv.wg.Done()
+	for {
+		t := l.next()
+		if t == nil {
+			l.pool.Close()
+			return
+		}
+		l.serveOne(t)
+	}
+}
+
+// next blocks for the lane's next request: the home tenant's queue
+// first (team affinity), otherwise the most backlogged queue relative
+// to its weight (work conservation — an idle team helps the busiest
+// tenant rather than idling, which cannot starve its own tenant: a
+// home submission wakes a waiter and home work is always preferred).
+// Returns nil when the server has closed and the queues are drained.
+func (l *lane) next() *Ticket {
+	s := l.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if t := l.tn.pop(); t != nil {
+			return t
+		}
+		var best *tenant
+		var bestScore float64
+		for _, tn := range s.tenants {
+			if len(tn.q) == 0 {
+				continue
+			}
+			score := float64(len(tn.q)) / float64(tn.weight)
+			if best == nil || score > bestScore {
+				best, bestScore = tn, score
+			}
+		}
+		if best != nil {
+			return best.pop()
+		}
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// serveOne runs one request on the lane's pool, threading the
+// request's context through the pool's abort machinery and restoring
+// the pool to health afterwards.
+func (l *lane) serveOne(t *Ticket) {
+	if err := t.ctx.Err(); err != nil {
+		// Cancelled while queued: fail at dispatch without running.
+		l.finish(t, 0, err)
+		return
+	}
+
+	// Arm the mid-flight cancellation: the context's cancellation
+	// callback aborts this lane's pool, and the run unwinds with the
+	// *poolerr.AbortError. The fired channel closes only after the
+	// callback's Abort returned, so the stop/wait below guarantees the
+	// abort cannot land on a LATER request of this lane: either we
+	// stop the callback before it ran, or we wait out its poisoning
+	// and Reset it away before the next request starts.
+	var stop func() bool
+	var fired chan struct{}
+	if l.ab != nil && t.ctx.Done() != nil {
+		ctx, ab, ch := t.ctx, l.ab, make(chan struct{})
+		fired = ch
+		stop = context.AfterFunc(ctx, func() {
+			defer close(ch)
+			ab.Abort(ctx.Err())
+		})
+	}
+
+	val, err := runJob(l.pool, t.job)
+
+	if stop != nil && !stop() {
+		<-fired
+	}
+
+	// Restore pool health before touching the next request.
+	if l.ab != nil {
+		if cause, poisoned := l.ab.Poisoned(); poisoned {
+			if ae, ok := cause.(*poolerr.AbortError); ok && err != nil {
+				// The abort landed before Run's first descriptor (the
+				// poisoned-pool entry panic) or mid-flight; either way
+				// the request's classifying error is the abort reason.
+				err = ae.Reason
+				if err == nil {
+					err = ae
+				}
+			}
+			if rerr := l.ab.Reset(); rerr != nil {
+				l.replacePool()
+			}
+		}
+	} else if err != nil && l.pool.Native() != nil {
+		// Backend without the abort surface: a panic poisoned its pool
+		// in a backend-specific, unrecoverable way. Per-request
+		// isolation still holds — replace the pool wholesale.
+		l.replacePool()
+	}
+
+	l.finish(t, val, err)
+}
+
+// finish publishes the request's outcome and counts it.
+func (l *lane) finish(t *Ticket, val int64, err error) {
+	tn := t.tn
+	switch {
+	case err == nil:
+		tn.completed.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		tn.cancelled.Add(1)
+	default:
+		tn.failed.Add(1)
+	}
+	t.val, t.err = val, err
+	t.latency = time.Since(t.submitted)
+	close(t.done)
+}
+
+// replacePool swaps in a fresh pool built from the lane's recorded
+// options and closes the old one (closing a poisoned pool is safe:
+// its workers are released by Close, see the core poison gate).
+func (l *lane) replacePool() {
+	old := l.pool
+	l.pool = l.srv.sch.NewPool(l.opts)
+	l.ab = nil
+	if l.srv.caps.Serve {
+		l.ab, _ = l.pool.Native().(sched.Abortable)
+	}
+	old.Close()
+}
+
+// runJob runs the request's root on the pool, converting the
+// scheduler's panic-based failure surface into an error: a
+// *poolerr.AbortError (request cancellation) unwraps to its reason,
+// anything else becomes a *PanicError.
+func runJob(p sched.Pool, j Job) (v int64, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if ae, ok := r.(*poolerr.AbortError); ok {
+			if ae.Reason != nil {
+				err = ae.Reason
+			} else {
+				err = ae
+			}
+			return
+		}
+		err = &PanicError{Val: r}
+	}()
+	return j.runOn(p), nil
+}

@@ -1,0 +1,441 @@
+// Package serve is woolserve: a concurrent request-serving layer over
+// the scheduler registry (ROADMAP item 1). The paper's pool runs one
+// root task at a time — Run calls must not overlap — which fits batch
+// kernels but not a service executing many small independent task DAGs
+// submitted concurrently. woolserve bridges the two worlds without
+// touching the hot protocol:
+//
+//   - Submission. Submit(ctx, tenant, job) enqueues a request and
+//     returns a Ticket; Ticket.Wait blocks for the result. Any number
+//     of goroutines may submit concurrently: serialization onto the
+//     single-root pools happens here, not in user code, which is what
+//     turns the backends' concurrent-Run guard (poolerr.
+//     ErrConcurrentRun) from a trap into an internal invariant.
+//
+//   - Lanes. The server partitions its Workers into lanes — small
+//     independent pools of LaneWidth workers each — and each lane
+//     drains requests one at a time. Requests are small (that is the
+//     fine-grained premise), so cross-request parallelism comes from
+//     many lanes rather than one wide pool; within a request the
+//     lane's pool supplies the paper's work-stealing parallelism.
+//
+//   - Weighted tenant fairness. Named tenants own demand-sized worker
+//     teams, the deterministic team-building idea of Wimmer & Träff
+//     (arXiv:1012.5030): each tenant's team is sized proportionally to
+//     its weight (never below one lane), so a flooding tenant cannot
+//     starve the others, and idle teams help the busiest queue
+//     (work conservation) instead of spinning.
+//
+//   - Admission control. Each tenant's pending queue is bounded
+//     (MaxPending); a submission beyond the bound fails fast with
+//     ErrOverloaded rather than queueing unboundedly — the service
+//     analogue of the task-stack's overflow-inline degradation: under
+//     sustained overload, shed load at the boundary, never corrupt or
+//     stall the runtime.
+//
+//   - Per-request cancellation. A request's context cancels or times
+//     out mid-flight: the lane aborts its pool (sched.Abortable, the
+//     request-scoped poison of internal/core, DESIGN.md §16), the
+//     request unwinds with the context's error, and the pool is Reset
+//     back into service for the next request. Backends without
+//     Caps.Serve still get per-request panic isolation — the lane
+//     replaces a poisoned pool — but cannot interrupt a running
+//     request before it completes.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gowool/internal/sched"
+)
+
+// Sentinel errors returned by Submit and Ticket.Wait.
+var (
+	// ErrOverloaded rejects a submission that found the tenant's
+	// pending queue full (admission control; see Options.MaxPending).
+	ErrOverloaded = errors.New("serve: tenant queue full")
+	// ErrClosed rejects submissions to (and fails tickets drained by)
+	// a closed server.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrUnknownTenant rejects a submission naming a tenant the server
+	// was not built with.
+	ErrUnknownTenant = errors.New("serve: unknown tenant")
+)
+
+// PanicError wraps a panic that escaped a request's task tree; it is
+// the request's Wait error (the pool itself is revived or replaced by
+// the lane, so one panicking request cannot poison the next).
+type PanicError struct{ Val any }
+
+// Error describes the panic.
+func (e *PanicError) Error() string { return fmt.Sprintf("serve: request panicked: %v", e.Val) }
+
+// Job is one request: a root task DAG to run on a lane's pool. Build
+// one with Rec or Range.
+type Job interface {
+	runOn(p sched.Pool) int64
+}
+
+type recJob struct{ j sched.RecJob }
+
+func (r recJob) runOn(p sched.Pool) int64 { return p.RunRec(r.j) }
+
+// Rec wraps a divide-and-conquer job as a servable request.
+func Rec(j sched.RecJob) Job { return recJob{j} }
+
+type rangeJob struct{ j sched.RangeJob }
+
+func (r rangeJob) runOn(p sched.Pool) int64 { return p.RunRange(r.j) }
+
+// Range wraps an index-range job as a servable request.
+func Range(j sched.RangeJob) Job { return rangeJob{j} }
+
+// Tenant configures one named tenant (a team in the arXiv:1012.5030
+// sense).
+type Tenant struct {
+	// Name is the Submit key. Must be unique; one tenant may be "".
+	Name string
+	// Weight sizes the tenant's lane team relative to the other
+	// tenants; <= 0 means 1. Every tenant gets at least one lane.
+	Weight int
+	// MaxPending overrides Options.MaxPending for this tenant when
+	// positive.
+	MaxPending int
+}
+
+// Options configures a Server. The zero value serves a single
+// anonymous tenant on the wool backend with GOMAXPROCS workers.
+type Options struct {
+	// Backend is the registry scheduler to build lanes from; default
+	// "wool".
+	Backend string
+	// Workers is the total worker budget across all lanes; default
+	// GOMAXPROCS.
+	Workers int
+	// LaneWidth is the workers per lane. Default 1: requests are
+	// assumed fine-grained, so throughput comes from many independent
+	// lanes; raise it when single-request latency needs intra-request
+	// stealing.
+	LaneWidth int
+	// MaxPending bounds each tenant's pending queue; a submission
+	// beyond it fails with ErrOverloaded. Default 1024.
+	MaxPending int
+	// Tenants declares the named tenants; empty means one anonymous
+	// tenant ("") of weight 1.
+	Tenants []Tenant
+	// Pool is the base options for every lane pool. Workers is
+	// overridden with LaneWidth. Note that PrivateTasks trades abort
+	// latency for join cost: the request-scoped abort token is checked
+	// on the generic join path, which private joins on the generated
+	// fast path bypass — the default all-public lanes observe a
+	// cancellation within a few dozen joins.
+	Pool sched.Options
+	// ConfigurePool, when non-nil, edits each lane's pool options
+	// before construction (lane is the global lane index). Used by the
+	// chaos torture suite to attach per-lane injectors.
+	ConfigurePool func(lane int, o *sched.Options)
+}
+
+// Ticket is a submitted request's handle.
+type Ticket struct {
+	job       Job
+	ctx       context.Context
+	tn        *tenant
+	submitted time.Time
+
+	// val/err/latency are published by the close of done.
+	val     int64
+	err     error
+	latency time.Duration
+	done    chan struct{}
+}
+
+// Wait blocks until the request finished (completed, cancelled,
+// panicked, or failed by Close) and returns its result. The result of
+// a cancelled or failed request is 0 with the classifying error:
+// the request context's error for cancellations, a *PanicError for
+// task panics, ErrClosed for requests drained by Close.
+func (t *Ticket) Wait() (int64, error) {
+	<-t.done
+	return t.val, t.err
+}
+
+// Done returns a channel closed when the request finishes, for callers
+// multiplexing tickets with select.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Latency returns the submit-to-finish latency; valid after Wait/Done.
+func (t *Ticket) Latency() time.Duration { return t.latency }
+
+// tenant is the runtime state of one configured Tenant.
+type tenant struct {
+	name       string
+	weight     int
+	maxPending int
+	lanes      int
+
+	// q is the FIFO pending queue, guarded by the server mutex.
+	q []*Ticket
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	rejected  atomic.Int64
+	cancelled atomic.Int64
+	failed    atomic.Int64
+}
+
+// pop removes and returns the oldest pending ticket (server mutex
+// held), or nil.
+func (tn *tenant) pop() *Ticket {
+	if len(tn.q) == 0 {
+		return nil
+	}
+	t := tn.q[0]
+	tn.q[0] = nil
+	tn.q = tn.q[1:]
+	return t
+}
+
+// Server is the serving runtime. Create with New, submit with Submit,
+// stop with Close.
+type Server struct {
+	opts    Options
+	sch     sched.Scheduler
+	caps    sched.Caps
+	tenants []*tenant
+	byName  map[string]*tenant
+	lanes   []*lane
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New builds and starts a server: lanes are constructed (validating
+// the lane pool options against the backend's capabilities, see
+// sched.CheckOptions) and their drain loops started. The caller must
+// Close it.
+func New(o Options) (*Server, error) {
+	if o.Backend == "" {
+		o.Backend = "wool"
+	}
+	sch, ok := sched.Lookup(o.Backend)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown backend %q (registered: %v)", o.Backend, sched.Names())
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.LaneWidth <= 0 {
+		o.LaneWidth = 1
+	}
+	if o.MaxPending <= 0 {
+		o.MaxPending = 1024
+	}
+	tens := o.Tenants
+	if len(tens) == 0 {
+		tens = []Tenant{{Name: "", Weight: 1}}
+	}
+
+	s := &Server{opts: o, sch: sch, caps: sch.Caps(), byName: map[string]*tenant{}}
+	s.cond = sync.NewCond(&s.mu)
+	for _, tc := range tens {
+		if _, dup := s.byName[tc.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate tenant %q", tc.Name)
+		}
+		tn := &tenant{name: tc.Name, weight: tc.Weight, maxPending: tc.MaxPending}
+		if tn.weight <= 0 {
+			tn.weight = 1
+		}
+		if tn.maxPending <= 0 {
+			tn.maxPending = o.MaxPending
+		}
+		s.tenants = append(s.tenants, tn)
+		s.byName[tc.Name] = tn
+	}
+
+	laneCounts := apportionLanes(s.tenants, o.Workers/o.LaneWidth)
+	laneIdx := 0
+	for ti, tn := range s.tenants {
+		tn.lanes = laneCounts[ti]
+		for k := 0; k < laneCounts[ti]; k++ {
+			po := o.Pool
+			po.Workers = o.LaneWidth
+			if o.ConfigurePool != nil {
+				o.ConfigurePool(laneIdx, &po)
+			}
+			if err := sched.CheckOptions(s.caps, po); err != nil {
+				for _, l := range s.lanes {
+					l.pool.Close()
+				}
+				return nil, fmt.Errorf("serve: lane %d options unsupported by backend %s: %w", laneIdx, o.Backend, err)
+			}
+			l := &lane{srv: s, idx: laneIdx, tn: tn, opts: po}
+			l.pool = sch.NewPool(po)
+			if s.caps.Serve {
+				l.ab, _ = l.pool.Native().(sched.Abortable)
+			}
+			s.lanes = append(s.lanes, l)
+			laneIdx++
+		}
+	}
+
+	for _, l := range s.lanes {
+		s.wg.Add(1)
+		go l.loop()
+	}
+	return s, nil
+}
+
+// apportionLanes sizes each tenant's lane team: every tenant gets at
+// least one lane, and the remainder is distributed proportionally to
+// weight (largest remainder, ties to the earlier tenant — the
+// deterministic team building of arXiv:1012.5030 specialized to a
+// static weight vector).
+func apportionLanes(tens []*tenant, totalLanes int) []int {
+	n := len(tens)
+	if totalLanes < n {
+		totalLanes = n
+	}
+	counts := make([]int, n)
+	var weightSum int
+	for i, tn := range tens {
+		counts[i] = 1
+		weightSum += tn.weight
+	}
+	rem := totalLanes - n
+	fracs := make([]int, n)
+	given := 0
+	for i, tn := range tens {
+		share := rem * tn.weight / weightSum
+		counts[i] += share
+		fracs[i] = rem*tn.weight - share*weightSum
+		given += share
+	}
+	for given < rem {
+		best := 0
+		for i := 1; i < n; i++ {
+			if fracs[i] > fracs[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		fracs[best] = -1
+		given++
+	}
+	return counts
+}
+
+// Submit enqueues job for tenantName under ctx and returns its Ticket.
+// It never blocks: a full tenant queue rejects with ErrOverloaded, a
+// closed server with ErrClosed, an unknown tenant with
+// ErrUnknownTenant (all wrapped with context). A nil ctx means
+// context.Background(). ctx governs the request end to end: a
+// cancellation while queued fails the ticket at dispatch; a
+// cancellation mid-run aborts the lane's pool when the backend has
+// Caps.Serve.
+func (s *Server) Submit(ctx context.Context, tenantName string, job Job) (*Ticket, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	tn, ok := s.byName[tenantName]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, tenantName)
+	}
+	if len(tn.q) >= tn.maxPending {
+		s.mu.Unlock()
+		tn.rejected.Add(1)
+		return nil, fmt.Errorf("%w: tenant %q has %d pending", ErrOverloaded, tenantName, tn.maxPending)
+	}
+	t := &Ticket{job: job, ctx: ctx, tn: tn, submitted: time.Now(), done: make(chan struct{})}
+	tn.q = append(tn.q, t)
+	tn.submitted.Add(1)
+	s.mu.Unlock()
+	s.cond.Signal()
+	return t, nil
+}
+
+// Close stops the server: pending requests are failed with ErrClosed,
+// in-flight requests run to completion, and every lane pool is closed.
+// Idempotent; Submit after Close returns ErrClosed.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	var drained []*Ticket
+	for _, tn := range s.tenants {
+		drained = append(drained, tn.q...)
+		tn.q = nil
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	for _, t := range drained {
+		t.tn.failed.Add(1)
+		t.err = ErrClosed
+		t.latency = time.Since(t.submitted)
+		close(t.done)
+	}
+	s.wg.Wait()
+}
+
+// TenantStats is one tenant's counters in a Stats snapshot.
+type TenantStats struct {
+	Name      string
+	Weight    int
+	Lanes     int
+	Pending   int
+	Submitted int64 // accepted submissions
+	Completed int64 // finished with a result
+	Rejected  int64 // shed by admission control (ErrOverloaded)
+	Cancelled int64 // failed by their context (queued or mid-flight)
+	Failed    int64 // task panics, and tickets drained by Close
+}
+
+// Stats is a point-in-time server snapshot.
+type Stats struct {
+	Backend string
+	Lanes   int
+	Tenants []TenantStats
+}
+
+// Stats snapshots the per-tenant counters. Safe to call concurrently
+// with submissions and while lanes are serving.
+func (s *Server) Stats() Stats {
+	out := Stats{Backend: s.opts.Backend, Lanes: len(s.lanes)}
+	s.mu.Lock()
+	pending := make([]int, len(s.tenants))
+	for i, tn := range s.tenants {
+		pending[i] = len(tn.q)
+	}
+	s.mu.Unlock()
+	for i, tn := range s.tenants {
+		out.Tenants = append(out.Tenants, TenantStats{
+			Name:      tn.name,
+			Weight:    tn.weight,
+			Lanes:     tn.lanes,
+			Pending:   pending[i],
+			Submitted: tn.submitted.Load(),
+			Completed: tn.completed.Load(),
+			Rejected:  tn.rejected.Load(),
+			Cancelled: tn.cancelled.Load(),
+			Failed:    tn.failed.Load(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"gowool/internal/chaos"
+	"gowool/internal/sched"
+	"gowool/internal/workloads/fibw"
+	"gowool/internal/workloads/stress"
+)
+
+// tortureWorkers is the server's worker budget for every torture run;
+// the host may have a single core, so GOMAXPROCS is raised around the
+// suite.
+const tortureWorkers = 4
+
+// TestServeChaosTorture extends the chaos-torture matrix to the
+// serving path: concurrent submitters drive a mixed fib/stress request
+// stream through chaos-perturbed lanes, with a random subset of
+// requests given deadlines short enough to cancel mid-flight. Every
+// completed request must still produce the serial answer — in
+// particular the request AFTER a mid-flight abort, which runs on the
+// same Reset pool. Each subtest name and failure message carries the
+// backend, profile and seed that replay the run byte-for-byte.
+func TestServeChaosTorture(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	profiles := chaos.Profiles()
+	if len(profiles) < 3 {
+		t.Fatalf("want at least 3 built-in chaos profiles, have %d", len(profiles))
+	}
+	seeds := []uint64{0x5eed, 0xdead}
+	for _, backend := range []string{"wool", "woolgen"} {
+		t.Run(backend, func(t *testing.T) {
+			cancelled := 0
+			for _, prof := range profiles {
+				for _, seed := range seeds {
+					prof, seed := prof, seed
+					t.Run(fmt.Sprintf("%s/seed=%#x", prof.Name, seed), func(t *testing.T) {
+						cancelled += runServeTorture(t, backend, prof, seed)
+					})
+				}
+			}
+			// The short deadlines must actually have interrupted runs
+			// somewhere in the matrix, or the sweep silently stopped
+			// covering the abort/Reset path.
+			if cancelled == 0 {
+				t.Errorf("%s: no request in the whole matrix was cancelled mid-flight", backend)
+			}
+		})
+	}
+}
+
+// spinJob is the torture sweep's slow request: a small task tree whose
+// leaves busy-spin, so a request takes a few milliseconds and a 1-4ms
+// deadline lands mid-flight. Completed value is the leaf count.
+func spinJob(depth int64, spin time.Duration) Job {
+	return Rec(sched.RecJob{
+		Name: "spin",
+		Root: depth,
+		Leaf: func(n int64) (int64, bool) {
+			if n > 0 {
+				return 0, false
+			}
+			end := time.Now().Add(spin)
+			for time.Now().Before(end) {
+			}
+			return 1, true
+		},
+		Split: func(n int64) (inline, spawned int64) { return n - 1, n - 1 },
+	})
+}
+
+// runServeTorture is one cell of the matrix: one backend, one chaos
+// profile, one seed. It returns the number of requests cancelled
+// mid-flight so the caller can check the sweep exercised the
+// abort/Reset path at all.
+func runServeTorture(t *testing.T, backend string, prof chaos.Profile, seed uint64) int {
+	t.Helper()
+	const (
+		laneWidth    = 2
+		submitters   = 4
+		perSubmitter = 10
+	)
+	replay := fmt.Sprintf("replay: backend=%s profile=%s seed=%#x", backend, prof.Name, seed)
+	s, err := New(Options{
+		Backend:   backend,
+		Workers:   tortureWorkers,
+		LaneWidth: laneWidth,
+		ConfigurePool: func(lane int, o *sched.Options) {
+			// Each lane gets its own deterministic injector stream.
+			o.Chaos = chaos.NewInjector(laneWidth, prof, seed+uint64(lane)*0x9e3779b9)
+		},
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", replay, err)
+	}
+	defer s.Close()
+
+	wantFib := fibw.Serial(12)
+	wantStress := stress.Serial(4, 50)
+	const spinDepth, spinLeaves = 4, int64(16)
+
+	type outcome struct {
+		completed, cancelled int
+		err                  error
+	}
+	results := make(chan outcome, submitters)
+	for g := 0; g < submitters; g++ {
+		g := g
+		go func() {
+			var out outcome
+			defer func() { results <- out }()
+			rng := chaos.NewRNG(seed ^ (uint64(g+1) * 0x9e3779b97f4a7c15))
+			for i := 0; i < perSubmitter; i++ {
+				r := rng.Next()
+				ctx := context.Background()
+				deadlined := r&0xc == 0 // ~1 in 4 requests
+				var cancel context.CancelFunc
+				var job Job
+				var want int64
+				switch {
+				case deadlined:
+					// Slow enough that a short deadline can land
+					// mid-flight; fast enough that some complete, so
+					// both outcomes stay covered.
+					job, want = spinJob(spinDepth, 200*time.Microsecond), spinLeaves
+					d := time.Duration(1+(r>>8)%4) * time.Millisecond
+					ctx, cancel = context.WithTimeout(ctx, d)
+				case r&1 == 0:
+					job, want = Rec(fibw.Job(12, 1)), wantFib
+				default:
+					job, want = Rec(stress.Job(4, 50, 1)), wantStress
+				}
+				tk, err := s.Submit(ctx, "", job)
+				if err != nil {
+					if cancel != nil {
+						cancel()
+					}
+					out.err = fmt.Errorf("submitter %d req %d: submit: %v (%s)", g, i, err, replay)
+					return
+				}
+				v, werr := tk.Wait()
+				if cancel != nil {
+					cancel()
+				}
+				switch {
+				case werr == nil:
+					if v != want {
+						out.err = fmt.Errorf("submitter %d req %d: got %d, want %d (%s)", g, i, v, want, replay)
+						return
+					}
+					out.completed++
+				case errors.Is(werr, context.DeadlineExceeded) || errors.Is(werr, context.Canceled):
+					if !deadlined {
+						out.err = fmt.Errorf("submitter %d req %d: cancelled without a deadline: %v (%s)", g, i, werr, replay)
+						return
+					}
+					out.cancelled++
+				default:
+					out.err = fmt.Errorf("submitter %d req %d: %v (%s)", g, i, werr, replay)
+					return
+				}
+			}
+		}()
+	}
+	var completed, cancelled int
+	for g := 0; g < submitters; g++ {
+		out := <-results
+		if out.err != nil {
+			t.Fatal(out.err)
+		}
+		completed += out.completed
+		cancelled += out.cancelled
+	}
+	if completed+cancelled != submitters*perSubmitter {
+		t.Fatalf("accounted %d of %d requests (%s)", completed+cancelled, submitters*perSubmitter, replay)
+	}
+	t.Logf("%s: %d completed, %d cancelled (%s)", backend, completed, cancelled, replay)
+	return cancelled
+}

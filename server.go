@@ -1,0 +1,95 @@
+package gowool
+
+import (
+	"gowool/internal/poolerr"
+	"gowool/internal/sched"
+	"gowool/internal/serve"
+)
+
+// This file is the public surface of woolserve, the concurrent
+// request-serving runtime over the scheduler (internal/serve,
+// DESIGN.md §16). A Pool runs one root task at a time; a Server runs
+// many — Submit enqueues a request from any goroutine, lanes of
+// workers drain the queues, a request's context cancels or times it
+// out mid-flight, bounded queues shed overload, and weighted tenants
+// get proportionally sized worker teams.
+//
+// The underlying per-request abort machinery is also public on Pool
+// itself for programs that manage their own pools: Pool.Abort poisons
+// a running pool so its Run unwinds with an *AbortError, Pool.Poisoned
+// observes the poison, and Pool.Reset returns the pool to service.
+
+type (
+	// Server is the serving runtime: create with NewServer, submit with
+	// Server.Submit, stop with Server.Close.
+	Server = serve.Server
+
+	// ServerOptions configures NewServer; the zero value serves a
+	// single anonymous tenant on the wool backend with GOMAXPROCS
+	// workers.
+	ServerOptions = serve.Options
+
+	// Tenant declares one named request class with a weighted worker
+	// team and its own bounded queue.
+	Tenant = serve.Tenant
+
+	// Ticket is a submitted request's handle; Ticket.Wait blocks for
+	// the result.
+	Ticket = serve.Ticket
+
+	// Job is a servable request, built with ServeRec or ServeRange.
+	Job = serve.Job
+
+	// ServerStats is a point-in-time server snapshot (Server.Stats).
+	ServerStats = serve.Stats
+
+	// TenantStats is one tenant's counters in a ServerStats.
+	TenantStats = serve.TenantStats
+
+	// PanicError is a request's Wait error when its task tree panicked;
+	// the server isolates the panic to that request.
+	PanicError = serve.PanicError
+
+	// AbortError is the panic value an aborted Run unwinds with
+	// (Pool.Abort, or a Server cancelling a request mid-flight); it
+	// unwraps to the abort reason.
+	AbortError = poolerr.AbortError
+
+	// RecJob describes a binary divide-and-conquer job generically:
+	// written once, runnable on any registered scheduler and servable
+	// via ServeRec.
+	RecJob = sched.RecJob
+
+	// RangeJob describes an index-range job generically; servable via
+	// ServeRange.
+	RangeJob = sched.RangeJob
+)
+
+// Sentinel errors of the serving layer, matched with errors.Is.
+var (
+	// ErrOverloaded rejects a Submit that found the tenant's bounded
+	// queue full (admission control; ServerOptions.MaxPending).
+	ErrOverloaded = serve.ErrOverloaded
+
+	// ErrServerClosed rejects submissions to, and fails tickets drained
+	// by, a closed Server.
+	ErrServerClosed = serve.ErrClosed
+
+	// ErrUnknownTenant rejects a Submit naming an undeclared tenant.
+	ErrUnknownTenant = serve.ErrUnknownTenant
+
+	// ErrConcurrentRun is wrapped by the panic raised when two Run
+	// calls overlap on the same pool (every pooled backend raises it;
+	// a Server never does, serialization is its job).
+	ErrConcurrentRun = poolerr.ErrConcurrentRun
+)
+
+// NewServer builds and starts a serving runtime. The caller must
+// Close it.
+func NewServer(o ServerOptions) (*Server, error) { return serve.New(o) }
+
+// ServeRec wraps a divide-and-conquer job as a servable request.
+func ServeRec(j RecJob) Job { return serve.Rec(j) }
+
+// ServeRange wraps an index-range job as a servable request.
+func ServeRange(j RangeJob) Job { return serve.Range(j) }
