@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint lint-fast lint-perfbudget bench registry-bench perfgate generate ci all trace-smoke fuzz-smoke chaos stealsweep stealsweep-smoke serve-smoke
+.PHONY: build test race lint lint-fast lint-perfbudget bench registry-bench perfgate generate ci all trace-smoke fuzz-smoke chaos stealsweep stealsweep-smoke serve-smoke serve-soak
 
 all: build test lint
 
@@ -91,24 +91,43 @@ stealsweep-smoke:
 	grep -q '"amount": "half"' $(STEALSWEEP_JSON)
 	grep -q '"kind": "direct-stack"' $(STEALSWEEP_JSON)
 
-# CI smoke of the woolserve benchmark (DESIGN.md §16) at quick scale:
-# the serving layer must complete the full request stream on both
-# direct-task-stack port layers, the report must carry the schema tag
-# and latency percentiles, and the mixed-cancellation cell must have
+# CI smoke of the woolserve benchmark (DESIGN.md §16-17) at quick
+# scale: the serving layer must complete the full request stream on
+# both direct-task-stack port layers, the report must carry the schema
+# tag and latency percentiles, the mixed-cancellation cell must have
 # actually cancelled requests mid-flight (the abort/Reset path ran
-# inside the measured stream).
+# inside the measured stream), the overload cell must have shed load
+# (shed_rate is omitted when zero), and the breaker cell must have
+# measured a recovery.
 SERVEBENCH_JSON ?= /tmp/woolserve-smoke.json
 serve-smoke:
 	$(GO) run ./cmd/woolbench -scale quick -serve $(SERVEBENCH_JSON)
-	grep -q '"schema": "wool-serve-bench/v1"' $(SERVEBENCH_JSON)
+	grep -q '"schema": "wool-serve-bench/v2"' $(SERVEBENCH_JSON)
 	grep -q '"backend": "wool"' $(SERVEBENCH_JSON)
 	grep -q '"backend": "woolgen"' $(SERVEBENCH_JSON)
 	grep -q '"workload": "mixed-cancel"' $(SERVEBENCH_JSON)
+	grep -q '"workload": "overload-2x"' $(SERVEBENCH_JSON)
+	grep -q '"workload": "breaker-recovery"' $(SERVEBENCH_JSON)
 	grep -q '"lat_p50_us"' $(SERVEBENCH_JSON)
 	grep -q '"lat_p99_us"' $(SERVEBENCH_JSON)
 	grep -q '"req_per_s"' $(SERVEBENCH_JSON)
+	grep -q '"shed_rate"' $(SERVEBENCH_JSON)
+	grep -q '"recovery_ms"' $(SERVEBENCH_JSON)
 	@grep -v '"cancelled": 0' $(SERVEBENCH_JSON) | grep -q '"cancelled"' \
 		|| { echo "serve-smoke: no cell cancelled any request mid-flight"; exit 1; }
+
+# The self-healing soak (DESIGN.md §17): a seeded mixed workload —
+# healthy tenants at ~1.5x capacity, a panicking tenant, a slow tenant
+# with doomed deadlines — against serve-level chaos (failed Resets,
+# failing probes), race-detected. Asserts healthy success >= 99%, the
+# failing tenant's breaker opened and half-opened, at least one lane
+# quarantined and replaced, the accounting identities, and zero
+# goroutine leaks at shutdown. The -v log carries the replay line
+# (seed + duration). Raise SOAK for a longer soak.
+SOAK ?= 10s
+serve-soak:
+	$(GO) test ./internal/serve/ -race -count=1 -run 'TestServeSoak' -v \
+		-serve.soak=$(SOAK)
 
 # End-to-end check of the wooltrace pipeline (DESIGN.md §11): export a
 # Chrome trace from a real run, validate it against the trace_event

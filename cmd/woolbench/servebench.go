@@ -8,8 +8,10 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
+	"gowool/internal/resilience"
 	"gowool/internal/sched"
 	"gowool/internal/serve"
 	"gowool/internal/workloads/fibw"
@@ -23,11 +25,17 @@ import (
 // (req/s) and the submit-to-finish latency percentiles per cell. The
 // mixed cell adds short-deadline requests, so the abort/Reset
 // cancellation path runs inside the measured stream rather than only
-// in tests.
+// in tests. Two resilience cells (DESIGN.md §17) measure the
+// self-healing layer itself: overload-2x drives an open-loop stream at
+// twice the measured capacity into a small queue and reports the shed
+// rate, and breaker-recovery trips a tenant's circuit breaker and
+// reports how long the server takes to let healthy traffic back in.
 
 // serveBenchSchema versions the report shape for downstream readers
-// (make serve-smoke greps it).
-const serveBenchSchema = "wool-serve-bench/v1"
+// (make serve-smoke greps it). v2 added the overload-2x and
+// breaker-recovery cells with their rejected/shed_rate/recovery_ms
+// fields.
+const serveBenchSchema = "wool-serve-bench/v2"
 
 // serveReport is the machine-readable output of -serve.
 type serveReport struct {
@@ -61,6 +69,17 @@ type serveCell struct {
 	LatP50Us float64 `json:"lat_p50_us"`
 	LatP90Us float64 `json:"lat_p90_us"`
 	LatP99Us float64 `json:"lat_p99_us"`
+	// Resilience-cell fields (overload-2x, breaker-recovery); zero and
+	// omitted on the throughput cells.
+	//
+	// Rejected counts submissions shed by admission control; ShedRate
+	// is Rejected over all submission attempts (overload-2x).
+	Rejected int     `json:"rejected,omitempty"`
+	ShedRate float64 `json:"shed_rate,omitempty"`
+	// RecoveryMs is breaker-recovery's headline: the time from the
+	// circuit opening to the first healthy completion flowing again
+	// (≈ the breaker cooldown plus the half-open probe's service time).
+	RecoveryMs float64 `json:"recovery_ms,omitempty"`
 }
 
 // serveWorkload describes one request stream shape.
@@ -119,9 +138,11 @@ func runServeBench(path string, full bool) error {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Scale:      scale,
 		Notes: map[string]string{
-			"setup":  fmt.Sprintf("%d closed-loop clients over a %d-worker server (lane width %d); latency percentiles over completed requests, submit to finish", clients, workers, laneWidth),
-			"mixed":  "the mixed cell gives 1 in 4 requests a 1-2ms deadline over a slow spinning job, so mid-flight aborts and pool Resets happen inside the measured stream",
-			"intent": "throughput and tail latency of the serving layer per backend; req_per_s counts completed+cancelled (a cancelled request occupies its lane until the abort unwinds)",
+			"setup":    fmt.Sprintf("%d closed-loop clients over a %d-worker server (lane width %d); latency percentiles over completed requests, submit to finish", clients, workers, laneWidth),
+			"mixed":    "the mixed cell gives 1 in 4 requests a 1-2ms deadline over a slow spinning job, so mid-flight aborts and pool Resets happen inside the measured stream",
+			"intent":   "throughput and tail latency of the serving layer per backend; req_per_s counts completed+cancelled (a cancelled request occupies its lane until the abort unwinds)",
+			"overload": "overload-2x submits open-loop at 2x the fib16 cell's measured rate into an 8-deep queue; shed_rate is the fraction rejected with ErrOverloaded — admission control sheds instead of queueing without bound, and req_per_s shows the completions the server still sustained",
+			"breaker":  "breaker-recovery panics every request until the tenant's circuit opens (submissions shed with ErrCircuitOpen), then streams healthy requests; recovery_ms is open-to-first-healthy-completion, dominated by the 100ms cooldown before the half-open probe",
 		},
 	}
 
@@ -141,16 +162,36 @@ func runServeBench(path string, full bool) error {
 	}
 
 	for _, backend := range []string{"wool", "woolgen"} {
+		// capacity is the fib16 cell's closed-loop service rate; the
+		// overload cell submits at twice it.
+		var capacity float64
 		for _, wl := range workloads {
 			cell, err := runServeCell(backend, wl, workers, laneWidth, clients, requests)
 			if err != nil {
 				return err
 			}
+			if wl.name == "fib16" {
+				capacity = cell.ReqPerS
+			}
 			rep.Cells = append(rep.Cells, cell)
-			fmt.Printf("  %-8s %-13s %8.0f req/s  p50=%-8.1fus p90=%-8.1fus p99=%-8.1fus completed=%d cancelled=%d\n",
+			fmt.Printf("  %-8s %-16s %8.0f req/s  p50=%-8.1fus p90=%-8.1fus p99=%-8.1fus completed=%d cancelled=%d\n",
 				cell.Backend, cell.Workload, cell.ReqPerS, cell.LatP50Us, cell.LatP90Us, cell.LatP99Us,
 				cell.Completed, cell.Cancelled)
 		}
+		oc, err := runOverloadCell(backend, capacity, workers, laneWidth, requests)
+		if err != nil {
+			return err
+		}
+		rep.Cells = append(rep.Cells, oc)
+		fmt.Printf("  %-8s %-16s %8.0f req/s  p50=%-8.1fus p99=%-8.1fus shed_rate=%.2f rejected=%d\n",
+			oc.Backend, oc.Workload, oc.ReqPerS, oc.LatP50Us, oc.LatP99Us, oc.ShedRate, oc.Rejected)
+		bc, err := runBreakerCell(backend, workers, laneWidth)
+		if err != nil {
+			return err
+		}
+		rep.Cells = append(rep.Cells, bc)
+		fmt.Printf("  %-8s %-16s recovery=%.1fms rejected=%d (circuit open)\n",
+			bc.Backend, bc.Workload, bc.RecoveryMs, bc.Rejected)
 	}
 
 	out, err := json.MarshalIndent(rep, "", "  ")
@@ -176,6 +217,10 @@ func runServeCell(backend string, wl serveWorkload, workers, laneWidth, clients,
 		Backend:   backend,
 		Workers:   workers,
 		LaneWidth: laneWidth,
+		// The mixed cell's short-deadline requests exist to land
+		// mid-flight; with deadline admission on, the estimator would
+		// learn the spin time and shed them at Submit instead.
+		Resilience: resilience.Options{DisableDeadline: true},
 	})
 	if err != nil {
 		return cell, err
@@ -243,6 +288,174 @@ func runServeCell(backend string, wl serveWorkload, workers, laneWidth, clients,
 	cell.LatP50Us = pctUs(lats, 50)
 	cell.LatP90Us = pctUs(lats, 90)
 	cell.LatP99Us = pctUs(lats, 99)
+	return cell, nil
+}
+
+// runOverloadCell drives an open-loop fib16 stream at twice the
+// closed-loop capacity measured by the fib16 cell, into a server with
+// an 8-deep queue. Admission control must shed the excess: the cell
+// reports the shed rate, the completions the server still sustained,
+// and the latency percentiles of those completions.
+func runOverloadCell(backend string, capacity float64, workers, laneWidth, requests int) (serveCell, error) {
+	cell := serveCell{
+		Backend: backend, Workload: "overload-2x",
+		Workers: workers, LaneWidth: laneWidth,
+		Clients: 1, Requests: requests,
+	}
+	if capacity <= 0 {
+		return cell, fmt.Errorf("%s/overload-2x: no measured fib16 capacity to scale from", backend)
+	}
+	s, err := serve.New(serve.Options{
+		Backend:    backend,
+		Workers:    workers,
+		LaneWidth:  laneWidth,
+		MaxPending: 8,
+		Resilience: resilience.Options{DisableDeadline: true},
+	})
+	if err != nil {
+		return cell, err
+	}
+	defer s.Close()
+
+	interval := time.Duration(float64(time.Second) / (2 * capacity))
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		lats []time.Duration
+		werr error
+	)
+	start := time.Now()
+	next := start
+	for i := 0; i < requests; i++ {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		next = next.Add(interval)
+		tk, err := s.Submit(context.Background(), "", serve.Rec(fibw.Job(16, 1)))
+		if err != nil {
+			if errors.Is(err, serve.ErrOverloaded) {
+				cell.Rejected++
+				continue
+			}
+			return cell, fmt.Errorf("%s/overload-2x: submit: %w", backend, err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := tk.Wait()
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				werr = err
+				return
+			}
+			lats = append(lats, tk.Latency())
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if werr != nil {
+		return cell, fmt.Errorf("%s/overload-2x: request failed: %w", backend, werr)
+	}
+	cell.Completed = len(lats)
+	cell.ShedRate = float64(cell.Rejected) / float64(requests)
+	cell.ReqPerS = float64(cell.Completed) / elapsed.Seconds()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	cell.LatP50Us = pctUs(lats, 50)
+	cell.LatP90Us = pctUs(lats, 90)
+	cell.LatP99Us = pctUs(lats, 99)
+	return cell, nil
+}
+
+// serveBoomJob is breaker-recovery's failing request: every leaf
+// panics, so the request fails as a *serve.PanicError and feeds the
+// tenant's circuit breaker.
+func serveBoomJob() serve.Job {
+	return serve.Rec(sched.RecJob{
+		Name: "boom",
+		Root: 2,
+		Leaf: func(n int64) (int64, bool) {
+			if n > 0 {
+				return 0, false
+			}
+			panic("breaker-recovery bench failure")
+		},
+		Split: func(n int64) (inline, spawned int64) { return n - 1, n - 1 },
+	})
+}
+
+// runBreakerCell trips the anonymous tenant's circuit breaker with
+// panicking requests, then streams healthy fib16 requests and measures
+// the recovery time: circuit open to the first healthy completion
+// (the cooldown, plus the half-open probe's own service time).
+func runBreakerCell(backend string, workers, laneWidth int) (serveCell, error) {
+	cell := serveCell{
+		Backend: backend, Workload: "breaker-recovery",
+		Workers: workers, LaneWidth: laneWidth,
+		Clients: 1,
+	}
+	const cooldown = 100 * time.Millisecond
+	s, err := serve.New(serve.Options{
+		Backend:   backend,
+		Workers:   workers,
+		LaneWidth: laneWidth,
+		Resilience: resilience.Options{
+			DisableDeadline: true,
+			Breaker: resilience.BreakerConfig{
+				MinSamples: 4, FailureRate: 0.5,
+				Cooldown: cooldown, HalfOpenProbes: 1,
+			},
+		},
+	})
+	if err != nil {
+		return cell, err
+	}
+	defer s.Close()
+
+	// Phase 1: fail requests until admission sheds with ErrCircuitOpen.
+	var opened time.Time
+	var perr *serve.PanicError
+	for i := 0; ; i++ {
+		cell.Requests++
+		tk, err := s.Submit(context.Background(), "", serveBoomJob())
+		if errors.Is(err, serve.ErrCircuitOpen) {
+			cell.Rejected++
+			opened = time.Now()
+			break
+		}
+		if err != nil {
+			return cell, fmt.Errorf("%s/breaker-recovery: submit: %w", backend, err)
+		}
+		if _, werr := tk.Wait(); !errors.As(werr, &perr) {
+			return cell, fmt.Errorf("%s/breaker-recovery: boom request returned %v, want a panic error", backend, werr)
+		}
+		if i > 1000 {
+			return cell, fmt.Errorf("%s/breaker-recovery: breaker never opened", backend)
+		}
+	}
+
+	// Phase 2: healthy requests; the first completion marks recovery
+	// (the breaker half-opens after its cooldown, the success closes it).
+	want := fibw.Serial(16)
+	for {
+		tk, err := s.Submit(context.Background(), "", serve.Rec(fibw.Job(16, 1)))
+		if errors.Is(err, serve.ErrCircuitOpen) {
+			cell.Rejected++
+			time.Sleep(cooldown / 20)
+			continue
+		}
+		if err != nil {
+			return cell, fmt.Errorf("%s/breaker-recovery: submit: %w", backend, err)
+		}
+		cell.Requests++
+		v, werr := tk.Wait()
+		if werr != nil || v != want {
+			return cell, fmt.Errorf("%s/breaker-recovery: healthy request got %d, %v", backend, v, werr)
+		}
+		cell.Completed++
+		cell.RecoveryMs = float64(time.Since(opened)) / float64(time.Millisecond)
+		break
+	}
 	return cell, nil
 }
 

@@ -1,0 +1,135 @@
+package chaos
+
+// Serve-level fault injection (DESIGN.md §17). The protocol-point
+// Injector above perturbs the steal protocols inside one pool; the
+// ServeInjector perturbs the serving layer's own control plane —
+// lane revival, admission, quarantine probing — where the interesting
+// windows are not nanoseconds wide but whole failure-handling paths
+// that a healthy machine almost never takes:
+//
+//   - lane-reset-fail: a lane about to Reset a poisoned pool is told
+//     the Reset failed, forcing the quarantine/hot-replacement path
+//     that real Reset failures (shutdown races, a worker stuck in a
+//     task body) take rarely.
+//
+//   - submit-storm: an admission decision is told the tenant's queue
+//     is storm-full, shedding the submission — the deterministic stand
+//     -in for a thundering herd that admission control must absorb.
+//
+//   - probe-fail: a quarantined lane's health probe is failed, keeping
+//     the lane out of rotation for another replacement round and
+//     exercising the probe-retry loop.
+//
+// Unlike the per-worker Agents, serve-level decisions are made from
+// concurrent goroutines (Submit callers, lane loops), so one mutex-
+// guarded splitmix64 stream serves them all: still deterministic in
+// the sequence of decisions for a fixed interleaving of askers, and
+// each decision remains independently seeded-replayable in the tests,
+// which drive the points single-threaded or force rates to 0/always.
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ServePoint names one serving-layer injection point.
+type ServePoint uint8
+
+// Serve-level injection points.
+const (
+	// ServeLaneResetFail: the lane is about to Reset a poisoned pool;
+	// fail forces the quarantine/replacement path instead.
+	ServeLaneResetFail ServePoint = iota
+
+	// ServeSubmitStorm: a submission passed admission's real checks;
+	// fail sheds it as if a storm had filled the queue.
+	ServeSubmitStorm
+
+	// ServeProbeFail: a quarantined lane is probing its replacement
+	// pool; fail reports the probe unhealthy.
+	ServeProbeFail
+
+	// NumServePoints is the number of serve-level points.
+	NumServePoints
+)
+
+var servePointNames = [NumServePoints]string{
+	ServeLaneResetFail: "lane-reset-fail",
+	ServeSubmitStorm:   "submit-storm",
+	ServeProbeFail:     "probe-fail",
+}
+
+// String returns the stable point name.
+func (p ServePoint) String() string {
+	if int(p) < len(servePointNames) {
+		return servePointNames[p]
+	}
+	return fmt.Sprintf("ServePoint(%d)", int(p))
+}
+
+// ServeRates is the per-point fail probability, as numerators out of
+// 65536 (0 = never; 65535 ≈ always).
+type ServeRates [NumServePoints]uint16
+
+// ServeInjector injects faults at the serving layer's control-plane
+// points. Safe for concurrent use; a nil *ServeInjector is the
+// disabled injector (every Fail returns false), so callers hook points
+// unconditionally.
+type ServeInjector struct {
+	mu       sync.Mutex
+	rng      RNG
+	rates    ServeRates
+	seed     uint64
+	visits   [NumServePoints]uint64
+	injected [NumServePoints]uint64
+}
+
+// NewServeInjector builds a serve-level injector with the given
+// per-point fail rates and replay seed.
+func NewServeInjector(rates ServeRates, seed uint64) *ServeInjector {
+	return &ServeInjector{rng: NewRNG(seed), rates: rates, seed: seed}
+}
+
+// Fail records a visit to p and reports whether the caller should take
+// its failure branch. Nil-safe: a nil injector never fails anything.
+func (si *ServeInjector) Fail(p ServePoint) bool {
+	if si == nil {
+		return false
+	}
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	si.visits[p]++
+	fail := uint16(si.rng.Next()) < si.rates[p]
+	if fail {
+		si.injected[p]++
+	}
+	return fail
+}
+
+// Seed returns the replay seed (logged by the torture suites).
+func (si *ServeInjector) Seed() uint64 {
+	if si == nil {
+		return 0
+	}
+	return si.seed
+}
+
+// Counts returns the per-point visit counters.
+func (si *ServeInjector) Counts() [NumServePoints]uint64 {
+	if si == nil {
+		return [NumServePoints]uint64{}
+	}
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	return si.visits
+}
+
+// Injected returns the per-point fired counters.
+func (si *ServeInjector) Injected() [NumServePoints]uint64 {
+	if si == nil {
+		return [NumServePoints]uint64{}
+	}
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	return si.injected
+}

@@ -1,0 +1,86 @@
+package chaos
+
+import "testing"
+
+// TestServeInjectorDeterminism: same seed replays the same decision
+// sequence; different seeds diverge.
+func TestServeInjectorDeterminism(t *testing.T) {
+	rates := ServeRates{}
+	for p := ServePoint(0); p < NumServePoints; p++ {
+		rates[p] = 32768 // ~50%
+	}
+	a := NewServeInjector(rates, 0xfeed)
+	b := NewServeInjector(rates, 0xfeed)
+	c := NewServeInjector(rates, 0xbeef)
+	diverged := false
+	for i := 0; i < 64; i++ {
+		p := ServePoint(i % int(NumServePoints))
+		av, bv, cv := a.Fail(p), b.Fail(p), c.Fail(p)
+		if av != bv {
+			t.Fatalf("decision %d: same seed diverged", i)
+		}
+		if av != cv {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("distinct seeds produced identical decision sequences")
+	}
+	if a.Seed() != 0xfeed {
+		t.Fatalf("Seed() = %#x, want 0xfeed", a.Seed())
+	}
+}
+
+// TestServeInjectorRates: rate 0 never fires, 65535 effectively always
+// does, and the counters account for visits and injections.
+func TestServeInjectorRates(t *testing.T) {
+	var rates ServeRates
+	rates[ServeLaneResetFail] = 65535
+	si := NewServeInjector(rates, 1)
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		if si.Fail(ServeLaneResetFail) {
+			fired++
+		}
+		if si.Fail(ServeSubmitStorm) {
+			t.Fatal("rate-0 point fired")
+		}
+	}
+	if fired < 990 {
+		t.Fatalf("rate-65535 point fired %d/1000", fired)
+	}
+	counts, inj := si.Counts(), si.Injected()
+	if counts[ServeLaneResetFail] != 1000 || counts[ServeSubmitStorm] != 1000 {
+		t.Fatalf("visit counts = %v", counts)
+	}
+	if inj[ServeLaneResetFail] != uint64(fired) || inj[ServeSubmitStorm] != 0 {
+		t.Fatalf("injected counts = %v (fired=%d)", inj, fired)
+	}
+}
+
+// TestServeInjectorNil: a nil injector is the documented disabled
+// path.
+func TestServeInjectorNil(t *testing.T) {
+	var si *ServeInjector
+	if si.Fail(ServeProbeFail) {
+		t.Fatal("nil injector failed a point")
+	}
+	if si.Seed() != 0 || si.Counts() != ([NumServePoints]uint64{}) || si.Injected() != ([NumServePoints]uint64{}) {
+		t.Fatal("nil injector accessors not zero")
+	}
+}
+
+// TestServePointNames pins the stable names used in profiles and
+// docs.
+func TestServePointNames(t *testing.T) {
+	want := map[ServePoint]string{
+		ServeLaneResetFail: "lane-reset-fail",
+		ServeSubmitStorm:   "submit-storm",
+		ServeProbeFail:     "probe-fail",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"gowool/internal/poolerr"
 )
 
 // WatchdogError is the distinct failure a tripped stuck-run watchdog
@@ -24,6 +26,13 @@ type WatchdogError struct {
 func (e *WatchdogError) Error() string {
 	return fmt.Sprintf("core: watchdog tripped: no scheduler progress for %v with a blocked join outstanding\n%s", e.Interval, e.Bundle)
 }
+
+// ErrorClass classifies a watchdog trip as retryable (DESIGN.md §17):
+// the trip names a stuck scheduler state, not a property of the
+// request, so re-running the request — typically on a replaced lane —
+// may well succeed. The serving layer's breakers and lane-quarantine
+// streaks count it as a failure for the same reason.
+func (e *WatchdogError) ErrorClass() poolerr.Class { return poolerr.ClassRetryable }
 
 // watchdogPoll panics with the watchdog's verdict if it has tripped.
 // Blocked wait loops (joinSlow, leapfrog) call this periodically; the

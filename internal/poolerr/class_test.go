@@ -1,0 +1,69 @@
+package poolerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestClassOf pins the taxonomy walk: wrappers classify, context errors
+// classify as non-retryable wherever they sit on the chain, the first
+// Classed implementer wins, and unclassified errors stay unknown.
+func TestClassOf(t *testing.T) {
+	base := errors.New("boom")
+	cases := []struct {
+		name string
+		err  error
+		want Class
+	}{
+		{"nil", nil, ClassUnknown},
+		{"plain", base, ClassUnknown},
+		{"retryable", Retryable(base), ClassRetryable},
+		{"non-retryable", NonRetryable(base), ClassNonRetryable},
+		{"shed", Shed(base), ClassShed},
+		{"wrapped-shed", fmt.Errorf("tenant %q: %w", "a", Shed(base)), ClassShed},
+		{"canceled", context.Canceled, ClassNonRetryable},
+		{"deadline", fmt.Errorf("request: %w", context.DeadlineExceeded), ClassNonRetryable},
+		{"abort", &AbortError{Reason: context.Canceled}, ClassNonRetryable},
+		{"abort-no-reason", &AbortError{}, ClassNonRetryable},
+		{"first-classed-wins", Retryable(Shed(base)), ClassRetryable},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.err); got != c.want {
+			t.Errorf("%s: ClassOf = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestClassWrappersPreserveIs checks the class wrappers stay
+// transparent to errors.Is/errors.As — a shed sentinel must still
+// match its package-level var through the wrapper.
+func TestClassWrappersPreserveIs(t *testing.T) {
+	sentinel := errors.New("queue full")
+	wrapped := fmt.Errorf("tenant %q has %d pending: %w", "b", 3, Shed(sentinel))
+	if !errors.Is(wrapped, sentinel) {
+		t.Fatalf("errors.Is lost the sentinel through the class wrapper")
+	}
+	if ClassOf(wrapped) != ClassShed {
+		t.Fatalf("ClassOf(wrapped) = %v, want shed", ClassOf(wrapped))
+	}
+	if Retryable(nil) != nil || NonRetryable(nil) != nil || Shed(nil) != nil {
+		t.Fatalf("class wrappers must pass nil through")
+	}
+}
+
+// TestClassString pins the stable names used by stats and docs.
+func TestClassString(t *testing.T) {
+	want := map[Class]string{
+		ClassUnknown:      "unknown",
+		ClassRetryable:    "retryable",
+		ClassNonRetryable: "non-retryable",
+		ClassShed:         "shed",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Class(%d).String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreaker(clk *fakeClock) *Breaker {
+	return NewBreaker(BreakerConfig{
+		Window:         time.Second,
+		Buckets:        4,
+		MinSamples:     10,
+		FailureRate:    0.5,
+		Cooldown:       100 * time.Millisecond,
+		HalfOpenProbes: 2,
+	}, clk.now)
+}
+
+// TestBreakerTripsOnFailureRate: below MinSamples nothing trips; at
+// the threshold with a crossing rate the breaker opens and sheds.
+func TestBreakerTripsOnFailureRate(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	// 9 failures: still under MinSamples, stays closed.
+	for i := 0; i < 9; i++ {
+		b.Record(false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 9 failures = %v, want closed (MinSamples=10)", b.State())
+	}
+	b.Record(false) // 10th sample, rate 1.0 ≥ 0.5 → open
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 10 failures = %v, want open", b.State())
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+	h := b.Health()
+	if h.Opened != 1 || h.State != "open" {
+		t.Fatalf("health = %+v, want opened=1 state=open", h)
+	}
+}
+
+// TestBreakerStaysClosedUnderRate: many samples at a sub-threshold
+// failure rate never trip; the same volume above the threshold does.
+func TestBreakerStaysClosedUnderRate(t *testing.T) {
+	clk := newFakeClock()
+	under := testBreaker(clk)
+	for i := 0; i < 40; i++ {
+		under.Record(i%4 != 0) // 25% failures
+	}
+	if under.State() != BreakerClosed {
+		t.Fatalf("state at 25%% failure rate = %v, want closed", under.State())
+	}
+	over := testBreaker(clk)
+	for i := 0; i < 40; i++ {
+		over.Record(i%4 == 0) // 75% failures
+	}
+	if over.State() != BreakerOpen {
+		t.Fatalf("state at 75%% failure rate = %v, want open", over.State())
+	}
+}
+
+// TestBreakerHalfOpenRecovery: cooldown moves open → half-open on the
+// next Allow; HalfOpenProbes successes close it and reset the window.
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 10; i++ {
+		b.Record(false)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("setup: breaker should be open")
+	}
+	clk.advance(150 * time.Millisecond) // past cooldown
+	ok, probe := b.Allow()
+	if !ok || !probe {
+		t.Fatalf("post-cooldown Allow = (%v, %v), want (true, true)", ok, probe)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// Second concurrent probe admitted, third rejected (bound = 2).
+	if ok, probe := b.Allow(); !ok || !probe {
+		t.Fatalf("second probe Allow = (%v, %v), want (true, true)", ok, probe)
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("half-open admitted beyond the probe bound")
+	}
+	b.ProbeDone(true)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after 1/2 probe successes = %v, want half-open", b.State())
+	}
+	b.ProbeDone(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2/2 probe successes = %v, want closed", b.State())
+	}
+	h := b.Health()
+	if h.Opened != 1 || h.HalfOpened != 1 || h.Closed != 1 {
+		t.Fatalf("transitions = %+v, want opened=1 halfOpened=1 closed=1", h)
+	}
+	// The recovery reset the window: old failures must not re-trip on
+	// the next recorded failure.
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatal("recovered breaker re-tripped on a single failure (window not reset)")
+	}
+}
+
+// TestBreakerHalfOpenFailureReopens: a failed probe re-opens and the
+// cooldown restarts.
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 10; i++ {
+		b.Record(false)
+	}
+	clk.advance(150 * time.Millisecond)
+	if ok, probe := b.Allow(); !ok || !probe {
+		t.Fatal("setup: probe not admitted")
+	}
+	b.ProbeDone(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("re-opened breaker admitted a request before the new cooldown")
+	}
+	if h := b.Health(); h.Opened != 2 {
+		t.Fatalf("opened = %d, want 2", h.Opened)
+	}
+}
+
+// TestBreakerWindowAges: failures older than the window age out, so a
+// burst followed by quiet does not trip later.
+func TestBreakerWindowAges(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 9; i++ {
+		b.Record(false)
+	}
+	// Let the whole window expire, then record enough mixed outcomes:
+	// the old 9 failures must be gone.
+	clk.advance(2 * time.Second)
+	for i := 0; i < 12; i++ {
+		b.Record(true)
+	}
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed (old failures should have aged out)", b.State())
+	}
+	h := b.Health()
+	if h.WindowFailures != 1 || h.WindowSuccesses != 12 {
+		t.Fatalf("window = %d/%d (f/s), want 1/12", h.WindowFailures, h.WindowSuccesses)
+	}
+}

@@ -1,0 +1,100 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// EstimatorConfig tunes the per-(tenant, job class) service-time
+// estimator behind deadline-aware admission.
+type EstimatorConfig struct {
+	// Alpha is the EWMA smoothing factor applied to each new
+	// observation (estimate += alpha * (sample - estimate)).
+	// Default 0.2.
+	Alpha float64
+	// MinSamples is how many observations a class needs before its
+	// estimate is trusted for admission decisions — an unknown class
+	// is always admitted. Default 8.
+	MinSamples int
+	// Margin scales the estimate in the unmeetable test: a submission
+	// is shed when remaining < Margin × estimate. 1.0 sheds exactly at
+	// the estimate; larger values shed earlier (safety margin for
+	// queueing ahead of the request). Default 1.0.
+	Margin float64
+}
+
+// Defaulted fills zero fields with the defaults.
+func (c EstimatorConfig) Defaulted() EstimatorConfig {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.2
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.Margin <= 0 {
+		c.Margin = 1.0
+	}
+	return c
+}
+
+// Estimator tracks an EWMA of observed service times per job class
+// (the job's declared name) for one tenant. Safe for concurrent use.
+type Estimator struct {
+	mu      sync.Mutex
+	cfg     EstimatorConfig
+	classes map[string]*classEstimate
+}
+
+type classEstimate struct {
+	ewmaNs  float64
+	samples int
+}
+
+// NewEstimator builds an estimator with cfg (zero fields defaulted).
+func NewEstimator(cfg EstimatorConfig) *Estimator {
+	return &Estimator{cfg: cfg.Defaulted(), classes: map[string]*classEstimate{}}
+}
+
+// Observe feeds one completed request's service time for class.
+func (e *Estimator) Observe(class string, d time.Duration) {
+	if d < 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ce := e.classes[class]
+	if ce == nil {
+		ce = &classEstimate{}
+		e.classes[class] = ce
+	}
+	ce.samples++
+	if ce.samples == 1 {
+		ce.ewmaNs = float64(d)
+		return
+	}
+	ce.ewmaNs += e.cfg.Alpha * (float64(d) - ce.ewmaNs)
+}
+
+// Estimate returns the class's current service-time estimate and
+// whether it has enough samples to be trusted.
+func (e *Estimator) Estimate(class string) (time.Duration, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ce := e.classes[class]
+	if ce == nil || ce.samples < e.cfg.MinSamples {
+		return 0, false
+	}
+	return time.Duration(ce.ewmaNs), true
+}
+
+// Unmeetable reports whether a request of class with the given
+// remaining deadline budget is doomed: the estimate is trusted and
+// remaining < Margin × estimate. Classes without a trusted estimate
+// are never unmeetable (admit and learn).
+func (e *Estimator) Unmeetable(class string, remaining time.Duration) bool {
+	est, ok := e.Estimate(class)
+	if !ok {
+		return false
+	}
+	return float64(remaining) < e.cfg.Margin*float64(est)
+}

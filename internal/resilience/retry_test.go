@@ -1,0 +1,165 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetrierAttemptBound: retries stop at MaxRetries regardless of
+// budget.
+func TestRetrierAttemptBound(t *testing.T) {
+	r := NewRetrier(RetryConfig{MaxRetries: 2, BudgetCap: 100}, 1)
+	if _, ok := r.Next(1); !ok {
+		t.Fatal("first retry denied with a full budget")
+	}
+	if _, ok := r.Next(2); !ok {
+		t.Fatal("second retry denied with a full budget")
+	}
+	if _, ok := r.Next(3); ok {
+		t.Fatal("retry beyond MaxRetries allowed")
+	}
+}
+
+// TestRetrierBudgetDrains: a failure storm drains the bucket, retries
+// stop, and successes refill it.
+func TestRetrierBudgetDrains(t *testing.T) {
+	r := NewRetrier(RetryConfig{MaxRetries: 1, BudgetCap: 3, BudgetPerSuccess: 1}, 1)
+	for i := 0; i < 3; i++ {
+		if _, ok := r.Next(1); !ok {
+			t.Fatalf("retry %d denied with %v tokens", i, r.Tokens())
+		}
+	}
+	if _, ok := r.Next(1); ok {
+		t.Fatal("retry allowed on a drained budget")
+	}
+	r.OnSuccess()
+	if _, ok := r.Next(1); !ok {
+		t.Fatal("retry denied after a success refilled the budget")
+	}
+	// Refill is capped at BudgetCap.
+	for i := 0; i < 100; i++ {
+		r.OnSuccess()
+	}
+	if got := r.Tokens(); got != 3 {
+		t.Fatalf("tokens = %v, want capped at 3", got)
+	}
+}
+
+// TestRetrierBackoffJitter: backoffs are positive, bounded by the
+// exponential ceiling, grow with the attempt, and two seeds give
+// different jitter (while one seed replays identically).
+func TestRetrierBackoffJitter(t *testing.T) {
+	cfg := RetryConfig{MaxRetries: 10, BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond, BudgetCap: 1000}
+	a := NewRetrier(cfg, 42)
+	for attempt := 1; attempt <= 10; attempt++ {
+		d, ok := a.Next(attempt)
+		if !ok {
+			t.Fatalf("attempt %d denied", attempt)
+		}
+		ceil := cfg.BaseBackoff << uint(attempt-1)
+		if ceil > cfg.MaxBackoff || ceil <= 0 {
+			ceil = cfg.MaxBackoff
+		}
+		if d <= 0 || d > ceil {
+			t.Fatalf("attempt %d backoff %v outside (0, %v]", attempt, d, ceil)
+		}
+	}
+	// Same seed → same sequence; different seed → different sequence.
+	b1 := NewRetrier(cfg, 7)
+	b2 := NewRetrier(cfg, 7)
+	c := NewRetrier(cfg, 8)
+	same, diff := true, false
+	for i := 0; i < 8; i++ {
+		d1, _ := b1.Next(1)
+		d2, _ := b2.Next(1)
+		d3, _ := c.Next(1)
+		if d1 != d2 {
+			same = false
+		}
+		if d1 != d3 {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("identical seeds produced different backoff sequences")
+	}
+	if !diff {
+		t.Fatal("distinct seeds produced identical backoff sequences")
+	}
+}
+
+// TestEstimatorLearnsAndSheds: below MinSamples everything is
+// meetable; once trusted, the EWMA tracks the sample stream and the
+// unmeetable test fires exactly on the margin.
+func TestEstimatorLearnsAndSheds(t *testing.T) {
+	e := NewEstimator(EstimatorConfig{Alpha: 0.5, MinSamples: 3, Margin: 1.0})
+	if e.Unmeetable("fib", time.Nanosecond) {
+		t.Fatal("unknown class reported unmeetable")
+	}
+	e.Observe("fib", 10*time.Millisecond)
+	e.Observe("fib", 10*time.Millisecond)
+	if _, ok := e.Estimate("fib"); ok {
+		t.Fatal("estimate trusted below MinSamples")
+	}
+	e.Observe("fib", 10*time.Millisecond)
+	est, ok := e.Estimate("fib")
+	if !ok || est != 10*time.Millisecond {
+		t.Fatalf("estimate = %v ok=%v, want 10ms true", est, ok)
+	}
+	if !e.Unmeetable("fib", 5*time.Millisecond) {
+		t.Fatal("5ms remaining vs 10ms estimate not unmeetable")
+	}
+	if e.Unmeetable("fib", 20*time.Millisecond) {
+		t.Fatal("20ms remaining vs 10ms estimate reported unmeetable")
+	}
+	// Classes are independent.
+	if e.Unmeetable("sort", time.Nanosecond) {
+		t.Fatal("estimates leaked across classes")
+	}
+	// The EWMA follows a shift in the stream.
+	for i := 0; i < 20; i++ {
+		e.Observe("fib", 40*time.Millisecond)
+	}
+	est, _ = e.Estimate("fib")
+	if est < 35*time.Millisecond {
+		t.Fatalf("estimate after shift = %v, want near 40ms", est)
+	}
+}
+
+// TestEstimatorMargin: Margin scales the shed point.
+func TestEstimatorMargin(t *testing.T) {
+	e := NewEstimator(EstimatorConfig{Alpha: 1, MinSamples: 1, Margin: 2.0})
+	e.Observe("x", 10*time.Millisecond)
+	if !e.Unmeetable("x", 15*time.Millisecond) {
+		t.Fatal("15ms remaining vs 2×10ms margin not unmeetable")
+	}
+	if e.Unmeetable("x", 25*time.Millisecond) {
+		t.Fatal("25ms remaining vs 2×10ms margin reported unmeetable")
+	}
+}
+
+// TestConfigDefaults pins the Defaulted fills.
+func TestConfigDefaults(t *testing.T) {
+	b := BreakerConfig{}.Defaulted()
+	if b.Window != 5*time.Second || b.Buckets != 8 || b.MinSamples != 20 ||
+		b.FailureRate != 0.5 || b.Cooldown != time.Second || b.HalfOpenProbes != 3 {
+		t.Fatalf("breaker defaults = %+v", b)
+	}
+	r := RetryConfig{}.Defaulted()
+	if r.MaxRetries != 2 || r.BaseBackoff != time.Millisecond || r.MaxBackoff != 50*time.Millisecond ||
+		r.BudgetCap != 10 || r.BudgetPerSuccess != 0.1 {
+		t.Fatalf("retry defaults = %+v", r)
+	}
+	es := EstimatorConfig{}.Defaulted()
+	if es.Alpha != 0.2 || es.MinSamples != 8 || es.Margin != 1.0 {
+		t.Fatalf("estimator defaults = %+v", es)
+	}
+	q := QuarantineConfig{}.Defaulted()
+	if q.FailureStreak != 8 || q.ProbeBackoff != 10*time.Millisecond {
+		t.Fatalf("quarantine defaults = %+v", q)
+	}
+	// Negative FailureStreak (streak trigger disabled) is preserved.
+	if (QuarantineConfig{FailureStreak: -1}).Defaulted().FailureStreak != -1 {
+		t.Fatal("FailureStreak=-1 not preserved")
+	}
+}

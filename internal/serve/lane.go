@@ -3,8 +3,12 @@ package serve
 import (
 	"context"
 	"errors"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"gowool/internal/chaos"
+	"gowool/internal/core"
 	"gowool/internal/poolerr"
 	"gowool/internal/sched"
 )
@@ -18,14 +22,34 @@ type lane struct {
 	idx  int
 	tn   *tenant // home team
 	opts sched.Options
+
+	// mu guards the pool/ab pointer swaps against concurrent Health
+	// readers. The lane goroutine is the only writer and the only
+	// request-path reader, so it reads its own fields directly.
+	mu   sync.Mutex
 	pool sched.Pool
 	// ab is the pool's request-scoped abort surface, nil when the
 	// backend lacks Caps.Serve (then a poisoned pool is replaced
 	// instead of Reset).
 	ab sched.Abortable
+
+	// wantQuarantine is lane-goroutine-private: set when a Reset fails
+	// or the failure streak trips, consumed by loop between requests.
+	wantQuarantine bool
+
+	// Health counters (DESIGN.md §17). quarantined flips while the lane
+	// is out of rotation replacing and probing its pool.
+	quarantined   atomic.Bool
+	streak        atomic.Int32
+	quarantines   atomic.Int64
+	replacements  atomic.Int64
+	probes        atomic.Int64
+	probeFailures atomic.Int64
 }
 
 // loop drains requests until the server closes, then closes the pool.
+// Quarantine runs between requests: the lane is simply absent from the
+// queue-draining rotation while it replaces and probes its pool.
 func (l *lane) loop() {
 	defer l.srv.wg.Done()
 	for {
@@ -35,6 +59,10 @@ func (l *lane) loop() {
 			return
 		}
 		l.serveOne(t)
+		if l.wantQuarantine {
+			l.wantQuarantine = false
+			l.quarantine()
+		}
 	}
 }
 
@@ -73,13 +101,13 @@ func (l *lane) next() *Ticket {
 	}
 }
 
-// serveOne runs one request on the lane's pool, threading the
-// request's context through the pool's abort machinery and restoring
-// the pool to health afterwards.
+// serveOne runs one request's next attempt on the lane's pool,
+// threading the request's context through the pool's abort machinery
+// and restoring the pool to health afterwards.
 func (l *lane) serveOne(t *Ticket) {
 	if err := t.ctx.Err(); err != nil {
 		// Cancelled while queued: fail at dispatch without running.
-		l.finish(t, 0, err)
+		l.finishAttempt(t, 0, err, 0)
 		return
 	}
 
@@ -101,7 +129,9 @@ func (l *lane) serveOne(t *Ticket) {
 		})
 	}
 
+	start := time.Now()
 	val, err := runJob(l.pool, t.job)
+	dur := time.Since(start)
 
 	if stop != nil && !stop() {
 		<-fired
@@ -119,8 +149,12 @@ func (l *lane) serveOne(t *Ticket) {
 					err = ae
 				}
 			}
-			if rerr := l.ab.Reset(); rerr != nil {
-				l.replacePool()
+			if l.srv.inj.Fail(chaos.ServeLaneResetFail) {
+				// Chaos: behave as if Reset failed without calling it —
+				// quarantine discards the pool either way.
+				l.wantQuarantine = true
+			} else if rerr := l.ab.Reset(); rerr != nil {
+				l.wantQuarantine = true
 			}
 		}
 	} else if err != nil && l.pool.Native() != nil {
@@ -130,11 +164,93 @@ func (l *lane) serveOne(t *Ticket) {
 		l.replacePool()
 	}
 
-	l.finish(t, val, err)
+	l.finishAttempt(t, val, err, dur)
 }
 
-// finish publishes the request's outcome and counts it.
-func (l *lane) finish(t *Ticket, val int64, err error) {
+// Attempt outcome classes for the resilience accounting: only OK and
+// failure feed the breaker and retry machinery; cancellations and
+// sheds say nothing about tenant or lane health.
+type outcome uint8
+
+const (
+	outcomeOK outcome = iota
+	outcomeCancel
+	outcomeShed
+	outcomeFailure
+)
+
+// outcomeOf maps an attempt error onto the poolerr taxonomy.
+func outcomeOf(err error) outcome {
+	if err == nil {
+		return outcomeOK
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return outcomeCancel
+	}
+	switch poolerr.ClassOf(err) {
+	case poolerr.ClassShed:
+		return outcomeShed
+	case poolerr.ClassNonRetryable:
+		return outcomeCancel
+	default:
+		// Retryable and unknown alike count as failures.
+		return outcomeFailure
+	}
+}
+
+// finishAttempt feeds one attempt's outcome into the resilience state
+// (breaker, estimator, retry budget, failure streak) and either
+// finishes the ticket or hands it to the retry machinery.
+func (l *lane) finishAttempt(t *Ticket, val int64, err error, dur time.Duration) {
+	tn := t.tn
+	oc := outcomeOf(err)
+	if t.probe {
+		t.probe = false
+		if tn.breaker != nil {
+			switch oc {
+			case outcomeOK:
+				tn.breaker.ProbeDone(true)
+			case outcomeFailure:
+				tn.breaker.ProbeDone(false)
+			default:
+				tn.breaker.ProbeSkipped()
+			}
+		}
+	} else if tn.breaker != nil {
+		switch oc {
+		case outcomeOK:
+			tn.breaker.Record(true)
+		case outcomeFailure:
+			tn.breaker.Record(false)
+		}
+	}
+	switch oc {
+	case outcomeOK:
+		l.streak.Store(0)
+		if tn.est != nil {
+			tn.est.Observe(t.class, dur)
+		}
+		if tn.retrier != nil {
+			tn.retrier.OnSuccess()
+		}
+	case outcomeFailure:
+		ns := l.streak.Add(1)
+		if fs := l.srv.qcfg.FailureStreak; fs > 0 && int(ns) >= fs && !l.srv.res.DisableQuarantine {
+			l.wantQuarantine = true
+		}
+		if t.Retryable {
+			t.attempt++
+			if backoff, ok := tn.retrier.Next(t.attempt); ok && l.srv.scheduleRetry(t, backoff) {
+				tn.retried.Add(1)
+				return // the retry timer owns the ticket now
+			}
+		}
+	}
+	finishTicket(t, val, err)
+}
+
+// finishTicket publishes the request's final outcome and counts it.
+func finishTicket(t *Ticket, val int64, err error) {
 	tn := t.tn
 	switch {
 	case err == nil:
@@ -149,23 +265,93 @@ func (l *lane) finish(t *Ticket, val int64, err error) {
 	close(t.done)
 }
 
+// quarantine pulls the lane from rotation and hot-replaces its pool:
+// replace, probe, and on a failed probe back off and replace again,
+// until a probe passes or the server closes. With quarantine disabled
+// it degrades to the plain in-place replacement.
+func (l *lane) quarantine() {
+	if l.srv.res.DisableQuarantine {
+		l.replacePool()
+		return
+	}
+	l.quarantined.Store(true)
+	l.quarantines.Add(1)
+	for {
+		l.replacePool()
+		if l.probeOnce() {
+			break
+		}
+		select {
+		case <-l.srv.closeCh:
+			// Closing: stop probing; next() will see the closed server
+			// and shut the lane down.
+			l.quarantined.Store(false)
+			l.streak.Store(0)
+			return
+		case <-time.After(l.srv.qcfg.ProbeBackoff):
+		}
+	}
+	l.quarantined.Store(false)
+	l.streak.Store(0)
+}
+
+// probeWant is fib(probeDepth), the expected probe result.
+const probeDepth, probeWant = 6, 8
+
+// probeJob builds the quarantine health probe: a small fib-shaped
+// spawn tree, enough to exercise the replacement pool's spawn/join and
+// steal paths without measurable cost.
+func probeJob() Job {
+	return Rec(sched.RecJob{
+		Name: "__lane-probe",
+		Root: probeDepth,
+		Leaf: func(n int64) (int64, bool) {
+			if n < 2 {
+				return n, true
+			}
+			return 0, false
+		},
+		Split: func(n int64) (inline, spawned int64) { return n - 1, n - 2 },
+	})
+}
+
+// probeOnce runs one health probe on the (fresh) pool.
+func (l *lane) probeOnce() bool {
+	l.probes.Add(1)
+	if l.srv.inj.Fail(chaos.ServeProbeFail) {
+		l.probeFailures.Add(1)
+		return false
+	}
+	v, err := runJob(l.pool, probeJob())
+	if err != nil || v != probeWant {
+		l.probeFailures.Add(1)
+		return false
+	}
+	return true
+}
+
 // replacePool swaps in a fresh pool built from the lane's recorded
 // options and closes the old one (closing a poisoned pool is safe:
 // its workers are released by Close, see the core poison gate).
 func (l *lane) replacePool() {
 	old := l.pool
-	l.pool = l.srv.sch.NewPool(l.opts)
-	l.ab = nil
+	np := l.srv.sch.NewPool(l.opts)
+	var ab sched.Abortable
 	if l.srv.caps.Serve {
-		l.ab, _ = l.pool.Native().(sched.Abortable)
+		ab, _ = np.Native().(sched.Abortable)
 	}
+	l.mu.Lock()
+	l.pool, l.ab = np, ab
+	l.mu.Unlock()
+	l.replacements.Add(1)
 	old.Close()
 }
 
 // runJob runs the request's root on the pool, converting the
 // scheduler's panic-based failure surface into an error: a
-// *poolerr.AbortError (request cancellation) unwraps to its reason,
-// anything else becomes a *PanicError.
+// *poolerr.AbortError (request cancellation) unwraps to its reason, a
+// *core.WatchdogError passes through typed (it classifies as
+// retryable), anything else becomes a *PanicError.
 func runJob(p sched.Pool, j Job) (v int64, err error) {
 	defer func() {
 		r := recover()
@@ -178,6 +364,10 @@ func runJob(p sched.Pool, j Job) (v int64, err error) {
 			} else {
 				err = ae
 			}
+			return
+		}
+		if we, ok := r.(*core.WatchdogError); ok {
+			err = we
 			return
 		}
 		err = &PanicError{Val: r}

@@ -41,6 +41,18 @@
 //     Caps.Serve still get per-request panic isolation — the lane
 //     replaces a poisoned pool — but cannot interrupt a running
 //     request before it completes.
+//
+//   - Self-healing (DESIGN.md §17, internal/resilience). The per-
+//     request mechanisms above handle one bad request; the resilience
+//     layer handles *sustained* failure: a per-tenant circuit breaker
+//     sheds a persistently failing tenant (ErrCircuitOpen), deadline-
+//     aware admission sheds requests whose remaining deadline is below
+//     the learned service time for their class (ErrDeadlineUnmeetable),
+//     caller-marked retry-safe requests are retried under a budget with
+//     jittered backoff, and a lane whose Reset fails or whose failures
+//     streak is quarantined — pulled from rotation, hot-replaced, and
+//     probed back to health. All of it defaults on; Options.Resilience
+//     tunes or disables each subsystem, Server.Health observes it.
 package serve
 
 import (
@@ -52,14 +64,26 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gowool/internal/chaos"
+	"gowool/internal/poolerr"
+	"gowool/internal/resilience"
 	"gowool/internal/sched"
 )
 
-// Sentinel errors returned by Submit and Ticket.Wait.
+// Sentinel errors returned by Submit and Ticket.Wait. The shed
+// sentinels (ErrOverloaded, ErrCircuitOpen, ErrDeadlineUnmeetable)
+// carry poolerr.ClassShed, so poolerr.ClassOf distinguishes load
+// shedding from real failures anywhere the wrapped error travels.
 var (
 	// ErrOverloaded rejects a submission that found the tenant's
 	// pending queue full (admission control; see Options.MaxPending).
-	ErrOverloaded = errors.New("serve: tenant queue full")
+	ErrOverloaded = poolerr.Shed(errors.New("serve: tenant queue full"))
+	// ErrCircuitOpen rejects a submission while the tenant's circuit
+	// breaker is open (or half-open with its probe quota in flight).
+	ErrCircuitOpen = poolerr.Shed(errors.New("serve: tenant circuit open"))
+	// ErrDeadlineUnmeetable rejects a submission whose remaining
+	// deadline is below the estimated service time for its job class.
+	ErrDeadlineUnmeetable = poolerr.Shed(errors.New("serve: deadline unmeetable"))
 	// ErrClosed rejects submissions to (and fails tickets drained by)
 	// a closed server.
 	ErrClosed = errors.New("serve: server closed")
@@ -76,15 +100,30 @@ type PanicError struct{ Val any }
 // Error describes the panic.
 func (e *PanicError) Error() string { return fmt.Sprintf("serve: request panicked: %v", e.Val) }
 
+// ErrorClass classifies a request panic as retryable (DESIGN.md §17):
+// the pool is revived, so a re-run is safe to attempt, and the retry
+// budget bounds the amplification when the panic is deterministic.
+func (e *PanicError) ErrorClass() poolerr.Class { return poolerr.ClassRetryable }
+
 // Job is one request: a root task DAG to run on a lane's pool. Build
 // one with Rec or Range.
 type Job interface {
 	runOn(p sched.Pool) int64
+	// class keys the per-tenant service-time estimator: the job's
+	// declared Name, or the job shape when unnamed.
+	class() string
 }
 
 type recJob struct{ j sched.RecJob }
 
 func (r recJob) runOn(p sched.Pool) int64 { return p.RunRec(r.j) }
+
+func (r recJob) class() string {
+	if r.j.Name != "" {
+		return r.j.Name
+	}
+	return "rec"
+}
 
 // Rec wraps a divide-and-conquer job as a servable request.
 func Rec(j sched.RecJob) Job { return recJob{j} }
@@ -92,6 +131,13 @@ func Rec(j sched.RecJob) Job { return recJob{j} }
 type rangeJob struct{ j sched.RangeJob }
 
 func (r rangeJob) runOn(p sched.Pool) int64 { return p.RunRange(r.j) }
+
+func (r rangeJob) class() string {
+	if r.j.Name != "" {
+		return r.j.Name
+	}
+	return "range"
+}
 
 // Range wraps an index-range job as a servable request.
 func Range(j sched.RangeJob) Job { return rangeJob{j} }
@@ -107,6 +153,9 @@ type Tenant struct {
 	// MaxPending overrides Options.MaxPending for this tenant when
 	// positive.
 	MaxPending int
+	// Resilience overrides the server-wide resilience defaults for this
+	// tenant; nil fields inherit Options.Resilience.
+	Resilience *resilience.TenantConfig
 }
 
 // Options configures a Server. The zero value serves a single
@@ -140,14 +189,36 @@ type Options struct {
 	// before construction (lane is the global lane index). Used by the
 	// chaos torture suite to attach per-lane injectors.
 	ConfigurePool func(lane int, o *sched.Options)
+	// Resilience configures the self-healing layer. The zero value
+	// enables every subsystem (breaker, deadline admission, retries,
+	// lane quarantine) with the defaults documented in
+	// internal/resilience; the Disable* switches turn subsystems off.
+	Resilience resilience.Options
+	// Chaos, when non-nil, injects faults at the serving layer's
+	// control-plane points (lane-reset-fail, submit-storm, probe-fail)
+	// for the torture suites. Nil means no injection.
+	Chaos *chaos.ServeInjector
 }
 
 // Ticket is a submitted request's handle.
 type Ticket struct {
+	// Retryable records whether the server may re-run this request on a
+	// failure-class outcome: the caller marked it retry-safe
+	// (SubmitOptions.Retryable) and server-side retries are enabled.
+	// Read-only after Submit.
+	Retryable bool
+
 	job       Job
 	ctx       context.Context
 	tn        *tenant
 	submitted time.Time
+	class     string
+
+	// attempt counts completed runs; probe marks the ticket as a half-
+	// open breaker probe whose outcome must be reported via ProbeDone.
+	// Both are touched only by the owning lane (one attempt at a time).
+	attempt int
+	probe   bool
 
 	// val/err/latency are published by the close of done.
 	val     int64
@@ -180,6 +251,12 @@ type tenant struct {
 	maxPending int
 	lanes      int
 
+	// Resilience state; any of these is nil when its subsystem is
+	// disabled server-wide.
+	breaker *resilience.Breaker
+	est     *resilience.Estimator
+	retrier *resilience.Retrier
+
 	// q is the FIFO pending queue, guarded by the server mutex.
 	q []*Ticket
 
@@ -188,6 +265,14 @@ type tenant struct {
 	rejected  atomic.Int64
 	cancelled atomic.Int64
 	failed    atomic.Int64
+
+	// Shed-cause breakout: rejected == shedOverload + shedCircuit +
+	// shedDeadline. retried counts server-side re-runs (attempts beyond
+	// a ticket's first).
+	shedOverload atomic.Int64
+	shedCircuit  atomic.Int64
+	shedDeadline atomic.Int64
+	retried      atomic.Int64
 }
 
 // pop removes and returns the oldest pending ticket (server mutex
@@ -212,10 +297,23 @@ type Server struct {
 	byName  map[string]*tenant
 	lanes   []*lane
 
+	res  resilience.Options
+	qcfg resilience.QuarantineConfig
+	inj  *chaos.ServeInjector
+
+	// closeCh is closed by Close; quarantined lanes select on it so a
+	// probe backoff never outlives the server.
+	closeCh chan struct{}
+
 	mu     sync.Mutex
 	cond   *sync.Cond
 	closed bool
-	wg     sync.WaitGroup
+	// retryTimers holds the backoff timer of every ticket waiting to be
+	// re-enqueued. Map presence is the ownership token between requeue
+	// and Close: whoever removes the entry (or finds the map nil)
+	// finalizes the ticket, so done is closed exactly once.
+	retryTimers map[*Ticket]*time.Timer
+	wg          sync.WaitGroup
 }
 
 // New builds and starts a server: lanes are constructed (validating
@@ -246,7 +344,17 @@ func New(o Options) (*Server, error) {
 
 	s := &Server{opts: o, sch: sch, caps: sch.Caps(), byName: map[string]*tenant{}}
 	s.cond = sync.NewCond(&s.mu)
-	for _, tc := range tens {
+	s.res = o.Resilience
+	s.qcfg = o.Resilience.Quarantine.Defaulted()
+	s.inj = o.Chaos
+	s.closeCh = make(chan struct{})
+	s.retryTimers = map[*Ticket]*time.Timer{}
+	seed := o.Resilience.Seed
+	if seed == 0 {
+		// Fixed default so retry jitter is replayable by construction.
+		seed = 0x77005eed
+	}
+	for ti, tc := range tens {
 		if _, dup := s.byName[tc.Name]; dup {
 			return nil, fmt.Errorf("serve: duplicate tenant %q", tc.Name)
 		}
@@ -256,6 +364,27 @@ func New(o Options) (*Server, error) {
 		}
 		if tn.maxPending <= 0 {
 			tn.maxPending = o.MaxPending
+		}
+		bcfg, ecfg, rcfg := s.res.Breaker, s.res.Estimator, s.res.Retry
+		if tc.Resilience != nil {
+			if tc.Resilience.Breaker != nil {
+				bcfg = *tc.Resilience.Breaker
+			}
+			if tc.Resilience.Estimator != nil {
+				ecfg = *tc.Resilience.Estimator
+			}
+			if tc.Resilience.Retry != nil {
+				rcfg = *tc.Resilience.Retry
+			}
+		}
+		if !s.res.DisableBreaker {
+			tn.breaker = resilience.NewBreaker(bcfg, nil)
+		}
+		if !s.res.DisableDeadline {
+			tn.est = resilience.NewEstimator(ecfg)
+		}
+		if !s.res.DisableRetry {
+			tn.retrier = resilience.NewRetrier(rcfg, seed^(0x9e3779b97f4a7c15*uint64(ti+1)))
 		}
 		s.tenants = append(s.tenants, tn)
 		s.byName[tc.Name] = tn
@@ -333,15 +462,31 @@ func apportionLanes(tens []*tenant, totalLanes int) []int {
 	return counts
 }
 
+// SubmitOptions refines one submission.
+type SubmitOptions struct {
+	// Retryable marks the request retry-safe: its job is idempotent (or
+	// the caller tolerates re-execution), so on a failure-class outcome
+	// the server may re-run it under the tenant's retry budget with
+	// jittered backoff instead of failing the ticket. Cancellations and
+	// sheds are never retried.
+	Retryable bool
+}
+
 // Submit enqueues job for tenantName under ctx and returns its Ticket.
-// It never blocks: a full tenant queue rejects with ErrOverloaded, a
-// closed server with ErrClosed, an unknown tenant with
-// ErrUnknownTenant (all wrapped with context). A nil ctx means
-// context.Background(). ctx governs the request end to end: a
+// It never blocks: a full tenant queue rejects with ErrOverloaded, an
+// open breaker with ErrCircuitOpen, a doomed deadline with
+// ErrDeadlineUnmeetable, a closed server with ErrClosed, an unknown
+// tenant with ErrUnknownTenant (all wrapped with context). A nil ctx
+// means context.Background(). ctx governs the request end to end: a
 // cancellation while queued fails the ticket at dispatch; a
 // cancellation mid-run aborts the lane's pool when the backend has
 // Caps.Serve.
 func (s *Server) Submit(ctx context.Context, tenantName string, job Job) (*Ticket, error) {
+	return s.SubmitWith(ctx, tenantName, job, SubmitOptions{})
+}
+
+// SubmitWith is Submit with per-submission options.
+func (s *Server) SubmitWith(ctx context.Context, tenantName string, job Job, so SubmitOptions) (*Ticket, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -358,9 +503,43 @@ func (s *Server) Submit(ctx context.Context, tenantName string, job Job) (*Ticke
 	if len(tn.q) >= tn.maxPending {
 		s.mu.Unlock()
 		tn.rejected.Add(1)
+		tn.shedOverload.Add(1)
 		return nil, fmt.Errorf("%w: tenant %q has %d pending", ErrOverloaded, tenantName, tn.maxPending)
 	}
-	t := &Ticket{job: job, ctx: ctx, tn: tn, submitted: time.Now(), done: make(chan struct{})}
+	if s.inj.Fail(chaos.ServeSubmitStorm) {
+		s.mu.Unlock()
+		tn.rejected.Add(1)
+		tn.shedOverload.Add(1)
+		return nil, fmt.Errorf("%w: tenant %q storm-shed (chaos)", ErrOverloaded, tenantName)
+	}
+	class := job.class()
+	if tn.est != nil {
+		if dl, has := ctx.Deadline(); has && tn.est.Unmeetable(class, time.Until(dl)) {
+			s.mu.Unlock()
+			tn.rejected.Add(1)
+			tn.shedDeadline.Add(1)
+			return nil, fmt.Errorf("%w: tenant %q class %q", ErrDeadlineUnmeetable, tenantName, class)
+		}
+	}
+	// The breaker decides last: every earlier check sheds without
+	// having consumed a half-open probe slot.
+	var probe bool
+	if tn.breaker != nil {
+		admit, p := tn.breaker.Allow()
+		if !admit {
+			s.mu.Unlock()
+			tn.rejected.Add(1)
+			tn.shedCircuit.Add(1)
+			return nil, fmt.Errorf("%w: tenant %q", ErrCircuitOpen, tenantName)
+		}
+		probe = p
+	}
+	t := &Ticket{
+		Retryable: so.Retryable && tn.retrier != nil,
+		job:       job, ctx: ctx, tn: tn,
+		submitted: time.Now(), class: class, probe: probe,
+		done: make(chan struct{}),
+	}
 	tn.q = append(tn.q, t)
 	tn.submitted.Add(1)
 	s.mu.Unlock()
@@ -368,9 +547,49 @@ func (s *Server) Submit(ctx context.Context, tenantName string, job Job) (*Ticke
 	return t, nil
 }
 
-// Close stops the server: pending requests are failed with ErrClosed,
-// in-flight requests run to completion, and every lane pool is closed.
-// Idempotent; Submit after Close returns ErrClosed.
+// scheduleRetry arms t's backoff timer; after backoff the ticket goes
+// back to its tenant's queue. Reports false when the server is closing
+// (the caller then finalizes the ticket itself).
+func (s *Server) scheduleRetry(t *Ticket, backoff time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.retryTimers == nil {
+		return false
+	}
+	s.retryTimers[t] = time.AfterFunc(backoff, func() { s.requeue(t) })
+	return true
+}
+
+// requeue moves a backed-off ticket to the tail of its tenant's queue,
+// unless Close claimed it first (then Close finalizes it). A queue that
+// refilled past its bound while the ticket backed off sheds the retry:
+// the ticket fails with ErrOverloaded rather than stretching the bound.
+func (s *Server) requeue(t *Ticket) {
+	s.mu.Lock()
+	if s.retryTimers == nil {
+		s.mu.Unlock()
+		return
+	}
+	if _, mine := s.retryTimers[t]; !mine {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.retryTimers, t)
+	tn := t.tn
+	if len(tn.q) >= tn.maxPending {
+		s.mu.Unlock()
+		finishTicket(t, 0, fmt.Errorf("%w: tenant %q retry shed, %d pending", ErrOverloaded, tn.name, tn.maxPending))
+		return
+	}
+	tn.q = append(tn.q, t)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// Close stops the server: pending requests (queued or backing off for
+// a retry) are failed with ErrClosed, in-flight requests run to
+// completion, and every lane pool is closed. Idempotent; Submit after
+// Close returns ErrClosed.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -378,13 +597,22 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	close(s.closeCh)
 	var drained []*Ticket
 	for _, tn := range s.tenants {
 		drained = append(drained, tn.q...)
 		tn.q = nil
 	}
+	// Claim the backing-off tickets: once retryTimers is nil, a timer
+	// that fires anyway finds no entry and leaves finalization to us.
+	timers := s.retryTimers
+	s.retryTimers = nil
 	s.mu.Unlock()
 	s.cond.Broadcast()
+	for t, tm := range timers {
+		tm.Stop()
+		drained = append(drained, t)
+	}
 	for _, t := range drained {
 		t.tn.failed.Add(1)
 		t.err = ErrClosed
@@ -402,22 +630,40 @@ type TenantStats struct {
 	Pending   int
 	Submitted int64 // accepted submissions
 	Completed int64 // finished with a result
-	Rejected  int64 // shed by admission control (ErrOverloaded)
+	Rejected  int64 // shed by admission control (the three Shed* causes)
 	Cancelled int64 // failed by their context (queued or mid-flight)
 	Failed    int64 // task panics, and tickets drained by Close
+
+	// Shed-cause breakout: Rejected == ShedOverload + ShedCircuitOpen +
+	// ShedDeadline.
+	ShedOverload    int64 // queue full (ErrOverloaded), incl. chaos storms
+	ShedCircuitOpen int64 // breaker open (ErrCircuitOpen)
+	ShedDeadline    int64 // deadline unmeetable (ErrDeadlineUnmeetable)
+	// Retried counts server-side re-runs of retry-safe requests
+	// (attempts beyond each ticket's first).
+	Retried int64
 }
 
 // Stats is a point-in-time server snapshot.
 type Stats struct {
 	Backend string
 	Lanes   int
-	Tenants []TenantStats
+	// Quarantines / Replacements total the lanes' self-healing events:
+	// quarantine entries, and pool replacements (quarantine rounds plus
+	// the inline replacements of non-Abortable backends).
+	Quarantines  int64
+	Replacements int64
+	Tenants      []TenantStats
 }
 
 // Stats snapshots the per-tenant counters. Safe to call concurrently
 // with submissions and while lanes are serving.
 func (s *Server) Stats() Stats {
 	out := Stats{Backend: s.opts.Backend, Lanes: len(s.lanes)}
+	for _, l := range s.lanes {
+		out.Quarantines += l.quarantines.Load()
+		out.Replacements += l.replacements.Load()
+	}
 	s.mu.Lock()
 	pending := make([]int, len(s.tenants))
 	for i, tn := range s.tenants {
@@ -426,15 +672,19 @@ func (s *Server) Stats() Stats {
 	s.mu.Unlock()
 	for i, tn := range s.tenants {
 		out.Tenants = append(out.Tenants, TenantStats{
-			Name:      tn.name,
-			Weight:    tn.weight,
-			Lanes:     tn.lanes,
-			Pending:   pending[i],
-			Submitted: tn.submitted.Load(),
-			Completed: tn.completed.Load(),
-			Rejected:  tn.rejected.Load(),
-			Cancelled: tn.cancelled.Load(),
-			Failed:    tn.failed.Load(),
+			Name:            tn.name,
+			Weight:          tn.weight,
+			Lanes:           tn.lanes,
+			Pending:         pending[i],
+			Submitted:       tn.submitted.Load(),
+			Completed:       tn.completed.Load(),
+			Rejected:        tn.rejected.Load(),
+			Cancelled:       tn.cancelled.Load(),
+			Failed:          tn.failed.Load(),
+			ShedOverload:    tn.shedOverload.Load(),
+			ShedCircuitOpen: tn.shedCircuit.Load(),
+			ShedDeadline:    tn.shedDeadline.Load(),
+			Retried:         tn.retried.Load(),
 		})
 	}
 	return out

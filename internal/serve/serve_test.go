@@ -56,18 +56,15 @@ func waitTrue(t *testing.T, f *atomic.Bool, what string) {
 	}
 }
 
-// waitLanePoisoned polls the server's lanes until one pool reports
+// waitLanePoisoned polls Server.Health until one lane pool reports
 // poisoned — the observable moment a context cancellation's abort has
 // landed.
 func waitLanePoisoned(t *testing.T, s *Server) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
-		for _, l := range s.lanes {
-			if l.ab == nil {
-				continue
-			}
-			if _, poisoned := l.ab.Poisoned(); poisoned {
+		for _, lh := range s.Health().Lanes {
+			if lh.Poisoned {
 				return
 			}
 		}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gowool/internal/chaos"
+	"gowool/internal/resilience"
 	"gowool/internal/sched"
 	"gowool/internal/workloads/fibw"
 	"gowool/internal/workloads/stress"
@@ -56,6 +57,126 @@ func TestServeChaosTorture(t *testing.T) {
 	}
 }
 
+// TestServeQuarantineTorture is the quarantine matrix: on every
+// Caps.Serve backend, every mid-flight abort's Reset is chaos-failed
+// (forcing quarantine) and a third of the recovery probes fail (forcing
+// probe-retry rounds), under two replayable seeds. Every lane must heal
+// — the fib submitted after each abort must produce the serial answer —
+// and at least one quarantine must have run per cell.
+func TestServeQuarantineTorture(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, sc := range sched.All() {
+		if !sc.Caps().Serve {
+			continue
+		}
+		for _, seed := range []uint64{0x5eed, 0xdead} {
+			sc, seed := sc, seed
+			t.Run(fmt.Sprintf("%s/seed=%#x", sc.Name(), seed), func(t *testing.T) {
+				runQuarantineTorture(t, sc.Name(), seed)
+			})
+		}
+	}
+}
+
+// runQuarantineTorture is one quarantine-torture cell.
+func runQuarantineTorture(t *testing.T, backend string, seed uint64) {
+	t.Helper()
+	replay := fmt.Sprintf("replay: backend=%s seed=%#x", backend, seed)
+	var rates chaos.ServeRates
+	rates[chaos.ServeLaneResetFail] = 65535 // every Reset fails
+	rates[chaos.ServeProbeFail] = 21845     // ~1/3 of probes fail
+	inj := chaos.NewServeInjector(rates, seed)
+	s, err := New(Options{
+		Backend:   backend,
+		Workers:   tortureWorkers,
+		LaneWidth: 1,
+		Chaos:     inj,
+		Resilience: resilience.Options{
+			DisableDeadline: true, // the aborts below must run, not shed
+			Quarantine:      resilience.QuarantineConfig{FailureStreak: -1, ProbeBackoff: time.Millisecond},
+		},
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", replay, err)
+	}
+	defer s.Close()
+
+	wantFib := fibw.Serial(12)
+	const rounds = 8
+	cancelled := 0
+	for i := 0; i < rounds; i++ {
+		// A spin request aborted mid-flight poisons its lane; the
+		// chaos-failed Reset forces the quarantine/replace/probe cycle.
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		tk, err := s.Submit(ctx, "", spinJob(4, 200*time.Microsecond))
+		if err != nil {
+			cancel()
+			t.Fatalf("round %d: submit: %v (%s)", i, err, replay)
+		}
+		_, werr := tk.Wait()
+		cancel()
+		switch {
+		case werr == nil:
+		case errors.Is(werr, context.DeadlineExceeded) || errors.Is(werr, context.Canceled):
+			cancelled++
+		default:
+			t.Fatalf("round %d: %v (%s)", i, werr, replay)
+		}
+		// The replacement pool (or the untouched one, when the spin
+		// finished in time) must serve the follow-up correctly.
+		fk, err := s.Submit(context.Background(), "", Rec(fibw.Job(12, 1)))
+		if err != nil {
+			t.Fatalf("round %d: fib submit: %v (%s)", i, err, replay)
+		}
+		if v, ferr := fk.Wait(); ferr != nil || v != wantFib {
+			t.Fatalf("round %d: post-abort fib = %d err=%v, want %d (%s)", i, v, ferr, wantFib, replay)
+		}
+	}
+	if cancelled == 0 {
+		t.Fatalf("no round aborted mid-flight — the cell stopped covering quarantine (%s)", replay)
+	}
+	// A quarantine cycle runs asynchronously to the request stream: the
+	// last request can finish on another lane while a quarantined lane
+	// has its entry counted but its first replacement still in flight.
+	// The counter invariant below only holds at quiescence, so wait for
+	// every lane to return to rotation.
+	quiet := time.Now().Add(10 * time.Second)
+	for {
+		serving := true
+		for _, lh := range s.Health().Lanes {
+			if lh.State != "serving" {
+				serving = false
+				break
+			}
+		}
+		if serving {
+			break
+		}
+		if time.Now().After(quiet) {
+			t.Fatalf("a lane never left quarantine: %+v (%s)", s.Health().Lanes, replay)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var quarantines, replacements int64
+	for _, lh := range s.Health().Lanes {
+		quarantines += lh.Quarantines
+		replacements += lh.Replacements
+	}
+	if quarantines < 1 || replacements < quarantines {
+		t.Fatalf("quarantines=%d replacements=%d, want >=1 and replacements >= quarantines (%s)", quarantines, replacements, replay)
+	}
+	if fired := inj.Injected(); fired[chaos.ServeLaneResetFail] < 1 {
+		t.Fatalf("lane-reset-fail never fired: %v (%s)", fired, replay)
+	}
+	st := s.Stats().Tenants[0]
+	if st.Completed+st.Cancelled+st.Failed != st.Submitted {
+		t.Fatalf("accounting: %+v (%s)", st, replay)
+	}
+	t.Logf("%s: %d/%d aborted, %d quarantines, %d replacements, %d probes failed (%s)",
+		backend, cancelled, rounds, quarantines, replacements, inj.Injected()[chaos.ServeProbeFail], replay)
+}
+
 // spinJob is the torture sweep's slow request: a small task tree whose
 // leaves busy-spin, so a request takes a few milliseconds and a 1-4ms
 // deadline lands mid-flight. Completed value is the leaf count.
@@ -96,6 +217,10 @@ func runServeTorture(t *testing.T, backend string, prof chaos.Profile, seed uint
 			// Each lane gets its own deterministic injector stream.
 			o.Chaos = chaos.NewInjector(laneWidth, prof, seed+uint64(lane)*0x9e3779b9)
 		},
+		// The deadlined spin requests here exist to land mid-flight and
+		// exercise abort/Reset; with deadline admission on, the
+		// estimator would learn the spin time and shed them at Submit.
+		Resilience: resilience.Options{DisableDeadline: true},
 	})
 	if err != nil {
 		t.Fatalf("%s: %v", replay, err)

@@ -2,6 +2,7 @@ package gowool
 
 import (
 	"gowool/internal/poolerr"
+	"gowool/internal/resilience"
 	"gowool/internal/sched"
 	"gowool/internal/serve"
 )
@@ -13,6 +14,16 @@ import (
 // workers drain the queues, a request's context cancels or times it
 // out mid-flight, bounded queues shed overload, and weighted tenants
 // get proportionally sized worker teams.
+//
+// The server is self-healing (DESIGN.md §17): each tenant gets a
+// circuit breaker that sheds submissions after a failure storm and
+// probes its way back, deadline-aware admission sheds requests whose
+// deadlines the learned service time says cannot be met, callers can
+// mark requests retry-safe (Server.SubmitWith) for budgeted in-server
+// retries, and a lane whose pool cannot be returned to service is
+// quarantined and hot-replaced. ResilienceOptions (on ServerOptions)
+// tunes or disables each mechanism; Server.Health exposes the state
+// machines.
 //
 // The underlying per-request abort machinery is also public on Pool
 // itself for programs that manage their own pools: Pool.Abort poisons
@@ -37,6 +48,10 @@ type (
 	// the result.
 	Ticket = serve.Ticket
 
+	// SubmitOptions qualifies one submission (Server.SubmitWith);
+	// Retryable marks the request safe for budgeted in-server retries.
+	SubmitOptions = serve.SubmitOptions
+
 	// Job is a servable request, built with ServeRec or ServeRange.
 	Job = serve.Job
 
@@ -45,6 +60,45 @@ type (
 
 	// TenantStats is one tenant's counters in a ServerStats.
 	TenantStats = serve.TenantStats
+
+	// ServerHealth is a point-in-time self-healing snapshot
+	// (Server.Health): breaker positions, lane quarantine state,
+	// failure streaks.
+	ServerHealth = serve.Health
+
+	// LaneHealth is one lane's self-healing state in a ServerHealth.
+	LaneHealth = serve.LaneHealth
+
+	// TenantHealth is one tenant's resilience state in a ServerHealth.
+	TenantHealth = serve.TenantHealth
+
+	// ResilienceOptions tunes (or disables) the server's self-healing
+	// mechanisms (ServerOptions.Resilience); the zero value enables
+	// them all with the documented defaults.
+	ResilienceOptions = resilience.Options
+
+	// TenantResilience overrides the server-wide resilience defaults
+	// for one tenant (Tenant.Resilience); nil fields inherit.
+	TenantResilience = resilience.TenantConfig
+
+	// BreakerConfig tunes a tenant's circuit breaker: sliding
+	// failure-rate window, cooldown, half-open probe count.
+	BreakerConfig = resilience.BreakerConfig
+
+	// BreakerHealth is a breaker's snapshot inside a TenantHealth.
+	BreakerHealth = resilience.BreakerHealth
+
+	// EstimatorConfig tunes deadline-aware admission's per-(tenant,
+	// job class) service-time estimate.
+	EstimatorConfig = resilience.EstimatorConfig
+
+	// RetryConfig tunes the retry budget and backoff for requests
+	// submitted with SubmitOptions.Retryable.
+	RetryConfig = resilience.RetryConfig
+
+	// QuarantineConfig tunes when a lane is pulled from rotation and
+	// its pool hot-replaced.
+	QuarantineConfig = resilience.QuarantineConfig
 
 	// PanicError is a request's Wait error when its task tree panicked;
 	// the server isolates the panic to that request.
@@ -70,6 +124,16 @@ var (
 	// ErrOverloaded rejects a Submit that found the tenant's bounded
 	// queue full (admission control; ServerOptions.MaxPending).
 	ErrOverloaded = serve.ErrOverloaded
+
+	// ErrCircuitOpen rejects a Submit while the tenant's circuit
+	// breaker is open (failure storm; it re-admits via half-open
+	// probes after the cooldown).
+	ErrCircuitOpen = serve.ErrCircuitOpen
+
+	// ErrDeadlineUnmeetable rejects a Submit whose context deadline is
+	// closer than the learned service time for the request's job class
+	// — shedding up front instead of burning a lane on a doomed run.
+	ErrDeadlineUnmeetable = serve.ErrDeadlineUnmeetable
 
 	// ErrServerClosed rejects submissions to, and fails tickets drained
 	// by, a closed Server.
